@@ -1,0 +1,96 @@
+// Command gdi-oltp runs the OLTP evaluation of §6.4 standalone: one Table 3
+// mix against GDA (optionally against the baselines), printing throughput,
+// failed-transaction percentage, and per-operation latency summaries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	gdi "github.com/gdi-go/gdi"
+	"github.com/gdi-go/gdi/internal/baseline/lockgdb"
+	"github.com/gdi-go/gdi/internal/baseline/rpcgdb"
+	"github.com/gdi-go/gdi/internal/kron"
+	"github.com/gdi-go/gdi/internal/workload"
+)
+
+func main() {
+	mixName := flag.String("mix", "LinkBench", `workload mix: "read mostly", "read intensive", "write intensive", "LinkBench"`)
+	system := flag.String("system", "gda", "system under test: gda, rpc (JanusGraph-like), lock (Neo4j-like)")
+	ranks := flag.Int("ranks", 4, "number of simulated processes (servers)")
+	scale := flag.Int("scale", 12, "graph has 2^scale vertices")
+	ops := flag.Int("ops", 10000, "operations per worker")
+	seed := flag.Int64("seed", 1, "run seed")
+	hist := flag.Bool("hist", false, "print per-op latency histograms")
+	flag.Parse()
+
+	var mix workload.Mix
+	found := false
+	for _, m := range workload.Mixes {
+		if m.Name == *mixName {
+			mix, found = m, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "gdi-oltp: unknown mix %q\n", *mixName)
+		os.Exit(2)
+	}
+
+	cfg := kron.Config{Scale: *scale, EdgeFactor: 16, Seed: *seed, NumLabels: 20, NumProps: 13}.WithDefaults()
+	var sys workload.System
+	switch *system {
+	case "gda":
+		rt := gdi.Init(*ranks)
+		db := rt.CreateDatabase(gdi.DatabaseParams{
+			BlockSize:     512,
+			BlocksPerRank: int((cfg.NumVertices()*10+cfg.NumEdges()*2)/uint64(*ranks)) + (1 << 13),
+		})
+		sch, err := kron.DefineSchema(db.Engine(), cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gdi-oltp:", err)
+			os.Exit(1)
+		}
+		if err := workload.LoadGDA(rt, db, cfg, sch); err != nil {
+			fmt.Fprintln(os.Stderr, "gdi-oltp:", err)
+			os.Exit(1)
+		}
+		sys = &workload.GDASystem{DB: db, Schema: sch}
+	case "rpc":
+		db := rpcgdb.New(*ranks)
+		defer db.Close()
+		workload.LoadRPC(db, cfg)
+		sys = &workload.RPCSystem{DB: db}
+	case "lock":
+		db := lockgdb.New()
+		workload.LoadLock(db, cfg)
+		sys = &workload.LockSystem{DB: db}
+	default:
+		fmt.Fprintf(os.Stderr, "gdi-oltp: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	res, err := workload.Run(sys, workload.RunConfig{
+		Mix: mix, Workers: *ranks, OpsPerWorker: *ops,
+		KeySpace: cfg.NumVertices(), Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gdi-oltp:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("system=%s mix=%q servers=%d |V|=%d |E|=%d\n",
+		res.System, res.Mix, res.Workers, cfg.NumVertices(), cfg.NumEdges())
+	fmt.Printf("throughput: %.0f queries/s   failed: %.2f%%   elapsed: %s\n",
+		res.QPS(), res.FailedFraction()*100, res.Elapsed.Round(1e6))
+	for op := workload.Op(0); op < workload.NumOps; op++ {
+		h := res.PerOp[op]
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("  %-16s n=%-8d mean=%8.1fµs p50=%8.1fµs p99=%8.1fµs\n",
+			op, h.Count(), h.MeanNs()/1e3, float64(h.QuantileNs(0.5))/1e3, float64(h.QuantileNs(0.99))/1e3)
+		if *hist {
+			fmt.Print(h.Render(50))
+		}
+	}
+}

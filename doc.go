@@ -1,0 +1,69 @@
+// Package gdi is a Go implementation of the Graph Database Interface (GDI)
+// of Besta, Gerstenberger, et al., "The Graph Database Interface: Scaling
+// Online Transactional and Analytical Graph Workloads to Hundreds of
+// Thousands of Cores" (SC 2023), together with GDI-RMA ("GDA"), the paper's
+// RDMA-based implementation, rebuilt on a simulated one-sided RMA fabric.
+//
+// GDI is a storage-layer interface for graph databases: CRUD on the Labeled
+// Property Graph model (vertices, edges, labels, properties), ACID
+// transactions (local and collective), explicit indexes, and DNF
+// constraints. The interface is decoupled from its implementation, exactly
+// as MPI is; this package provides both the interface surface and one
+// high-performance implementation.
+//
+// # Execution model
+//
+// Like MPI programs, GDI programs are SPMD: a Runtime hosts P simulated
+// processes ("ranks", playing the paper's compute servers), and application
+// code runs on every rank:
+//
+//	rt := gdi.Init(8)
+//	defer rt.Finalize()
+//	db := rt.CreateDatabase(gdi.DatabaseParams{})
+//	person, _ := db.DefineLabel("Person")
+//	rt.Run(func(p *gdi.Process) {
+//	    tx := p.StartTransaction(gdi.ReadWrite)
+//	    v, _ := tx.CreateVertex(uint64(p.Rank()))
+//	    h, _ := tx.AssociateVertex(v)
+//	    h.AddLabel(person)
+//	    tx.Commit()
+//	})
+//
+// # Mapping to the GDI specification
+//
+// The C-style routines of the GDI specification map to Go as follows
+// (the semantics, including collective-vs-local classification, §3.2, are
+// preserved):
+//
+//	GDI_Init / GDI_Finalize                    Init / Runtime.Finalize
+//	GDI_CreateDatabase                         Runtime.CreateDatabase
+//	GDI_CreateLabel [C]                        Database.DefineLabel / Process.CreateLabel
+//	GDI_CreatePropertyType [C]                 Database.DefinePType / Process.CreatePType
+//	GDI_GetLabelFromName                       Process.LabelByName
+//	GDI_StartTransaction [L]                   Process.StartTransaction
+//	GDI_StartCollectiveTransaction [C]         Process.StartCollectiveTransaction
+//	GDI_CloseTransaction [L]                   Transaction.Commit / Transaction.Abort
+//	GDI_TranslateVertexID [L]                  Transaction.TranslateVertexID
+//	GDI_AssociateVertex [L]                    Transaction.AssociateVertex
+//	GDI_CreateVertex / GDI_DeleteVertex        Transaction.CreateVertex / DeleteVertex
+//	GDI_CreateEdge / GDI_DeleteEdge            Transaction.CreateEdge / DeleteEdge
+//	GDI_AddLabelToVertex                       Vertex.AddLabel
+//	GDI_GetAllLabelsOfVertex                   Vertex.Labels
+//	GDI_AddPropertyToVertex                    Vertex.AddProperty
+//	GDI_UpdatePropertyOfVertex                 Vertex.SetProperty
+//	GDI_GetPropertiesOfVertex                  Vertex.Properties / Vertex.Property
+//	GDI_GetEdgesOfVertex                       Vertex.Edges
+//	GDI_GetNeighborVerticesOfVertex            Vertex.Neighbors
+//	GDI_GetLocalVerticesOfIndex [L]            Process.LocalVerticesWithLabel
+//	GDI_Bulk load vertices/edges [C]           Process.BulkLoadVertices / BulkLoadEdges
+//	GDI constraints (§3.6)                     Constraint / Subconstraint builders
+//
+// # Consistency (§3.8)
+//
+// Graph data is serializable: transactions use per-vertex reader-writer
+// locks with bounded acquisition; contended transactions fail with
+// ErrTransactionCritical and must be restarted by the caller (this is what
+// the paper reports as the failed-transaction percentage). Metadata and
+// indexes are eventually consistent; write transactions that race a
+// metadata change detect staleness at commit and abort.
+package gdi

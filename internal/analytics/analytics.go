@@ -1,0 +1,463 @@
+// Package analytics implements the OLAP and OLSP workloads of the paper's
+// evaluation (§4, §6.5, Figure 6) on top of the public GDI API: BFS, k-hop,
+// PageRank, Community Detection by Label Propagation (CDLP), Weakly
+// Connected Components (WCC), Local Clustering Coefficient (LCC), a
+// BI2-style aggregation (LDBC SNB BI), and a Graph Neural Network layer
+// (graph convolution, Listing 2).
+//
+// Every algorithm is SPMD: it must be called from all processes (inside
+// Runtime.Run) and follows the paper's recommended pattern for analytics —
+// a collective transaction, per-process iteration over the local vertex
+// shard, and collective communication for the cross-process phases
+// (Table 2).
+package analytics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	gdi "github.com/gdi-go/gdi"
+	"github.com/gdi-go/gdi/internal/collective"
+	"github.com/gdi-go/gdi/internal/kron"
+)
+
+// Graph bundles a loaded database with its generator schema.
+type Graph struct {
+	DB     *gdi.Database
+	Schema kron.Schema
+}
+
+// vmsg is a vertex-addressed message: the exchange unit of the frontier/
+// value-propagation phases.
+type vmsg struct {
+	V   gdi.VertexID
+	Val uint64
+}
+
+type fmsg struct {
+	V   gdi.VertexID
+	Val float64
+}
+
+// exchange routes messages to the rank owning each target vertex with one
+// all-to-all (O(log P) + payload depth).
+func exchange[T any](p *gdi.Process, buckets [][]T) []T {
+	in := collective.Alltoall(p.Comm(), p.Rank(), buckets)
+	var out []T
+	for _, b := range in {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func bucketize[T any](n int) [][]T { return make([][]T, n) }
+
+// BFS runs a level-synchronous parallel breadth-first search from the
+// vertex with application ID rootApp over all edges (both directions, as
+// Graph500 treats the Kronecker graph). It returns the number of reached
+// vertices and the eccentricity on every rank.
+func BFS(p *gdi.Process, g *Graph, rootApp uint64) (visited int64, depth int, err error) {
+	tx := p.StartCollectiveTransaction(gdi.ReadOnly)
+	defer tx.Commit()
+
+	level := make(map[gdi.VertexID]int)
+	var frontier []gdi.VertexID
+	if int(p.Rank()) == int(p.Database().Engine().OwnerOf(rootApp)) {
+		root, terr := tx.TranslateVertexID(rootApp)
+		if terr != nil {
+			err = terr
+			// Fall through: the collective loop below must still run on all
+			// ranks; an empty frontier terminates it immediately.
+		} else {
+			frontier = []gdi.VertexID{root}
+		}
+	}
+	n := p.Size()
+	for d := 0; ; d++ {
+		var local int64
+		buckets := bucketize[gdi.VertexID](n)
+		for _, v := range frontier {
+			if _, seen := level[v]; seen {
+				continue
+			}
+			level[v] = d
+			local++
+			h, aerr := tx.AssociateVertex(v)
+			if aerr != nil {
+				err = aerr
+				continue
+			}
+			edges, eerr := h.Edges(gdi.MaskAll, nil)
+			if eerr != nil {
+				err = eerr
+				continue
+			}
+			for _, e := range edges {
+				buckets[int(e.Neighbor.Rank())] = append(buckets[int(e.Neighbor.Rank())], e.Neighbor)
+			}
+		}
+		incoming := exchange(p, buckets)
+		frontier = frontier[:0]
+		for _, v := range incoming {
+			if _, seen := level[v]; !seen {
+				frontier = append(frontier, v)
+			}
+		}
+		visited += local
+		total := p.AllreduceInt64(local)
+		if total == 0 {
+			visited = p.AllreduceInt64(visited)
+			return visited, d, err
+		}
+		depth = d
+	}
+}
+
+// KHop counts the vertices within k hops of rootApp (the k-hop queries of
+// Figure 6e/6f).
+func KHop(p *gdi.Process, g *Graph, rootApp uint64, k int) (int64, error) {
+	tx := p.StartCollectiveTransaction(gdi.ReadOnly)
+	defer tx.Commit()
+
+	seen := make(map[gdi.VertexID]bool)
+	var frontier []gdi.VertexID
+	if int(p.Rank()) == int(p.Database().Engine().OwnerOf(rootApp)) {
+		root, err := tx.TranslateVertexID(rootApp)
+		if err != nil {
+			return 0, err
+		}
+		frontier = []gdi.VertexID{root}
+	}
+	n := p.Size()
+	var local int64
+	for d := 0; d <= k; d++ {
+		buckets := bucketize[gdi.VertexID](n)
+		for _, v := range frontier {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			local++
+			if d == k {
+				continue // count the last ring, do not expand it
+			}
+			h, err := tx.AssociateVertex(v)
+			if err != nil {
+				return 0, err
+			}
+			edges, err := h.Edges(gdi.MaskAll, nil)
+			if err != nil {
+				return 0, err
+			}
+			for _, e := range edges {
+				buckets[int(e.Neighbor.Rank())] = append(buckets[int(e.Neighbor.Rank())], e.Neighbor)
+			}
+		}
+		incoming := exchange(p, buckets)
+		frontier = frontier[:0]
+		for _, v := range incoming {
+			if !seen[v] {
+				frontier = append(frontier, v)
+			}
+		}
+	}
+	return p.AllreduceInt64(local), nil
+}
+
+// localAdjacency snapshots the rank's shard: per-vertex out-neighbors and
+// all-neighbors (the one-time edge fetch all iterative algorithms share).
+type adjacency struct {
+	ids []gdi.VertexID
+	app map[gdi.VertexID]uint64
+	out map[gdi.VertexID][]gdi.VertexID
+	all map[gdi.VertexID][]gdi.VertexID
+}
+
+func loadAdjacency(p *gdi.Process, tx *gdi.Transaction) (*adjacency, error) {
+	a := &adjacency{
+		app: make(map[gdi.VertexID]uint64),
+		out: make(map[gdi.VertexID][]gdi.VertexID),
+		all: make(map[gdi.VertexID][]gdi.VertexID),
+	}
+	a.ids = p.LocalVertices()
+	sort.Slice(a.ids, func(i, j int) bool { return a.ids[i] < a.ids[j] })
+	for _, v := range a.ids {
+		h, err := tx.AssociateVertex(v)
+		if err != nil {
+			return nil, err
+		}
+		a.app[v] = h.AppID()
+		edges, err := h.Edges(gdi.MaskAll, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range edges {
+			a.all[v] = append(a.all[v], e.Neighbor)
+			if e.Dir == gdi.DirOut || e.Dir == gdi.DirUndirected {
+				a.out[v] = append(a.out[v], e.Neighbor)
+			}
+		}
+	}
+	return a, nil
+}
+
+// PageRank runs iters iterations of damped PageRank over out-edges
+// (df = damping factor, the paper uses 0.85 and i=10). It returns the local
+// rank mass by appID and the global L1 norm (≈1).
+func PageRank(p *gdi.Process, g *Graph, iters int, df float64) (map[uint64]float64, float64, error) {
+	tx := p.StartCollectiveTransaction(gdi.ReadOnly)
+	defer tx.Commit()
+	adj, err := loadAdjacency(p, tx)
+	if err != nil {
+		return nil, 0, err
+	}
+	nGlobal := float64(p.AllreduceInt64(int64(len(adj.ids))))
+	if nGlobal == 0 {
+		return nil, 0, fmt.Errorf("analytics: empty graph")
+	}
+	rank := make(map[gdi.VertexID]float64, len(adj.ids))
+	for _, v := range adj.ids {
+		rank[v] = 1 / nGlobal
+	}
+	n := p.Size()
+	for it := 0; it < iters; it++ {
+		buckets := bucketize[fmsg](n)
+		dangling := 0.0
+		for _, v := range adj.ids {
+			outs := adj.out[v]
+			if len(outs) == 0 {
+				dangling += rank[v]
+				continue
+			}
+			share := rank[v] / float64(len(outs))
+			for _, nb := range outs {
+				buckets[int(nb.Rank())] = append(buckets[int(nb.Rank())], fmsg{V: nb, Val: share})
+			}
+		}
+		incoming := exchange(p, buckets)
+		danglingAll := p.AllreduceFloat64(dangling)
+		base := (1-df)/nGlobal + df*danglingAll/nGlobal
+		next := make(map[gdi.VertexID]float64, len(adj.ids))
+		for _, v := range adj.ids {
+			next[v] = base
+		}
+		for _, m := range incoming {
+			next[m.V] += df * m.Val
+		}
+		rank = next
+	}
+	out := make(map[uint64]float64, len(adj.ids))
+	local := 0.0
+	for v, r := range rank {
+		out[adj.app[v]] = r
+		local += r
+	}
+	return out, p.AllreduceFloat64(local), nil
+}
+
+// CDLP runs iters rounds of synchronous community detection by label
+// propagation (Graphalytics semantics: adopt the smallest most-frequent
+// neighbor label; labels start as appIDs). Returns local appID → community.
+func CDLP(p *gdi.Process, g *Graph, iters int) (map[uint64]uint64, error) {
+	tx := p.StartCollectiveTransaction(gdi.ReadOnly)
+	defer tx.Commit()
+	adj, err := loadAdjacency(p, tx)
+	if err != nil {
+		return nil, err
+	}
+	label := make(map[gdi.VertexID]uint64, len(adj.ids))
+	for _, v := range adj.ids {
+		label[v] = adj.app[v]
+	}
+	n := p.Size()
+	for it := 0; it < iters; it++ {
+		buckets := bucketize[vmsg](n)
+		for _, v := range adj.ids {
+			for _, nb := range adj.all[v] {
+				buckets[int(nb.Rank())] = append(buckets[int(nb.Rank())], vmsg{V: nb, Val: label[v]})
+			}
+		}
+		incoming := exchange(p, buckets)
+		counts := make(map[gdi.VertexID]map[uint64]int)
+		for _, m := range incoming {
+			c, ok := counts[m.V]
+			if !ok {
+				c = make(map[uint64]int)
+				counts[m.V] = c
+			}
+			c[m.Val]++
+		}
+		for _, v := range adj.ids {
+			c := counts[v]
+			if len(c) == 0 {
+				continue
+			}
+			best, bestCount := label[v], 0
+			first := true
+			for l, cnt := range c {
+				if cnt > bestCount || (cnt == bestCount && (first || l < best)) {
+					best, bestCount = l, cnt
+					first = false
+				}
+			}
+			label[v] = best
+		}
+	}
+	out := make(map[uint64]uint64, len(adj.ids))
+	for v, l := range label {
+		out[adj.app[v]] = l
+	}
+	return out, nil
+}
+
+// WCC computes weakly connected components by iterative minimum-appID
+// propagation until global convergence (bounded by maxIters; the paper
+// reports i=5 rounds on Kronecker graphs). Returns local appID → component
+// and the number of iterations executed.
+func WCC(p *gdi.Process, g *Graph, maxIters int) (map[uint64]uint64, int, error) {
+	tx := p.StartCollectiveTransaction(gdi.ReadOnly)
+	defer tx.Commit()
+	adj, err := loadAdjacency(p, tx)
+	if err != nil {
+		return nil, 0, err
+	}
+	comp := make(map[gdi.VertexID]uint64, len(adj.ids))
+	for _, v := range adj.ids {
+		comp[v] = adj.app[v]
+	}
+	n := p.Size()
+	it := 0
+	for ; it < maxIters; it++ {
+		buckets := bucketize[vmsg](n)
+		for _, v := range adj.ids {
+			for _, nb := range adj.all[v] {
+				buckets[int(nb.Rank())] = append(buckets[int(nb.Rank())], vmsg{V: nb, Val: comp[v]})
+			}
+		}
+		incoming := exchange(p, buckets)
+		var changed int64
+		for _, m := range incoming {
+			if m.Val < comp[m.V] {
+				comp[m.V] = m.Val
+				changed++
+			}
+		}
+		if p.AllreduceInt64(changed) == 0 {
+			it++
+			break
+		}
+	}
+	out := make(map[uint64]uint64, len(adj.ids))
+	for v, c := range comp {
+		out[adj.app[v]] = c
+	}
+	return out, it, nil
+}
+
+// LCC computes the average local clustering coefficient. Neighbor
+// adjacency is read through GDI directly (remote holder fetches), the
+// communication-heavy pattern the paper attributes to LCC's O(n + m^{3/2})
+// cost.
+func LCC(p *gdi.Process, g *Graph) (float64, error) {
+	tx := p.StartCollectiveTransaction(gdi.ReadOnly)
+	defer tx.Commit()
+	adj, err := loadAdjacency(p, tx)
+	if err != nil {
+		return 0, err
+	}
+	neighborSet := func(v gdi.VertexID) (map[gdi.VertexID]bool, error) {
+		h, err := tx.AssociateVertex(v)
+		if err != nil {
+			return nil, err
+		}
+		edges, err := h.Edges(gdi.MaskAll, nil)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[gdi.VertexID]bool, len(edges))
+		for _, e := range edges {
+			if e.Neighbor != v {
+				set[e.Neighbor] = true
+			}
+		}
+		return set, nil
+	}
+	localSum, localCnt := 0.0, int64(0)
+	for _, v := range adj.ids {
+		mine := make(map[gdi.VertexID]bool)
+		for _, nb := range adj.all[v] {
+			if nb != v {
+				mine[nb] = true
+			}
+		}
+		deg := len(mine)
+		localCnt++
+		if deg < 2 {
+			continue
+		}
+		links := 0
+		for nb := range mine {
+			theirs, err := neighborSet(nb)
+			if err != nil {
+				return 0, err
+			}
+			for x := range theirs {
+				if mine[x] {
+					links++
+				}
+			}
+		}
+		localSum += float64(links) / float64(deg*(deg-1))
+	}
+	sum := p.AllreduceFloat64(localSum)
+	cnt := p.AllreduceInt64(localCnt)
+	if cnt == 0 {
+		return 0, nil
+	}
+	return sum / float64(cnt), nil
+}
+
+// BI2 is the business-intelligence aggregation of Figure 6b (modeled on
+// LDBC SNB BI query 2): count vertices carrying the given label whose
+// filter property lies in [lo, hi), grouped by the group property's value.
+// Partial aggregates are merged with a gather, Listing 3 style. The full
+// grouped map is returned on every rank (via broadcast).
+func BI2(p *gdi.Process, g *Graph, label gdi.LabelID, filterProp gdi.PTypeID, lo, hi uint64, groupProp gdi.PTypeID) (map[uint64]int64, error) {
+	tx := p.StartCollectiveTransaction(gdi.ReadOnly)
+	defer tx.Commit()
+	local := make(map[uint64]int64)
+	for _, v := range p.LocalVerticesWithLabel(label) {
+		h, err := tx.AssociateVertex(v)
+		if err != nil {
+			return nil, err
+		}
+		fv, ok := h.Property(filterProp)
+		if !ok {
+			continue
+		}
+		x := gdi.Uint64Of(fv)
+		if x < lo || x >= hi {
+			continue
+		}
+		gv, ok := h.Property(groupProp)
+		if !ok {
+			continue
+		}
+		local[gdi.Uint64Of(gv)]++
+	}
+	parts := collective.Gather(p.Comm(), p.Rank(), 0, local)
+	var merged map[uint64]int64
+	if p.Rank() == 0 {
+		merged = make(map[uint64]int64)
+		for _, part := range parts {
+			for k, v := range part {
+				merged[k] += v
+			}
+		}
+	}
+	return collective.Bcast(p.Comm(), p.Rank(), 0, merged), nil
+}
+
+// relu is the GNN non-linearity of Listing 2.
+func relu(x float64) float64 { return math.Max(0, x) }

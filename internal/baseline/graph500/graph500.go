@@ -1,0 +1,95 @@
+// Package graph500 is the Graph500-BFS-stand-in comparator of §6.5: a
+// tuned parallel level-synchronous breadth-first search over plain CSR
+// arrays, with no transactions, no labels, no properties, and no storage
+// engine — the upper bound GDA's BFS is measured against in Figure 6e/6f.
+package graph500
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/gdi-go/gdi/internal/kron"
+)
+
+// BFS runs a parallel level-synchronous BFS from root and returns the level
+// of every vertex (-1 = unreached). workers <= 0 selects GOMAXPROCS.
+func BFS(c *kron.CSR, root uint64, workers int) []int32 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	levels := make([]int32, c.N)
+	for i := range levels {
+		levels[i] = -1
+	}
+	if root >= c.N {
+		return levels
+	}
+	// Atomic visited bitmap.
+	words := make([]uint64, (c.N+63)/64)
+	setVisited := func(v uint64) bool {
+		w, b := v/64, uint64(1)<<(v%64)
+		for {
+			old := atomic.LoadUint64(&words[w])
+			if old&b != 0 {
+				return false
+			}
+			if atomic.CompareAndSwapUint64(&words[w], old, old|b) {
+				return true
+			}
+		}
+	}
+	setVisited(root)
+	levels[root] = 0
+	frontier := []uint64{root}
+	for level := int32(1); len(frontier) > 0; level++ {
+		nexts := make([][]uint64, workers)
+		var wg sync.WaitGroup
+		chunk := (len(frontier) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(frontier) {
+				break
+			}
+			hi := min(lo+chunk, len(frontier))
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				var local []uint64
+				for _, u := range frontier[lo:hi] {
+					for _, v := range c.Neighbors(u) {
+						if setVisited(v) {
+							levels[v] = level
+							local = append(local, v)
+						}
+					}
+				}
+				nexts[w] = local
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		frontier = frontier[:0]
+		for _, l := range nexts {
+			frontier = append(frontier, l...)
+		}
+	}
+	return levels
+}
+
+// Visited counts reached vertices in a level array.
+func Visited(levels []int32) int {
+	n := 0
+	for _, l := range levels {
+		if l >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+package graph500
+
+import (
+	"testing"
+
+	"github.com/gdi-go/gdi/internal/kron"
+)
+
+func TestBFSReachesComponent(t *testing.T) {
+	cfg := kron.Config{Scale: 9, EdgeFactor: 8, Seed: 1}.WithDefaults()
+	c := kron.BuildCSR(cfg)
+	levels := BFS(c, 0, 4)
+	if levels[0] != 0 {
+		t.Fatalf("root level = %d", levels[0])
+	}
+	v := Visited(levels)
+	if v < int(c.N)/2 {
+		t.Fatalf("BFS reached only %d of %d vertices on an e=8 Kronecker graph", v, c.N)
+	}
+	// Level consistency: every reached non-root vertex has a neighbor one
+	// level closer to the root.
+	for u := uint64(0); u < c.N; u++ {
+		if levels[u] <= 0 {
+			continue
+		}
+		ok := false
+		for _, nb := range c.Neighbors(u) {
+			if levels[nb] == levels[u]-1 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("vertex %d at level %d has no parent", u, levels[u])
+		}
+	}
+}
+
+func TestBFSSerialVsParallel(t *testing.T) {
+	cfg := kron.Config{Scale: 8, EdgeFactor: 4, Seed: 2}.WithDefaults()
+	c := kron.BuildCSR(cfg)
+	a := BFS(c, 3, 1)
+	b := BFS(c, 3, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("levels differ at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBFSOutOfRangeRoot(t *testing.T) {
+	cfg := kron.Config{Scale: 4, EdgeFactor: 2, Seed: 1}.WithDefaults()
+	c := kron.BuildCSR(cfg)
+	if Visited(BFS(c, 1<<40, 2)) != 0 {
+		t.Fatal("out-of-range root visited vertices")
+	}
+}

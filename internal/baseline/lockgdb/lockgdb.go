@@ -1,0 +1,281 @@
+// Package lockgdb is the Neo4j-stand-in baseline of the evaluation (§6.2):
+// an in-memory LPG store with a single global reader-writer lock around a
+// centralized transaction manager and a write-ahead log.
+//
+// The paper compares GDA against Neo4j 5.10 configured for in-memory
+// execution. Neo4j itself is not available here; this baseline reproduces
+// the architectural properties the paper attributes to it — one
+// transaction-management domain (no horizontally scalable writes), a
+// transaction log on the write path, and an interpreted property/label
+// lookup path — so the *shape* of Figures 4 and 5 (GDA ahead by a widening
+// margin as servers are added) is reproduced, not Neo4j's absolute numbers.
+package lockgdb
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// vertex is the object-graph representation typical of centralized stores.
+type vertex struct {
+	labels []uint32
+	props  map[uint32][]byte
+	out    []uint64
+	in     []uint64
+}
+
+// DB is the store. All clients share it; every operation takes the global
+// lock (read or write).
+type DB struct {
+	mu    sync.RWMutex
+	verts map[uint64]*vertex
+	wal   []byte
+	walH  uint64
+}
+
+// walPage is the simulated transaction-log granularity: every write
+// transaction appends and checksums one page, as a journaling store does.
+const walPage = 4096
+
+// New creates an empty store.
+func New() *DB {
+	return &DB{verts: make(map[uint64]*vertex)}
+}
+
+// appendWAL simulates the transaction-log write that accompanies every
+// write transaction in a journaling database: one page is materialized and
+// checksummed. The WAL buffer is bounded (it recycles), since durability
+// itself is out of scope.
+func (db *DB) appendWAL(record []byte) {
+	var page [walPage]byte
+	copy(page[:], record)
+	h := fnv.New64a()
+	h.Write(page[:])
+	db.walH = h.Sum64()
+	if len(db.wal) > 1<<20 {
+		db.wal = db.wal[:0]
+	}
+	db.wal = append(db.wal, record...)
+}
+
+// AddVertex inserts a vertex with one label and one property.
+func (db *DB) AddVertex(app uint64, label uint32, prop uint32, val []byte) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.verts[app]; dup {
+		return
+	}
+	v := &vertex{labels: []uint32{label}, props: map[uint32][]byte{prop: append([]byte(nil), val...)}}
+	db.verts[app] = v
+	db.appendWAL([]byte{byte(app), byte(app >> 8), 1})
+}
+
+// DeleteVertex removes a vertex and detaches its edges.
+func (db *DB) DeleteVertex(app uint64) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v, ok := db.verts[app]
+	if !ok {
+		return false
+	}
+	for _, n := range v.out {
+		if nv, ok := db.verts[n]; ok {
+			nv.in = removeID(nv.in, app)
+		}
+	}
+	for _, n := range v.in {
+		if nv, ok := db.verts[n]; ok {
+			nv.out = removeID(nv.out, app)
+		}
+	}
+	delete(db.verts, app)
+	db.appendWAL([]byte{byte(app), byte(app >> 8), 2})
+	return true
+}
+
+func removeID(ids []uint64, gone uint64) []uint64 {
+	out := ids[:0]
+	for _, id := range ids {
+		if id != gone {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// AddEdge inserts a directed edge; missing endpoints are created bare (the
+// permissive semantics JanusGraph/Neo4j exhibit under concurrent load).
+func (db *DB) AddEdge(a, b uint64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	av, ok := db.verts[a]
+	if !ok {
+		av = &vertex{props: map[uint32][]byte{}}
+		db.verts[a] = av
+	}
+	bv, ok := db.verts[b]
+	if !ok {
+		bv = &vertex{props: map[uint32][]byte{}}
+		db.verts[b] = bv
+	}
+	av.out = append(av.out, b)
+	bv.in = append(bv.in, a)
+	db.appendWAL([]byte{byte(a), byte(b), 3})
+}
+
+// UpdateProperty overwrites one property value.
+func (db *DB) UpdateProperty(app uint64, prop uint32, val []byte) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v, ok := db.verts[app]
+	if !ok {
+		return false
+	}
+	v.props[prop] = append([]byte(nil), val...)
+	db.appendWAL([]byte{byte(app), byte(prop), 4})
+	return true
+}
+
+// GetProps returns a copy of a vertex's property map.
+func (db *DB) GetProps(app uint64) (map[uint32][]byte, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	v, ok := db.verts[app]
+	if !ok {
+		return nil, false
+	}
+	out := make(map[uint32][]byte, len(v.props))
+	for k, val := range v.props {
+		out[k] = append([]byte(nil), val...)
+	}
+	return out, true
+}
+
+// CountEdges returns a vertex's degree.
+func (db *DB) CountEdges(app uint64) (int, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	v, ok := db.verts[app]
+	if !ok {
+		return 0, false
+	}
+	return len(v.out) + len(v.in), true
+}
+
+// GetEdges returns copies of a vertex's adjacency lists.
+func (db *DB) GetEdges(app uint64) (out, in []uint64, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	v, found := db.verts[app]
+	if !found {
+		return nil, nil, false
+	}
+	return append([]uint64(nil), v.out...), append([]uint64(nil), v.in...), true
+}
+
+// Len returns the vertex count.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.verts)
+}
+
+// BFS runs a whole-graph traversal under the global read lock (the shape of
+// a Neo4j analytical query: single-machine, lock-coupled).
+func (db *DB) BFS(root uint64) (visited int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if _, ok := db.verts[root]; !ok {
+		return 0
+	}
+	seen := map[uint64]bool{root: true}
+	frontier := []uint64{root}
+	for len(frontier) > 0 {
+		var next []uint64
+		for _, u := range frontier {
+			v := db.verts[u]
+			for _, lists := range [][]uint64{v.out, v.in} {
+				for _, n := range lists {
+					if !seen[n] {
+						seen[n] = true
+						next = append(next, n)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return len(seen)
+}
+
+// KHop counts vertices within k hops of root.
+func (db *DB) KHop(root uint64, k int) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if _, ok := db.verts[root]; !ok {
+		return 0
+	}
+	seen := map[uint64]bool{root: true}
+	frontier := []uint64{root}
+	for hop := 0; hop < k && len(frontier) > 0; hop++ {
+		var next []uint64
+		for _, u := range frontier {
+			v := db.verts[u]
+			for _, lists := range [][]uint64{v.out, v.in} {
+				for _, n := range lists {
+					if !seen[n] {
+						seen[n] = true
+						next = append(next, n)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return len(seen)
+}
+
+// GroupCount scans all vertices with the given label whose filter property
+// lies in [lo, hi) and counts them grouped by group-property value — the
+// BI2-style aggregation, executed the centralized way.
+func (db *DB) GroupCount(label uint32, filterProp uint32, lo, hi uint64, groupProp uint32) map[uint64]int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[uint64]int64)
+	for _, v := range db.verts {
+		if !hasLabel(v.labels, label) {
+			continue
+		}
+		fv, ok := v.props[filterProp]
+		if !ok || len(fv) != 8 {
+			continue
+		}
+		x := le64(fv)
+		if x < lo || x >= hi {
+			continue
+		}
+		gv, ok := v.props[groupProp]
+		if !ok || len(gv) != 8 {
+			continue
+		}
+		out[le64(gv)]++
+	}
+	return out
+}
+
+func hasLabel(ls []uint32, l uint32) bool {
+	for _, x := range ls {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+func le64(b []byte) uint64 {
+	var x uint64
+	for i := 7; i >= 0; i-- {
+		x = x<<8 | uint64(b[i])
+	}
+	return x
+}

@@ -1,0 +1,119 @@
+package lockgdb
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestVertexLifecycle(t *testing.T) {
+	db := New()
+	db.AddVertex(1, 10, 0, []byte{1, 0, 0, 0, 0, 0, 0, 0})
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	props, ok := db.GetProps(1)
+	if !ok || len(props) != 1 {
+		t.Fatalf("GetProps = %v, %v", props, ok)
+	}
+	if !db.UpdateProperty(1, 0, []byte{2, 0, 0, 0, 0, 0, 0, 0}) {
+		t.Fatal("UpdateProperty failed")
+	}
+	if db.UpdateProperty(99, 0, nil) {
+		t.Fatal("UpdateProperty on ghost succeeded")
+	}
+	if !db.DeleteVertex(1) || db.DeleteVertex(1) {
+		t.Fatal("delete semantics wrong")
+	}
+}
+
+func TestEdgesAndDegree(t *testing.T) {
+	db := New()
+	db.AddVertex(1, 0, 0, nil)
+	db.AddVertex(2, 0, 0, nil)
+	db.AddEdge(1, 2)
+	db.AddEdge(1, 2)
+	if n, _ := db.CountEdges(1); n != 2 {
+		t.Fatalf("CountEdges(1) = %d", n)
+	}
+	out, in, ok := db.GetEdges(2)
+	if !ok || len(out) != 0 || len(in) != 2 {
+		t.Fatalf("GetEdges(2) = %v, %v, %v", out, in, ok)
+	}
+	db.DeleteVertex(2)
+	if n, _ := db.CountEdges(1); n != 0 {
+		t.Fatalf("dangling edges after neighbor delete: %d", n)
+	}
+}
+
+func TestAddEdgeCreatesEndpoints(t *testing.T) {
+	db := New()
+	db.AddEdge(7, 8)
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}
+
+func TestBFSAndKHop(t *testing.T) {
+	db := New()
+	for i := uint64(0); i < 5; i++ {
+		db.AddVertex(i, 0, 0, nil)
+	}
+	// Path 0-1-2-3, isolated 4.
+	db.AddEdge(0, 1)
+	db.AddEdge(1, 2)
+	db.AddEdge(2, 3)
+	if got := db.BFS(0); got != 4 {
+		t.Fatalf("BFS(0) = %d, want 4", got)
+	}
+	if got := db.BFS(4); got != 1 {
+		t.Fatalf("BFS(4) = %d, want 1", got)
+	}
+	if got := db.BFS(99); got != 0 {
+		t.Fatalf("BFS(ghost) = %d", got)
+	}
+	if got := db.KHop(0, 2); got != 3 { // 0,1,2
+		t.Fatalf("KHop(0,2) = %d, want 3", got)
+	}
+}
+
+func TestGroupCount(t *testing.T) {
+	db := New()
+	mk := func(v uint64) []byte { return []byte{byte(v), 0, 0, 0, 0, 0, 0, 0} }
+	for i := uint64(0); i < 10; i++ {
+		db.AddVertex(i, 5, 1, mk(i)) // label 5, filter prop 1 = i
+		db.UpdateProperty(i, 2, mk(i%3))
+	}
+	groups := db.GroupCount(5, 1, 2, 8, 2) // i in [2,8): 2,3,4,5,6,7
+	total := int64(0)
+	for _, c := range groups {
+		total += c
+	}
+	if total != 6 {
+		t.Fatalf("GroupCount total = %d, want 6", total)
+	}
+	if groups[0] != 2 || groups[1] != 2 || groups[2] != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * 1000
+			for i := uint64(0); i < 100; i++ {
+				db.AddVertex(base+i, 0, 0, nil)
+				db.AddEdge(base+i, base)
+				db.GetProps(base + i)
+				db.CountEdges(base)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if db.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", db.Len())
+	}
+}

@@ -1,0 +1,293 @@
+// Package rpcgdb is the JanusGraph-stand-in baseline of the evaluation
+// (§6.2): the same sharded storage layout as GDA, but every remote access
+// travels as a two-sided RPC handled by the owning shard's server loop.
+//
+// This reproduces the structural difference the paper measures between GDA
+// and distributed two-sided designs: the target's CPU sits on the data path
+// (requests queue behind the server goroutine), while GDA's one-sided
+// accesses proceed without involving the target. Consistency is eventual —
+// no cross-shard coordination — mirroring JanusGraph's default
+// configuration that the paper also uses ("we use their high-performance
+// consistency guarantees").
+package rpcgdb
+
+import "sync"
+
+// opCode enumerates the RPC verbs.
+type opCode uint8
+
+const (
+	opGetProps opCode = iota
+	opCountEdges
+	opGetEdges
+	opAddVertex
+	opDeleteVertex
+	opUpdateProp
+	opAddOut
+	opAddIn
+	opDetachOut
+	opDetachIn
+	opScanGroup
+)
+
+// request is one two-sided message; reply carries the result.
+type request struct {
+	op        opCode
+	app, app2 uint64
+	prop      uint32
+	label     uint32
+	val       []byte
+	lo, hi    uint64
+	reply     chan reply
+}
+
+type reply struct {
+	ok     bool
+	n      int
+	out    []uint64
+	in     []uint64
+	groups map[uint64]int64
+}
+
+type vertex struct {
+	labels []uint32
+	props  map[uint32][]byte
+	out    []uint64
+	in     []uint64
+}
+
+// shard is one rank's partition, owned exclusively by its server goroutine.
+type shard struct {
+	verts map[uint64]*vertex
+	reqs  chan request
+}
+
+// DB is the sharded store with one server goroutine per shard.
+type DB struct {
+	shards []*shard
+	wg     sync.WaitGroup
+}
+
+// New creates a store with n shards and starts the server loops.
+func New(n int) *DB {
+	db := &DB{shards: make([]*shard, n)}
+	for i := range db.shards {
+		s := &shard{verts: make(map[uint64]*vertex), reqs: make(chan request, 256)}
+		db.shards[i] = s
+		db.wg.Add(1)
+		go func() {
+			defer db.wg.Done()
+			s.serve()
+		}()
+	}
+	return db
+}
+
+// Close stops the server loops.
+func (db *DB) Close() {
+	for _, s := range db.shards {
+		close(s.reqs)
+	}
+	db.wg.Wait()
+}
+
+func (db *DB) shardOf(app uint64) *shard { return db.shards[app%uint64(len(db.shards))] }
+
+// call issues one RPC and waits for the reply — the two-sided round trip.
+func (db *DB) call(req request) reply {
+	req.reply = make(chan reply, 1)
+	db.shardOf(req.app).reqs <- req
+	return <-req.reply
+}
+
+// serve is the per-shard request loop: the target CPU on the data path.
+func (s *shard) serve() {
+	for req := range s.reqs {
+		var rep reply
+		switch req.op {
+		case opGetProps:
+			if v, ok := s.verts[req.app]; ok {
+				rep.ok = true
+				rep.n = len(v.props)
+			}
+		case opCountEdges:
+			if v, ok := s.verts[req.app]; ok {
+				rep.ok = true
+				rep.n = len(v.out) + len(v.in)
+			}
+		case opGetEdges:
+			if v, ok := s.verts[req.app]; ok {
+				rep.ok = true
+				rep.out = append([]uint64(nil), v.out...)
+				rep.in = append([]uint64(nil), v.in...)
+			}
+		case opAddVertex:
+			if _, dup := s.verts[req.app]; !dup {
+				s.verts[req.app] = &vertex{
+					labels: []uint32{req.label},
+					props:  map[uint32][]byte{req.prop: append([]byte(nil), req.val...)},
+				}
+				rep.ok = true
+			}
+		case opDeleteVertex:
+			if v, ok := s.verts[req.app]; ok {
+				rep.ok = true
+				rep.out = v.out
+				rep.in = v.in
+				delete(s.verts, req.app)
+			}
+		case opUpdateProp:
+			if v, ok := s.verts[req.app]; ok {
+				v.props[req.prop] = append([]byte(nil), req.val...)
+				rep.ok = true
+			}
+		case opAddOut:
+			v, ok := s.verts[req.app]
+			if !ok {
+				v = &vertex{props: map[uint32][]byte{}}
+				s.verts[req.app] = v
+			}
+			v.out = append(v.out, req.app2)
+			rep.ok = true
+		case opAddIn:
+			v, ok := s.verts[req.app]
+			if !ok {
+				v = &vertex{props: map[uint32][]byte{}}
+				s.verts[req.app] = v
+			}
+			v.in = append(v.in, req.app2)
+			rep.ok = true
+		case opDetachOut:
+			if v, ok := s.verts[req.app]; ok {
+				v.out = removeID(v.out, req.app2)
+				rep.ok = true
+			}
+		case opDetachIn:
+			if v, ok := s.verts[req.app]; ok {
+				v.in = removeID(v.in, req.app2)
+				rep.ok = true
+			}
+		case opScanGroup:
+			rep.ok = true
+			rep.groups = make(map[uint64]int64)
+			for _, v := range s.verts {
+				if !hasLabel(v.labels, req.label) {
+					continue
+				}
+				fv, ok := v.props[req.prop]
+				if !ok || len(fv) != 8 {
+					continue
+				}
+				x := le64(fv)
+				if x < req.lo || x >= req.hi {
+					continue
+				}
+				gv, ok := v.props[uint32(req.app2)]
+				if !ok || len(gv) != 8 {
+					continue
+				}
+				rep.groups[le64(gv)]++
+			}
+		}
+		req.reply <- rep
+	}
+}
+
+func removeID(ids []uint64, gone uint64) []uint64 {
+	out := ids[:0]
+	for _, id := range ids {
+		if id != gone {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func hasLabel(ls []uint32, l uint32) bool {
+	for _, x := range ls {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+func le64(b []byte) uint64 {
+	var x uint64
+	for i := 7; i >= 0; i-- {
+		x = x<<8 | uint64(b[i])
+	}
+	return x
+}
+
+// Public client operations.
+
+// AddVertex inserts a vertex with one label and one property.
+func (db *DB) AddVertex(app uint64, label uint32, prop uint32, val []byte) {
+	db.call(request{op: opAddVertex, app: app, label: label, prop: prop, val: val})
+}
+
+// DeleteVertex removes a vertex, then detaches it from its neighbors with
+// follow-up RPCs (eventually consistent, like the baseline it models).
+func (db *DB) DeleteVertex(app uint64) bool {
+	rep := db.call(request{op: opDeleteVertex, app: app})
+	if !rep.ok {
+		return false
+	}
+	for _, n := range rep.out {
+		if n != app {
+			db.call(request{op: opDetachIn, app: n, app2: app})
+		}
+	}
+	for _, n := range rep.in {
+		if n != app {
+			db.call(request{op: opDetachOut, app: n, app2: app})
+		}
+	}
+	return true
+}
+
+// AddEdge inserts a directed edge with two single-shard RPCs (no 2PC).
+func (db *DB) AddEdge(a, b uint64) {
+	db.call(request{op: opAddOut, app: a, app2: b})
+	db.call(request{op: opAddIn, app: b, app2: a})
+}
+
+// UpdateProperty overwrites one property value.
+func (db *DB) UpdateProperty(app uint64, prop uint32, val []byte) bool {
+	return db.call(request{op: opUpdateProp, app: app, prop: prop, val: val}).ok
+}
+
+// GetProps fetches a vertex's property count (payload shape is irrelevant
+// for the latency experiment; the round trip is what is measured).
+func (db *DB) GetProps(app uint64) (int, bool) {
+	rep := db.call(request{op: opGetProps, app: app})
+	return rep.n, rep.ok
+}
+
+// CountEdges returns a vertex's degree.
+func (db *DB) CountEdges(app uint64) (int, bool) {
+	rep := db.call(request{op: opCountEdges, app: app})
+	return rep.n, rep.ok
+}
+
+// GetEdges returns a vertex's adjacency lists.
+func (db *DB) GetEdges(app uint64) (out, in []uint64, ok bool) {
+	rep := db.call(request{op: opGetEdges, app: app})
+	return rep.out, rep.in, rep.ok
+}
+
+// GroupCount runs the BI2-style aggregation: one scan RPC per shard, merged
+// at the caller.
+func (db *DB) GroupCount(label uint32, filterProp uint32, lo, hi uint64, groupProp uint32) map[uint64]int64 {
+	out := make(map[uint64]int64)
+	for i := range db.shards {
+		req := request{op: opScanGroup, app: uint64(i), app2: uint64(groupProp), label: label, prop: filterProp, lo: lo, hi: hi}
+		req.reply = make(chan reply, 1)
+		db.shards[i].reqs <- req
+		for k, v := range (<-req.reply).groups {
+			out[k] += v
+		}
+	}
+	return out
+}

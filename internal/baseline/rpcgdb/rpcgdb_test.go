@@ -1,0 +1,94 @@
+package rpcgdb
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestVertexLifecycle(t *testing.T) {
+	db := New(4)
+	defer db.Close()
+	db.AddVertex(1, 10, 0, []byte{1, 0, 0, 0, 0, 0, 0, 0})
+	if n, ok := db.GetProps(1); !ok || n != 1 {
+		t.Fatalf("GetProps = %d, %v", n, ok)
+	}
+	if !db.UpdateProperty(1, 0, []byte{9, 0, 0, 0, 0, 0, 0, 0}) {
+		t.Fatal("UpdateProperty failed")
+	}
+	if db.UpdateProperty(42, 0, nil) {
+		t.Fatal("UpdateProperty on ghost succeeded")
+	}
+	if !db.DeleteVertex(1) || db.DeleteVertex(1) {
+		t.Fatal("delete semantics wrong")
+	}
+}
+
+func TestCrossShardEdges(t *testing.T) {
+	db := New(3)
+	defer db.Close()
+	db.AddVertex(1, 0, 0, nil) // shard 1
+	db.AddVertex(2, 0, 0, nil) // shard 2
+	db.AddEdge(1, 2)
+	if n, _ := db.CountEdges(1); n != 1 {
+		t.Fatalf("CountEdges(1) = %d", n)
+	}
+	out, in, ok := db.GetEdges(2)
+	if !ok || len(out) != 0 || len(in) != 1 || in[0] != 1 {
+		t.Fatalf("GetEdges(2) = %v %v %v", out, in, ok)
+	}
+	// Cross-shard detach on delete.
+	db.DeleteVertex(2)
+	if n, _ := db.CountEdges(1); n != 0 {
+		t.Fatalf("dangling edge after cross-shard delete: %d", n)
+	}
+}
+
+func TestSelfLoopDelete(t *testing.T) {
+	db := New(2)
+	defer db.Close()
+	db.AddVertex(3, 0, 0, nil)
+	db.AddEdge(3, 3)
+	if !db.DeleteVertex(3) {
+		t.Fatal("self-loop delete failed")
+	}
+}
+
+func TestGroupCount(t *testing.T) {
+	db := New(4)
+	defer db.Close()
+	mk := func(v uint64) []byte { return []byte{byte(v), 0, 0, 0, 0, 0, 0, 0} }
+	for i := uint64(0); i < 12; i++ {
+		db.AddVertex(i, 5, 1, mk(i))
+		db.UpdateProperty(i, 2, mk(i%4))
+	}
+	groups := db.GroupCount(5, 1, 0, 8, 2)
+	total := int64(0)
+	for _, c := range groups {
+		total += c
+	}
+	if total != 8 {
+		t.Fatalf("GroupCount total = %d, want 8", total)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	db := New(4)
+	defer db.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * 1000
+			for i := uint64(0); i < 200; i++ {
+				db.AddVertex(base+i, 0, 0, nil)
+				db.AddEdge(base+i, base)
+				db.GetProps(base + i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n, ok := db.CountEdges(0); !ok || n == 0 {
+		t.Fatalf("hub edges = %d, %v", n, ok)
+	}
+}

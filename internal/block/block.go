@@ -1,0 +1,187 @@
+// Package block implements the Blocked Graph Data Layout (BGDL) of GDI-RMA
+// (§5.3, §5.5 of the paper): a distributed-memory pool of fixed-size blocks
+// with lock-free, fully one-sided allocation.
+//
+// Three RMA windows back the layout, exactly as in the paper:
+//
+//   - the data window holds the block payloads that make up vertex and edge
+//     holder objects;
+//   - the usage window is a free-list: usage[i] is the index of the free
+//     block following block i;
+//   - the system window holds, per rank, the tagged head of the free list
+//     (word 0) plus one reader-writer lock word per block (words 1..#blocks),
+//     used by the transaction layer for the per-vertex locks of §5.6.
+//
+// Blocks are addressed with 64-bit DPtrs (16-bit rank, 48-bit block index).
+// Block index 0 of every rank is reserved so that DPtr 0 remains NULL.
+//
+// AcquireBlock and ReleaseBlock follow the paper's protocol: get the list
+// head, get the next-free link, CAS the head forward. The head word packs a
+// 32-bit ABA tag with the 32-bit block index (the "established tagged
+// pointer technique" the paper cites), so a concurrent release/acquire pair
+// cannot resurrect a stale head.
+package block
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// ErrNoFreeBlocks is returned when the target rank's pool is exhausted.
+var ErrNoFreeBlocks = errors.New("block: target rank has no free blocks")
+
+// Store is the distributed block pool. All ranks share one Store; every
+// method is safe for concurrent use from any rank.
+type Store struct {
+	f         *rma.Fabric
+	blockSize int
+	perRank   int
+
+	data  *rma.ByteWin // block payloads
+	usage *rma.WordWin // free-list links
+	sys   *rma.WordWin // word 0: tagged free-list head; words 1+i: lock words
+}
+
+// Config sizes the pool.
+type Config struct {
+	// BlockSize is the payload size of each block in bytes. The paper leaves
+	// it user-tunable (communication vs. fragmentation); it must be a
+	// positive multiple of 8.
+	BlockSize int
+	// BlocksPerRank is the pool capacity of each rank, including the
+	// reserved block 0. Must be at least 2 and at most 2^32-1 so that a
+	// block index fits the 32-bit half of the tagged head word.
+	BlocksPerRank int
+}
+
+// DefaultBlockSize matches the paper's example block granularity.
+const DefaultBlockSize = 512
+
+// NewStore collectively creates the block pool over fabric f.
+func NewStore(f *rma.Fabric, cfg Config) *Store {
+	if cfg.BlockSize <= 0 || cfg.BlockSize%8 != 0 {
+		panic(fmt.Sprintf("block: block size %d must be a positive multiple of 8", cfg.BlockSize))
+	}
+	if cfg.BlocksPerRank < 2 || uint64(cfg.BlocksPerRank) >= 1<<32 {
+		panic(fmt.Sprintf("block: blocks per rank %d out of range [2, 2^32)", cfg.BlocksPerRank))
+	}
+	s := &Store{
+		f:         f,
+		blockSize: cfg.BlockSize,
+		perRank:   cfg.BlocksPerRank,
+		data:      f.NewByteWin(cfg.BlockSize * cfg.BlocksPerRank),
+		usage:     f.NewWordWin(cfg.BlocksPerRank),
+		sys:       f.NewWordWin(1 + cfg.BlocksPerRank),
+	}
+	// Thread the free list through blocks 1..perRank-1 of every rank. This
+	// is initialization-time setup, performed locally by construction.
+	for r := 0; r < f.Size(); r++ {
+		rank := rma.Rank(r)
+		for i := 1; i < cfg.BlocksPerRank-1; i++ {
+			s.usage.Store(rank, rank, i, uint64(i+1))
+		}
+		s.usage.Store(rank, rank, cfg.BlocksPerRank-1, 0)
+		s.sys.Store(rank, rank, 0, packHead(0, 1))
+	}
+	return s
+}
+
+// BlockSize returns the payload size of one block.
+func (s *Store) BlockSize() int { return s.blockSize }
+
+// BlocksPerRank returns each rank's pool capacity (including reserved
+// block 0).
+func (s *Store) BlocksPerRank() int { return s.perRank }
+
+// Fabric returns the underlying fabric.
+func (s *Store) Fabric() *rma.Fabric { return s.f }
+
+// packHead combines a 32-bit ABA tag with a 32-bit free-block index.
+// Index 0 means the list is empty.
+func packHead(tag uint32, idx uint32) uint64 { return uint64(tag)<<32 | uint64(idx) }
+
+func unpackHead(h uint64) (tag uint32, idx uint32) { return uint32(h >> 32), uint32(h) }
+
+// AcquireBlock allocates one block on target and returns its DPtr. It is
+// fully one-sided: two atomic gets plus one CAS on the fast path (the
+// paper's three-step protocol). O(1) work and depth per attempt.
+func (s *Store) AcquireBlock(origin, target rma.Rank) (rma.DPtr, error) {
+	for {
+		head := s.sys.Load(origin, target, 0)
+		tag, idx := unpackHead(head)
+		if idx == 0 {
+			return rma.NullDPtr, ErrNoFreeBlocks
+		}
+		next := s.usage.Load(origin, target, int(idx))
+		if _, ok := s.sys.CAS(origin, target, 0, head, packHead(tag+1, uint32(next))); ok {
+			return rma.MakeDPtr(target, uint64(idx)), nil
+		}
+		// Another origin raced us on this rank's list; retry from the new head.
+	}
+}
+
+// ReleaseBlock returns dp to its owner's free list. One atomic get, one
+// atomic put, one CAS per attempt.
+func (s *Store) ReleaseBlock(origin rma.Rank, dp rma.DPtr) {
+	s.checkDPtr(dp)
+	target := dp.Rank()
+	idx := uint32(dp.Off())
+	for {
+		head := s.sys.Load(origin, target, 0)
+		tag, old := unpackHead(head)
+		s.usage.Store(origin, target, int(idx), uint64(old))
+		if _, ok := s.sys.CAS(origin, target, 0, head, packHead(tag+1, idx)); ok {
+			return
+		}
+	}
+}
+
+// FreeBlocks counts the free blocks on target by walking its free list.
+// It is a debugging/accounting helper, not part of the hot path.
+func (s *Store) FreeBlocks(origin, target rma.Rank) int {
+	_, idx := unpackHead(s.sys.Load(origin, target, 0))
+	n := 0
+	for idx != 0 {
+		n++
+		idx = uint32(s.usage.Load(origin, target, int(idx)))
+	}
+	return n
+}
+
+// WriteBlock stores payload into block dp. The payload must not exceed the
+// block size; shorter payloads leave the tail of the block unchanged.
+func (s *Store) WriteBlock(origin rma.Rank, dp rma.DPtr, payload []byte) {
+	s.checkDPtr(dp)
+	if len(payload) > s.blockSize {
+		panic(fmt.Sprintf("block: payload of %d bytes exceeds block size %d", len(payload), s.blockSize))
+	}
+	s.data.Put(origin, dp.Rank(), int(dp.Off())*s.blockSize, payload)
+}
+
+// ReadBlock fetches len(buf) bytes of block dp into buf.
+func (s *Store) ReadBlock(origin rma.Rank, dp rma.DPtr, buf []byte) {
+	s.checkDPtr(dp)
+	if len(buf) > s.blockSize {
+		panic(fmt.Sprintf("block: read of %d bytes exceeds block size %d", len(buf), s.blockSize))
+	}
+	s.data.Get(origin, dp.Rank(), int(dp.Off())*s.blockSize, buf)
+}
+
+// LockWord returns the system window and word index of dp's lock word, for
+// use by the locks package. Each block has one 64-bit RW-lock word; the
+// transaction layer uses the primary block's word as the per-vertex lock.
+func (s *Store) LockWord(dp rma.DPtr) (*rma.WordWin, rma.Rank, int) {
+	s.checkDPtr(dp)
+	return s.sys, dp.Rank(), 1 + int(dp.Off())
+}
+
+func (s *Store) checkDPtr(dp rma.DPtr) {
+	if dp.IsNull() {
+		panic("block: NULL DPtr")
+	}
+	if off := dp.Off(); off == 0 || off >= uint64(s.perRank) {
+		panic(fmt.Sprintf("block: DPtr offset %d outside pool [1, %d)", off, s.perRank))
+	}
+}

@@ -1,0 +1,181 @@
+// Package collective implements the collective communication operations that
+// GDI-RMA uses for collective transactions, bulk loading, and OLAP queries
+// (§3.2, §5.1 of the paper): Barrier, Bcast, Reduce, Allreduce, Gather,
+// Allgather, Alltoall, and Exscan.
+//
+// All operations have the MPI collective contract: every rank of the
+// communicator must call the routine, with matching arguments where the
+// operation requires it. The implementations use the classic O(log P)-round
+// algorithms (dissemination barrier, binomial trees, recursive structures)
+// over per-rank-pair mailboxes, so both the semantics and the round
+// complexity match what a tuned MPI library provides.
+package collective
+
+import (
+	"fmt"
+
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// Comm is a communicator over all ranks of a fabric. Collectives on a Comm
+// must be issued in the same order by every rank; concurrent use of one Comm
+// by independent collective sequences is not allowed (create one Comm per
+// sequence instead), mirroring MPI communicator semantics.
+type Comm struct {
+	f *rma.Fabric
+	n int
+	// mail[src][dst] carries messages from src to dst. Capacity 1 suffices:
+	// within any single collective, each directed pair exchanges at most one
+	// in-flight message per algorithm round, and rounds are self-synchronizing.
+	mail [][]chan any
+}
+
+// New creates a communicator spanning all ranks of f.
+func New(f *rma.Fabric) *Comm {
+	n := f.Size()
+	c := &Comm{f: f, n: n, mail: make([][]chan any, n)}
+	for s := 0; s < n; s++ {
+		c.mail[s] = make([]chan any, n)
+		for d := 0; d < n; d++ {
+			c.mail[s][d] = make(chan any, 2)
+		}
+	}
+	return c
+}
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.n }
+
+func (c *Comm) send(from, to rma.Rank, v any) { c.mail[from][to] <- v }
+func (c *Comm) recv(from, to rma.Rank) any    { return <-c.mail[from][to] }
+
+// Barrier blocks until every rank has entered it. It uses the dissemination
+// algorithm: ceil(log2 P) rounds, each rank sending one token per round.
+func (c *Comm) Barrier(me rma.Rank) {
+	n := c.n
+	for k := 1; k < n; k <<= 1 {
+		to := rma.Rank((int(me) + k) % n)
+		from := rma.Rank((int(me) - k + n) % n)
+		c.send(me, to, nil)
+		c.recv(from, me)
+	}
+}
+
+// Bcast distributes root's value to every rank and returns it. Non-root
+// callers pass the zero value; all callers receive root's value. Binomial
+// tree, ceil(log2 P) depth.
+func Bcast[T any](c *Comm, me, root rma.Rank, val T) T {
+	n := c.n
+	rel := (int(me) - int(root) + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			parent := rma.Rank((rel - mask + int(root)) % n)
+			val = c.recv(parent, me).(T)
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children: exactly the masks below the one received on.
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < n {
+			child := rma.Rank((rel + mask + int(root)) % n)
+			c.send(me, child, val)
+		}
+	}
+	return val
+}
+
+// Reduce combines every rank's val with op and delivers the result to root;
+// other ranks receive the zero value. op must be associative. Binomial tree.
+func Reduce[T any](c *Comm, me, root rma.Rank, val T, op func(T, T) T) T {
+	n := c.n
+	rel := (int(me) - int(root) + n) % n
+	for mask := 1; mask < n; mask <<= 1 {
+		if rel&mask != 0 {
+			parent := rma.Rank((rel - mask + int(root)) % n)
+			c.send(me, parent, val)
+			var zero T
+			return zero
+		}
+		if rel+mask < n {
+			child := rma.Rank((rel + mask + int(root)) % n)
+			val = op(val, c.recv(child, me).(T))
+		}
+	}
+	return val
+}
+
+// Allreduce combines every rank's val with op and delivers the result to all
+// ranks (reduce-to-root followed by broadcast; 2·ceil(log2 P) depth).
+func Allreduce[T any](c *Comm, me rma.Rank, val T, op func(T, T) T) T {
+	red := Reduce(c, me, 0, val, op)
+	return Bcast(c, me, 0, red)
+}
+
+// Gather collects every rank's value at root, indexed by rank. Non-root
+// callers receive nil.
+func Gather[T any](c *Comm, me, root rma.Rank, val T) []T {
+	if me != root {
+		c.send(me, root, val)
+		c.Barrier(me)
+		return nil
+	}
+	out := make([]T, c.n)
+	for r := 0; r < c.n; r++ {
+		if rma.Rank(r) == root {
+			out[r] = val
+			continue
+		}
+		out[r] = c.recv(rma.Rank(r), me).(T)
+	}
+	c.Barrier(me)
+	return out
+}
+
+// Allgather collects every rank's value at every rank, indexed by rank.
+func Allgather[T any](c *Comm, me rma.Rank, val T) []T {
+	g := Gather(c, me, 0, val)
+	return Bcast(c, me, 0, g)
+}
+
+// Alltoall performs a personalized all-to-all exchange: out[d] is sent to
+// rank d, and the returned slice holds in[s] = the value rank s sent to the
+// caller. len(out) must equal the communicator size.
+func Alltoall[T any](c *Comm, me rma.Rank, out []T) []T {
+	if len(out) != c.n {
+		panic(fmt.Sprintf("collective: Alltoall with %d slots on a %d-rank comm", len(out), c.n))
+	}
+	in := make([]T, c.n)
+	for d := 0; d < c.n; d++ {
+		if rma.Rank(d) == me {
+			in[d] = out[d]
+			continue
+		}
+		c.send(me, rma.Rank(d), out[d])
+	}
+	for s := 0; s < c.n; s++ {
+		if rma.Rank(s) == me {
+			continue
+		}
+		in[s] = c.recv(rma.Rank(s), me).(T)
+	}
+	c.Barrier(me)
+	return in
+}
+
+// Exscan computes the exclusive prefix reduction of val across ranks in rank
+// order: rank 0 receives the zero value, rank i receives op(val_0, …,
+// val_{i-1}). Used to assign disjoint global ID ranges during bulk loading.
+func Exscan[T any](c *Comm, me rma.Rank, val T, op func(T, T) T) T {
+	all := Allgather(c, me, val)
+	var acc T
+	for r := 0; r < int(me); r++ {
+		if r == 0 {
+			acc = all[0]
+			continue
+		}
+		acc = op(acc, all[r])
+	}
+	return acc
+}

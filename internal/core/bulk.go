@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/gdi-go/gdi/internal/collective"
+	"github.com/gdi-go/gdi/internal/holder"
+	"github.com/gdi-go/gdi/internal/lpg"
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// VertexSpec describes one vertex for bulk loading.
+type VertexSpec struct {
+	AppID  uint64
+	Labels []lpg.LabelID
+	Props  []lpg.Property
+}
+
+// EdgeSpec describes one edge for bulk loading, in application-ID space.
+type EdgeSpec struct {
+	OriginApp, TargetApp uint64
+	Dir                  holder.Direction
+	Label                lpg.LabelID
+}
+
+// BulkLoadVertices is the collective vertex-ingestion path
+// (GDI_BulkLoadVertices, the BULK workload class of §2). Every rank
+// contributes a slice of specs; vertices are routed to their owner rank
+// with one all-to-all, then each rank materializes its own shard locally —
+// no locks are needed because bulk loading is collective and delimited by
+// barriers.
+//
+// Work: O(|specs| · holder size); depth: O(log P) for the exchange plus the
+// local build.
+func (e *Engine) BulkLoadVertices(rank rma.Rank, specs []VertexSpec) error {
+	n := e.fab.Size()
+	out := make([][]VertexSpec, n)
+	for _, sp := range specs {
+		o := e.OwnerOf(sp.AppID)
+		out[o] = append(out[o], sp)
+	}
+	in := collective.Alltoall(e.comm, rank, out)
+	bs := e.cfg.BlockSize
+	for _, batch := range in {
+		for _, sp := range batch {
+			v := &holder.Vertex{AppID: sp.AppID, Labels: sp.Labels, Props: sp.Props}
+			stream := holder.EncodeVertex(v, bs)
+			need := len(stream) / bs
+			blocks := make([]rma.DPtr, need)
+			for i := range blocks {
+				dp, err := e.store.AcquireBlock(rank, rank)
+				if err != nil {
+					return fmt.Errorf("%w: bulk loading vertex %d", ErrNoMemory, sp.AppID)
+				}
+				blocks[i] = dp
+			}
+			for i := 1; i < need; i++ {
+				holder.SetTableEntry(stream, i-1, blocks[i])
+			}
+			for i, dp := range blocks {
+				e.store.WriteBlock(rank, dp, stream[i*bs:(i+1)*bs])
+			}
+			e.index.Insert(rank, sp.AppID, uint64(blocks[0]))
+			e.local[rank].addVertex(blocks[0], sp.AppID, sp.Labels)
+		}
+	}
+	e.comm.Barrier(rank)
+	return nil
+}
+
+// recDelivery routes one edge record to the rank owning its vertex.
+type recDelivery struct {
+	V   rma.DPtr
+	Rec holder.EdgeRec
+}
+
+// BulkLoadEdges is the collective edge-ingestion path (GDI_BulkLoadEdges).
+// Records for both endpoints are built in appID space, resolved through the
+// internal index, routed to the owning ranks with one all-to-all, and then
+// merged: each rank rewrites each of its touched vertices exactly once no
+// matter how many edges landed on it.
+//
+// Work: O(|specs|) DHT lookups + O(Σ touched holder blocks); depth:
+// O(log P) exchange + local merge.
+func (e *Engine) BulkLoadEdges(rank rma.Rank, specs []EdgeSpec) error {
+	n := e.fab.Size()
+	out := make([][]recDelivery, n)
+	for _, sp := range specs {
+		oRaw, ok := e.index.Lookup(rank, sp.OriginApp)
+		if !ok {
+			return fmt.Errorf("%w: bulk edge origin %d", ErrNotFound, sp.OriginApp)
+		}
+		tRaw, ok := e.index.Lookup(rank, sp.TargetApp)
+		if !ok {
+			return fmt.Errorf("%w: bulk edge target %d", ErrNotFound, sp.TargetApp)
+		}
+		o, t := rma.DPtr(oRaw), rma.DPtr(tRaw)
+		back := holder.DirIn
+		if sp.Dir == holder.DirUndirected {
+			back = holder.DirUndirected
+		}
+		out[o.Rank()] = append(out[o.Rank()], recDelivery{V: o, Rec: holder.EdgeRec{Neighbor: t, Dir: sp.Dir, Label: sp.Label}})
+		if o == t && sp.Dir == holder.DirUndirected {
+			continue // undirected self-loop: a single record suffices
+		}
+		out[t.Rank()] = append(out[t.Rank()], recDelivery{V: t, Rec: holder.EdgeRec{Neighbor: o, Dir: back, Label: sp.Label}})
+	}
+	in := collective.Alltoall(e.comm, rank, out)
+
+	// Group deliveries by vertex so each holder is rewritten once.
+	byVertex := make(map[rma.DPtr][]holder.EdgeRec)
+	for _, batch := range in {
+		for _, d := range batch {
+			byVertex[d.V] = append(byVertex[d.V], d.Rec)
+		}
+	}
+	order := make([]rma.DPtr, 0, len(byVertex))
+	for dp := range byVertex {
+		order = append(order, dp)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	bs := e.cfg.BlockSize
+	for _, dp := range order {
+		if err := e.appendRecords(rank, dp, byVertex[dp], bs); err != nil {
+			return err
+		}
+	}
+	e.comm.Barrier(rank)
+	return nil
+}
+
+// appendRecords merges records into one locally-owned vertex holder.
+func (e *Engine) appendRecords(rank rma.Rank, primary rma.DPtr, recs []holder.EdgeRec, bs int) error {
+	buf := make([]byte, bs)
+	e.store.ReadBlock(rank, primary, buf)
+	nb := holder.NumBlocks(buf)
+	if nb < 1 {
+		return fmt.Errorf("%w: bulk edge endpoint %v", ErrNotFound, primary)
+	}
+	blocks := []rma.DPtr{primary}
+	if nb > 1 {
+		full := make([]byte, nb*bs)
+		copy(full, buf)
+		buf = full
+		for i := 1; i < nb; i++ {
+			dp := holder.TableEntry(buf, i-1)
+			e.store.ReadBlock(rank, dp, buf[i*bs:(i+1)*bs])
+			blocks = append(blocks, dp)
+		}
+	}
+	v, err := holder.DecodeVertex(buf)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNotFound, err)
+	}
+	v.Edges = append(v.Edges, recs...)
+	stream := holder.EncodeVertex(v, bs)
+	need := len(stream) / bs
+	for len(blocks) < need {
+		dp, err := e.store.AcquireBlock(rank, rank)
+		if err != nil {
+			return ErrNoMemory
+		}
+		blocks = append(blocks, dp)
+	}
+	for _, dp := range blocks[need:] {
+		e.store.ReleaseBlock(rank, dp)
+	}
+	blocks = blocks[:need]
+	for i := 1; i < need; i++ {
+		holder.SetTableEntry(stream, i-1, blocks[i])
+	}
+	for i, dp := range blocks {
+		e.store.WriteBlock(rank, dp, stream[i*bs:(i+1)*bs])
+	}
+	return nil
+}

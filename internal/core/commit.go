@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/gdi-go/gdi/internal/holder"
+	"github.com/gdi-go/gdi/internal/lpg"
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// Commit makes the transaction's changes durable and visible
+// (GDI_CloseTransaction with commit semantics). The protocol preserves
+// atomicity by splitting into a prepare phase that can fail (acquiring every
+// block the write-back needs) and an apply phase that cannot: either all
+// dirty holders are written back or none (§5.6).
+//
+// Work: O(Σ dirty holder blocks); depth: O(1) per holder after the
+// sequential prepare walk. Collective transactions add two O(log P)
+// barriers.
+func (tx *Tx) Commit() error {
+	if tx.closed {
+		return ErrTxClosed
+	}
+	if tx.collective {
+		tx.eng.comm.Barrier(tx.rank)
+		defer tx.eng.comm.Barrier(tx.rank)
+	}
+	if tx.critical != nil {
+		tx.abortLocked()
+		return tx.critical
+	}
+	if tx.mode == ReadWrite && tx.hasWrites() && tx.MetadataStale() {
+		// Metadata is only eventually consistent; a write transaction that
+		// raced a metadata change must abort (§3.8).
+		tx.fail(fmt.Errorf("metadata changed during transaction"))
+		tx.abortLocked()
+		return tx.critical
+	}
+
+	// Prepare: encode every dirty holder and acquire the extra blocks the
+	// new encodings need. Nothing is written yet, so failure aborts cleanly.
+	type plan struct {
+		vs      *vertexState
+		es      *edgeState
+		stream  []byte
+		blocks  []rma.DPtr // final block list
+		release []rma.DPtr // excess blocks to free after apply
+	}
+	var plans []plan
+	var acquired []rma.DPtr // for rollback of a failed prepare
+	bs := tx.eng.cfg.BlockSize
+
+	prepare := func(primary rma.DPtr, stream []byte, old []rma.DPtr) (pl plan, err error) {
+		need := len(stream) / bs
+		blocks := old
+		if blocks == nil {
+			blocks = []rma.DPtr{primary}
+		}
+		for len(blocks) < need {
+			dp, aerr := tx.eng.store.AcquireBlock(tx.rank, primary.Rank())
+			if aerr != nil {
+				return plan{}, ErrNoMemory
+			}
+			acquired = append(acquired, dp)
+			blocks = append(blocks, dp)
+		}
+		pl.stream = stream
+		pl.blocks = blocks[:need]
+		pl.release = blocks[need:]
+		for i := 1; i < need; i++ {
+			holder.SetTableEntry(stream, i-1, blocks[i])
+		}
+		return pl, nil
+	}
+
+	fail := func(err error) error {
+		for _, dp := range acquired {
+			tx.eng.store.ReleaseBlock(tx.rank, dp)
+		}
+		tx.fail(err)
+		tx.abortLocked()
+		return tx.critical
+	}
+
+	for _, primary := range tx.dirtyList {
+		st := tx.verts[primary]
+		if st == nil || !st.dirty || st.deleted {
+			continue
+		}
+		pl, err := prepare(primary, holder.EncodeVertex(st.v, bs), st.blocks)
+		if err != nil {
+			return fail(err)
+		}
+		pl.vs = st
+		plans = append(plans, pl)
+	}
+	for _, es := range tx.edges {
+		if !es.dirty || es.deleted {
+			continue
+		}
+		pl, err := prepare(es.primary, holder.EncodeEdge(es.e, bs), es.blocks)
+		if err != nil {
+			return fail(err)
+		}
+		pl.es = es
+		plans = append(plans, pl)
+	}
+
+	// Apply: write every holder back, publish/retract index entries,
+	// release locks. This phase cannot fail.
+	for _, pl := range plans {
+		for i, dp := range pl.blocks {
+			tx.eng.store.WriteBlock(tx.rank, dp, pl.stream[i*bs:(i+1)*bs])
+		}
+		for _, dp := range pl.release {
+			tx.eng.store.ReleaseBlock(tx.rank, dp)
+		}
+		if pl.vs != nil {
+			st := pl.vs
+			li := tx.eng.local[st.primary.Rank()]
+			if st.isNew {
+				tx.eng.index.Insert(tx.rank, st.v.AppID, uint64(st.primary))
+				li.addVertex(st.primary, st.v.AppID, st.v.Labels)
+			} else if !labelSetsEqual(st.origLabel, st.v.Labels) {
+				li.updateLabels(st.primary, st.origLabel, st.v.Labels)
+			}
+			st.blocks = pl.blocks
+		} else {
+			pl.es.blocks = pl.blocks
+		}
+	}
+
+	// Deletions: retract from indexes, poison the primary header so stale
+	// DPtrs fail cleanly, then free the storage.
+	for _, st := range tx.verts {
+		if !st.deleted {
+			continue
+		}
+		li := tx.eng.local[st.primary.Rank()]
+		if !st.isNew {
+			tx.eng.index.Delete(tx.rank, st.v.AppID)
+			li.removeVertex(st.primary, st.origLabel)
+			tx.eng.store.WriteBlock(tx.rank, st.primary, make([]byte, holder.HeaderSize))
+		}
+		tx.unlockState(st)
+		if st.blocks == nil {
+			st.blocks = []rma.DPtr{st.primary}
+		}
+		for _, dp := range st.blocks {
+			tx.eng.store.ReleaseBlock(tx.rank, dp)
+		}
+		st.blocks = nil
+	}
+	for _, es := range tx.edges {
+		if !es.deleted {
+			continue
+		}
+		if !es.isNew {
+			tx.eng.store.WriteBlock(tx.rank, es.primary, make([]byte, holder.HeaderSize))
+		}
+		if es.blocks == nil {
+			es.blocks = []rma.DPtr{es.primary}
+		}
+		for _, dp := range es.blocks {
+			tx.eng.store.ReleaseBlock(tx.rank, dp)
+		}
+		es.blocks = nil
+	}
+
+	tx.eng.fab.FlushAll(tx.rank)
+	for _, st := range tx.verts {
+		tx.unlockState(st)
+	}
+	tx.closed = true
+	return nil
+}
+
+func (tx *Tx) hasWrites() bool {
+	if len(tx.dirtyList) > 0 {
+		return true
+	}
+	for _, es := range tx.edges {
+		if es.dirty || es.deleted {
+			return true
+		}
+	}
+	for _, st := range tx.verts {
+		if st.deleted {
+			return true
+		}
+	}
+	return false
+}
+
+// Abort discards the transaction (GDI_CloseTransaction with abort
+// semantics): new holders' blocks are returned, all locks released, all
+// cached state dropped. O(|touched holders|).
+func (tx *Tx) Abort() {
+	if tx.closed {
+		return
+	}
+	if tx.collective {
+		tx.eng.comm.Barrier(tx.rank)
+		defer tx.eng.comm.Barrier(tx.rank)
+	}
+	tx.abortLocked()
+}
+
+func (tx *Tx) abortLocked() {
+	for _, st := range tx.verts {
+		tx.unlockState(st)
+		if st.isNew {
+			tx.eng.store.ReleaseBlock(tx.rank, st.primary)
+		}
+	}
+	for _, es := range tx.edges {
+		if es.isNew {
+			tx.eng.store.ReleaseBlock(tx.rank, es.primary)
+		}
+	}
+	tx.closed = true
+}
+
+func labelSetsEqual(a, b []lpg.LabelID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

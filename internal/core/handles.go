@@ -1,0 +1,592 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/gdi-go/gdi/internal/constraint"
+	"github.com/gdi-go/gdi/internal/holder"
+	"github.com/gdi-go/gdi/internal/lpg"
+	"github.com/gdi-go/gdi/internal/metadata"
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// VertexHandle is the process-local access object for one vertex within one
+// transaction (§3.5: handles hide internal representations and are only
+// meaningful on the allocating process). Handles compare equal when they
+// refer to the same vertex in the same transaction.
+type VertexHandle struct {
+	tx *Tx
+	st *vertexState
+}
+
+// ID returns the vertex's internal ID (its primary-block DPtr).
+func (h *VertexHandle) ID() rma.DPtr { return h.st.primary }
+
+// AppID returns the application-level vertex ID.
+func (h *VertexHandle) AppID() uint64 { return h.st.v.AppID }
+
+// Labels returns the vertex's labels (GDI_GetAllLabelsOfVertex). O(|labels|).
+func (h *VertexHandle) Labels() []lpg.LabelID {
+	return append([]lpg.LabelID(nil), h.st.v.Labels...)
+}
+
+// HasLabel reports whether the vertex carries label l.
+func (h *VertexHandle) HasLabel(l lpg.LabelID) bool {
+	for _, x := range h.st.v.Labels {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// AddLabel attaches label l (GDI_AddLabelToVertex). O(1).
+func (h *VertexHandle) AddLabel(l lpg.LabelID) error {
+	if err := h.tx.check(); err != nil {
+		return err
+	}
+	if _, ok := h.tx.registry().LabelByID(l); !ok {
+		return fmt.Errorf("%w: label %d", ErrNotFound, l)
+	}
+	if h.HasLabel(l) {
+		return nil
+	}
+	if err := h.tx.ensureWrite(h.st); err != nil {
+		return err
+	}
+	h.st.v.Labels = append(h.st.v.Labels, l)
+	return nil
+}
+
+// RemoveLabel detaches label l (GDI_RemoveLabelFromVertex).
+func (h *VertexHandle) RemoveLabel(l lpg.LabelID) error {
+	if err := h.tx.check(); err != nil {
+		return err
+	}
+	for i, x := range h.st.v.Labels {
+		if x == l {
+			if err := h.tx.ensureWrite(h.st); err != nil {
+				return err
+			}
+			h.st.v.Labels = append(h.st.v.Labels[:i], h.st.v.Labels[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: label %d on vertex %v", ErrNotFound, l, h.st.primary)
+}
+
+// Properties returns the values of all entries of p-type pt
+// (GDI_GetPropertiesOfVertex). O(|props|).
+func (h *VertexHandle) Properties(pt lpg.PTypeID) [][]byte {
+	var out [][]byte
+	for _, p := range h.st.v.Props {
+		if p.PType == pt {
+			out = append(out, append([]byte(nil), p.Value...))
+		}
+	}
+	return out
+}
+
+// Property returns the single value of p-type pt, or ok=false.
+func (h *VertexHandle) Property(pt lpg.PTypeID) ([]byte, bool) {
+	for _, p := range h.st.v.Props {
+		if p.PType == pt {
+			return append([]byte(nil), p.Value...), true
+		}
+	}
+	return nil, false
+}
+
+// PTypes lists the distinct property types present on the vertex
+// (GDI_GetAllPropertyTypesOfVertex).
+func (h *VertexHandle) PTypes() []lpg.PTypeID {
+	seen := map[lpg.PTypeID]bool{}
+	var out []lpg.PTypeID
+	for _, p := range h.st.v.Props {
+		if !seen[p.PType] {
+			seen[p.PType] = true
+			out = append(out, p.PType)
+		}
+	}
+	return out
+}
+
+func (tx *Tx) validateProp(pt lpg.PTypeID, value []byte, entity lpg.EntityType) (*metadata.PType, error) {
+	meta, ok := tx.registry().PTypeByID(pt)
+	if !ok {
+		return nil, fmt.Errorf("%w: property type %d", ErrNotFound, pt)
+	}
+	if meta.Entity != lpg.EntityAny && meta.Entity != entity {
+		return nil, fmt.Errorf("%w: property type %q not allowed on this entity", ErrBadArgument, meta.Name)
+	}
+	if err := metadata.ValidateValue(meta, value); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArgument, err)
+	}
+	return meta, nil
+}
+
+// AddProperty attaches a property entry (GDI_AddPropertyToVertex). For
+// MultiSingle p-types a second entry is rejected. O(|props|).
+func (h *VertexHandle) AddProperty(pt lpg.PTypeID, value []byte) error {
+	if err := h.tx.check(); err != nil {
+		return err
+	}
+	meta, err := h.tx.validateProp(pt, value, lpg.EntityVertex)
+	if err != nil {
+		return err
+	}
+	if meta.Mult == lpg.MultiSingle {
+		if _, exists := h.Property(pt); exists {
+			return fmt.Errorf("%w: property %q is single-valued", ErrBadArgument, meta.Name)
+		}
+	}
+	if err := h.tx.ensureWrite(h.st); err != nil {
+		return err
+	}
+	h.st.v.Props = append(h.st.v.Props, lpg.Property{PType: pt, Value: append([]byte(nil), value...)})
+	return nil
+}
+
+// SetProperty updates (or creates) the single entry of p-type pt
+// (GDI_UpdatePropertyOfVertex).
+func (h *VertexHandle) SetProperty(pt lpg.PTypeID, value []byte) error {
+	if err := h.tx.check(); err != nil {
+		return err
+	}
+	if _, err := h.tx.validateProp(pt, value, lpg.EntityVertex); err != nil {
+		return err
+	}
+	if err := h.tx.ensureWrite(h.st); err != nil {
+		return err
+	}
+	for i, p := range h.st.v.Props {
+		if p.PType == pt {
+			h.st.v.Props[i].Value = append([]byte(nil), value...)
+			return nil
+		}
+	}
+	h.st.v.Props = append(h.st.v.Props, lpg.Property{PType: pt, Value: append([]byte(nil), value...)})
+	return nil
+}
+
+// RemoveProperties drops all entries of p-type pt
+// (GDI_RemovePropertyFromVertex). It reports how many entries were removed.
+func (h *VertexHandle) RemoveProperties(pt lpg.PTypeID) (int, error) {
+	if err := h.tx.check(); err != nil {
+		return 0, err
+	}
+	n := 0
+	kept := h.st.v.Props[:0]
+	for _, p := range h.st.v.Props {
+		if p.PType == pt {
+			n++
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	if err := h.tx.ensureWrite(h.st); err != nil {
+		return 0, err
+	}
+	h.st.v.Props = kept
+	return n, nil
+}
+
+// DirMask selects edge directions in queries.
+type DirMask uint8
+
+const (
+	// MaskOut selects outgoing edges.
+	MaskOut DirMask = 1 << iota
+	// MaskIn selects incoming edges.
+	MaskIn
+	// MaskUndirected selects undirected edges.
+	MaskUndirected
+	// MaskAll selects every edge.
+	MaskAll = MaskOut | MaskIn | MaskUndirected
+)
+
+func (m DirMask) matches(d holder.Direction) bool {
+	switch d {
+	case holder.DirOut:
+		return m&MaskOut != 0
+	case holder.DirIn:
+		return m&MaskIn != 0
+	default:
+		return m&MaskUndirected != 0
+	}
+}
+
+// EdgeInfo describes one edge incident to a vertex.
+type EdgeInfo struct {
+	// UID identifies the edge relative to the queried vertex.
+	UID holder.EdgeUID
+	// Neighbor is the other endpoint's vertex DPtr.
+	Neighbor rma.DPtr
+	// Dir is the direction relative to the queried vertex.
+	Dir holder.Direction
+	// Label is the lightweight label (0 if none). For heavy edges it is the
+	// first label of the edge holder.
+	Label lpg.LabelID
+	// Heavy marks edges with a dedicated holder; Holder is its DPtr.
+	Heavy  bool
+	Holder rma.DPtr
+}
+
+// Edges lists the vertex's incident edges matching mask and, optionally, a
+// constraint over the edges' labels/properties (GDI_GetEdgesOfVertex).
+// Lightweight edges evaluate the constraint on their single label without
+// any communication; heavy edges fetch their holder. O(deg(v)) plus one
+// holder fetch per heavy edge.
+func (h *VertexHandle) Edges(mask DirMask, cons *constraint.Constraint) ([]EdgeInfo, error) {
+	if err := h.tx.check(); err != nil {
+		return nil, err
+	}
+	var out []EdgeInfo
+	for i, rec := range h.st.v.Edges {
+		if !mask.matches(rec.Dir) {
+			continue
+		}
+		info := EdgeInfo{
+			UID:      holder.EdgeUID{Vertex: h.st.primary, Index: uint32(i)},
+			Neighbor: rec.Neighbor,
+			Dir:      rec.Dir,
+			Label:    rec.Label,
+			Heavy:    rec.Heavy,
+		}
+		if rec.Heavy {
+			info.Holder = rec.Neighbor
+			es, err := h.tx.fetchEdgeState(rec.Neighbor)
+			if err != nil {
+				return nil, err
+			}
+			if es.deleted {
+				continue
+			}
+			info.Neighbor = es.e.Target
+			if info.Neighbor == h.st.primary && es.e.Dir != holder.DirUndirected {
+				info.Neighbor = es.e.Origin
+			} else if es.e.Target == h.st.primary {
+				info.Neighbor = es.e.Origin
+			}
+			if len(es.e.Labels) > 0 {
+				info.Label = es.e.Labels[0]
+			}
+			if cons != nil && !cons.Eval(es.e.Labels, es.e.Props) {
+				continue
+			}
+		} else if cons != nil {
+			var labels []lpg.LabelID
+			if rec.Label != 0 {
+				labels = []lpg.LabelID{rec.Label}
+			}
+			if !cons.Eval(labels, nil) {
+				continue
+			}
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// CountEdges counts incident edges matching mask
+// (the LinkBench "count edges of a vertex" operation). O(deg(v)), no
+// communication beyond the holder already fetched.
+func (h *VertexHandle) CountEdges(mask DirMask) int {
+	n := 0
+	for _, rec := range h.st.v.Edges {
+		if mask.matches(rec.Dir) {
+			n++
+		}
+	}
+	return n
+}
+
+// Neighbors returns the distinct neighbor vertex IDs reachable over edges
+// matching mask and constraint (GDI_GetNeighborVerticesOfVertex).
+func (h *VertexHandle) Neighbors(mask DirMask, cons *constraint.Constraint) ([]rma.DPtr, error) {
+	infos, err := h.Edges(mask, cons)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[rma.DPtr]struct{}, len(infos))
+	out := make([]rma.DPtr, 0, len(infos))
+	for _, e := range infos {
+		if _, dup := seen[e.Neighbor]; dup {
+			continue
+		}
+		seen[e.Neighbor] = struct{}{}
+		out = append(out, e.Neighbor)
+	}
+	return out, nil
+}
+
+// Degree returns the total number of incident edge records.
+func (h *VertexHandle) Degree() int { return len(h.st.v.Edges) }
+
+// CreateEdge adds a lightweight edge (§5.4.2: at most one label, no
+// properties) between two vertices. A record is stored in both endpoint
+// holders so that incoming and undirected queries stay O(1); the returned
+// UID is relative to the origin. O(1) holder updates on both endpoints.
+func (tx *Tx) CreateEdge(origin, target rma.DPtr, dir holder.Direction, label lpg.LabelID) (holder.EdgeUID, error) {
+	if err := tx.check(); err != nil {
+		return holder.EdgeUID{}, err
+	}
+	if dir == holder.DirIn {
+		return holder.EdgeUID{}, fmt.Errorf("%w: create edges as DirOut or DirUndirected from the origin", ErrBadArgument)
+	}
+	oh, err := tx.AssociateVertex(origin)
+	if err != nil {
+		return holder.EdgeUID{}, err
+	}
+	if err := tx.ensureWrite(oh.st); err != nil {
+		return holder.EdgeUID{}, err
+	}
+	uid := holder.EdgeUID{Vertex: origin, Index: uint32(len(oh.st.v.Edges))}
+	if origin == target { // self-loop: both records in one holder
+		oh.st.v.Edges = append(oh.st.v.Edges, holder.EdgeRec{Neighbor: target, Dir: dir, Label: label})
+		if dir == holder.DirOut {
+			oh.st.v.Edges = append(oh.st.v.Edges, holder.EdgeRec{Neighbor: origin, Dir: holder.DirIn, Label: label})
+		}
+		return uid, nil
+	}
+	th, err := tx.AssociateVertex(target)
+	if err != nil {
+		return holder.EdgeUID{}, err
+	}
+	if err := tx.ensureWrite(th.st); err != nil {
+		return holder.EdgeUID{}, err
+	}
+	oh.st.v.Edges = append(oh.st.v.Edges, holder.EdgeRec{Neighbor: target, Dir: dir, Label: label})
+	back := holder.DirIn
+	if dir == holder.DirUndirected {
+		back = holder.DirUndirected
+	}
+	th.st.v.Edges = append(th.st.v.Edges, holder.EdgeRec{Neighbor: origin, Dir: back, Label: label})
+	return uid, nil
+}
+
+// CreateRichEdge adds a heavy edge carrying arbitrary labels and properties
+// in a dedicated edge holder. O(1) holder updates plus one holder creation.
+func (tx *Tx) CreateRichEdge(origin, target rma.DPtr, dir holder.Direction, labels []lpg.LabelID, props []lpg.Property) (holder.EdgeUID, error) {
+	if err := tx.check(); err != nil {
+		return holder.EdgeUID{}, err
+	}
+	if tx.mode == ReadOnly {
+		return holder.EdgeUID{}, ErrReadOnly
+	}
+	if dir == holder.DirIn {
+		return holder.EdgeUID{}, fmt.Errorf("%w: create edges as DirOut or DirUndirected from the origin", ErrBadArgument)
+	}
+	for _, p := range props {
+		if _, err := tx.validateProp(p.PType, p.Value, lpg.EntityEdge); err != nil {
+			return holder.EdgeUID{}, err
+		}
+	}
+	oh, err := tx.AssociateVertex(origin)
+	if err != nil {
+		return holder.EdgeUID{}, err
+	}
+	if err := tx.ensureWrite(oh.st); err != nil {
+		return holder.EdgeUID{}, err
+	}
+	// The edge holder lives on the origin's rank.
+	hp, err := tx.eng.store.AcquireBlock(tx.rank, origin.Rank())
+	if err != nil {
+		return holder.EdgeUID{}, tx.fail(ErrNoMemory)
+	}
+	es := &edgeState{
+		primary: hp,
+		e: &holder.Edge{
+			Origin: origin, Target: target, Dir: dir,
+			Labels: append([]lpg.LabelID(nil), labels...),
+			Props:  clonedProps(props),
+		},
+		isNew: true,
+		dirty: true,
+	}
+	tx.edges[hp] = es
+	uid := holder.EdgeUID{Vertex: origin, Index: uint32(len(oh.st.v.Edges))}
+	oh.st.v.Edges = append(oh.st.v.Edges, holder.EdgeRec{Neighbor: hp, Dir: dir, Heavy: true})
+	if origin != target {
+		th, err := tx.AssociateVertex(target)
+		if err != nil {
+			return holder.EdgeUID{}, err
+		}
+		if err := tx.ensureWrite(th.st); err != nil {
+			return holder.EdgeUID{}, err
+		}
+		back := holder.DirIn
+		if dir == holder.DirUndirected {
+			back = holder.DirUndirected
+		}
+		th.st.v.Edges = append(th.st.v.Edges, holder.EdgeRec{Neighbor: hp, Dir: back, Heavy: true})
+	}
+	return uid, nil
+}
+
+func clonedProps(props []lpg.Property) []lpg.Property {
+	out := make([]lpg.Property, len(props))
+	for i, p := range props {
+		out[i] = lpg.Property{PType: p.PType, Value: append([]byte(nil), p.Value...)}
+	}
+	return out
+}
+
+// DeleteEdge removes the edge identified by uid, updating both endpoint
+// holders (and releasing the edge holder for heavy edges). O(deg) scan at
+// the sibling endpoint.
+func (tx *Tx) DeleteEdge(uid holder.EdgeUID) error {
+	vh, err := tx.AssociateVertex(uid.Vertex)
+	if err != nil {
+		return err
+	}
+	if int(uid.Index) >= len(vh.st.v.Edges) {
+		return fmt.Errorf("%w: edge %v/%d", ErrNotFound, uid.Vertex, uid.Index)
+	}
+	if err := tx.ensureWrite(vh.st); err != nil {
+		return err
+	}
+	rec := vh.st.v.Edges[uid.Index]
+	vh.st.v.Edges = append(vh.st.v.Edges[:uid.Index], vh.st.v.Edges[uid.Index+1:]...)
+	if rec.Heavy {
+		es, err := tx.fetchEdgeState(rec.Neighbor)
+		if err != nil {
+			return err
+		}
+		other := es.e.Target
+		if other == uid.Vertex {
+			other = es.e.Origin
+		}
+		if other != uid.Vertex {
+			if err := tx.removeRecord(other, rec.Neighbor, true); err != nil {
+				return err
+			}
+		}
+		es.deleted = true
+		es.dirty = true
+		return nil
+	}
+	if rec.Neighbor == uid.Vertex {
+		// Self-loop: drop the sibling record in the same holder.
+		vh.st.v.Edges = removeFirstMatch(vh.st.v.Edges, uid.Vertex, false)
+		return nil
+	}
+	return tx.removeRecord(rec.Neighbor, uid.Vertex, false)
+}
+
+// removeRecord drops the first record at vertex `at` pointing to `to`.
+func (tx *Tx) removeRecord(at, to rma.DPtr, heavy bool) error {
+	h, err := tx.AssociateVertex(at)
+	if err != nil {
+		return err
+	}
+	if err := tx.ensureWrite(h.st); err != nil {
+		return err
+	}
+	before := len(h.st.v.Edges)
+	h.st.v.Edges = removeFirstMatch(h.st.v.Edges, to, heavy)
+	if len(h.st.v.Edges) == before {
+		return fmt.Errorf("%w: sibling edge record at %v", ErrNotFound, at)
+	}
+	return nil
+}
+
+func removeFirstMatch(recs []holder.EdgeRec, to rma.DPtr, heavy bool) []holder.EdgeRec {
+	for i, r := range recs {
+		if r.Neighbor == to && r.Heavy == heavy {
+			return append(recs[:i], recs[i+1:]...)
+		}
+	}
+	return recs
+}
+
+// EdgeHandle is the access object for one heavy edge.
+type EdgeHandle struct {
+	tx *Tx
+	es *edgeState
+}
+
+// AssociateEdgeHolder opens a handle on a heavy edge's holder
+// (GDI_AssociateEdge for rich edges).
+func (tx *Tx) AssociateEdgeHolder(dp rma.DPtr) (*EdgeHandle, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
+	es, err := tx.fetchEdgeState(dp)
+	if err != nil {
+		return nil, err
+	}
+	if es.deleted {
+		return nil, fmt.Errorf("%w: edge holder %v deleted in this transaction", ErrNotFound, dp)
+	}
+	return &EdgeHandle{tx: tx, es: es}, nil
+}
+
+// Vertices returns the edge's endpoints (GDI_GetVerticesOfEdge).
+func (h *EdgeHandle) Vertices() (origin, target rma.DPtr) { return h.es.e.Origin, h.es.e.Target }
+
+// Dir returns the edge's direction.
+func (h *EdgeHandle) Dir() holder.Direction { return h.es.e.Dir }
+
+// Labels returns the edge's labels (GDI_GetAllLabelsOfEdge).
+func (h *EdgeHandle) Labels() []lpg.LabelID {
+	return append([]lpg.LabelID(nil), h.es.e.Labels...)
+}
+
+// AddLabel attaches a label to the edge.
+func (h *EdgeHandle) AddLabel(l lpg.LabelID) error {
+	if err := h.tx.check(); err != nil {
+		return err
+	}
+	if h.tx.mode == ReadOnly {
+		return ErrReadOnly
+	}
+	if _, ok := h.tx.registry().LabelByID(l); !ok {
+		return fmt.Errorf("%w: label %d", ErrNotFound, l)
+	}
+	for _, x := range h.es.e.Labels {
+		if x == l {
+			return nil
+		}
+	}
+	h.es.e.Labels = append(h.es.e.Labels, l)
+	h.es.dirty = true
+	return nil
+}
+
+// Properties returns the values of all entries of p-type pt on the edge.
+func (h *EdgeHandle) Properties(pt lpg.PTypeID) [][]byte {
+	var out [][]byte
+	for _, p := range h.es.e.Props {
+		if p.PType == pt {
+			out = append(out, append([]byte(nil), p.Value...))
+		}
+	}
+	return out
+}
+
+// SetProperty updates (or creates) the single entry of p-type pt on the edge.
+func (h *EdgeHandle) SetProperty(pt lpg.PTypeID, value []byte) error {
+	if err := h.tx.check(); err != nil {
+		return err
+	}
+	if h.tx.mode == ReadOnly {
+		return ErrReadOnly
+	}
+	if _, err := h.tx.validateProp(pt, value, lpg.EntityEdge); err != nil {
+		return err
+	}
+	for i, p := range h.es.e.Props {
+		if p.PType == pt {
+			h.es.e.Props[i].Value = append([]byte(nil), value...)
+			h.es.dirty = true
+			return nil
+		}
+	}
+	h.es.e.Props = append(h.es.e.Props, lpg.Property{PType: pt, Value: append([]byte(nil), value...)})
+	h.es.dirty = true
+	return nil
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/gdi-go/gdi/internal/holder"
+	"github.com/gdi-go/gdi/internal/locks"
+	"github.com/gdi-go/gdi/internal/lpg"
+	"github.com/gdi-go/gdi/internal/metadata"
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// Mode distinguishes read-only from read-write transactions (§3.3): GDI
+// separates them so read-only transactions can skip write-path machinery.
+type Mode uint8
+
+const (
+	// ReadOnly transactions reject mutations.
+	ReadOnly Mode = iota
+	// ReadWrite transactions may mutate graph data.
+	ReadWrite
+)
+
+// lockState tracks the lock a transaction holds on one vertex.
+type lockState uint8
+
+const (
+	lockNone lockState = iota
+	lockRead
+	lockWrite
+)
+
+// vertexState is a transaction's cached view of one vertex holder: the
+// decoded logical form, the physical blocks it was fetched from, its lock,
+// and dirtiness bookkeeping (the paper's per-transaction hashmaps plus
+// dirty vector, §5.6).
+type vertexState struct {
+	primary   rma.DPtr
+	v         *holder.Vertex
+	blocks    []rma.DPtr // all blocks incl. primary; nil for fresh vertices
+	lock      lockState
+	dirty     bool
+	isNew     bool
+	deleted   bool
+	origLabel []lpg.LabelID // labels at fetch time, for index diffs
+}
+
+// edgeState caches one heavy-edge holder.
+type edgeState struct {
+	primary rma.DPtr
+	e       *holder.Edge
+	blocks  []rma.DPtr
+	dirty   bool
+	isNew   bool
+	deleted bool
+}
+
+// Tx is one GDI transaction. A Tx belongs to the rank that started it and
+// must not be shared between ranks (handles are process-local, §3.5). Any
+// rank may run arbitrarily many concurrent transactions.
+type Tx struct {
+	eng        *Engine
+	rank       rma.Rank
+	mode       Mode
+	collective bool
+	metaVer    uint64
+
+	verts     map[rma.DPtr]*vertexState
+	edges     map[rma.DPtr]*edgeState
+	newByApp  map[uint64]rma.DPtr // own uncommitted vertices, by app ID
+	dirtyList []rma.DPtr          // commit write-back order (the paper's vector)
+	critical  error               // sticky transaction-critical failure
+	closed    bool
+}
+
+// StartLocal begins a single-process transaction (GDI_StartTransaction).
+// O(1) work and depth.
+func (e *Engine) StartLocal(rank rma.Rank, mode Mode) *Tx {
+	return &Tx{
+		eng: e, rank: rank, mode: mode,
+		metaVer: e.regs[rank].Version(),
+		verts:   make(map[rma.DPtr]*vertexState),
+		edges:   make(map[rma.DPtr]*edgeState),
+	}
+}
+
+// StartCollective begins a collective transaction
+// (GDI_StartCollectiveTransaction): every rank must call it. The state is
+// replicated per process; a barrier delimits the epoch. Read-only
+// collective transactions skip per-vertex locking entirely — GDI specifies
+// that read transactions may assume no participant modifies the data
+// (§3.3), which is what makes large OLAP scans cheap.
+func (e *Engine) StartCollective(rank rma.Rank, mode Mode) *Tx {
+	e.comm.Barrier(rank)
+	tx := e.StartLocal(rank, mode)
+	tx.collective = true
+	return tx
+}
+
+// Rank returns the owning rank of the transaction.
+func (tx *Tx) Rank() rma.Rank { return tx.rank }
+
+// Mode returns the transaction's read/write mode.
+func (tx *Tx) Mode() Mode { return tx.mode }
+
+// Collective reports whether this is a collective transaction
+// (GDI_GetTypeOfTransaction).
+func (tx *Tx) Collective() bool { return tx.collective }
+
+// Critical returns the sticky transaction-critical error, if any.
+func (tx *Tx) Critical() error { return tx.critical }
+
+func (tx *Tx) fail(err error) error {
+	wrapped := fmt.Errorf("%w: %w", ErrTxCritical, err)
+	if tx.critical == nil {
+		tx.critical = wrapped
+	}
+	return wrapped
+}
+
+func (tx *Tx) check() error {
+	if tx.closed {
+		return ErrTxClosed
+	}
+	if tx.critical != nil {
+		return tx.critical
+	}
+	return nil
+}
+
+// skipLocks reports whether this transaction runs without per-vertex locks.
+func (tx *Tx) skipLocks() bool { return tx.collective && tx.mode == ReadOnly }
+
+// registry returns the rank-local metadata replica.
+func (tx *Tx) registry() *metadata.Registry { return tx.eng.regs[tx.rank] }
+
+// MetadataStale reports whether replicated metadata changed under this
+// transaction (the eventual-consistency detection hook of §3.8).
+func (tx *Tx) MetadataStale() bool { return tx.registry().Version() != tx.metaVer }
+
+// TranslateVertexID resolves an application-level vertex ID to the internal
+// DPtr via the internal index (GDI_TranslateVertexID). Vertices created by
+// this transaction are visible before commit (read-your-own-writes). One
+// DHT lookup: O(1) expected work and depth.
+func (tx *Tx) TranslateVertexID(appID uint64) (rma.DPtr, error) {
+	if err := tx.check(); err != nil {
+		return rma.NullDPtr, err
+	}
+	if dp, ok := tx.newByApp[appID]; ok {
+		if tx.verts[dp] != nil && tx.verts[dp].deleted {
+			return rma.NullDPtr, fmt.Errorf("%w: vertex app ID %d", ErrNotFound, appID)
+		}
+		return dp, nil
+	}
+	v, ok := tx.eng.index.Lookup(tx.rank, appID)
+	if !ok {
+		return rma.NullDPtr, fmt.Errorf("%w: vertex app ID %d", ErrNotFound, appID)
+	}
+	if st := tx.verts[rma.DPtr(v)]; st != nil && st.deleted {
+		return rma.NullDPtr, fmt.Errorf("%w: vertex app ID %d", ErrNotFound, appID)
+	}
+	return rma.DPtr(v), nil
+}
+
+// fetchBlocks reads a holder's full logical stream starting from its
+// primary block, exploiting the streaming invariant of package holder:
+// table entry i is always available before block i+1 is needed.
+func (tx *Tx) fetchBlocks(primary rma.DPtr) ([]byte, []rma.DPtr, error) {
+	bs := tx.eng.cfg.BlockSize
+	buf := make([]byte, bs)
+	tx.eng.store.ReadBlock(tx.rank, primary, buf)
+	nb := holder.NumBlocks(buf)
+	if nb < 1 {
+		return nil, nil, fmt.Errorf("%w: holder %v was deleted", ErrNotFound, primary)
+	}
+	blocks := make([]rma.DPtr, 1, nb)
+	blocks[0] = primary
+	if nb > 1 {
+		full := make([]byte, nb*bs)
+		copy(full, buf)
+		buf = full
+		for i := 1; i < nb; i++ {
+			dp := holder.TableEntry(buf, i-1)
+			if dp.IsNull() {
+				return nil, nil, fmt.Errorf("%w: holder %v has a null continuation block", ErrNotFound, primary)
+			}
+			tx.eng.store.ReadBlock(tx.rank, dp, buf[i*bs:(i+1)*bs])
+			blocks = append(blocks, dp)
+		}
+	}
+	return buf, blocks, nil
+}
+
+// AssociateVertex creates (or returns the cached) process-local handle for
+// vertex dp (GDI_AssociateVertex). For locking transactions it acquires a
+// read lock; mutations upgrade it. O(b) block gets for a b-block holder,
+// one remote atomic for the lock.
+func (tx *Tx) AssociateVertex(dp rma.DPtr) (*VertexHandle, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
+	if dp.IsNull() {
+		return nil, fmt.Errorf("%w: NULL vertex ID", ErrBadArgument)
+	}
+	if st, ok := tx.verts[dp]; ok {
+		if st.deleted {
+			return nil, fmt.Errorf("%w: vertex %v deleted in this transaction", ErrNotFound, dp)
+		}
+		return &VertexHandle{tx: tx, st: st}, nil
+	}
+	st := &vertexState{primary: dp}
+	if !tx.skipLocks() {
+		if err := tx.lockWord(dp).TryAcquireRead(tx.rank, tx.eng.cfg.LockTries); err != nil {
+			return nil, tx.fail(fmt.Errorf("vertex %v: %w", dp, err))
+		}
+		st.lock = lockRead
+	}
+	buf, blocks, err := tx.fetchBlocks(dp)
+	if err != nil {
+		tx.unlockState(st)
+		return nil, err
+	}
+	v, err := holder.DecodeVertex(buf)
+	if err != nil {
+		tx.unlockState(st)
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, err)
+	}
+	st.v = v
+	st.blocks = blocks
+	st.origLabel = append([]lpg.LabelID(nil), v.Labels...)
+	tx.verts[dp] = st
+	return &VertexHandle{tx: tx, st: st}, nil
+}
+
+func (tx *Tx) lockWord(dp rma.DPtr) locks.Word {
+	win, target, idx := tx.eng.store.LockWord(dp)
+	return locks.Word{Win: win, Target: target, Idx: idx}
+}
+
+func (tx *Tx) unlockState(st *vertexState) {
+	switch st.lock {
+	case lockRead:
+		tx.lockWord(st.primary).ReleaseRead(tx.rank)
+	case lockWrite:
+		tx.lockWord(st.primary).ReleaseWrite(tx.rank)
+	}
+	st.lock = lockNone
+}
+
+// ensureWrite upgrades st's lock to exclusive and marks it dirty.
+func (tx *Tx) ensureWrite(st *vertexState) error {
+	if tx.mode == ReadOnly {
+		return ErrReadOnly
+	}
+	switch st.lock {
+	case lockWrite:
+	case lockRead:
+		if err := tx.lockWord(st.primary).TryUpgrade(tx.rank, tx.eng.cfg.LockTries); err != nil {
+			return tx.fail(fmt.Errorf("upgrading lock on %v: %w", st.primary, err))
+		}
+		st.lock = lockWrite
+	case lockNone:
+		if !tx.skipLocks() {
+			if err := tx.lockWord(st.primary).TryAcquireWrite(tx.rank, tx.eng.cfg.LockTries); err != nil {
+				return tx.fail(fmt.Errorf("write-locking %v: %w", st.primary, err))
+			}
+			st.lock = lockWrite
+		}
+	}
+	if !st.dirty {
+		st.dirty = true
+		tx.dirtyList = append(tx.dirtyList, st.primary)
+	}
+	return nil
+}
+
+// CreateVertex allocates a new vertex with the given application-level ID,
+// placed on OwnerOf(appID), and returns its internal ID. The vertex becomes
+// visible to other transactions at commit, when it is published in the
+// internal index. O(1) work and depth.
+func (tx *Tx) CreateVertex(appID uint64) (rma.DPtr, error) {
+	if err := tx.check(); err != nil {
+		return rma.NullDPtr, err
+	}
+	if tx.mode == ReadOnly {
+		return rma.NullDPtr, ErrReadOnly
+	}
+	owner := tx.eng.OwnerOf(appID)
+	primary, err := tx.eng.store.AcquireBlock(tx.rank, owner)
+	if err != nil {
+		return rma.NullDPtr, tx.fail(ErrNoMemory)
+	}
+	st := &vertexState{
+		primary: primary,
+		v:       &holder.Vertex{AppID: appID},
+		isNew:   true,
+	}
+	if !tx.skipLocks() {
+		if err := tx.lockWord(primary).TryAcquireWrite(tx.rank, tx.eng.cfg.LockTries); err != nil {
+			tx.eng.store.ReleaseBlock(tx.rank, primary)
+			return rma.NullDPtr, tx.fail(err)
+		}
+		st.lock = lockWrite
+	}
+	st.dirty = true
+	tx.dirtyList = append(tx.dirtyList, primary)
+	tx.verts[primary] = st
+	if tx.newByApp == nil {
+		tx.newByApp = make(map[uint64]rma.DPtr)
+	}
+	tx.newByApp[appID] = primary
+	return primary, nil
+}
+
+// DeleteVertex removes a vertex and all of its edges. Every neighbor's
+// holder is updated, so the operation write-locks the neighborhood — the
+// "demanding vertex deletions" of §6.4. O(deg(v)) holder updates.
+func (tx *Tx) DeleteVertex(dp rma.DPtr) error {
+	h, err := tx.AssociateVertex(dp)
+	if err != nil {
+		return err
+	}
+	st := h.st
+	if err := tx.ensureWrite(st); err != nil {
+		return err
+	}
+	// Remove the sibling record at every neighbor.
+	for _, rec := range st.v.Edges {
+		if rec.Heavy {
+			if err := tx.dropEdgeHolder(rec.Neighbor); err != nil {
+				return err
+			}
+			continue
+		}
+		if rec.Neighbor == dp {
+			continue // self-loop: both records live here
+		}
+		nh, err := tx.AssociateVertex(rec.Neighbor)
+		if err != nil {
+			return err
+		}
+		if err := tx.ensureWrite(nh.st); err != nil {
+			return err
+		}
+		nh.st.v.Edges = removeSiblings(nh.st.v.Edges, dp)
+	}
+	st.v.Edges = nil
+	st.deleted = true
+	return nil
+}
+
+// removeSiblings drops every record pointing at the deleted vertex.
+func removeSiblings(recs []holder.EdgeRec, gone rma.DPtr) []holder.EdgeRec {
+	out := recs[:0]
+	for _, r := range recs {
+		if !r.Heavy && r.Neighbor == gone {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// dropEdgeHolder marks a heavy-edge holder deleted.
+func (tx *Tx) dropEdgeHolder(dp rma.DPtr) error {
+	es, err := tx.fetchEdgeState(dp)
+	if err != nil {
+		return err
+	}
+	es.deleted = true
+	es.dirty = true
+	return nil
+}
+
+func (tx *Tx) fetchEdgeState(dp rma.DPtr) (*edgeState, error) {
+	if es, ok := tx.edges[dp]; ok {
+		return es, nil
+	}
+	buf, blocks, err := tx.fetchBlocks(dp)
+	if err != nil {
+		return nil, err
+	}
+	e, err := holder.DecodeEdge(buf)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, err)
+	}
+	es := &edgeState{primary: dp, e: e, blocks: blocks}
+	tx.edges[dp] = es
+	return es, nil
+}

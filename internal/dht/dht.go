@@ -1,0 +1,353 @@
+// Package dht implements the fully-offloaded distributed hash table of
+// GDI-RMA (§5.7 and Listing 4 of the paper). GDA uses it for internal,
+// performance-critical translations such as application-level vertex ID →
+// internal DPtr.
+//
+// Design, following the paper:
+//
+//   - the table (buckets) and the heap (chained entries) are sharded across
+//     all ranks;
+//   - every operation — insert, lookup, and delete — uses only one-sided
+//     atomics (AGET/APUT/CAS), so the owner of a bucket never executes code
+//     on behalf of a client ("the first DHT with all its operations fully
+//     offloaded, including deletes");
+//   - collisions are resolved with distributed chaining: bucket → linked
+//     list of heap entries, where each entry may live on any rank;
+//   - deletion is the two-CAS protocol of Listing 4: the first CAS points
+//     the victim's next pointer at itself (the self-pointer tombstone that
+//     concurrent readers detect and restart on), the second CAS unlinks it
+//     from its predecessor.
+//
+// One hardening beyond the paper's pseudocode: pointers carry a 15-bit
+// reuse tag that is bumped when a heap slot is recycled, and every entry
+// stores its current tag. A reader that follows a stale pointer into a
+// recycled slot sees the tag mismatch and restarts instead of reading an
+// unrelated key (the ABA-on-recycle case the pseudocode leaves to the
+// implementation).
+package dht
+
+import (
+	"fmt"
+
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// ref is a tagged pointer to either a bucket word or a heap entry:
+//
+//	bit 63      heap flag (0 = bucket/table, 1 = heap entry)
+//	bits 62..48 reuse tag (heap entries only)
+//	bits 47..32 rank
+//	bits 31..0  slot index
+//
+// The zero ref is NULL (the empty bucket).
+type ref uint64
+
+const (
+	heapFlag  uint64 = 1 << 63
+	tagShift         = 48
+	tagMask   uint64 = (1<<15 - 1) << tagShift
+	rankShift        = 32
+	rankMask  uint64 = (1<<16 - 1) << rankShift
+	idxMask   uint64 = 1<<32 - 1
+)
+
+func heapRef(r rma.Rank, idx uint32, tag uint16) ref {
+	return ref(heapFlag | uint64(tag&0x7fff)<<tagShift | uint64(r)<<rankShift | uint64(idx))
+}
+
+func (p ref) isNull() bool   { return p == 0 }
+func (p ref) isHeap() bool   { return uint64(p)&heapFlag != 0 }
+func (p ref) rank() rma.Rank { return rma.Rank(uint64(p) & rankMask >> rankShift) }
+func (p ref) idx() uint32    { return uint32(uint64(p) & idxMask) }
+func (p ref) tag() uint16    { return uint16(uint64(p) & tagMask >> tagShift) }
+
+// Heap entry layout, in words.
+const (
+	eKey   = 0
+	eVal   = 1
+	eNext  = 2
+	eTag   = 3
+	eWords = 4
+)
+
+// Map is the distributed hash table. All ranks share one Map; every method
+// is safe for concurrent use from any rank and is fully one-sided.
+type Map struct {
+	f           *rma.Fabric
+	bucketsPer  int
+	entriesPer  int
+	table       *rma.WordWin // bucket head pointers (ref words)
+	heap        *rma.WordWin // entry slots, eWords words each
+	free        *rma.WordWin // free-list links between slots
+	sys         *rma.WordWin // word 0: tagged free-list head per rank
+	totalBucket uint64
+}
+
+// Config sizes the table.
+type Config struct {
+	// BucketsPerRank is each rank's share of the bucket array.
+	BucketsPerRank int
+	// EntriesPerRank is each rank's heap capacity.
+	EntriesPerRank int
+}
+
+// New collectively creates a Map over fabric f.
+func New(f *rma.Fabric, cfg Config) *Map {
+	if cfg.BucketsPerRank < 1 || cfg.EntriesPerRank < 1 {
+		panic(fmt.Sprintf("dht: invalid config %+v", cfg))
+	}
+	if uint64(cfg.EntriesPerRank) >= 1<<32 {
+		panic("dht: entries per rank exceed 32-bit slot index")
+	}
+	m := &Map{
+		f:           f,
+		bucketsPer:  cfg.BucketsPerRank,
+		entriesPer:  cfg.EntriesPerRank,
+		table:       f.NewWordWin(cfg.BucketsPerRank),
+		heap:        f.NewWordWin(cfg.EntriesPerRank * eWords),
+		free:        f.NewWordWin(cfg.EntriesPerRank),
+		sys:         f.NewWordWin(1),
+		totalBucket: uint64(cfg.BucketsPerRank) * uint64(f.Size()),
+	}
+	for r := 0; r < f.Size(); r++ {
+		rank := rma.Rank(r)
+		// Slot free list: 1-based indices, 0 = empty.
+		for i := 1; i < cfg.EntriesPerRank; i++ {
+			m.free.Store(rank, rank, i-1, uint64(i+1))
+		}
+		m.free.Store(rank, rank, cfg.EntriesPerRank-1, 0)
+		m.sys.Store(rank, rank, 0, packFreeHead(1, 1))
+	}
+	return m
+}
+
+func packFreeHead(tag uint32, idx uint32) uint64 { return uint64(tag)<<32 | uint64(idx) }
+func unpackFreeHead(h uint64) (tag, idx uint32)  { return uint32(h >> 32), uint32(h) }
+
+// hash spreads a key over the global bucket space (Fibonacci hashing).
+func (m *Map) bucketOf(key uint64) (rma.Rank, int) {
+	h := key * 0x9e3779b97f4a7c15
+	b := h % m.totalBucket
+	return rma.Rank(b / uint64(m.bucketsPer)), int(b % uint64(m.bucketsPer))
+}
+
+// alloc grabs a heap slot on the origin's own rank (local, cheap) and bumps
+// its reuse tag. Falls back to stealing from successive ranks if the local
+// heap is exhausted.
+func (m *Map) alloc(origin rma.Rank) (ref, bool) {
+	n := m.f.Size()
+	for attempt := 0; attempt < n; attempt++ {
+		target := rma.Rank((int(origin) + attempt) % n)
+		if r, ok := m.allocOn(origin, target); ok {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+func (m *Map) allocOn(origin, target rma.Rank) (ref, bool) {
+	for {
+		head := m.sys.Load(origin, target, 0)
+		tag, idx := unpackFreeHead(head)
+		if idx == 0 {
+			return 0, false
+		}
+		next := m.free.Load(origin, target, int(idx-1))
+		if _, ok := m.sys.CAS(origin, target, 0, head, packFreeHead(tag+1, uint32(next))); ok {
+			slot := idx - 1
+			newTag := uint16(m.heap.FetchAdd(origin, target, int(slot)*eWords+eTag, 1) + 1)
+			return heapRef(target, slot, newTag), true
+		}
+	}
+}
+
+func (m *Map) dealloc(origin rma.Rank, p ref) {
+	target, slot := p.rank(), p.idx()
+	for {
+		head := m.sys.Load(origin, target, 0)
+		tag, old := unpackFreeHead(head)
+		m.free.Store(origin, target, int(slot), uint64(old))
+		if _, ok := m.sys.CAS(origin, target, 0, head, packFreeHead(tag+1, slot+1)); ok {
+			return
+		}
+	}
+}
+
+// word addressing helpers for the "next field" of a ref: for a bucket the
+// next field is the bucket word itself; for a heap entry it is word eNext.
+func (m *Map) loadNext(origin rma.Rank, p ref) ref {
+	if p.isHeap() {
+		return ref(m.heap.Load(origin, p.rank(), int(p.idx())*eWords+eNext))
+	}
+	return ref(m.table.Load(origin, p.rank(), int(p.idx())))
+}
+
+func (m *Map) casNext(origin rma.Rank, p ref, old, new ref) bool {
+	if p.isHeap() {
+		_, ok := m.heap.CAS(origin, p.rank(), int(p.idx())*eWords+eNext, uint64(old), uint64(new))
+		return ok
+	}
+	_, ok := m.table.CAS(origin, p.rank(), int(p.idx()), uint64(old), uint64(new))
+	return ok
+}
+
+// loadEntry AGETs an entry's fields and verifies the reuse tag. ok is false
+// when the slot was recycled under the reader, who must restart.
+func (m *Map) loadEntry(origin rma.Rank, p ref) (key, val uint64, next ref, ok bool) {
+	r, base := p.rank(), int(p.idx())*eWords
+	key = m.heap.Load(origin, r, base+eKey)
+	val = m.heap.Load(origin, r, base+eVal)
+	next = ref(m.heap.Load(origin, r, base+eNext))
+	tag := uint16(m.heap.Load(origin, r, base+eTag))
+	ok = tag == p.tag()
+	return
+}
+
+// Insert adds key → val. Duplicate keys may coexist (the paper's DHT is a
+// multimap at the protocol level); GDA's users ensure key uniqueness.
+// Returns false when the heap is exhausted.
+func (m *Map) Insert(origin rma.Rank, key, val uint64) bool {
+	bRank, bIdx := m.bucketOf(key)
+	bucket := ref(uint64(bRank)<<rankShift | uint64(bIdx))
+	p, ok := m.alloc(origin)
+	if !ok {
+		return false
+	}
+	base := int(p.idx()) * eWords
+	m.heap.Store(origin, p.rank(), base+eKey, key)
+	m.heap.Store(origin, p.rank(), base+eVal, val)
+	for {
+		head := m.loadNext(origin, bucket)
+		m.heap.Store(origin, p.rank(), base+eNext, uint64(head))
+		if m.casNext(origin, bucket, head, p) {
+			return true
+		}
+	}
+}
+
+// Lookup finds key and returns its value.
+func (m *Map) Lookup(origin rma.Rank, key uint64) (val uint64, found bool) {
+	for {
+		v, ok, restart := m.lookupOnce(origin, key)
+		if !restart {
+			return v, ok
+		}
+	}
+}
+
+func (m *Map) lookupOnce(origin rma.Rank, key uint64) (val uint64, found, restart bool) {
+	bRank, bIdx := m.bucketOf(key)
+	bucket := ref(uint64(bRank)<<rankShift | uint64(bIdx))
+	p := m.loadNext(origin, bucket)
+	for !p.isNull() {
+		k, v, next, ok := m.loadEntry(origin, p)
+		if !ok || next == p {
+			// Recycled under us, or a self-pointer tombstone: restart.
+			return 0, false, true
+		}
+		if k == key {
+			return v, true, false
+		}
+		p = next
+	}
+	return 0, false, false
+}
+
+// Delete removes one entry with the given key. It reports whether an entry
+// was removed.
+func (m *Map) Delete(origin rma.Rank, key uint64) bool {
+	for {
+		done, removed := m.deleteOnce(origin, key)
+		if done {
+			return removed
+		}
+	}
+}
+
+// deleteOnce walks the chain once; done=false requests a restart.
+func (m *Map) deleteOnce(origin rma.Rank, key uint64) (done, removed bool) {
+	bRank, bIdx := m.bucketOf(key)
+	bucket := ref(uint64(bRank)<<rankShift | uint64(bIdx))
+	prev := bucket
+	p := m.loadNext(origin, bucket)
+	for !p.isNull() {
+		k, _, next, ok := m.loadEntry(origin, p)
+		if !ok || next == p {
+			return false, false // tombstone or recycled: restart
+		}
+		if k == key {
+			// CAS 1 (Listing 4, line 32): tombstone the victim by pointing
+			// its next field at itself. Failure means we lost a race on the
+			// victim or its successor was just deleted: restart.
+			if !m.casNext(origin, p, next, p) {
+				return false, false
+			}
+			// CAS 2 (line 37): unlink the victim from its predecessor. The
+			// tombstone keeps the victim reachable — only we can unlink it —
+			// so on failure we rewalk and retry the unlink with the
+			// successor we captured before tombstoning (the paper's
+			// "restart, retaining the original next pointer", line 41).
+			if !m.casNext(origin, prev, p, next) {
+				m.unlinkTombstone(origin, bucket, p, next)
+			}
+			m.dealloc(origin, p)
+			return true, true
+		}
+		prev = p
+		p = next
+	}
+	return true, false
+}
+
+// unlinkTombstone rewalks the chain from the bucket until it bypasses the
+// tombstoned entry t, whose pre-tombstone successor is succ. t stays
+// reachable until this succeeds: tombstones are only unlinked by their own
+// deleter, and a deleted predecessor's CAS 2 re-routes the chain around the
+// predecessor while still leading to t.
+func (m *Map) unlinkTombstone(origin rma.Rank, bucket, t, succ ref) {
+	for {
+		prev := bucket
+		p := m.loadNext(origin, bucket)
+		retry := false
+		for !p.isNull() {
+			if p == t {
+				if m.casNext(origin, prev, t, succ) {
+					return
+				}
+				retry = true // predecessor changed under us: rewalk
+				break
+			}
+			_, _, next, ok := m.loadEntry(origin, p)
+			if !ok || next == p {
+				retry = true // foreign tombstone blocks the walk: rewalk
+				break
+			}
+			prev = p
+			p = next
+		}
+		if !retry && p.isNull() {
+			// t must remain reachable until we unlink it; reaching the end
+			// of the chain means the walk raced a concurrent restructuring.
+			continue
+		}
+	}
+}
+
+// Len counts all entries (diagnostic; walks every bucket).
+func (m *Map) Len(origin rma.Rank) int {
+	n := 0
+	for r := 0; r < m.f.Size(); r++ {
+		for b := 0; b < m.bucketsPer; b++ {
+			bucket := ref(uint64(r)<<rankShift | uint64(b))
+			for p := m.loadNext(origin, bucket); !p.isNull(); {
+				_, _, next, ok := m.loadEntry(origin, p)
+				if !ok || next == p {
+					break
+				}
+				n++
+				p = next
+			}
+		}
+	}
+	return n
+}

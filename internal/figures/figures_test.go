@@ -1,0 +1,169 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gdi-go/gdi/internal/workload"
+)
+
+// tiny keeps figure-wiring tests fast.
+var tiny = Profile{Ranks: []int{1, 2}, BaseScale: 6, EdgeFactor: 4, OpsPerWorker: 100, Seed: 1}
+
+func TestRunOLTPProducesAllCells(t *testing.T) {
+	pts, err := RunOLTP(tiny, []workload.Mix{workload.ReadMostly, workload.LinkBench}, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 ranks × (2 GDA mixes + 1 baseline) = 6 points.
+	if len(pts) != 6 {
+		t.Fatalf("points = %d, want 6", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.QPS <= 0 {
+			t.Fatalf("cell %+v has zero throughput", pt)
+		}
+	}
+	out := FormatOLTP("test", pts)
+	if !strings.Contains(out, "JanusGraph-like") || !strings.Contains(out, "queries/s") {
+		t.Fatalf("format output incomplete:\n%s", out)
+	}
+	// Weak scaling must grow the dataset.
+	if pts[0].Scale >= pts[3].Scale {
+		t.Fatalf("weak scaling did not grow the scale: %d vs %d", pts[0].Scale, pts[3].Scale)
+	}
+}
+
+func TestRunOLTPStrongKeepsScale(t *testing.T) {
+	pts, err := RunOLTP(tiny, []workload.Mix{workload.ReadMostly}, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Scale != pts[1].Scale {
+		t.Fatalf("strong scaling changed the dataset: %d vs %d", pts[0].Scale, pts[1].Scale)
+	}
+}
+
+func TestRunLatencyCoversSystemsAndOps(t *testing.T) {
+	rows, err := RunLatency(Profile{Ranks: []int{1}, BaseScale: 6, EdgeFactor: 4, OpsPerWorker: 200, Seed: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	systems := map[string]bool{}
+	for _, r := range rows {
+		systems[r.System] = true
+		if r.MeanNs <= 0 || r.Count <= 0 {
+			t.Fatalf("row %+v is empty", r)
+		}
+		if r.Chart == "" {
+			t.Fatalf("row %+v missing chart", r)
+		}
+	}
+	for _, want := range []string{"GDA", "JanusGraph-like", "Neo4j-like"} {
+		if !systems[want] {
+			t.Fatalf("system %s missing from latency rows", want)
+		}
+	}
+	if out := FormatLatency(rows); !strings.Contains(out, "retrieve vertex") {
+		t.Fatal("latency format incomplete")
+	}
+}
+
+func TestRunAnalyticsWeakAndStrong(t *testing.T) {
+	weak, err := RunAnalytics(tiny, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, pt := range weak {
+		names[pt.Workload] = true
+	}
+	for _, want := range []string{"PageRank (i=10, df=0.85)", "CDLP (i=5)", "WCC"} {
+		if !names[want] {
+			t.Fatalf("weak analytics missing %s", want)
+		}
+	}
+	strong, err := RunAnalytics(tiny, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names = map[string]bool{}
+	systems := map[string]bool{}
+	for _, pt := range strong {
+		names[pt.Workload] = true
+		systems[pt.System] = true
+	}
+	if !names["LCC"] || !names["BI2"] {
+		t.Fatal("strong analytics missing LCC/BI2")
+	}
+	if !systems["Neo4j-like"] {
+		t.Fatal("strong analytics missing the Neo4j-like BI2 baseline")
+	}
+	if out := FormatAnalytics("t", strong); !strings.Contains(out, "BI2") {
+		t.Fatal("analytics format incomplete")
+	}
+}
+
+func TestRunGNNAndTraversal(t *testing.T) {
+	gnn, err := RunGNN(Profile{Ranks: []int{1}, BaseScale: 6, EdgeFactor: 4, OpsPerWorker: 10, Seed: 1}, []int{4}, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gnn) != 1 || gnn[0].Runtime <= 0 {
+		t.Fatalf("gnn points = %+v", gnn)
+	}
+	trav, err := RunTraversal(Profile{Ranks: []int{2}, BaseScale: 6, EdgeFactor: 4, OpsPerWorker: 10, Seed: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	systems := map[string]bool{}
+	for _, pt := range trav {
+		systems[pt.System] = true
+	}
+	for _, want := range []string{"GDA", "Graph500", "Neo4j-like"} {
+		if !systems[want] {
+			t.Fatalf("traversal missing system %s", want)
+		}
+	}
+	// GDA and Graph500 must agree on reachability.
+	var gdaVisited, g500Visited string
+	for _, pt := range trav {
+		if pt.Workload == "BFS" {
+			switch pt.System {
+			case "GDA":
+				gdaVisited = pt.Extra
+			case "Graph500":
+				g500Visited = pt.Extra
+			}
+		}
+	}
+	if gdaVisited != g500Visited || gdaVisited == "" {
+		t.Fatalf("BFS visited mismatch: GDA %q vs Graph500 %q", gdaVisited, g500Visited)
+	}
+}
+
+func TestRunRichnessAndShape(t *testing.T) {
+	rich, err := RunRichness(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rich) != 5 {
+		t.Fatalf("richness variants = %d, want 5", len(rich))
+	}
+	if out := FormatRichness(rich); !strings.Contains(out, "edge factor") {
+		t.Fatal("richness format incomplete")
+	}
+	shape, err := RunDegreeShape(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shape) != 2 {
+		t.Fatalf("shape points = %d, want 2", len(shape))
+	}
+	if shape[0].MaxDegree <= shape[1].MaxDegree {
+		t.Fatalf("heavy-tail max degree %d not above uniform %d", shape[0].MaxDegree, shape[1].MaxDegree)
+	}
+	if out := FormatDegreeShape(shape); !strings.Contains(out, "heavy-tail") {
+		t.Fatal("shape format incomplete")
+	}
+}

@@ -1,0 +1,320 @@
+// Package holder implements the Logical Layout (LL) level of GDA (§5.4 of
+// the paper): the serialization of vertex and edge "holder" objects into the
+// fixed-size blocks of the BGDL level.
+//
+// A holder is a logically contiguous byte stream physically split across
+// blocks (which need not be contiguous or even on one rank). The stream
+// layout follows Figure 3:
+//
+//	header      32 bytes: #blocks, #edges, entry-region size, kind/flags,
+//	            and the application-level ID (vertices) or the endpoint
+//	            DPtrs (edge holders)
+//	block table (#blocks-1) DPtrs of the continuation blocks — the primary
+//	            block's address is the vertex's identity and is not stored
+//	edges       #edges fixed-size lightweight-edge records (vertices only)
+//	entries     label & property entries (package lpg wire format)
+//	unused      slack up to #blocks · blockSize
+//
+// Every table entry i lands at logical offset 32+8i, which is always inside
+// the first i+1 blocks, so a reader can fetch the primary block and then
+// stream the continuation blocks in order without ever missing a table
+// entry it needs next — one round trip per block, fully one-sided.
+//
+// Lightweight edges (§5.4.2) are stored inline in the source vertex's
+// holder and carry at most one label. An edge with more labels or with
+// properties is "heavy": its inline record points at a dedicated edge
+// holder instead of at the neighbor vertex.
+package holder
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/gdi-go/gdi/internal/lpg"
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// HeaderSize is the fixed holder header size in bytes.
+const HeaderSize = 32
+
+// EdgeRecSize is the size of one inline edge record.
+const EdgeRecSize = 16
+
+// Direction of an edge relative to the vertex holding the record.
+type Direction uint8
+
+const (
+	// DirOut marks an outgoing edge (the holder's vertex is the origin).
+	DirOut Direction = iota
+	// DirIn marks an incoming edge.
+	DirIn
+	// DirUndirected marks an undirected edge.
+	DirUndirected
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case DirOut:
+		return "out"
+	case DirIn:
+		return "in"
+	case DirUndirected:
+		return "undirected"
+	default:
+		return fmt.Sprintf("Direction(%d)", uint8(d))
+	}
+}
+
+// EdgeRec is one inline (lightweight) edge record of a vertex holder.
+type EdgeRec struct {
+	// Neighbor is the other endpoint's vertex DPtr or, when Heavy, the DPtr
+	// of the dedicated edge holder.
+	Neighbor rma.DPtr
+	// Dir is the edge direction relative to the holding vertex.
+	Dir Direction
+	// Heavy marks a record that spills to an edge holder.
+	Heavy bool
+	// Label is the single lightweight label (0 = unlabeled). Heavy edges
+	// keep their labels in the edge holder.
+	Label lpg.LabelID
+}
+
+// EdgeUID identifies an edge relative to one of its endpoint vertices: the
+// vertex's DPtr plus the index of the record inside that vertex's holder
+// (the paper's 12-byte edge UID, §5.4.2). The same physical edge has two
+// different UIDs, one per endpoint.
+type EdgeUID struct {
+	Vertex rma.DPtr
+	Index  uint32
+}
+
+// Vertex is the decoded logical form of a vertex holder.
+type Vertex struct {
+	// AppID is the application-level vertex ID (also exposed as the
+	// predefined __app_id property).
+	AppID uint64
+	// Edges are the inline edge records in insertion order.
+	Edges []EdgeRec
+	// Labels are the vertex's label IDs in insertion order.
+	Labels []lpg.LabelID
+	// Props are the vertex's properties in insertion order.
+	Props []lpg.Property
+}
+
+// Edge is the decoded logical form of a heavy-edge holder.
+type Edge struct {
+	// Origin and Target are the endpoint vertex DPtrs.
+	Origin, Target rma.DPtr
+	// Dir records whether the edge is directed.
+	Dir Direction
+	// Labels and Props carry the edge's rich data.
+	Labels []lpg.LabelID
+	Props  []lpg.Property
+}
+
+const (
+	flagEdgeHolder = 1 << 0
+)
+
+// contentSizeVertex returns the logical byte size of v excluding slack.
+func contentSizeVertex(v *Vertex, numBlocks int) int {
+	entries := lpg.EndEntrySize
+	for range v.Labels {
+		entries += lpg.EntrySize(4)
+	}
+	for _, p := range v.Props {
+		entries += lpg.EntrySize(len(p.Value))
+	}
+	return HeaderSize + 8*(numBlocks-1) + EdgeRecSize*len(v.Edges) + entries
+}
+
+func contentSizeEdge(e *Edge, numBlocks int) int {
+	entries := lpg.EndEntrySize
+	for range e.Labels {
+		entries += lpg.EntrySize(4)
+	}
+	for _, p := range e.Props {
+		entries += lpg.EntrySize(len(p.Value))
+	}
+	// Edge holders carry one 8-byte direction word in place of edge records.
+	return HeaderSize + 8*(numBlocks-1) + 8 + entries
+}
+
+// blocksFor solves the fixed point: the table grows with the block count.
+func blocksFor(size func(numBlocks int) int, blockSize int) int {
+	n := 1
+	for {
+		need := size(n)
+		fit := (need + blockSize - 1) / blockSize
+		if fit <= n {
+			return n
+		}
+		n = fit
+	}
+}
+
+// VertexBlocks returns how many blocks v needs at the given block size.
+func VertexBlocks(v *Vertex, blockSize int) int {
+	return blocksFor(func(n int) int { return contentSizeVertex(v, n) }, blockSize)
+}
+
+// EdgeBlocks returns how many blocks e needs at the given block size.
+func EdgeBlocks(e *Edge, blockSize int) int {
+	return blocksFor(func(n int) int { return contentSizeEdge(e, n) }, blockSize)
+}
+
+// EncodeVertex serializes v into a logical stream of exactly
+// VertexBlocks(v)·blockSize bytes. The block table is zeroed; the caller
+// fills it with SetTableEntry after acquiring the continuation blocks.
+func EncodeVertex(v *Vertex, blockSize int) []byte {
+	numBlocks := VertexBlocks(v, blockSize)
+	buf := make([]byte, numBlocks*blockSize)
+	entryRegion := lpg.EncodeEntries(v.Labels, v.Props)
+
+	binary.LittleEndian.PutUint32(buf[0:], uint32(numBlocks))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(v.Edges)))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(entryRegion)))
+	binary.LittleEndian.PutUint32(buf[12:], 0)
+	binary.LittleEndian.PutUint64(buf[16:], v.AppID)
+
+	off := HeaderSize + 8*(numBlocks-1)
+	for _, rec := range v.Edges {
+		off += encodeEdgeRec(buf[off:], rec)
+	}
+	copy(buf[off:], entryRegion)
+	return buf
+}
+
+// DecodeVertex parses a logical stream produced by EncodeVertex.
+func DecodeVertex(buf []byte) (*Vertex, error) {
+	numBlocks, flags, err := checkHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if flags&flagEdgeHolder != 0 {
+		return nil, fmt.Errorf("holder: expected a vertex holder, found an edge holder")
+	}
+	numEdges := int(binary.LittleEndian.Uint32(buf[4:]))
+	entryBytes := int(binary.LittleEndian.Uint32(buf[8:]))
+	v := &Vertex{AppID: binary.LittleEndian.Uint64(buf[16:])}
+	off := HeaderSize + 8*(numBlocks-1)
+	if off+numEdges*EdgeRecSize+entryBytes > len(buf) {
+		return nil, fmt.Errorf("holder: truncated vertex holder (%d blocks, %d edges, %d entry bytes, %d buffer)",
+			numBlocks, numEdges, entryBytes, len(buf))
+	}
+	v.Edges = make([]EdgeRec, numEdges)
+	for i := range v.Edges {
+		v.Edges[i] = decodeEdgeRec(buf[off:])
+		off += EdgeRecSize
+	}
+	v.Labels, v.Props = lpg.SplitEntries(buf[off : off+entryBytes])
+	return v, nil
+}
+
+// EncodeEdge serializes a heavy-edge holder.
+func EncodeEdge(e *Edge, blockSize int) []byte {
+	numBlocks := EdgeBlocks(e, blockSize)
+	buf := make([]byte, numBlocks*blockSize)
+	entryRegion := lpg.EncodeEntries(e.Labels, e.Props)
+
+	binary.LittleEndian.PutUint32(buf[0:], uint32(numBlocks))
+	binary.LittleEndian.PutUint32(buf[4:], 0)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(entryRegion)))
+	binary.LittleEndian.PutUint32(buf[12:], flagEdgeHolder)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(e.Origin))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(e.Target))
+
+	off := HeaderSize + 8*(numBlocks-1)
+	binary.LittleEndian.PutUint32(buf[off:], uint32(e.Dir))
+	off += 8
+	copy(buf[off:], entryRegion)
+	return buf
+}
+
+// DecodeEdge parses a logical stream produced by EncodeEdge.
+func DecodeEdge(buf []byte) (*Edge, error) {
+	numBlocks, flags, err := checkHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if flags&flagEdgeHolder == 0 {
+		return nil, fmt.Errorf("holder: expected an edge holder, found a vertex holder")
+	}
+	entryBytes := int(binary.LittleEndian.Uint32(buf[8:]))
+	e := &Edge{
+		Origin: rma.DPtr(binary.LittleEndian.Uint64(buf[16:])),
+		Target: rma.DPtr(binary.LittleEndian.Uint64(buf[24:])),
+	}
+	off := HeaderSize + 8*(numBlocks-1)
+	if off+8+entryBytes > len(buf) {
+		return nil, fmt.Errorf("holder: truncated edge holder")
+	}
+	e.Dir = Direction(binary.LittleEndian.Uint32(buf[off:]))
+	off += 8
+	e.Labels, e.Props = lpg.SplitEntries(buf[off : off+entryBytes])
+	return e, nil
+}
+
+func checkHeader(buf []byte) (numBlocks int, flags uint32, err error) {
+	if len(buf) < HeaderSize {
+		return 0, 0, fmt.Errorf("holder: %d bytes is smaller than the header", len(buf))
+	}
+	numBlocks = int(binary.LittleEndian.Uint32(buf[0:]))
+	if numBlocks < 1 {
+		return 0, 0, fmt.Errorf("holder: corrupt header (0 blocks)")
+	}
+	return numBlocks, binary.LittleEndian.Uint32(buf[12:]), nil
+}
+
+func encodeEdgeRec(dst []byte, rec EdgeRec) int {
+	binary.LittleEndian.PutUint64(dst[0:], uint64(rec.Neighbor))
+	meta := uint32(rec.Dir) & 0x3
+	if rec.Heavy {
+		meta |= 1 << 2
+	}
+	binary.LittleEndian.PutUint32(dst[8:], meta)
+	binary.LittleEndian.PutUint32(dst[12:], uint32(rec.Label))
+	return EdgeRecSize
+}
+
+func decodeEdgeRec(src []byte) EdgeRec {
+	meta := binary.LittleEndian.Uint32(src[8:])
+	return EdgeRec{
+		Neighbor: rma.DPtr(binary.LittleEndian.Uint64(src[0:])),
+		Dir:      Direction(meta & 0x3),
+		Heavy:    meta&(1<<2) != 0,
+		Label:    lpg.LabelID(binary.LittleEndian.Uint32(src[12:])),
+	}
+}
+
+// NumBlocks reads the block count from a holder's primary-block prefix.
+func NumBlocks(primary []byte) int {
+	if len(primary) < 4 {
+		panic("holder: primary block prefix too small")
+	}
+	return int(binary.LittleEndian.Uint32(primary))
+}
+
+// IsEdgeHolder reads the kind flag from a holder's primary-block prefix.
+func IsEdgeHolder(primary []byte) bool {
+	if len(primary) < HeaderSize {
+		panic("holder: primary block prefix too small")
+	}
+	return binary.LittleEndian.Uint32(primary[12:])&flagEdgeHolder != 0
+}
+
+// TableEntry returns the DPtr of continuation block i (0-based: entry 0 is
+// the holder's second block) from the logical stream.
+func TableEntry(buf []byte, i int) rma.DPtr {
+	return rma.DPtr(binary.LittleEndian.Uint64(buf[HeaderSize+8*i:]))
+}
+
+// SetTableEntry writes the DPtr of continuation block i into the stream.
+func SetTableEntry(buf []byte, i int, dp rma.DPtr) {
+	binary.LittleEndian.PutUint64(buf[HeaderSize+8*i:], uint64(dp))
+}
+
+// TableEntryOffset returns the logical offset of table entry i; callers use
+// it to assert the streaming-read invariant (entry i inside block ≤ i).
+func TableEntryOffset(i int) int { return HeaderSize + 8*i }

@@ -1,0 +1,256 @@
+package holder
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/gdi-go/gdi/internal/lpg"
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+func sampleVertex() *Vertex {
+	return &Vertex{
+		AppID: 987654321,
+		Edges: []EdgeRec{
+			{Neighbor: rma.MakeDPtr(1, 5), Dir: DirOut, Label: 17},
+			{Neighbor: rma.MakeDPtr(2, 9), Dir: DirIn},
+			{Neighbor: rma.MakeDPtr(0, 3), Dir: DirUndirected, Heavy: true, Label: 0},
+		},
+		Labels: []lpg.LabelID{16, 18},
+		Props: []lpg.Property{
+			{PType: 20, Value: lpg.EncodeUint64(33)},
+			{PType: 21, Value: lpg.EncodeString("alice")},
+		},
+	}
+}
+
+func TestVertexRoundTrip(t *testing.T) {
+	v := sampleVertex()
+	buf := EncodeVertex(v, 512)
+	if len(buf)%512 != 0 {
+		t.Fatalf("stream length %d is not block-aligned", len(buf))
+	}
+	got, err := DecodeVertex(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, v)
+	}
+}
+
+func TestEmptyVertex(t *testing.T) {
+	v := &Vertex{AppID: 1}
+	buf := EncodeVertex(v, 128)
+	if NumBlocks(buf) != 1 {
+		t.Fatalf("empty vertex uses %d blocks, want 1", NumBlocks(buf))
+	}
+	got, err := DecodeVertex(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AppID != 1 || len(got.Edges) != 0 || got.Labels != nil || got.Props != nil {
+		t.Fatalf("empty vertex decoded as %+v", got)
+	}
+}
+
+func TestMultiBlockVertex(t *testing.T) {
+	v := &Vertex{AppID: 7}
+	for i := 0; i < 100; i++ { // 1600 bytes of edge records alone
+		v.Edges = append(v.Edges, EdgeRec{Neighbor: rma.MakeDPtr(rma.Rank(i%4), uint64(i+1)), Dir: DirOut, Label: lpg.LabelID(i)})
+	}
+	v.Props = append(v.Props, lpg.Property{PType: 30, Value: bytes.Repeat([]byte{9}, 700)})
+	buf := EncodeVertex(v, 256)
+	if nb := NumBlocks(buf); nb < 9 {
+		t.Fatalf("vertex with 2.3KB content in %d blocks of 256B", nb)
+	}
+	got, err := DecodeVertex(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatal("multi-block round trip mismatch")
+	}
+}
+
+func TestBlocksFixedPointConverges(t *testing.T) {
+	// Content that barely crosses a block boundary when the table grows.
+	for blockSize := 64; blockSize <= 1024; blockSize *= 2 {
+		for nEdges := 0; nEdges < 64; nEdges++ {
+			v := &Vertex{AppID: 1, Edges: make([]EdgeRec, nEdges)}
+			nb := VertexBlocks(v, blockSize)
+			content := contentSizeVertex(v, nb)
+			if content > nb*blockSize {
+				t.Fatalf("blockSize=%d edges=%d: content %d overflows %d blocks", blockSize, nEdges, content, nb)
+			}
+			if nb > 1 {
+				smaller := contentSizeVertex(v, nb-1)
+				if smaller <= (nb-1)*blockSize {
+					t.Fatalf("blockSize=%d edges=%d: %d blocks not minimal", blockSize, nEdges, nb)
+				}
+			}
+		}
+	}
+}
+
+func TestTableEntryStreamingInvariant(t *testing.T) {
+	// Table entry i must live within the first i+1 blocks for any block size
+	// >= 64, so a reader never needs a block before knowing its address.
+	for blockSize := 64; blockSize <= 4096; blockSize *= 2 {
+		for i := 0; i < 1000; i++ {
+			if TableEntryOffset(i) >= (i+1)*blockSize {
+				t.Fatalf("blockSize=%d: table entry %d at offset %d outside first %d blocks",
+					blockSize, i, TableEntryOffset(i), i+1)
+			}
+		}
+	}
+}
+
+func TestSetGetTableEntry(t *testing.T) {
+	v := &Vertex{AppID: 2, Props: []lpg.Property{{PType: 30, Value: bytes.Repeat([]byte{1}, 300)}}}
+	buf := EncodeVertex(v, 128)
+	nb := NumBlocks(buf)
+	if nb < 3 {
+		t.Fatalf("need a multi-block holder, got %d blocks", nb)
+	}
+	for i := 0; i < nb-1; i++ {
+		SetTableEntry(buf, i, rma.MakeDPtr(3, uint64(100+i)))
+	}
+	for i := 0; i < nb-1; i++ {
+		if got := TableEntry(buf, i); got != rma.MakeDPtr(3, uint64(100+i)) {
+			t.Fatalf("table entry %d = %v", i, got)
+		}
+	}
+	// The table must not have corrupted the payload.
+	got, err := DecodeVertex(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Props[0].Value, v.Props[0].Value) {
+		t.Fatal("table writes corrupted the property payload")
+	}
+}
+
+func TestEdgeRoundTrip(t *testing.T) {
+	e := &Edge{
+		Origin: rma.MakeDPtr(0, 10),
+		Target: rma.MakeDPtr(5, 20),
+		Dir:    DirOut,
+		Labels: []lpg.LabelID{40, 41},
+		Props:  []lpg.Property{{PType: 50, Value: lpg.EncodeFloat64(2.5)}},
+	}
+	buf := EncodeEdge(e, 256)
+	got, err := DecodeEdge(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Fatalf("edge round trip mismatch:\n got %+v\nwant %+v", got, e)
+	}
+}
+
+func TestKindConfusionRejected(t *testing.T) {
+	vbuf := EncodeVertex(&Vertex{AppID: 1}, 128)
+	if _, err := DecodeEdge(vbuf); err == nil {
+		t.Fatal("DecodeEdge accepted a vertex holder")
+	}
+	ebuf := EncodeEdge(&Edge{Origin: rma.MakeDPtr(0, 1), Target: rma.MakeDPtr(0, 2)}, 128)
+	if _, err := DecodeVertex(ebuf); err == nil {
+		t.Fatal("DecodeVertex accepted an edge holder")
+	}
+	if !IsEdgeHolder(ebuf[:HeaderSize]) || IsEdgeHolder(vbuf[:HeaderSize]) {
+		t.Fatal("IsEdgeHolder misclassifies")
+	}
+}
+
+func TestCorruptHeaders(t *testing.T) {
+	if _, err := DecodeVertex(make([]byte, 8)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if _, err := DecodeVertex(make([]byte, HeaderSize)); err == nil {
+		t.Fatal("zero-block header accepted")
+	}
+	// A header promising more edges than the buffer holds must error.
+	v := &Vertex{AppID: 1}
+	buf := EncodeVertex(v, 128)
+	buf[4] = 0xff // numEdges = 255
+	if _, err := DecodeVertex(buf); err == nil {
+		t.Fatal("truncated edge area accepted")
+	}
+}
+
+func TestEdgeRecEncodingExhaustive(t *testing.T) {
+	for _, dir := range []Direction{DirOut, DirIn, DirUndirected} {
+		for _, heavy := range []bool{false, true} {
+			rec := EdgeRec{Neighbor: rma.MakeDPtr(9, 1234), Dir: dir, Heavy: heavy, Label: 77}
+			var buf [EdgeRecSize]byte
+			encodeEdgeRec(buf[:], rec)
+			if got := decodeEdgeRec(buf[:]); got != rec {
+				t.Fatalf("edge rec %+v decoded as %+v", rec, got)
+			}
+		}
+	}
+}
+
+func TestQuickVertexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	prop := func(appID uint64, nEdges uint8, labelSeeds []uint32, payloads [][]byte) bool {
+		v := &Vertex{AppID: appID}
+		for i := 0; i < int(nEdges%32); i++ {
+			v.Edges = append(v.Edges, EdgeRec{
+				Neighbor: rma.MakeDPtr(rma.Rank(rng.Intn(8)), uint64(rng.Intn(1000)+1)),
+				Dir:      Direction(rng.Intn(3)),
+				Heavy:    rng.Intn(4) == 0,
+				Label:    lpg.LabelID(rng.Intn(100)),
+			})
+		}
+		for _, s := range labelSeeds {
+			v.Labels = append(v.Labels, lpg.LabelID(s%500+lpg.FirstDynamicID))
+		}
+		for i, p := range payloads {
+			if len(p) > 2000 {
+				p = p[:2000]
+			}
+			v.Props = append(v.Props, lpg.Property{PType: lpg.PTypeID(lpg.FirstDynamicID + uint32(i)), Value: p})
+		}
+		for _, bs := range []int{64, 128, 512, 4096} {
+			buf := EncodeVertex(v, bs)
+			got, err := DecodeVertex(buf)
+			if err != nil {
+				return false
+			}
+			if got.AppID != v.AppID || len(got.Edges) != len(v.Edges) ||
+				len(got.Labels) != len(v.Labels) || len(got.Props) != len(v.Props) {
+				return false
+			}
+			for i := range v.Edges {
+				if got.Edges[i] != v.Edges[i] {
+					return false
+				}
+			}
+			for i := range v.Labels {
+				if got.Labels[i] != v.Labels[i] {
+					return false
+				}
+			}
+			for i := range v.Props {
+				if got.Props[i].PType != v.Props[i].PType || !bytes.Equal(got.Props[i].Value, v.Props[i].Value) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if DirOut.String() != "out" || DirIn.String() != "in" || DirUndirected.String() != "undirected" {
+		t.Fatal("direction names wrong")
+	}
+}

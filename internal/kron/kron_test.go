@@ -1,0 +1,146 @@
+package kron
+
+import (
+	"testing"
+
+	"github.com/gdi-go/gdi/internal/core"
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{Scale: 10}.WithDefaults()
+	if c.EdgeFactor != 16 || c.NumLabels != 20 || c.NumProps != 13 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.NumVertices() != 1024 || c.NumEdges() != 16*1024 {
+		t.Fatalf("sizes: n=%d m=%d", c.NumVertices(), c.NumEdges())
+	}
+}
+
+func TestDeterministicAcrossDecompositions(t *testing.T) {
+	cfg := Config{Scale: 8, Seed: 5}.WithDefaults()
+	var s Schema // label-free edges: schema only affects labels
+	// Union of 4-rank slices == 1-rank slice.
+	all := EdgesFor(cfg, s, 0, 1)
+	merged := make(map[int]core.EdgeSpec)
+	for r := 0; r < 4; r++ {
+		for i, sp := range EdgesFor(cfg, s, r, 4) {
+			merged[r+4*i] = sp
+		}
+	}
+	if len(merged) != len(all) {
+		t.Fatalf("decomposed %d edges, whole %d", len(merged), len(all))
+	}
+	for k, sp := range merged {
+		if all[k] != sp {
+			t.Fatalf("edge %d differs across decompositions: %+v vs %+v", k, sp, all[k])
+		}
+	}
+}
+
+func TestVertexSpecsDeterministic(t *testing.T) {
+	eng := core.NewEngine(rma.New(1), core.Config{BlockSize: 256, BlocksPerRank: 1024})
+	cfg := Config{Scale: 6, Seed: 9, NumLabels: 5, NumProps: 4}.WithDefaults()
+	s, err := DefineSchema(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := VertexSpec(cfg, s, 17)
+	b := VertexSpec(cfg, s, 17)
+	if a.AppID != b.AppID || len(a.Props) != len(b.Props) {
+		t.Fatal("vertex spec not deterministic")
+	}
+	for i := range a.Props {
+		if a.Props[i].PType != b.Props[i].PType || string(a.Props[i].Value) != string(b.Props[i].Value) {
+			t.Fatal("vertex props not deterministic")
+		}
+	}
+	if len(a.Labels) != 1 || a.Labels[0] != s.Labels[17%5] {
+		t.Fatalf("label assignment = %v", a.Labels)
+	}
+	if len(a.Props) != 4 {
+		t.Fatalf("props = %d, want 4", len(a.Props))
+	}
+}
+
+func TestSchemaCounts(t *testing.T) {
+	eng := core.NewEngine(rma.New(1), core.Config{BlockSize: 256, BlocksPerRank: 1024})
+	cfg := Config{Scale: 4}.WithDefaults() // paper defaults: 20 labels, 13 props
+	s, err := DefineSchema(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Labels) != 20 || len(s.Props) != 13 {
+		t.Fatalf("schema = %d labels, %d props", len(s.Labels), len(s.Props))
+	}
+	if s.AgeProp == 0 || s.DateProp == 0 {
+		t.Fatal("well-known props not set")
+	}
+}
+
+func TestEndpointsWithinRange(t *testing.T) {
+	cfg := Config{Scale: 7, Seed: 1}.WithDefaults()
+	var s Schema
+	for _, sp := range EdgesFor(cfg, s, 0, 1) {
+		if sp.OriginApp >= cfg.NumVertices() || sp.TargetApp >= cfg.NumVertices() {
+			t.Fatalf("edge endpoint out of range: %+v", sp)
+		}
+	}
+}
+
+func TestHeavyTailVsUniform(t *testing.T) {
+	// R-MAT must produce a much higher max degree than the uniform sampler —
+	// the §6.7 distinction.
+	rmat := BuildCSR(Config{Scale: 10, Seed: 3}.WithDefaults())
+	uni := BuildCSR(Config{Scale: 10, Seed: 3, Uniform: true}.WithDefaults())
+	maxDeg := func(c *CSR) uint32 {
+		var m uint32
+		for _, d := range c.Degree {
+			if d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	if maxDeg(rmat) < 2*maxDeg(uni) {
+		t.Fatalf("R-MAT max degree %d not heavy-tailed vs uniform %d", maxDeg(rmat), maxDeg(uni))
+	}
+}
+
+func TestCSRConsistency(t *testing.T) {
+	cfg := Config{Scale: 8, Seed: 11}.WithDefaults()
+	c := BuildCSR(cfg)
+	if c.N != cfg.NumVertices() {
+		t.Fatalf("CSR.N = %d", c.N)
+	}
+	// Offsets strictly consistent with degrees; adjacency symmetric in count.
+	var total uint64
+	for u := uint64(0); u < c.N; u++ {
+		if uint64(len(c.Neighbors(u))) != uint64(c.Degree[u]) {
+			t.Fatalf("vertex %d: adjacency %d != degree %d", u, len(c.Neighbors(u)), c.Degree[u])
+		}
+		total += uint64(c.Degree[u])
+	}
+	// Every directed edge contributes 2 endpoints except self-loops (1 slot
+	// counted twice? self-loop contributes 1). So total <= 2m.
+	if total > 2*cfg.NumEdges() || total < cfg.NumEdges() {
+		t.Fatalf("total adjacency slots %d outside [m, 2m] = [%d, %d]", total, cfg.NumEdges(), 2*cfg.NumEdges())
+	}
+	// CSR edges match the per-rank edge stream.
+	var s Schema
+	edges := EdgesFor(cfg, s, 0, 1)
+	if uint64(len(edges)) != cfg.NumEdges() {
+		t.Fatalf("edge stream has %d edges, want %d", len(edges), cfg.NumEdges())
+	}
+}
+
+func TestEdgeLabelsAssigned(t *testing.T) {
+	eng := core.NewEngine(rma.New(1), core.Config{BlockSize: 256, BlocksPerRank: 1024})
+	cfg := Config{Scale: 4, NumLabels: 3, NumProps: 1, EdgeLabel: true}.WithDefaults()
+	s, _ := DefineSchema(eng, cfg)
+	for k, sp := range EdgesFor(cfg, s, 0, 1)[:9] {
+		if sp.Label != s.Labels[k%3] {
+			t.Fatalf("edge %d label = %d", k, sp.Label)
+		}
+	}
+}

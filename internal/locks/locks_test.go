@@ -1,0 +1,159 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+func word(ranks int) (Word, *rma.Fabric) {
+	f := rma.New(ranks)
+	return Word{Win: f.NewWordWin(4), Target: 0, Idx: 1}, f
+}
+
+func TestReadLockBasics(t *testing.T) {
+	w, _ := word(1)
+	if err := w.TryAcquireRead(0, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TryAcquireRead(0, DefaultTries); err != nil {
+		t.Fatal("second reader refused:", err)
+	}
+	if wr, rd := w.Peek(0); wr || rd != 2 {
+		t.Fatalf("Peek = (%v, %d), want (false, 2)", wr, rd)
+	}
+	w.ReleaseRead(0)
+	w.ReleaseRead(0)
+	if wr, rd := w.Peek(0); wr || rd != 0 {
+		t.Fatalf("after release Peek = (%v, %d), want (false, 0)", wr, rd)
+	}
+}
+
+func TestWriteExcludesReaders(t *testing.T) {
+	w, _ := word(1)
+	if err := w.TryAcquireWrite(0, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TryAcquireRead(0, 4); err != ErrContended {
+		t.Fatalf("reader under writer: err = %v, want ErrContended", err)
+	}
+	if err := w.TryAcquireWrite(0, 4); err != ErrContended {
+		t.Fatalf("second writer: err = %v, want ErrContended", err)
+	}
+	w.ReleaseWrite(0)
+	if err := w.TryAcquireRead(0, DefaultTries); err != nil {
+		t.Fatal("reader after writer released:", err)
+	}
+}
+
+func TestReadersExcludeWriter(t *testing.T) {
+	w, _ := word(1)
+	if err := w.TryAcquireRead(0, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TryAcquireWrite(0, 4); err != ErrContended {
+		t.Fatalf("writer under reader: err = %v, want ErrContended", err)
+	}
+	w.ReleaseRead(0)
+}
+
+func TestUpgradeSoleReader(t *testing.T) {
+	w, _ := word(1)
+	if err := w.TryAcquireRead(0, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TryUpgrade(0, DefaultTries); err != nil {
+		t.Fatal("upgrade as sole reader failed:", err)
+	}
+	if wr, rd := w.Peek(0); !wr || rd != 0 {
+		t.Fatalf("after upgrade Peek = (%v, %d), want (true, 0)", wr, rd)
+	}
+	w.ReleaseWrite(0)
+}
+
+func TestUpgradeFailsWithOtherReaders(t *testing.T) {
+	w, _ := word(1)
+	_ = w.TryAcquireRead(0, DefaultTries)
+	_ = w.TryAcquireRead(0, DefaultTries)
+	if err := w.TryUpgrade(0, 4); err != ErrContended {
+		t.Fatalf("upgrade with 2 readers: err = %v, want ErrContended", err)
+	}
+	// The failed upgrade must not have dropped our shared lock.
+	if wr, rd := w.Peek(0); wr || rd != 2 {
+		t.Fatalf("after failed upgrade Peek = (%v, %d), want (false, 2)", wr, rd)
+	}
+}
+
+func TestReleasePanics(t *testing.T) {
+	w, _ := word(1)
+	for name, fn := range map[string]func(){
+		"ReleaseRead":  func() { w.ReleaseRead(0) },
+		"ReleaseWrite": func() { w.ReleaseWrite(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s without lock did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMutualExclusionUnderContention(t *testing.T) {
+	w, f := word(8)
+	var inCrit atomic.Int64
+	var acquired atomic.Int64
+	f.Run(func(r rma.Rank) {
+		for i := 0; i < 200; i++ {
+			if err := w.TryAcquireWrite(r, 10_000); err != nil {
+				continue
+			}
+			if inCrit.Add(1) != 1 {
+				t.Error("two writers in the critical section")
+			}
+			inCrit.Add(-1)
+			acquired.Add(1)
+			w.ReleaseWrite(r)
+		}
+	})
+	if acquired.Load() == 0 {
+		t.Fatal("no writer ever acquired the lock")
+	}
+	if wr, rd := w.Peek(0); wr || rd != 0 {
+		t.Fatalf("lock not clean after contention: (%v, %d)", wr, rd)
+	}
+}
+
+func TestReadersWritersInterleaved(t *testing.T) {
+	w, f := word(8)
+	var shared int64 // guarded by w
+	var mu sync.Mutex
+	var writes int
+	f.Run(func(r rma.Rank) {
+		for i := 0; i < 100; i++ {
+			if int(r)%2 == 0 {
+				if err := w.TryAcquireWrite(r, 100_000); err != nil {
+					continue
+				}
+				shared++
+				w.ReleaseWrite(r)
+				mu.Lock()
+				writes++
+				mu.Unlock()
+			} else {
+				if err := w.TryAcquireRead(r, 100_000); err != nil {
+					continue
+				}
+				_ = shared
+				w.ReleaseRead(r)
+			}
+		}
+	})
+	if int(shared) != writes {
+		t.Fatalf("lost updates: shared = %d, writes = %d", shared, writes)
+	}
+}

@@ -1,0 +1,150 @@
+package lpg
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The label/property entry wire format of §5.4.3. An entry is:
+//
+//	u32 id    — IDEmpty, IDEnd, IDLabel, or a property-type integer ID
+//	u32 size  — payload size in bytes
+//	payload   — size bytes, padded to the next 4-byte boundary
+//
+// A label entry has id = IDLabel and a 4-byte payload holding the LabelID.
+// A property entry has id = the PTypeID and the encoded value as payload.
+// The region is terminated by an IDEnd entry (8 bytes, size 0).
+
+// entryHeaderSize is the fixed per-entry header size.
+const entryHeaderSize = 8
+
+// pad4 rounds n up to a multiple of 4.
+func pad4(n int) int { return (n + 3) &^ 3 }
+
+// EntrySize returns the encoded size of an entry with a payload of n bytes.
+func EntrySize(n int) int { return entryHeaderSize + pad4(n) }
+
+// EndEntrySize is the size of the terminating IDEnd entry.
+const EndEntrySize = entryHeaderSize
+
+// AppendLabelEntry appends a label entry to buf.
+func AppendLabelEntry(buf []byte, l LabelID) []byte {
+	var payload [4]byte
+	binary.LittleEndian.PutUint32(payload[:], uint32(l))
+	return AppendEntry(buf, IDLabel, payload[:])
+}
+
+// AppendPropertyEntry appends a property entry to buf.
+func AppendPropertyEntry(buf []byte, pt PTypeID, value []byte) []byte {
+	if uint32(pt) < FirstDynamicID && pt != PTypeDegree && pt != PTypeAppID {
+		panic(fmt.Sprintf("lpg: property entry with reserved ID %d", pt))
+	}
+	return AppendEntry(buf, uint32(pt), value)
+}
+
+// AppendEntry appends a raw entry with the given ID and payload.
+func AppendEntry(buf []byte, id uint32, payload []byte) []byte {
+	var hdr [entryHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], id)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	for i := len(payload); i%4 != 0; i++ {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// AppendEndEntry appends the IDEnd terminator.
+func AppendEndEntry(buf []byte) []byte { return AppendEntry(buf, IDEnd, nil) }
+
+// Entry is one decoded label or property entry.
+type Entry struct {
+	// ID is IDLabel for label entries, or the PTypeID for property entries.
+	ID uint32
+	// Payload is the raw value (aliasing the input buffer).
+	Payload []byte
+}
+
+// IsLabel reports whether the entry is a label entry.
+func (e Entry) IsLabel() bool { return e.ID == IDLabel }
+
+// Label returns the label ID of a label entry.
+func (e Entry) Label() LabelID {
+	if !e.IsLabel() {
+		panic("lpg: Label() on a non-label entry")
+	}
+	return LabelID(binary.LittleEndian.Uint32(e.Payload))
+}
+
+// PType returns the property-type ID of a property entry.
+func (e Entry) PType() PTypeID {
+	if e.IsLabel() {
+		panic("lpg: PType() on a label entry")
+	}
+	return PTypeID(e.ID)
+}
+
+// DecodeEntries walks buf and returns all non-empty entries up to the IDEnd
+// terminator (or the end of buf). It returns the entries and the number of
+// bytes consumed including the terminator.
+func DecodeEntries(buf []byte) (entries []Entry, consumed int) {
+	off := 0
+	for off+entryHeaderSize <= len(buf) {
+		id := binary.LittleEndian.Uint32(buf[off:])
+		size := int(binary.LittleEndian.Uint32(buf[off+4:]))
+		if id == IDEnd {
+			return entries, off + entryHeaderSize
+		}
+		end := off + entryHeaderSize + pad4(size)
+		if end > len(buf) {
+			panic(fmt.Sprintf("lpg: truncated entry at offset %d (size %d, buffer %d)", off, size, len(buf)))
+		}
+		if id != IDEmpty {
+			entries = append(entries, Entry{ID: id, Payload: buf[off+entryHeaderSize : off+entryHeaderSize+size]})
+		}
+		off = end
+	}
+	return entries, off
+}
+
+// EncodeEntries serializes labels and properties into a fresh entry region,
+// terminated with IDEnd. Properties is a list of (ptype, value) pairs in
+// insertion order.
+func EncodeEntries(labels []LabelID, props []Property) []byte {
+	n := EndEntrySize
+	for range labels {
+		n += EntrySize(4)
+	}
+	for _, p := range props {
+		n += EntrySize(len(p.Value))
+	}
+	buf := make([]byte, 0, n)
+	for _, l := range labels {
+		buf = AppendLabelEntry(buf, l)
+	}
+	for _, p := range props {
+		buf = AppendPropertyEntry(buf, p.PType, p.Value)
+	}
+	return AppendEndEntry(buf)
+}
+
+// Property is one (property type, encoded value) pair.
+type Property struct {
+	PType PTypeID
+	Value []byte
+}
+
+// SplitEntries decodes an entry region back into label IDs and properties,
+// preserving order within each kind.
+func SplitEntries(buf []byte) (labels []LabelID, props []Property) {
+	entries, _ := DecodeEntries(buf)
+	for _, e := range entries {
+		if e.IsLabel() {
+			labels = append(labels, e.Label())
+		} else {
+			props = append(props, Property{PType: e.PType(), Value: e.Payload})
+		}
+	}
+	return labels, props
+}

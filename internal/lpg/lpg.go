@@ -1,0 +1,204 @@
+// Package lpg defines the Labeled Property Graph data model of GDI (§2 of
+// the paper) and the on-block wire encoding GDA uses for labels and
+// properties (§5.4.3).
+//
+// An LPG graph is (V, E, L, l, K, W, p): vertices, edges, a label set, a
+// labeling function, property keys, property values, and a property map.
+// Labels and property types are graph *metadata* (they describe what may be
+// attached); the per-vertex/per-edge label sets and property tuples are
+// graph *data*.
+package lpg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Datatype enumerates the value types a property may carry, mirroring the
+// GDI basic datatypes.
+type Datatype uint8
+
+const (
+	// TypeBytes is an uninterpreted byte array (the spec's GDI_BYTE array).
+	TypeBytes Datatype = iota
+	// TypeUint64 is an unsigned 64-bit integer.
+	TypeUint64
+	// TypeInt64 is a signed 64-bit integer.
+	TypeInt64
+	// TypeFloat64 is an IEEE-754 double.
+	TypeFloat64
+	// TypeBool is a boolean.
+	TypeBool
+	// TypeString is a UTF-8 string.
+	TypeString
+	// TypeDate is a date encoded as days since the Unix epoch.
+	TypeDate
+	// TypeFloat64Vector is a packed vector of doubles (used for GNN feature
+	// vectors, §4 Listing 2).
+	TypeFloat64Vector
+)
+
+// String returns the datatype name.
+func (d Datatype) String() string {
+	switch d {
+	case TypeBytes:
+		return "bytes"
+	case TypeUint64:
+		return "uint64"
+	case TypeInt64:
+		return "int64"
+	case TypeFloat64:
+		return "float64"
+	case TypeBool:
+		return "bool"
+	case TypeString:
+		return "string"
+	case TypeDate:
+		return "date"
+	case TypeFloat64Vector:
+		return "[]float64"
+	default:
+		return fmt.Sprintf("Datatype(%d)", uint8(d))
+	}
+}
+
+// EntityType restricts which graph elements a property type may attach to.
+type EntityType uint8
+
+const (
+	// EntityAny allows the property on vertices and edges.
+	EntityAny EntityType = iota
+	// EntityVertex allows the property on vertices only.
+	EntityVertex
+	// EntityEdge allows the property on edges only.
+	EntityEdge
+)
+
+// SizeType declares the size discipline of a property's values (§3.7): GDI
+// users may promise fixed or bounded sizes so implementations can optimize
+// placement.
+type SizeType uint8
+
+const (
+	// SizeUnlimited places no bound on the value size.
+	SizeUnlimited SizeType = iota
+	// SizeMax bounds the value size by Limit bytes.
+	SizeMax
+	// SizeFixed fixes the value size to exactly Limit bytes.
+	SizeFixed
+)
+
+// Multiplicity declares whether one element may carry several entries of the
+// same property type (§3.7).
+type Multiplicity uint8
+
+const (
+	// MultiSingle allows at most one entry per element.
+	MultiSingle Multiplicity = iota
+	// MultiMany allows arbitrarily many entries per element.
+	MultiMany
+)
+
+// LabelID is the replicated integer ID of a label. IDs 0 and 1 are reserved
+// by the entry encoding; ID 2 tags label entries themselves, so label IDs
+// and property-type IDs share one number space starting at FirstDynamicID.
+type LabelID uint32
+
+// PTypeID is the replicated integer ID of a property type.
+type PTypeID uint32
+
+// Entry-encoding sentinel IDs (§5.4.3): "the integer ID serves two purposes:
+// it indicates whether an entry is unused/empty (value 0) or whether it is
+// the last entry (value 1), and to store the integer ID of a given
+// label/p-type (value 2 for a label, any other value for a specific
+// p-type)."
+const (
+	IDEmpty uint32 = 0
+	IDEnd   uint32 = 1
+	IDLabel uint32 = 2
+	// FirstDynamicID is the first ID handed to user-created property types
+	// (labels live in their own number space but also start here so either
+	// kind of ID is recognizable in dumps).
+	FirstDynamicID uint32 = 16
+)
+
+// Predefined property types (Figure 3: "Pre-defined p-types"): DEGREE and ID.
+const (
+	// PTypeDegree stores a vertex's degree as a fixed uint64.
+	PTypeDegree PTypeID = 3
+	// PTypeAppID stores the application-level vertex ID.
+	PTypeAppID PTypeID = 4
+)
+
+// Value encoding helpers. Values travel as byte slices inside entries.
+
+// EncodeUint64 encodes v little-endian.
+func EncodeUint64(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// DecodeUint64 decodes a value produced by EncodeUint64.
+func DecodeUint64(b []byte) uint64 {
+	if len(b) != 8 {
+		panic(fmt.Sprintf("lpg: uint64 value has %d bytes", len(b)))
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// EncodeInt64 encodes v little-endian two's-complement.
+func EncodeInt64(v int64) []byte { return EncodeUint64(uint64(v)) }
+
+// DecodeInt64 decodes a value produced by EncodeInt64.
+func DecodeInt64(b []byte) int64 { return int64(DecodeUint64(b)) }
+
+// EncodeFloat64 encodes v as its IEEE-754 bits.
+func EncodeFloat64(v float64) []byte { return EncodeUint64(math.Float64bits(v)) }
+
+// DecodeFloat64 decodes a value produced by EncodeFloat64.
+func DecodeFloat64(b []byte) float64 { return math.Float64frombits(DecodeUint64(b)) }
+
+// EncodeBool encodes v as one byte.
+func EncodeBool(v bool) []byte {
+	if v {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+// DecodeBool decodes a value produced by EncodeBool.
+func DecodeBool(b []byte) bool {
+	if len(b) != 1 {
+		panic(fmt.Sprintf("lpg: bool value has %d bytes", len(b)))
+	}
+	return b[0] != 0
+}
+
+// EncodeString encodes s as its UTF-8 bytes.
+func EncodeString(s string) []byte { return []byte(s) }
+
+// DecodeString decodes a value produced by EncodeString.
+func DecodeString(b []byte) string { return string(b) }
+
+// EncodeFloat64Vector packs vs into 8·len(vs) bytes.
+func EncodeFloat64Vector(vs []float64) []byte {
+	b := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	return b
+}
+
+// DecodeFloat64Vector decodes a value produced by EncodeFloat64Vector.
+func DecodeFloat64Vector(b []byte) []float64 {
+	if len(b)%8 != 0 {
+		panic(fmt.Sprintf("lpg: float64 vector value has %d bytes", len(b)))
+	}
+	vs := make([]float64, len(b)/8)
+	for i := range vs {
+		vs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return vs
+}

@@ -1,0 +1,216 @@
+package lpg
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTrips(t *testing.T) {
+	if got := DecodeUint64(EncodeUint64(math.MaxUint64)); got != math.MaxUint64 {
+		t.Fatalf("uint64 round trip = %d", got)
+	}
+	if got := DecodeInt64(EncodeInt64(-42)); got != -42 {
+		t.Fatalf("int64 round trip = %d", got)
+	}
+	if got := DecodeFloat64(EncodeFloat64(3.25)); got != 3.25 {
+		t.Fatalf("float64 round trip = %v", got)
+	}
+	if !DecodeBool(EncodeBool(true)) || DecodeBool(EncodeBool(false)) {
+		t.Fatal("bool round trip failed")
+	}
+	if got := DecodeString(EncodeString("héllo")); got != "héllo" {
+		t.Fatalf("string round trip = %q", got)
+	}
+}
+
+func TestQuickScalarRoundTrips(t *testing.T) {
+	if err := quick.Check(func(v uint64) bool { return DecodeUint64(EncodeUint64(v)) == v }, nil); err != nil {
+		t.Error("uint64:", err)
+	}
+	if err := quick.Check(func(v int64) bool { return DecodeInt64(EncodeInt64(v)) == v }, nil); err != nil {
+		t.Error("int64:", err)
+	}
+	if err := quick.Check(func(v float64) bool {
+		got := DecodeFloat64(EncodeFloat64(v))
+		return got == v || (math.IsNaN(got) && math.IsNaN(v))
+	}, nil); err != nil {
+		t.Error("float64:", err)
+	}
+	if err := quick.Check(func(s string) bool { return DecodeString(EncodeString(s)) == s }, nil); err != nil {
+		t.Error("string:", err)
+	}
+}
+
+func TestFloat64VectorRoundTrip(t *testing.T) {
+	vs := []float64{0, 1.5, -2.25, math.Inf(1)}
+	got := DecodeFloat64Vector(EncodeFloat64Vector(vs))
+	if !reflect.DeepEqual(got, vs) {
+		t.Fatalf("vector round trip = %v, want %v", got, vs)
+	}
+	if out := DecodeFloat64Vector(EncodeFloat64Vector(nil)); len(out) != 0 {
+		t.Fatalf("empty vector round trip = %v", out)
+	}
+}
+
+func TestDecodeBadSizesPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"uint64": func() { DecodeUint64(make([]byte, 7)) },
+		"bool":   func() { DecodeBool(nil) },
+		"vector": func() { DecodeFloat64Vector(make([]byte, 9)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on bad size", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEntryEncodeDecode(t *testing.T) {
+	labels := []LabelID{100, 200}
+	props := []Property{
+		{PType: PTypeDegree, Value: EncodeUint64(5)},
+		{PType: PTypeID(20), Value: EncodeString("alice")},
+		{PType: PTypeID(21), Value: nil}, // empty payload is legal
+	}
+	buf := EncodeEntries(labels, props)
+	gotLabels, gotProps := SplitEntries(buf)
+	if !reflect.DeepEqual(gotLabels, labels) {
+		t.Fatalf("labels = %v, want %v", gotLabels, labels)
+	}
+	if len(gotProps) != len(props) {
+		t.Fatalf("props = %d entries, want %d", len(gotProps), len(props))
+	}
+	for i := range props {
+		if gotProps[i].PType != props[i].PType || !bytes.Equal(gotProps[i].Value, props[i].Value) {
+			t.Fatalf("prop %d = %+v, want %+v", i, gotProps[i], props[i])
+		}
+	}
+}
+
+func TestEntriesEmpty(t *testing.T) {
+	buf := EncodeEntries(nil, nil)
+	if len(buf) != EndEntrySize {
+		t.Fatalf("empty region = %d bytes, want %d", len(buf), EndEntrySize)
+	}
+	labels, props := SplitEntries(buf)
+	if labels != nil || props != nil {
+		t.Fatalf("empty region decoded to %v, %v", labels, props)
+	}
+}
+
+func TestDecodeSkipsEmptyEntries(t *testing.T) {
+	buf := AppendLabelEntry(nil, 7)
+	buf = AppendEntry(buf, IDEmpty, make([]byte, 12)) // hole left by a removal
+	buf = AppendPropertyEntry(buf, 33, EncodeUint64(9))
+	buf = AppendEndEntry(buf)
+	entries, consumed := DecodeEntries(buf)
+	if consumed != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", consumed, len(buf))
+	}
+	if len(entries) != 2 || !entries[0].IsLabel() || entries[0].Label() != 7 || entries[1].PType() != 33 {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func TestDecodeWithoutTerminatorStopsAtEnd(t *testing.T) {
+	buf := AppendLabelEntry(nil, 3)
+	entries, consumed := DecodeEntries(buf)
+	if len(entries) != 1 || consumed != len(buf) {
+		t.Fatalf("entries=%d consumed=%d", len(entries), consumed)
+	}
+}
+
+func TestPaddingAlignsEntries(t *testing.T) {
+	// 5-byte payload pads to 8; next entry must still decode.
+	buf := AppendPropertyEntry(nil, 30, []byte{1, 2, 3, 4, 5})
+	if len(buf)%4 != 0 {
+		t.Fatalf("entry not 4-byte aligned: %d", len(buf))
+	}
+	buf = AppendLabelEntry(buf, 9)
+	buf = AppendEndEntry(buf)
+	labels, props := SplitEntries(buf)
+	if len(labels) != 1 || labels[0] != 9 || len(props) != 1 || len(props[0].Value) != 5 {
+		t.Fatalf("decoded %v %v", labels, props)
+	}
+}
+
+func TestQuickEntryRoundTrip(t *testing.T) {
+	prop := func(labelSeeds []uint32, payloads [][]byte) bool {
+		var labels []LabelID
+		for _, s := range labelSeeds {
+			labels = append(labels, LabelID(s%1000+FirstDynamicID))
+		}
+		var props []Property
+		for i, p := range payloads {
+			props = append(props, Property{PType: PTypeID(FirstDynamicID + uint32(i)), Value: p})
+		}
+		buf := EncodeEntries(labels, props)
+		gl, gp := SplitEntries(buf)
+		if len(gl) != len(labels) || len(gp) != len(props) {
+			return false
+		}
+		for i := range labels {
+			if gl[i] != labels[i] {
+				return false
+			}
+		}
+		for i := range props {
+			if gp[i].PType != props[i].PType || !bytes.Equal(gp[i].Value, props[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncatedEntryPanics(t *testing.T) {
+	buf := AppendPropertyEntry(nil, 30, make([]byte, 40))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("truncated entry region did not panic")
+		}
+	}()
+	DecodeEntries(buf[:12]) // header promises 40 bytes, buffer has 4
+}
+
+func TestEntrySizeAccounting(t *testing.T) {
+	if EntrySize(0) != 8 || EntrySize(1) != 12 || EntrySize(4) != 12 || EntrySize(5) != 16 {
+		t.Fatalf("EntrySize: %d %d %d %d", EntrySize(0), EntrySize(1), EntrySize(4), EntrySize(5))
+	}
+	buf := EncodeEntries([]LabelID{1}, []Property{{PType: 30, Value: make([]byte, 5)}})
+	want := EntrySize(4) + EntrySize(5) + EndEntrySize
+	if len(buf) != want {
+		t.Fatalf("encoded size %d, want %d", len(buf), want)
+	}
+}
+
+func TestReservedPTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reserved ptype ID did not panic")
+		}
+	}()
+	AppendPropertyEntry(nil, PTypeID(IDLabel), nil)
+}
+
+func TestDatatypeStrings(t *testing.T) {
+	for dt, want := range map[Datatype]string{
+		TypeBytes: "bytes", TypeUint64: "uint64", TypeInt64: "int64",
+		TypeFloat64: "float64", TypeBool: "bool", TypeString: "string",
+		TypeDate: "date", TypeFloat64Vector: "[]float64", Datatype(99): "Datatype(99)",
+	} {
+		if dt.String() != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(dt), dt.String(), want)
+		}
+	}
+}

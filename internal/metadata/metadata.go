@@ -1,0 +1,290 @@
+// Package metadata implements GDA's replicated graph-metadata structures
+// (§5.8 of the paper): labels and property types.
+//
+// Metadata is replicated on every process because |L| and |K| are tiny
+// compared to the graph ("Replicating metadata simplifies the design without
+// significantly increasing the needed storage"). Each replica keeps, exactly
+// as Figure 3 shows, hash maps from names and from integer IDs to the label
+// and p-type structures, plus doubly-linked lists so that creation order is
+// preserved and add/remove is O(1) given a handle.
+//
+// Creation, update, and deletion of metadata are collective GDI calls; the
+// core engine drives the collective part and applies the same mutation to
+// every replica in the same order, which keeps the deterministic integer-ID
+// assignment identical everywhere. Every mutation bumps a version stamp;
+// constraints and indexes capture the stamp and can later detect staleness
+// (the eventual-consistency contract of §3.8).
+package metadata
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"github.com/gdi-go/gdi/internal/lpg"
+)
+
+// Label is the replicated label structure: name, integer ID, database
+// reference (implicit: the registry belongs to one database).
+type Label struct {
+	Name string
+	ID   lpg.LabelID
+
+	elem *list.Element
+}
+
+// PType is the replicated property-type structure (Figure 3): name, integer
+// ID, datatype, entity type, size type with limit, and multiplicity.
+type PType struct {
+	Name     string
+	ID       lpg.PTypeID
+	Datatype lpg.Datatype
+	Entity   lpg.EntityType
+	SizeType lpg.SizeType
+	// Limit is the byte bound for SizeMax / the exact size for SizeFixed.
+	Limit int
+	Mult  lpg.Multiplicity
+
+	elem *list.Element
+}
+
+// Registry is one process's metadata replica. It is safe for concurrent
+// readers and writers (the owning process may serve OLTP queries while a
+// collective metadata update applies).
+type Registry struct {
+	mu           sync.RWMutex
+	labelsByName map[string]*Label
+	labelsByID   map[lpg.LabelID]*Label
+	labelList    *list.List
+	ptypesByName map[string]*PType
+	ptypesByID   map[lpg.PTypeID]*PType
+	ptypeList    *list.List
+	nextLabelID  uint32
+	nextPTypeID  uint32
+	version      uint64
+}
+
+// NewRegistry creates an empty replica with the predefined p-types of
+// Figure 3 (DEGREE and ID) pre-registered.
+func NewRegistry() *Registry {
+	r := &Registry{
+		labelsByName: make(map[string]*Label),
+		labelsByID:   make(map[lpg.LabelID]*Label),
+		labelList:    list.New(),
+		ptypesByName: make(map[string]*PType),
+		ptypesByID:   make(map[lpg.PTypeID]*PType),
+		ptypeList:    list.New(),
+		nextLabelID:  lpg.FirstDynamicID,
+		nextPTypeID:  lpg.FirstDynamicID,
+	}
+	r.registerPType(&PType{
+		Name: "__degree", ID: lpg.PTypeDegree,
+		Datatype: lpg.TypeUint64, Entity: lpg.EntityVertex,
+		SizeType: lpg.SizeFixed, Limit: 8, Mult: lpg.MultiSingle,
+	})
+	r.registerPType(&PType{
+		Name: "__app_id", ID: lpg.PTypeAppID,
+		Datatype: lpg.TypeUint64, Entity: lpg.EntityVertex,
+		SizeType: lpg.SizeFixed, Limit: 8, Mult: lpg.MultiSingle,
+	})
+	return r
+}
+
+func (r *Registry) registerPType(pt *PType) {
+	pt.elem = r.ptypeList.PushBack(pt)
+	r.ptypesByName[pt.Name] = pt
+	r.ptypesByID[pt.ID] = pt
+}
+
+// Version returns the replica's mutation stamp. Constraints and indexes
+// capture it to implement staleness checks.
+func (r *Registry) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
+}
+
+// AddLabel registers a new label and assigns the next integer ID.
+func (r *Registry) AddLabel(name string) (*Label, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.labelsByName[name]; dup {
+		return nil, fmt.Errorf("metadata: label %q already exists", name)
+	}
+	l := &Label{Name: name, ID: lpg.LabelID(r.nextLabelID)}
+	r.nextLabelID++
+	l.elem = r.labelList.PushBack(l)
+	r.labelsByName[name] = l
+	r.labelsByID[l.ID] = l
+	r.version++
+	return l, nil
+}
+
+// LabelByName resolves a label handle from its name (GDI_GetLabelFromName).
+func (r *Registry) LabelByName(name string) (*Label, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	l, ok := r.labelsByName[name]
+	return l, ok
+}
+
+// LabelByID resolves a label handle from its integer ID.
+func (r *Registry) LabelByID(id lpg.LabelID) (*Label, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	l, ok := r.labelsByID[id]
+	return l, ok
+}
+
+// Labels returns all labels in creation order (GDI_GetAllLabelsOfDatabase).
+func (r *Registry) Labels() []*Label {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Label, 0, r.labelList.Len())
+	for e := r.labelList.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*Label))
+	}
+	return out
+}
+
+// RenameLabel updates a label's name (GDI_UpdateLabel).
+func (r *Registry) RenameLabel(old, new string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.labelsByName[old]
+	if !ok {
+		return fmt.Errorf("metadata: label %q does not exist", old)
+	}
+	if _, dup := r.labelsByName[new]; dup {
+		return fmt.Errorf("metadata: label %q already exists", new)
+	}
+	delete(r.labelsByName, old)
+	l.Name = new
+	r.labelsByName[new] = l
+	r.version++
+	return nil
+}
+
+// RemoveLabel deletes a label. Graph data referring to the label keeps its
+// integer ID; under eventual consistency transactions detect the dangling ID
+// through the version stamp and abort (§3.8).
+func (r *Registry) RemoveLabel(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.labelsByName[name]
+	if !ok {
+		return fmt.Errorf("metadata: label %q does not exist", name)
+	}
+	delete(r.labelsByName, name)
+	delete(r.labelsByID, l.ID)
+	r.labelList.Remove(l.elem)
+	r.version++
+	return nil
+}
+
+// PTypeSpec carries the optional performance hints of §3.7 for a new
+// property type.
+type PTypeSpec struct {
+	Datatype lpg.Datatype
+	Entity   lpg.EntityType
+	SizeType lpg.SizeType
+	Limit    int
+	Mult     lpg.Multiplicity
+}
+
+// AddPType registers a new property type.
+func (r *Registry) AddPType(name string, spec PTypeSpec) (*PType, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.ptypesByName[name]; dup {
+		return nil, fmt.Errorf("metadata: property type %q already exists", name)
+	}
+	if spec.SizeType == lpg.SizeFixed && spec.Limit <= 0 {
+		return nil, fmt.Errorf("metadata: fixed-size property type %q needs a positive size", name)
+	}
+	pt := &PType{
+		Name: name, ID: lpg.PTypeID(r.nextPTypeID),
+		Datatype: spec.Datatype, Entity: spec.Entity,
+		SizeType: spec.SizeType, Limit: spec.Limit, Mult: spec.Mult,
+	}
+	r.nextPTypeID++
+	r.registerPType(pt)
+	r.version++
+	return pt, nil
+}
+
+// PTypeByName resolves a property type from its name.
+func (r *Registry) PTypeByName(name string) (*PType, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	pt, ok := r.ptypesByName[name]
+	return pt, ok
+}
+
+// PTypeByID resolves a property type from its integer ID.
+func (r *Registry) PTypeByID(id lpg.PTypeID) (*PType, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	pt, ok := r.ptypesByID[id]
+	return pt, ok
+}
+
+// PTypes returns all property types in creation order, including the
+// predefined ones.
+func (r *Registry) PTypes() []*PType {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*PType, 0, r.ptypeList.Len())
+	for e := r.ptypeList.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*PType))
+	}
+	return out
+}
+
+// RemovePType deletes a property type.
+func (r *Registry) RemovePType(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pt, ok := r.ptypesByName[name]
+	if !ok {
+		return fmt.Errorf("metadata: property type %q does not exist", name)
+	}
+	if pt.ID == lpg.PTypeDegree || pt.ID == lpg.PTypeAppID {
+		return fmt.Errorf("metadata: property type %q is predefined", name)
+	}
+	delete(r.ptypesByName, name)
+	delete(r.ptypesByID, pt.ID)
+	r.ptypeList.Remove(pt.elem)
+	r.version++
+	return nil
+}
+
+// ValidateValue checks a value against a property type's declared datatype
+// and size discipline, returning a descriptive error on mismatch.
+func ValidateValue(pt *PType, value []byte) error {
+	switch pt.SizeType {
+	case lpg.SizeFixed:
+		if len(value) != pt.Limit {
+			return fmt.Errorf("metadata: %q requires exactly %d bytes, got %d", pt.Name, pt.Limit, len(value))
+		}
+	case lpg.SizeMax:
+		if len(value) > pt.Limit {
+			return fmt.Errorf("metadata: %q allows at most %d bytes, got %d", pt.Name, pt.Limit, len(value))
+		}
+	}
+	switch pt.Datatype {
+	case lpg.TypeUint64, lpg.TypeInt64, lpg.TypeFloat64, lpg.TypeDate:
+		if len(value) != 8 {
+			return fmt.Errorf("metadata: %q holds a %s and needs 8 bytes, got %d", pt.Name, pt.Datatype, len(value))
+		}
+	case lpg.TypeBool:
+		if len(value) != 1 {
+			return fmt.Errorf("metadata: %q holds a bool and needs 1 byte, got %d", pt.Name, len(value))
+		}
+	case lpg.TypeFloat64Vector:
+		if len(value)%8 != 0 {
+			return fmt.Errorf("metadata: %q holds a float64 vector and needs a multiple of 8 bytes, got %d", pt.Name, len(value))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package metadata
+
+import (
+	"testing"
+
+	"github.com/gdi-go/gdi/internal/lpg"
+)
+
+func TestAddLabelAssignsSequentialIDs(t *testing.T) {
+	r := NewRegistry()
+	a, err := r.AddLabel("Person")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := r.AddLabel("Car")
+	if a.ID != lpg.LabelID(lpg.FirstDynamicID) || b.ID != a.ID+1 {
+		t.Fatalf("IDs = %d, %d", a.ID, b.ID)
+	}
+}
+
+func TestDuplicateLabelRejected(t *testing.T) {
+	r := NewRegistry()
+	r.AddLabel("Person")
+	if _, err := r.AddLabel("Person"); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+}
+
+func TestLabelLookups(t *testing.T) {
+	r := NewRegistry()
+	l, _ := r.AddLabel("Person")
+	if got, ok := r.LabelByName("Person"); !ok || got != l {
+		t.Fatal("LabelByName failed")
+	}
+	if got, ok := r.LabelByID(l.ID); !ok || got != l {
+		t.Fatal("LabelByID failed")
+	}
+	if _, ok := r.LabelByName("Ghost"); ok {
+		t.Fatal("LabelByName found a ghost")
+	}
+}
+
+func TestLabelsPreserveCreationOrder(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"A", "B", "C", "D"}
+	for _, n := range names {
+		r.AddLabel(n)
+	}
+	r.RemoveLabel("B")
+	got := r.Labels()
+	want := []string{"A", "C", "D"}
+	if len(got) != len(want) {
+		t.Fatalf("Labels() has %d entries, want %d", len(got), len(want))
+	}
+	for i, l := range got {
+		if l.Name != want[i] {
+			t.Fatalf("Labels()[%d] = %q, want %q", i, l.Name, want[i])
+		}
+	}
+}
+
+func TestRenameLabel(t *testing.T) {
+	r := NewRegistry()
+	l, _ := r.AddLabel("Person")
+	if err := r.RenameLabel("Person", "Human"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.LabelByName("Person"); ok {
+		t.Fatal("old name still resolves")
+	}
+	if got, ok := r.LabelByName("Human"); !ok || got.ID != l.ID {
+		t.Fatal("new name does not resolve to same ID")
+	}
+	r.AddLabel("Car")
+	if err := r.RenameLabel("Human", "Car"); err == nil {
+		t.Fatal("rename onto existing name accepted")
+	}
+	if err := r.RenameLabel("Ghost", "X"); err == nil {
+		t.Fatal("rename of missing label accepted")
+	}
+}
+
+func TestVersionBumpsOnEveryMutation(t *testing.T) {
+	r := NewRegistry()
+	v0 := r.Version()
+	r.AddLabel("A")
+	v1 := r.Version()
+	r.RenameLabel("A", "B")
+	v2 := r.Version()
+	r.RemoveLabel("B")
+	v3 := r.Version()
+	r.AddPType("p", PTypeSpec{Datatype: lpg.TypeUint64, SizeType: lpg.SizeFixed, Limit: 8})
+	v4 := r.Version()
+	if !(v0 < v1 && v1 < v2 && v2 < v3 && v3 < v4) {
+		t.Fatalf("versions did not strictly increase: %d %d %d %d %d", v0, v1, v2, v3, v4)
+	}
+}
+
+func TestPredefinedPTypesPresent(t *testing.T) {
+	r := NewRegistry()
+	deg, ok := r.PTypeByID(lpg.PTypeDegree)
+	if !ok || deg.Datatype != lpg.TypeUint64 || deg.SizeType != lpg.SizeFixed {
+		t.Fatalf("degree ptype = %+v, ok=%v", deg, ok)
+	}
+	if _, ok := r.PTypeByID(lpg.PTypeAppID); !ok {
+		t.Fatal("app-id ptype missing")
+	}
+	if err := r.RemovePType("__degree"); err == nil {
+		t.Fatal("predefined ptype removable")
+	}
+}
+
+func TestAddPTypeValidation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.AddPType("bad", PTypeSpec{SizeType: lpg.SizeFixed, Limit: 0}); err == nil {
+		t.Fatal("fixed-size ptype without size accepted")
+	}
+	pt, err := r.AddPType("age", PTypeSpec{Datatype: lpg.TypeUint64, SizeType: lpg.SizeFixed, Limit: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddPType("age", PTypeSpec{}); err == nil {
+		t.Fatal("duplicate ptype accepted")
+	}
+	if got, ok := r.PTypeByName("age"); !ok || got != pt {
+		t.Fatal("PTypeByName failed")
+	}
+	if err := r.RemovePType("age"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.PTypeByName("age"); ok {
+		t.Fatal("removed ptype still resolves")
+	}
+	if err := r.RemovePType("age"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+}
+
+func TestPTypesIncludePredefined(t *testing.T) {
+	r := NewRegistry()
+	r.AddPType("x", PTypeSpec{Datatype: lpg.TypeString})
+	pts := r.PTypes()
+	if len(pts) != 3 { // __degree, __app_id, x
+		t.Fatalf("PTypes() = %d entries, want 3", len(pts))
+	}
+	if pts[2].Name != "x" {
+		t.Fatalf("last ptype = %q, want x", pts[2].Name)
+	}
+}
+
+func TestValidateValue(t *testing.T) {
+	fixed := &PType{Name: "f", Datatype: lpg.TypeUint64, SizeType: lpg.SizeFixed, Limit: 8}
+	if err := ValidateValue(fixed, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateValue(fixed, make([]byte, 4)); err == nil {
+		t.Fatal("short fixed value accepted")
+	}
+	capped := &PType{Name: "c", Datatype: lpg.TypeString, SizeType: lpg.SizeMax, Limit: 4}
+	if err := ValidateValue(capped, []byte("abcde")); err == nil {
+		t.Fatal("oversized capped value accepted")
+	}
+	if err := ValidateValue(capped, []byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	boolPt := &PType{Name: "b", Datatype: lpg.TypeBool}
+	if err := ValidateValue(boolPt, []byte{1, 2}); err == nil {
+		t.Fatal("2-byte bool accepted")
+	}
+	vec := &PType{Name: "v", Datatype: lpg.TypeFloat64Vector}
+	if err := ValidateValue(vec, make([]byte, 24)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateValue(vec, make([]byte, 25)); err == nil {
+		t.Fatal("ragged vector accepted")
+	}
+}
+
+func TestReplicaDeterminism(t *testing.T) {
+	// Two replicas applying the same mutation sequence must assign identical
+	// IDs — the property the collective metadata path relies on.
+	a, b := NewRegistry(), NewRegistry()
+	ops := func(r *Registry) {
+		r.AddLabel("L1")
+		r.AddLabel("L2")
+		r.RemoveLabel("L1")
+		r.AddLabel("L3")
+		r.AddPType("p1", PTypeSpec{Datatype: lpg.TypeUint64})
+		r.AddPType("p2", PTypeSpec{Datatype: lpg.TypeString})
+	}
+	ops(a)
+	ops(b)
+	la, _ := a.LabelByName("L3")
+	lb, _ := b.LabelByName("L3")
+	if la.ID != lb.ID {
+		t.Fatalf("replica divergence: L3 IDs %d vs %d", la.ID, lb.ID)
+	}
+	pa, _ := a.PTypeByName("p2")
+	pb, _ := b.PTypeByName("p2")
+	if pa.ID != pb.ID {
+		t.Fatalf("replica divergence: p2 IDs %d vs %d", pa.ID, pb.ID)
+	}
+	if a.Version() != b.Version() {
+		t.Fatalf("replica versions diverge: %d vs %d", a.Version(), b.Version())
+	}
+}

@@ -1,0 +1,8 @@
+package rma
+
+import "time"
+
+// nowNs returns a monotonic timestamp in nanoseconds.
+func nowNs() int64 { return int64(time.Since(epoch)) }
+
+var epoch = time.Now()

@@ -1,0 +1,111 @@
+package rma
+
+import "sync/atomic"
+
+// Counters aggregates the one-sided traffic a single rank has issued. It
+// substitutes for the RDMA NIC hardware counters of the paper's testbed and
+// lets experiments report communication volume alongside wall-clock time.
+type Counters struct {
+	LocalPuts    atomic.Int64
+	RemotePuts   atomic.Int64
+	LocalGets    atomic.Int64
+	RemoteGets   atomic.Int64
+	LocalAtomics atomic.Int64
+	RemoteAtomic atomic.Int64
+	BytesPut     atomic.Int64
+	BytesGot     atomic.Int64
+	Flushes      atomic.Int64
+
+	_ [7]int64 // pad to a cache line to avoid false sharing between ranks
+}
+
+// Snapshot is a plain-value copy of a rank's counters.
+type Snapshot struct {
+	LocalPuts, RemotePuts     int64
+	LocalGets, RemoteGets     int64
+	LocalAtomics, RemoteAtoms int64
+	BytesPut, BytesGot        int64
+	Flushes                   int64
+}
+
+// RemoteOps returns the total number of remote one-sided operations.
+func (s Snapshot) RemoteOps() int64 { return s.RemotePuts + s.RemoteGets + s.RemoteAtoms }
+
+// LocalOps returns the total number of local window operations.
+func (s Snapshot) LocalOps() int64 { return s.LocalPuts + s.LocalGets + s.LocalAtomics }
+
+// CounterSnapshot returns a copy of rank r's counters.
+func (f *Fabric) CounterSnapshot(r Rank) Snapshot {
+	f.checkRank(r)
+	c := &f.counters[r]
+	return Snapshot{
+		LocalPuts: c.LocalPuts.Load(), RemotePuts: c.RemotePuts.Load(),
+		LocalGets: c.LocalGets.Load(), RemoteGets: c.RemoteGets.Load(),
+		LocalAtomics: c.LocalAtomics.Load(), RemoteAtoms: c.RemoteAtomic.Load(),
+		BytesPut: c.BytesPut.Load(), BytesGot: c.BytesGot.Load(),
+		Flushes: c.Flushes.Load(),
+	}
+}
+
+// TotalSnapshot sums the counters of every rank.
+func (f *Fabric) TotalSnapshot() Snapshot {
+	var t Snapshot
+	for r := 0; r < f.n; r++ {
+		s := f.CounterSnapshot(Rank(r))
+		t.LocalPuts += s.LocalPuts
+		t.RemotePuts += s.RemotePuts
+		t.LocalGets += s.LocalGets
+		t.RemoteGets += s.RemoteGets
+		t.LocalAtomics += s.LocalAtomics
+		t.RemoteAtoms += s.RemoteAtoms
+		t.BytesPut += s.BytesPut
+		t.BytesGot += s.BytesGot
+		t.Flushes += s.Flushes
+	}
+	return t
+}
+
+// ResetCounters zeroes the counters of every rank.
+func (f *Fabric) ResetCounters() {
+	for r := range f.counters {
+		c := &f.counters[r]
+		c.LocalPuts.Store(0)
+		c.RemotePuts.Store(0)
+		c.LocalGets.Store(0)
+		c.RemoteGets.Store(0)
+		c.LocalAtomics.Store(0)
+		c.RemoteAtomic.Store(0)
+		c.BytesPut.Store(0)
+		c.BytesGot.Store(0)
+		c.Flushes.Store(0)
+	}
+}
+
+func (f *Fabric) countPut(origin, target Rank, n int) {
+	c := &f.counters[origin]
+	if origin == target {
+		c.LocalPuts.Add(1)
+	} else {
+		c.RemotePuts.Add(1)
+	}
+	c.BytesPut.Add(int64(n))
+}
+
+func (f *Fabric) countGet(origin, target Rank, n int) {
+	c := &f.counters[origin]
+	if origin == target {
+		c.LocalGets.Add(1)
+	} else {
+		c.RemoteGets.Add(1)
+	}
+	c.BytesGot.Add(int64(n))
+}
+
+func (f *Fabric) countAtomic(origin, target Rank) {
+	c := &f.counters[origin]
+	if origin == target {
+		c.LocalAtomics.Add(1)
+	} else {
+		c.RemoteAtomic.Add(1)
+	}
+}

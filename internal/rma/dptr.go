@@ -1,0 +1,43 @@
+package rma
+
+import "fmt"
+
+// DPtr is the 64-bit distributed hierarchical pointer of the paper (§5.3):
+// the top 16 bits name the owning rank ("compute server"), the low 48 bits
+// are an owner-local offset whose unit is defined by the layer using the
+// pointer (block index for BGDL, word index for the DHT heap). The 64-bit
+// width is what lets every pointer travel through a single remote atomic.
+//
+// The zero value is the NULL pointer. Layers must therefore never hand out
+// offset 0 on rank 0 — BGDL reserves block 0 of every rank for this reason.
+type DPtr uint64
+
+// NullDPtr is the invalid/absent pointer.
+const NullDPtr DPtr = 0
+
+const offBits = 48
+
+// MakeDPtr builds a pointer to offset off on rank r.
+func MakeDPtr(r Rank, off uint64) DPtr {
+	if off >= 1<<offBits {
+		panic(fmt.Sprintf("rma: DPtr offset %d exceeds 48 bits", off))
+	}
+	return DPtr(uint64(r)<<offBits | off)
+}
+
+// Rank returns the owning rank.
+func (p DPtr) Rank() Rank { return Rank(uint64(p) >> offBits) }
+
+// Off returns the owner-local offset.
+func (p DPtr) Off() uint64 { return uint64(p) & (1<<offBits - 1) }
+
+// IsNull reports whether p is the NULL pointer.
+func (p DPtr) IsNull() bool { return p == NullDPtr }
+
+// String formats the pointer as rank:offset for diagnostics.
+func (p DPtr) String() string {
+	if p.IsNull() {
+		return "DPtr(null)"
+	}
+	return fmt.Sprintf("DPtr(%d:%d)", p.Rank(), p.Off())
+}

@@ -1,0 +1,99 @@
+// Package rma provides a simulated one-sided Remote Memory Access fabric.
+//
+// The paper's GDI-RMA implementation runs on Cray Aries RDMA hardware through
+// foMPI's MPI-3 one-sided routines (puts, gets, atomics, flushes). This
+// package substitutes a process-local simulation of the same programming
+// model: P ranks (goroutines) each own segments of shared windows, and any
+// rank may access any segment with one-sided operations. The defining
+// property of one-sided communication is preserved — the target rank never
+// executes code on the data path; origins operate on target memory directly
+// with plain loads/stores (bulk windows) and hardware atomics (word windows).
+//
+// Every operation is accounted per rank (local vs. remote, op class, bytes),
+// which substitutes for NIC hardware counters, and an optional Latency model
+// injects per-remote-op delays for latency-shaped experiments.
+package rma
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Rank identifies a process within a Fabric. Ranks are dense in [0, N).
+type Rank int
+
+// NullRank is the invalid rank value.
+const NullRank Rank = -1
+
+// Fabric is a group of N simulated processes sharing RMA windows. It plays
+// the role of MPI_COMM_WORLD plus the RDMA NIC: windows are allocated
+// collectively from it, and per-rank traffic counters live on it.
+//
+// A Fabric is safe for concurrent use by all of its ranks.
+type Fabric struct {
+	n        int
+	latency  Latency
+	counters []Counters // one per rank, padded to avoid false sharing
+
+	mu       sync.Mutex
+	byteWins []*ByteWin
+	wordWins []*WordWin
+}
+
+// Options configures a Fabric.
+type Options struct {
+	// Latency, if non-zero, is charged on every remote operation.
+	Latency Latency
+}
+
+// New creates a fabric of n ranks. n must be in [1, 1<<16] because DPtr
+// encodes ranks in 16 bits.
+func New(n int, opts ...Options) *Fabric {
+	if n < 1 || n > 1<<16 {
+		panic(fmt.Sprintf("rma: rank count %d out of range [1, 65536]", n))
+	}
+	f := &Fabric{n: n, counters: make([]Counters, n)}
+	if len(opts) > 0 {
+		f.latency = opts[0].Latency
+	}
+	return f
+}
+
+// Size returns the number of ranks in the fabric.
+func (f *Fabric) Size() int { return f.n }
+
+// Run executes fn once per rank, each in its own goroutine, and waits for
+// all of them to return. It is the simulation equivalent of launching an
+// SPMD program with mpirun.
+func (f *Fabric) Run(fn func(rank Rank)) {
+	var wg sync.WaitGroup
+	wg.Add(f.n)
+	for r := 0; r < f.n; r++ {
+		go func(r Rank) {
+			defer wg.Done()
+			fn(r)
+		}(Rank(r))
+	}
+	wg.Wait()
+}
+
+// Flush completes all outstanding non-blocking operations issued by origin
+// towards target. In this simulation operations complete eagerly, so Flush
+// only charges accounting (and latency, modeling the synchronization
+// round-trip of MPI_Win_flush).
+func (f *Fabric) Flush(origin, target Rank) {
+	f.counters[origin].Flushes.Add(1)
+	f.chargeSync(origin, target)
+}
+
+// FlushAll completes all outstanding operations issued by origin to every
+// target (MPI_Win_flush_all).
+func (f *Fabric) FlushAll(origin Rank) {
+	f.counters[origin].Flushes.Add(1)
+}
+
+func (f *Fabric) checkRank(r Rank) {
+	if r < 0 || int(r) >= f.n {
+		panic(fmt.Sprintf("rma: rank %d out of range [0, %d)", r, f.n))
+	}
+}

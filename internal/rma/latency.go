@@ -1,0 +1,54 @@
+package rma
+
+import "time"
+
+// Latency models the cost of crossing the simulated interconnect. All fields
+// are per-operation costs in nanoseconds; zero values disable injection.
+//
+// The default fabric runs with no injected latency: scaling experiments then
+// measure the real parallel execution of the simulation, and the remote-op
+// counters expose communication volume. Latency injection is switched on for
+// the latency-distribution experiments (Figure 5), where the *absolute*
+// spread between one-sided access and RPC-based baselines matters.
+type Latency struct {
+	// RemoteNs is charged on every remote put/get/atomic.
+	RemoteNs int64
+	// PerKiBNs is additionally charged per KiB of payload.
+	PerKiBNs int64
+	// SyncNs is charged on every flush towards a remote rank.
+	SyncNs int64
+}
+
+// IsZero reports whether no latency injection is configured.
+func (l Latency) IsZero() bool { return l.RemoteNs == 0 && l.PerKiBNs == 0 && l.SyncNs == 0 }
+
+func (f *Fabric) chargeOp(origin, target Rank, bytes int) {
+	if origin == target || f.latency.IsZero() {
+		return
+	}
+	d := f.latency.RemoteNs + f.latency.PerKiBNs*int64(bytes)/1024
+	spinWait(time.Duration(d))
+}
+
+func (f *Fabric) chargeSync(origin, target Rank) {
+	if origin == target || f.latency.SyncNs == 0 {
+		return
+	}
+	spinWait(time.Duration(f.latency.SyncNs))
+}
+
+// spinWait delays the calling goroutine for approximately d. Sub-50µs waits
+// busy-spin because time.Sleep granularity on most kernels is far coarser
+// than the microsecond-scale latencies being modeled.
+func spinWait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= 50*time.Microsecond {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}

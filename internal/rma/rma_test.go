@@ -1,0 +1,252 @@
+package rma
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFabricSize(t *testing.T) {
+	f := New(4)
+	if f.Size() != 4 {
+		t.Fatalf("Size() = %d, want 4", f.Size())
+	}
+}
+
+func TestNewPanicsOnBadRankCount(t *testing.T) {
+	for _, n := range []int{0, -1, 1<<16 + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestRunExecutesEveryRank(t *testing.T) {
+	f := New(8)
+	var mu sync.Mutex
+	seen := make(map[Rank]bool)
+	f.Run(func(r Rank) {
+		mu.Lock()
+		seen[r] = true
+		mu.Unlock()
+	})
+	if len(seen) != 8 {
+		t.Fatalf("Run visited %d ranks, want 8", len(seen))
+	}
+}
+
+func TestByteWinPutGetRoundTrip(t *testing.T) {
+	f := New(3)
+	w := f.NewByteWin(1 << 14)
+	data := []byte("the graph database interface")
+	w.Put(0, 2, 100, data)
+	buf := make([]byte, len(data))
+	w.Get(1, 2, 100, buf)
+	if !bytes.Equal(buf, data) {
+		t.Fatalf("Get = %q, want %q", buf, data)
+	}
+}
+
+func TestByteWinCrossPageAccess(t *testing.T) {
+	f := New(1)
+	w := f.NewByteWin(3 << stripeShift)
+	data := make([]byte, 2<<stripeShift) // spans three stripes
+	for i := range data {
+		data[i] = byte(i)
+	}
+	off := (1 << stripeShift) - 7
+	w.Put(0, 0, off, data)
+	buf := make([]byte, len(data))
+	w.Get(0, 0, off, buf)
+	if !bytes.Equal(buf, data) {
+		t.Fatal("cross-page round trip mismatch")
+	}
+}
+
+func TestByteWinBoundsPanic(t *testing.T) {
+	f := New(1)
+	w := f.NewByteWin(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Put did not panic")
+		}
+	}()
+	w.Put(0, 0, 60, make([]byte, 8))
+}
+
+func TestByteWinZeroLengthOps(t *testing.T) {
+	f := New(1)
+	w := f.NewByteWin(64)
+	w.Put(0, 0, 64, nil) // zero bytes at the end boundary is legal
+	w.Get(0, 0, 0, nil)
+}
+
+func TestWordWinLoadStore(t *testing.T) {
+	f := New(2)
+	w := f.NewWordWin(16)
+	w.Store(0, 1, 3, 0xdeadbeef)
+	if got := w.Load(1, 1, 3); got != 0xdeadbeef {
+		t.Fatalf("Load = %#x, want 0xdeadbeef", got)
+	}
+}
+
+func TestWordWinCAS(t *testing.T) {
+	f := New(1)
+	w := f.NewWordWin(4)
+	w.Store(0, 0, 0, 7)
+	if prev, ok := w.CAS(0, 0, 0, 7, 9); !ok || prev != 7 {
+		t.Fatalf("CAS(7->9) = (%d, %v), want (7, true)", prev, ok)
+	}
+	if prev, ok := w.CAS(0, 0, 0, 7, 11); ok || prev != 9 {
+		t.Fatalf("failed CAS = (%d, %v), want (9, false)", prev, ok)
+	}
+}
+
+func TestWordWinFetchAdd(t *testing.T) {
+	f := New(1)
+	w := f.NewWordWin(1)
+	if prev := w.FetchAdd(0, 0, 0, 5); prev != 0 {
+		t.Fatalf("first FetchAdd prev = %d, want 0", prev)
+	}
+	if prev := w.FetchAdd(0, 0, 0, 3); prev != 5 {
+		t.Fatalf("second FetchAdd prev = %d, want 5", prev)
+	}
+	if got := w.Load(0, 0, 0); got != 8 {
+		t.Fatalf("final value = %d, want 8", got)
+	}
+}
+
+func TestWordWinConcurrentFetchAdd(t *testing.T) {
+	const perRank = 1000
+	f := New(8)
+	w := f.NewWordWin(1)
+	f.Run(func(r Rank) {
+		for i := 0; i < perRank; i++ {
+			w.FetchAdd(r, 0, 0, 1)
+		}
+	})
+	if got := w.Load(0, 0, 0); got != 8*perRank {
+		t.Fatalf("concurrent FetchAdd total = %d, want %d", got, 8*perRank)
+	}
+}
+
+func TestCountersDistinguishLocalRemote(t *testing.T) {
+	f := New(2)
+	b := f.NewByteWin(64)
+	w := f.NewWordWin(4)
+	b.Put(0, 0, 0, make([]byte, 8)) // local put
+	b.Put(0, 1, 0, make([]byte, 8)) // remote put
+	b.Get(0, 1, 0, make([]byte, 4)) // remote get
+	w.Load(0, 1, 0)                 // remote atomic
+	w.Store(0, 0, 0, 1)             // local atomic
+	s := f.CounterSnapshot(0)
+	if s.LocalPuts != 1 || s.RemotePuts != 1 || s.RemoteGets != 1 {
+		t.Fatalf("put/get counters wrong: %+v", s)
+	}
+	if s.LocalAtomics != 1 || s.RemoteAtoms != 1 {
+		t.Fatalf("atomic counters wrong: %+v", s)
+	}
+	if s.BytesPut != 16 || s.BytesGot != 4 {
+		t.Fatalf("byte counters wrong: %+v", s)
+	}
+	if s.RemoteOps() != 3 || s.LocalOps() != 2 {
+		t.Fatalf("op totals wrong: %+v", s)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	f := New(2)
+	b := f.NewByteWin(64)
+	b.Put(0, 1, 0, make([]byte, 8))
+	f.ResetCounters()
+	if tot := f.TotalSnapshot(); tot.RemoteOps() != 0 || tot.BytesPut != 0 {
+		t.Fatalf("counters not reset: %+v", tot)
+	}
+}
+
+func TestFlushCounts(t *testing.T) {
+	f := New(2)
+	f.Flush(0, 1)
+	f.FlushAll(1)
+	if f.CounterSnapshot(0).Flushes != 1 || f.CounterSnapshot(1).Flushes != 1 {
+		t.Fatal("flush counters not incremented")
+	}
+}
+
+func TestDPtrRoundTrip(t *testing.T) {
+	check := func(r uint16, off uint64) bool {
+		off &= 1<<offBits - 1
+		p := MakeDPtr(Rank(r), off)
+		return p.Rank() == Rank(r) && p.Off() == off && !p.IsNull() == (p != 0)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDPtrNull(t *testing.T) {
+	if !NullDPtr.IsNull() {
+		t.Fatal("NullDPtr.IsNull() = false")
+	}
+	if NullDPtr.String() != "DPtr(null)" {
+		t.Fatalf("NullDPtr.String() = %q", NullDPtr.String())
+	}
+	p := MakeDPtr(3, 42)
+	if p.String() != "DPtr(3:42)" {
+		t.Fatalf("String() = %q", p.String())
+	}
+}
+
+func TestDPtrOffsetOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MakeDPtr with 49-bit offset did not panic")
+		}
+	}()
+	MakeDPtr(0, 1<<offBits)
+}
+
+func TestConcurrentByteWinDisjointRanges(t *testing.T) {
+	f := New(8)
+	w := f.NewByteWin(8 * 512)
+	f.Run(func(r Rank) {
+		data := bytes.Repeat([]byte{byte(r + 1)}, 512)
+		w.Put(r, 0, int(r)*512, data)
+	})
+	for r := 0; r < 8; r++ {
+		buf := make([]byte, 512)
+		w.Get(0, 0, r*512, buf)
+		for _, b := range buf {
+			if b != byte(r+1) {
+				t.Fatalf("rank %d region corrupted: got %d", r, b)
+			}
+		}
+	}
+}
+
+func TestLatencyInjectionSlowsRemoteOps(t *testing.T) {
+	f := New(2, Options{Latency: Latency{RemoteNs: 20_000}})
+	w := f.NewWordWin(1)
+	start := nowNs()
+	for i := 0; i < 10; i++ {
+		w.Load(0, 1, 0)
+	}
+	elapsed := nowNs() - start
+	if elapsed < 10*20_000 {
+		t.Fatalf("10 remote ops with 20µs latency took %dns, want >= 200µs", elapsed)
+	}
+	// Local ops must remain fast.
+	start = nowNs()
+	for i := 0; i < 10; i++ {
+		w.Load(0, 0, 0)
+	}
+	if local := nowNs() - start; local > 10*20_000 {
+		t.Fatalf("local ops were latency-charged: %dns", local)
+	}
+}

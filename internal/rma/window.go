@@ -1,0 +1,174 @@
+package rma
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// stripeShift determines the granularity of the per-page write serialization
+// inside ByteWin: concurrent accesses to different 4KiB pages never contend.
+const stripeShift = 12
+
+// ByteWin is a byte-granularity RMA window: every rank owns a segment of
+// segSize bytes, and any rank may Put/Get arbitrary ranges of any segment.
+// It models the MPI data window used by BGDL for block payloads.
+//
+// Bulk accesses are serialized per 4KiB page (mirroring the per-cache-line
+// atomicity a DMA engine provides); higher layers are responsible for
+// protocol-level consistency, exactly as with real RDMA.
+type ByteWin struct {
+	f       *Fabric
+	segSize int
+	segs    [][]byte
+	stripes [][]sync.RWMutex
+}
+
+// NewByteWin collectively allocates a byte window with segSize bytes per rank.
+func (f *Fabric) NewByteWin(segSize int) *ByteWin {
+	if segSize <= 0 {
+		panic("rma: ByteWin segment size must be positive")
+	}
+	w := &ByteWin{f: f, segSize: segSize}
+	w.segs = make([][]byte, f.n)
+	w.stripes = make([][]sync.RWMutex, f.n)
+	nStripes := (segSize >> stripeShift) + 1
+	for r := 0; r < f.n; r++ {
+		w.segs[r] = make([]byte, segSize)
+		w.stripes[r] = make([]sync.RWMutex, nStripes)
+	}
+	f.mu.Lock()
+	f.byteWins = append(f.byteWins, w)
+	f.mu.Unlock()
+	return w
+}
+
+// SegSize returns the per-rank segment size in bytes.
+func (w *ByteWin) SegSize() int { return w.segSize }
+
+func (w *ByteWin) checkRange(target Rank, off, n int) {
+	w.f.checkRank(target)
+	if off < 0 || n < 0 || off+n > w.segSize {
+		panic(fmt.Sprintf("rma: access [%d, %d) outside window segment of %d bytes", off, off+n, w.segSize))
+	}
+}
+
+// Put writes data into target's segment at off. It is a non-blocking
+// one-sided write (PUT in the paper's notation); completion is guaranteed
+// after a Flush, though this simulation completes it eagerly.
+func (w *ByteWin) Put(origin, target Rank, off int, data []byte) {
+	w.checkRange(target, off, len(data))
+	w.f.countPut(origin, target, len(data))
+	w.f.chargeOp(origin, target, len(data))
+	seg := w.segs[target]
+	first, last := off>>stripeShift, (off+len(data)-1)>>stripeShift
+	if len(data) == 0 {
+		return
+	}
+	for s := first; s <= last; s++ {
+		w.stripes[target][s].Lock()
+	}
+	copy(seg[off:off+len(data)], data)
+	for s := first; s <= last; s++ {
+		w.stripes[target][s].Unlock()
+	}
+}
+
+// Get reads len(buf) bytes from target's segment at off into buf (GET).
+func (w *ByteWin) Get(origin, target Rank, off int, buf []byte) {
+	w.checkRange(target, off, len(buf))
+	w.f.countGet(origin, target, len(buf))
+	w.f.chargeOp(origin, target, len(buf))
+	if len(buf) == 0 {
+		return
+	}
+	seg := w.segs[target]
+	first, last := off>>stripeShift, (off+len(buf)-1)>>stripeShift
+	for s := first; s <= last; s++ {
+		w.stripes[target][s].RLock()
+	}
+	copy(buf, seg[off:off+len(buf)])
+	for s := first; s <= last; s++ {
+		w.stripes[target][s].RUnlock()
+	}
+}
+
+// WordWin is a 64-bit-word-granularity RMA window with atomic semantics:
+// the system and usage windows of BGDL, lock words, and the offloaded DHT
+// all live in word windows. Word operations map to the network-accelerated
+// remote atomics the paper relies on (AGET/APUT/CAS/FetchAdd).
+type WordWin struct {
+	f     *Fabric
+	nWord int
+	words [][]uint64
+}
+
+// NewWordWin collectively allocates a word window with nWords 64-bit words
+// per rank.
+func (f *Fabric) NewWordWin(nWords int) *WordWin {
+	if nWords <= 0 {
+		panic("rma: WordWin word count must be positive")
+	}
+	w := &WordWin{f: f, nWord: nWords, words: make([][]uint64, f.n)}
+	for r := 0; r < f.n; r++ {
+		w.words[r] = make([]uint64, nWords)
+	}
+	f.mu.Lock()
+	f.wordWins = append(f.wordWins, w)
+	f.mu.Unlock()
+	return w
+}
+
+// Words returns the per-rank segment size in 64-bit words.
+func (w *WordWin) Words() int { return w.nWord }
+
+func (w *WordWin) checkIdx(target Rank, idx int) {
+	w.f.checkRank(target)
+	if idx < 0 || idx >= w.nWord {
+		panic(fmt.Sprintf("rma: word index %d outside window of %d words", idx, w.nWord))
+	}
+}
+
+// Load atomically reads target's word idx (AGET).
+func (w *WordWin) Load(origin, target Rank, idx int) uint64 {
+	w.checkIdx(target, idx)
+	w.f.countAtomic(origin, target)
+	w.f.chargeOp(origin, target, 8)
+	return atomic.LoadUint64(&w.words[target][idx])
+}
+
+// Store atomically writes target's word idx (APUT).
+func (w *WordWin) Store(origin, target Rank, idx int, val uint64) {
+	w.checkIdx(target, idx)
+	w.f.countAtomic(origin, target)
+	w.f.chargeOp(origin, target, 8)
+	atomic.StoreUint64(&w.words[target][idx], val)
+}
+
+// CAS atomically compares target's word idx with old and, when equal,
+// replaces it with new. It returns the previous value and whether the swap
+// happened — the semantics of the paper's CAS(local_new, compare, result,
+// remote).
+func (w *WordWin) CAS(origin, target Rank, idx int, old, new uint64) (prev uint64, swapped bool) {
+	w.checkIdx(target, idx)
+	w.f.countAtomic(origin, target)
+	w.f.chargeOp(origin, target, 8)
+	addr := &w.words[target][idx]
+	if atomic.CompareAndSwapUint64(addr, old, new) {
+		return old, true
+	}
+	// The CAS failed; report the value that caused the failure. A concurrent
+	// winner may change the word again between the CAS and this load, which
+	// is indistinguishable from the hardware interleaving where our CAS ran
+	// after that second change — callers must retry from the reported value.
+	return atomic.LoadUint64(addr), false
+}
+
+// FetchAdd atomically adds delta to target's word idx and returns the
+// previous value (MPI_Fetch_and_op with MPI_SUM).
+func (w *WordWin) FetchAdd(origin, target Rank, idx int, delta uint64) uint64 {
+	w.checkIdx(target, idx)
+	w.f.countAtomic(origin, target)
+	w.f.chargeOp(origin, target, 8)
+	return atomic.AddUint64(&w.words[target][idx], delta) - delta
+}

@@ -1,0 +1,219 @@
+// Package stats provides the summary statistics the paper's evaluation
+// methodology prescribes (§6.1): arithmetic means, 95% non-parametric
+// (bootstrap percentile) confidence intervals, and the logarithmic latency
+// histograms of Figure 5.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// CI95 returns a 95% non-parametric confidence interval for the mean of xs
+// via the bootstrap percentile method with a fixed seed (deterministic
+// reports).
+func CI95(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	if len(xs) == 1 {
+		return xs[0], xs[0]
+	}
+	const resamples = 1000
+	rng := rand.New(rand.NewSource(42))
+	means := make([]float64, resamples)
+	for i := range means {
+		s := 0.0
+		for j := 0; j < len(xs); j++ {
+			s += xs[rng.Intn(len(xs))]
+		}
+		means[i] = s / float64(len(xs))
+	}
+	return Percentile(means, 2.5), Percentile(means, 97.5)
+}
+
+// Summary bundles the reported statistics for one measurement series.
+type Summary struct {
+	N          int
+	Mean       float64
+	CILo, CIHi float64
+	P50, P95   float64
+	Min, Max   float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	lo, hi := CI95(xs)
+	mn, mx := xs[0], xs[0]
+	for _, x := range xs {
+		mn = math.Min(mn, x)
+		mx = math.Max(mx, x)
+	}
+	return Summary{
+		N: len(xs), Mean: Mean(xs), CILo: lo, CIHi: hi,
+		P50: Percentile(xs, 50), P95: Percentile(xs, 95),
+		Min: mn, Max: mx,
+	}
+}
+
+// String formats the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g ci95=[%.3g, %.3g] p50=%.3g p95=%.3g", s.N, s.Mean, s.CILo, s.CIHi, s.P50, s.P95)
+}
+
+// Histogram is a logarithmic latency histogram: bucket i counts samples in
+// [2^i, 2^(i+1)) nanoseconds. It mirrors the per-operation latency
+// histograms of Figure 5. Histogram is not safe for concurrent use; merge
+// per-worker histograms with Merge.
+type Histogram struct {
+	buckets [64]int64
+	count   int64
+	sum     int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 1 {
+		ns = 1
+	}
+	h.buckets[bits64(ns)]++
+	h.count++
+	h.sum += ns
+}
+
+func bits64(ns int64) int {
+	b := 0
+	for ns > 1 {
+		ns >>= 1
+		b++
+	}
+	return b
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// MeanNs returns the mean observation in nanoseconds.
+func (h *Histogram) MeanNs() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Merge adds other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// QuantileNs returns an upper bound on the q-quantile (q in [0,1]) from the
+// bucket boundaries.
+func (h *Histogram) QuantileNs(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > target {
+			return 1 << uint(i+1)
+		}
+	}
+	return math.MaxInt64
+}
+
+// Buckets returns (lowerBoundNs, count) pairs for non-empty buckets.
+func (h *Histogram) Buckets() [][2]int64 {
+	var out [][2]int64
+	for i, c := range h.buckets {
+		if c > 0 {
+			out = append(out, [2]int64{1 << uint(i), c})
+		}
+	}
+	return out
+}
+
+// Render draws an ASCII bar chart of the histogram (Figure 5 style).
+func (h *Histogram) Render(width int) string {
+	bks := h.Buckets()
+	if len(bks) == 0 {
+		return "(empty)\n"
+	}
+	var max int64
+	for _, b := range bks {
+		if b[1] > max {
+			max = b[1]
+		}
+	}
+	var sb strings.Builder
+	for _, b := range bks {
+		bar := int(float64(b[1]) / float64(max) * float64(width))
+		fmt.Fprintf(&sb, "%10s | %-*s %d\n", fmtNs(b[0]), width, strings.Repeat("#", bar), b[1])
+	}
+	return sb.String()
+}
+
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.1fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 50 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 30 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 20 {
+		t.Fatalf("p25 = %v", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestPercentileUnsortedInputUnchanged(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	_ = Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestCI95BracketsMean(t *testing.T) {
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i % 10)
+	}
+	lo, hi := CI95(xs)
+	m := Mean(xs)
+	if !(lo <= m && m <= hi) {
+		t.Fatalf("CI [%v, %v] does not bracket mean %v", lo, hi, m)
+	}
+	if hi-lo <= 0 {
+		t.Fatal("degenerate CI on varied data")
+	}
+	// Single sample: point interval.
+	lo, hi = CI95([]float64{7})
+	if lo != 7 || hi != 7 {
+		t.Fatalf("single-sample CI = [%v, %v]", lo, hi)
+	}
+}
+
+func TestCI95Deterministic(t *testing.T) {
+	xs := []float64{1, 5, 2, 8, 3}
+	lo1, hi1 := CI95(xs)
+	lo2, hi2 := CI95(xs)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatal("bootstrap CI not deterministic")
+	}
+}
+
+func TestQuickCIWithinRange(t *testing.T) {
+	prop := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		lo, hi := CI95(xs)
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			mn = math.Min(mn, x)
+			mx = math.Max(mx, x)
+		}
+		return lo >= mn-1e-9 && hi <= mx+1e-9 && lo <= hi
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(10 * time.Microsecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	wantMean := (100.0 + 100.0 + 10000.0) / 3
+	if math.Abs(h.MeanNs()-wantMean) > 0.01 {
+		t.Fatalf("MeanNs = %v, want %v", h.MeanNs(), wantMean)
+	}
+	bks := h.Buckets()
+	if len(bks) != 2 || bks[0][1] != 2 || bks[1][1] != 1 {
+		t.Fatalf("Buckets = %v", bks)
+	}
+	// 100ns lands in [64, 128).
+	if bks[0][0] != 64 {
+		t.Fatalf("first bucket lower bound = %d", bks[0][0])
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Microsecond)
+	}
+	h.Observe(time.Millisecond)
+	q50 := h.QuantileNs(0.5)
+	if q50 > 4096 {
+		t.Fatalf("p50 = %dns, want ~1µs bucket", q50)
+	}
+	q999 := h.QuantileNs(0.999)
+	if q999 < 1<<20 {
+		t.Fatalf("p99.9 = %dns, want ~1ms bucket", q999)
+	}
+	var empty Histogram
+	if empty.QuantileNs(0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Microsecond)
+	b.Observe(time.Microsecond)
+	b.Observe(time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	var h Histogram
+	if h.Render(20) != "(empty)\n" {
+		t.Fatal("empty render")
+	}
+	h.Observe(time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	out := h.Render(20)
+	if len(out) == 0 || out == "(empty)\n" {
+		t.Fatal("render produced nothing")
+	}
+}
+
+func TestObserveClampsZero(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	if h.Count() != 1 {
+		t.Fatal("zero-duration observation lost")
+	}
+}

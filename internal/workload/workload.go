@@ -1,0 +1,237 @@
+// Package workload implements the OLTP evaluation driver of §6.4: the four
+// operation mixes of Table 3 (Read Mostly, Read Intensive, Write Intensive,
+// LinkBench), per-operation latency histograms (Figure 5), throughput and
+// failed-transaction accounting (Figure 4), and a System abstraction so the
+// identical driver stresses GDA and the comparison baselines.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gdi-go/gdi/internal/stats"
+)
+
+// Op enumerates the seven LinkBench-derived operation types of Table 3 and
+// Figure 5.
+type Op int
+
+// Operation kinds, in Figure 5's order.
+const (
+	OpGetProps   Op = iota // retrieve vertex (properties)
+	OpAddVertex            // insert vertex
+	OpDelVertex            // delete vertex
+	OpUpdProp              // update vertex
+	OpCountEdges           // count edges
+	OpGetEdges             // retrieve edges
+	OpAddEdge              // add edges
+	NumOps
+)
+
+// String names the operation as in Figure 5.
+func (o Op) String() string {
+	switch o {
+	case OpGetProps:
+		return "retrieve vertex"
+	case OpAddVertex:
+		return "insert vertex"
+	case OpDelVertex:
+		return "delete vertex"
+	case OpUpdProp:
+		return "update vertex"
+	case OpCountEdges:
+		return "count edges"
+	case OpGetEdges:
+		return "retrieve edges"
+	case OpAddEdge:
+		return "add edges"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Mix is one Table 3 workload: per-operation fractions summing to 1.
+type Mix struct {
+	Name    string
+	Weights [NumOps]float64
+}
+
+// The four mixes of Table 3, with the paper's exact fractions.
+var (
+	// ReadMostly: 99.8% reads ("RM" [80]).
+	ReadMostly = Mix{Name: "read mostly", Weights: [NumOps]float64{
+		OpGetProps: 0.288, OpCountEdges: 0.117, OpGetEdges: 0.593,
+		OpAddEdge: 0.002,
+	}}
+	// ReadIntensive: 75% reads ("RI" [80]).
+	ReadIntensive = Mix{Name: "read intensive", Weights: [NumOps]float64{
+		OpGetProps: 0.217, OpCountEdges: 0.088, OpGetEdges: 0.445,
+		OpAddEdge: 0.25,
+	}}
+	// WriteIntensive: 80% updates ("WI" [63]).
+	WriteIntensive = Mix{Name: "write intensive", Weights: [NumOps]float64{
+		OpGetProps: 0.091, OpGetEdges: 0.109,
+		OpAddVertex: 0.2, OpDelVertex: 0.067, OpUpdProp: 0.133, OpAddEdge: 0.4,
+	}}
+	// LinkBench: the Facebook social-graph mix ("LB" [16]).
+	LinkBench = Mix{Name: "LinkBench", Weights: [NumOps]float64{
+		OpGetProps: 0.129, OpCountEdges: 0.049, OpGetEdges: 0.512,
+		OpAddVertex: 0.026, OpDelVertex: 0.01, OpUpdProp: 0.074, OpAddEdge: 0.2,
+	}}
+	// Mixes lists all Table 3 workloads.
+	Mixes = []Mix{ReadMostly, ReadIntensive, WriteIntensive, LinkBench}
+)
+
+// ReadFraction returns the mix's total read weight.
+func (m Mix) ReadFraction() float64 {
+	return m.Weights[OpGetProps] + m.Weights[OpCountEdges] + m.Weights[OpGetEdges]
+}
+
+// pick samples an operation according to the weights.
+func (m Mix) pick(rng *rand.Rand) Op {
+	r := rng.Float64()
+	acc := 0.0
+	for op := Op(0); op < NumOps; op++ {
+		acc += m.Weights[op]
+		if r < acc {
+			return op
+		}
+	}
+	return OpGetProps
+}
+
+// ErrTxFailed marks a failed (aborted) transaction: the op counts towards
+// the failed-transaction percentage, as in Figure 4.
+var ErrTxFailed = errors.New("workload: transaction failed")
+
+// Client is one worker's session against a system under test. Clients are
+// single-goroutine; systems hand out one per worker.
+type Client interface {
+	// Do executes one operation against vertex app (and app2 for AddEdge).
+	// It returns nil on success (including not-found no-ops), ErrTxFailed
+	// for aborted transactions, or another error for real faults.
+	Do(op Op, app, app2 uint64) error
+}
+
+// System is a database under OLTP test.
+type System interface {
+	Name() string
+	// NewClient returns worker w's session; w < Workers passed to Run.
+	NewClient(w int) Client
+}
+
+// RunConfig parameterizes one OLTP run.
+type RunConfig struct {
+	Mix Mix
+	// Workers is the number of concurrent client sessions (one per rank in
+	// the paper's setting).
+	Workers int
+	// OpsPerWorker is the number of operations each session issues.
+	OpsPerWorker int
+	// KeySpace is the initial appID range to draw vertices from.
+	KeySpace uint64
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// Result reports one run.
+type Result struct {
+	System  string
+	Mix     string
+	Workers int
+	Ops     int64
+	Failed  int64
+	Elapsed time.Duration
+	PerOp   [NumOps]*stats.Histogram
+}
+
+// QPS returns the successful-operation throughput.
+func (r Result) QPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops-r.Failed) / r.Elapsed.Seconds()
+}
+
+// FailedFraction returns the failed-transaction fraction of Figure 4.
+func (r Result) FailedFraction() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Failed) / float64(r.Ops)
+}
+
+// Run drives cfg.Workers concurrent sessions against sys and aggregates
+// throughput, failure counts, and per-op latency histograms.
+func Run(sys System, cfg RunConfig) (Result, error) {
+	if cfg.Workers <= 0 || cfg.OpsPerWorker <= 0 {
+		return Result{}, fmt.Errorf("workload: bad config %+v", cfg)
+	}
+	res := Result{System: sys.Name(), Mix: cfg.Mix.Name, Workers: cfg.Workers}
+	for i := range res.PerOp {
+		res.PerOp[i] = &stats.Histogram{}
+	}
+	perWorker := make([][NumOps]*stats.Histogram, cfg.Workers)
+	for w := range perWorker {
+		for i := range perWorker[w] {
+			perWorker[w][i] = &stats.Histogram{}
+		}
+	}
+	var failed, hardErrs atomic.Int64
+	var firstErr atomic.Value
+
+	// Fresh appIDs for inserts: disjoint per worker, above the key space.
+	nextApp := func(w, i int) uint64 {
+		return cfg.KeySpace + uint64(i)*uint64(cfg.Workers) + uint64(w) + 1
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := sys.NewClient(w)
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			inserts := 0
+			for i := 0; i < cfg.OpsPerWorker; i++ {
+				op := cfg.Mix.pick(rng)
+				app := rng.Uint64() % cfg.KeySpace
+				app2 := rng.Uint64() % cfg.KeySpace
+				if op == OpAddVertex {
+					app = nextApp(w, inserts)
+					inserts++
+				}
+				t0 := time.Now()
+				err := client.Do(op, app, app2)
+				perWorker[w][op].Observe(time.Since(t0))
+				switch {
+				case err == nil:
+				case errors.Is(err, ErrTxFailed):
+					failed.Add(1)
+				default:
+					hardErrs.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Failed = failed.Load()
+	res.Ops = int64(cfg.Workers) * int64(cfg.OpsPerWorker)
+	for w := range perWorker {
+		for i := range perWorker[w] {
+			res.PerOp[i].Merge(perWorker[w][i])
+		}
+	}
+	if hardErrs.Load() > 0 {
+		return res, fmt.Errorf("workload: %d hard errors, first: %v", hardErrs.Load(), firstErr.Load())
+	}
+	return res, nil
+}

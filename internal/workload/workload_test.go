@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	gdi "github.com/gdi-go/gdi"
+	"github.com/gdi-go/gdi/internal/baseline/lockgdb"
+	"github.com/gdi-go/gdi/internal/baseline/rpcgdb"
+	"github.com/gdi-go/gdi/internal/kron"
+)
+
+func TestMixesSumToOne(t *testing.T) {
+	for _, m := range Mixes {
+		sum := 0.0
+		for _, w := range m.Weights {
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("mix %q weights sum to %v", m.Name, sum)
+		}
+	}
+}
+
+// TestTable3Mixes pins the paper's exact Table 3 fractions.
+func TestTable3Mixes(t *testing.T) {
+	cases := []struct {
+		mix  Mix
+		read float64
+	}{
+		{ReadMostly, 0.998},
+		{ReadIntensive, 0.75},
+		{WriteIntensive, 0.20},
+		{LinkBench, 0.69},
+	}
+	for _, c := range cases {
+		if math.Abs(c.mix.ReadFraction()-c.read) > 1e-9 {
+			t.Errorf("%s read fraction = %v, want %v", c.mix.Name, c.mix.ReadFraction(), c.read)
+		}
+	}
+	if LinkBench.Weights[OpGetEdges] != 0.512 || LinkBench.Weights[OpAddEdge] != 0.2 {
+		t.Error("LinkBench per-op fractions drifted from Table 3")
+	}
+	if WriteIntensive.Weights[OpAddVertex] != 0.2 || WriteIntensive.Weights[OpDelVertex] != 0.067 {
+		t.Error("WriteIntensive per-op fractions drifted from Table 3")
+	}
+}
+
+func TestPickFollowsWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var counts [NumOps]int
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[LinkBench.pick(rng)]++
+	}
+	for op := Op(0); op < NumOps; op++ {
+		got := float64(counts[op]) / n
+		if math.Abs(got-LinkBench.Weights[op]) > 0.01 {
+			t.Errorf("%s frequency %v, want %v", op, got, LinkBench.Weights[op])
+		}
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	names := map[Op]string{
+		OpGetProps: "retrieve vertex", OpAddVertex: "insert vertex",
+		OpDelVertex: "delete vertex", OpUpdProp: "update vertex",
+		OpCountEdges: "count edges", OpGetEdges: "retrieve edges",
+		OpAddEdge: "add edges",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+// loadTestGraph prepares a small GDA instance.
+func loadTestGraph(t *testing.T, ranks int, cfg kron.Config) (*gdi.Runtime, *gdi.Database, kron.Schema) {
+	t.Helper()
+	rt := gdi.Init(ranks)
+	db := rt.CreateDatabase(gdi.DatabaseParams{BlockSize: 512, BlocksPerRank: 1 << 15})
+	sch, err := kron.DefineSchema(db.Engine(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadGDA(rt, db, cfg, sch); err != nil {
+		t.Fatal(err)
+	}
+	return rt, db, sch
+}
+
+var oltpCfg = kron.Config{Scale: 8, EdgeFactor: 4, Seed: 77, NumLabels: 4, NumProps: 3}
+
+func TestRunGDAAllMixes(t *testing.T) {
+	_, db, sch := loadTestGraph(t, 4, oltpCfg)
+	sys := &GDASystem{DB: db, Schema: sch}
+	for _, mix := range Mixes {
+		res, err := Run(sys, RunConfig{
+			Mix: mix, Workers: 4, OpsPerWorker: 300,
+			KeySpace: oltpCfg.NumVertices(), Seed: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", mix.Name, err)
+		}
+		if res.Ops != 1200 {
+			t.Fatalf("%s: ops = %d", mix.Name, res.Ops)
+		}
+		if res.QPS() <= 0 {
+			t.Fatalf("%s: qps = %v", mix.Name, res.QPS())
+		}
+		// The paper reports <2% failures for LB/WI and <0.2% for RM/RI; at
+		// this small scale allow generous headroom but require sanity.
+		if res.FailedFraction() > 0.2 {
+			t.Fatalf("%s: failed fraction %v too high", mix.Name, res.FailedFraction())
+		}
+		var observed int64
+		for op := Op(0); op < NumOps; op++ {
+			observed += res.PerOp[op].Count()
+		}
+		if observed != res.Ops {
+			t.Fatalf("%s: histograms hold %d ops, want %d", mix.Name, observed, res.Ops)
+		}
+	}
+}
+
+func TestGDAReadMostlyRarelyFails(t *testing.T) {
+	_, db, sch := loadTestGraph(t, 4, oltpCfg)
+	sys := &GDASystem{DB: db, Schema: sch}
+	res, err := Run(sys, RunConfig{
+		Mix: ReadMostly, Workers: 4, OpsPerWorker: 500,
+		KeySpace: oltpCfg.NumVertices(), Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedFraction() > 0.01 {
+		t.Fatalf("read-mostly failed fraction = %v", res.FailedFraction())
+	}
+}
+
+func TestRunLockBaseline(t *testing.T) {
+	db := lockgdb.New()
+	cfg := kron.Config{Scale: 7, EdgeFactor: 4, Seed: 5, NumLabels: 3, NumProps: 2}
+	LoadLock(db, cfg)
+	if db.Len() != int(cfg.WithDefaults().NumVertices()) {
+		t.Fatalf("lockgdb loaded %d vertices", db.Len())
+	}
+	res, err := Run(&LockSystem{DB: db}, RunConfig{
+		Mix: LinkBench, Workers: 4, OpsPerWorker: 300,
+		KeySpace: cfg.WithDefaults().NumVertices(), Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QPS() <= 0 || res.Failed != 0 {
+		t.Fatalf("lockgdb result: %+v", res)
+	}
+}
+
+func TestRunRPCBaseline(t *testing.T) {
+	db := rpcgdb.New(4)
+	defer db.Close()
+	cfg := kron.Config{Scale: 7, EdgeFactor: 4, Seed: 5, NumLabels: 3, NumProps: 2}
+	LoadRPC(db, cfg)
+	res, err := Run(&RPCSystem{DB: db}, RunConfig{
+		Mix: WriteIntensive, Workers: 4, OpsPerWorker: 300,
+		KeySpace: cfg.WithDefaults().NumVertices(), Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QPS() <= 0 {
+		t.Fatalf("rpcgdb qps = %v", res.QPS())
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(&LockSystem{DB: lockgdb.New()}, RunConfig{}); err == nil {
+		t.Fatal("zero-config Run accepted")
+	}
+}
+
+func TestGraphStaysBalancedUnderWrites(t *testing.T) {
+	// After a write-heavy run, every surviving edge record must have its
+	// sibling: total out-degree equals total in-degree.
+	rt, db, sch := loadTestGraph(t, 2, kron.Config{Scale: 6, EdgeFactor: 2, Seed: 8, NumLabels: 2, NumProps: 2})
+	sys := &GDASystem{DB: db, Schema: sch}
+	if _, err := Run(sys, RunConfig{
+		Mix: WriteIntensive, Workers: 2, OpsPerWorker: 400,
+		KeySpace: 64, Seed: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var out, in int64
+	var mu sync.Mutex
+	rt.Run(db, func(p *gdi.Process) {
+		tx := p.StartCollectiveTransaction(gdi.ReadOnly)
+		defer tx.Commit()
+		var lo, li int64
+		for _, v := range p.LocalVertices() {
+			h, err := tx.AssociateVertex(v)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			lo += int64(h.CountEdges(gdi.MaskOut))
+			li += int64(h.CountEdges(gdi.MaskIn))
+		}
+		mu.Lock()
+		out += lo
+		in += li
+		mu.Unlock()
+	})
+	if out != in {
+		t.Fatalf("edge records unbalanced after write-heavy OLTP: %d out vs %d in", out, in)
+	}
+}
