@@ -21,7 +21,7 @@
 //	defer rt.Finalize()
 //	db := rt.CreateDatabase(gdi.DatabaseParams{})
 //	person, _ := db.DefineLabel("Person")
-//	rt.Run(func(p *gdi.Process) {
+//	rt.Run(db, func(p *gdi.Process) {
 //	    tx := p.StartTransaction(gdi.ReadWrite)
 //	    v, _ := tx.CreateVertex(uint64(p.Rank()))
 //	    h, _ := tx.AssociateVertex(v)
@@ -45,6 +45,8 @@
 //	GDI_CloseTransaction [L]                   Transaction.Commit / Transaction.Abort
 //	GDI_TranslateVertexID [L]                  Transaction.TranslateVertexID
 //	GDI_AssociateVertex [L]                    Transaction.AssociateVertex
+//	GDI_AssociateVertex (non-blocking) [L]     Transaction.AssociateVertexAsync
+//	GDI_AssociateVertex (vectored) [L]         Transaction.AssociateVertices
 //	GDI_CreateVertex / GDI_DeleteVertex        Transaction.CreateVertex / DeleteVertex
 //	GDI_CreateEdge / GDI_DeleteEdge            Transaction.CreateEdge / DeleteEdge
 //	GDI_AddLabelToVertex                       Vertex.AddLabel
@@ -57,6 +59,43 @@
 //	GDI_GetLocalVerticesOfIndex [L]            Process.LocalVerticesWithLabel
 //	GDI_Bulk load vertices/edges [C]           Process.BulkLoadVertices / BulkLoadEdges
 //	GDI constraints (§3.6)                     Constraint / Subconstraint builders
+//
+// # Non-blocking operations
+//
+// Like MPI — and like the GDI specification, which deliberately mirrors
+// MPI's blocking/non-blocking split — the hot read path comes in two tiers.
+// The blocking tier (Transaction.AssociateVertex) completes each remote
+// access before returning: simple, but a traversal that associates its
+// frontier one vertex at a time pays one full remote round-trip per vertex,
+// serially. The non-blocking tier decouples issuing from completion:
+//
+//	futs := make([]*gdi.VertexFuture, len(frontier))
+//	for i, v := range frontier {
+//	    futs[i] = tx.AssociateVertexAsync(v) // queue; no communication
+//	}
+//	for _, f := range futs {
+//	    h, err := f.Wait()                   // first Wait flushes the queue
+//	    ...
+//	}
+//
+// Queued fetches are flushed together: grouped by owner rank and issued as
+// vectored one-sided read trains, so a frontier spanning k ranks costs k
+// remote latencies instead of len(frontier) (§5.6's pipelining of one-sided
+// accesses, the mechanism behind GDI-RMA's frontier-expansion scalability).
+// Transaction.AssociateVertices wraps the queue-then-flush pattern into one
+// call and reports missing vertices positionally as nil handles; it is what
+// the analytics kernels (BFS, k-hop, LCC) use to expand whole frontiers.
+// VertexFuture.Test polls for completion without communicating.
+//
+// Use futures or the batch call whenever more than one association is in
+// flight and the results are not needed between issues — frontier
+// expansions, neighborhood materializations, multi-vertex lookups. Stay
+// with the blocking call when the next access depends on the previous
+// result (pointer chasing) or inside mutating code paths, where the
+// one-lock-then-fetch ordering reads most naturally. Both tiers share the
+// per-transaction cache and locking protocol, so they can be mixed freely;
+// a blocking call implies a flush of everything queued, exactly as a
+// blocking MPI call implies progress.
 //
 // # Consistency (§3.8)
 //

@@ -99,10 +99,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, nb := range neighbors {
-		nh, err := tx.AssociateVertex(nb)
-		if err != nil {
-			log.Fatal(err)
+	// Batch-associate the whole neighborhood: one vectored fetch train per
+	// owner rank instead of one blocking round-trip per neighbor.
+	handles, err := tx.AssociateVertices(neighbors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, nh := range handles {
+		if nh == nil {
+			continue // concurrently deleted
 		}
 		v, _ := nh.Property(name)
 		fmt.Printf("person-0 knows %s (in: %d, out: %d edges)\n",

@@ -82,11 +82,17 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("friends of Ada Lovelace:")
+	// Issue one non-blocking association per friend, then wait: the fetches
+	// are flushed together as batched one-sided reads on the first Wait.
+	var futures []*gdi.VertexFuture
 	for _, e := range edges {
 		if e.Label != friendOf {
 			continue // not a friendship edge
 		}
-		nH, err := tx.AssociateVertex(e.Neighbor)
+		futures = append(futures, tx.AssociateVertexAsync(e.Neighbor))
+	}
+	for _, fut := range futures {
+		nH, err := fut.Wait()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -39,6 +39,11 @@ type (
 	Mode = core.Mode
 	// Transaction is a GDI transaction (local or collective).
 	Transaction = core.Tx
+	// VertexFuture is a pending non-blocking vertex association created by
+	// Transaction.AssociateVertexAsync; resolve it with Wait or poll with
+	// Test. Flushing any future of a transaction batches every queued fetch
+	// into vectored one-sided reads grouped by owner rank (§5.6).
+	VertexFuture = core.VertexFuture
 	// Vertex is the process-local access object for one vertex (§3.5).
 	Vertex = core.VertexHandle
 	// Edge is the process-local access object for one heavy edge.

@@ -1,0 +1,3 @@
+module github.com/gdi-go/gdi
+
+go 1.24

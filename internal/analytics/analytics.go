@@ -13,6 +13,7 @@
 package analytics
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -57,7 +58,23 @@ func bucketize[T any](n int) [][]T { return make([][]T, n) }
 // vertex with application ID rootApp over all edges (both directions, as
 // Graph500 treats the Kronecker graph). It returns the number of reached
 // vertices and the eccentricity on every rank.
+//
+// Each level's frontier is expanded through Transaction.AssociateVertices:
+// the whole frontier is fetched with vectored one-sided reads grouped by
+// owner rank, so under injected remote latency a level pays one round-trip
+// per owner rank instead of one per frontier vertex (§5.6).
 func BFS(p *gdi.Process, g *Graph, rootApp uint64) (visited int64, depth int, err error) {
+	return bfs(p, g, rootApp, true)
+}
+
+// BFSScalar is BFS with scalar frontier expansion — one blocking
+// AssociateVertex round-trip per frontier vertex. It exists as the baseline
+// of the batching ablation; use BFS.
+func BFSScalar(p *gdi.Process, g *Graph, rootApp uint64) (visited int64, depth int, err error) {
+	return bfs(p, g, rootApp, false)
+}
+
+func bfs(p *gdi.Process, g *Graph, rootApp uint64, batched bool) (visited int64, depth int, err error) {
 	tx := p.StartCollectiveTransaction(gdi.ReadOnly)
 	defer tx.Commit()
 
@@ -74,27 +91,30 @@ func BFS(p *gdi.Process, g *Graph, rootApp uint64) (visited int64, depth int, er
 		}
 	}
 	n := p.Size()
+	batch := make([]gdi.VertexID, 0, len(frontier))
 	for d := 0; ; d++ {
-		var local int64
-		buckets := bucketize[gdi.VertexID](n)
+		batch = batch[:0]
 		for _, v := range frontier {
 			if _, seen := level[v]; seen {
 				continue
 			}
 			level[v] = d
-			local++
-			h, aerr := tx.AssociateVertex(v)
-			if aerr != nil {
-				err = aerr
+			batch = append(batch, v)
+		}
+		local := int64(len(batch))
+		handles, aerr := associateFrontier(tx, batch, batched)
+		if aerr != nil {
+			err = aerr
+		}
+		buckets := bucketize[gdi.VertexID](n)
+		for _, h := range handles {
+			if h == nil {
 				continue
 			}
-			edges, eerr := h.Edges(gdi.MaskAll, nil)
-			if eerr != nil {
+			if eerr := h.ForEachNeighbor(gdi.MaskAll, func(nb gdi.VertexID) {
+				buckets[int(nb.Rank())] = append(buckets[int(nb.Rank())], nb)
+			}); eerr != nil {
 				err = eerr
-				continue
-			}
-			for _, e := range edges {
-				buckets[int(e.Neighbor.Rank())] = append(buckets[int(e.Neighbor.Rank())], e.Neighbor)
 			}
 		}
 		incoming := exchange(p, buckets)
@@ -114,6 +134,88 @@ func BFS(p *gdi.Process, g *Graph, rootApp uint64) (visited int64, depth int, er
 	}
 }
 
+// BFSDirect runs a breadth-first traversal executed entirely by the calling
+// process through one-sided reads: every frontier holder — local or remote —
+// is fetched directly with AssociateVertices, one vectored read train per
+// owner rank and level. No other rank executes traversal code (they only
+// participate in the collective transaction's delimiting barriers), which is
+// the defining one-sided property of GDI-RMA and the access pattern of the
+// paper's OLSP k-hop queries (Figure 6e/6f). Collective: every rank must
+// call it, each with its own root; it returns that root's reached-vertex
+// count and eccentricity.
+func BFSDirect(p *gdi.Process, g *Graph, rootApp uint64) (visited int64, depth int, err error) {
+	return bfsDirect(p, g, rootApp, true)
+}
+
+// BFSDirectScalar is BFSDirect with scalar expansion — one blocking remote
+// round-trip per frontier vertex. It is the baseline of the batching
+// ablation; use BFSDirect.
+func BFSDirectScalar(p *gdi.Process, g *Graph, rootApp uint64) (visited int64, depth int, err error) {
+	return bfsDirect(p, g, rootApp, false)
+}
+
+func bfsDirect(p *gdi.Process, g *Graph, rootApp uint64, batched bool) (int64, int, error) {
+	tx := p.StartCollectiveTransaction(gdi.ReadOnly)
+	defer tx.Commit()
+	root, err := tx.TranslateVertexID(rootApp)
+	if err != nil {
+		return 0, 0, err
+	}
+	seen := map[gdi.VertexID]bool{root: true}
+	frontier := []gdi.VertexID{root}
+	var visited int64
+	depth := 0
+	for d := 0; len(frontier) > 0; d++ {
+		depth = d
+		visited += int64(len(frontier))
+		handles, err := associateFrontier(tx, frontier, batched)
+		if err != nil {
+			return 0, 0, err
+		}
+		var next []gdi.VertexID
+		for _, h := range handles {
+			if h == nil {
+				continue
+			}
+			if err := h.ForEachNeighbor(gdi.MaskAll, func(nb gdi.VertexID) {
+				if !seen[nb] {
+					seen[nb] = true
+					next = append(next, nb)
+				}
+			}); err != nil {
+				return 0, 0, err
+			}
+		}
+		frontier = next
+	}
+	return visited, depth, nil
+}
+
+// associateFrontier materializes handles for one frontier, either through
+// the batch entry point (one vectored fetch train per owner rank) or with
+// scalar blocking calls (the ablation baseline). Missing vertices yield nil
+// entries in both modes.
+func associateFrontier(tx *gdi.Transaction, frontier []gdi.VertexID, batched bool) ([]*gdi.Vertex, error) {
+	if batched {
+		return tx.AssociateVertices(frontier)
+	}
+	handles := make([]*gdi.Vertex, len(frontier))
+	var firstErr error
+	for i, v := range frontier {
+		h, err := tx.AssociateVertex(v)
+		if err != nil {
+			// Match the batch contract: missing vertices yield nil entries,
+			// only transaction-level failures surface as errors.
+			if !errors.Is(err, gdi.ErrNotFound) && firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		handles[i] = h
+	}
+	return handles, firstErr
+}
+
 // KHop counts the vertices within k hops of rootApp (the k-hop queries of
 // Figure 6e/6f).
 func KHop(p *gdi.Process, g *Graph, rootApp uint64, k int) (int64, error) {
@@ -131,8 +233,9 @@ func KHop(p *gdi.Process, g *Graph, rootApp uint64, k int) (int64, error) {
 	}
 	n := p.Size()
 	var local int64
+	var batch []gdi.VertexID
 	for d := 0; d <= k; d++ {
-		buckets := bucketize[gdi.VertexID](n)
+		batch = batch[:0]
 		for _, v := range frontier {
 			if seen[v] {
 				continue
@@ -142,17 +245,28 @@ func KHop(p *gdi.Process, g *Graph, rootApp uint64, k int) (int64, error) {
 			if d == k {
 				continue // count the last ring, do not expand it
 			}
-			h, err := tx.AssociateVertex(v)
-			if err != nil {
-				return 0, err
+			batch = append(batch, v)
+		}
+		// Expand the whole ring at once: one batched fetch train per owner
+		// rank instead of one blocking round-trip per vertex.
+		handles, err := tx.AssociateVertices(batch)
+		if err != nil {
+			return 0, err
+		}
+		buckets := bucketize[gdi.VertexID](n)
+		var ferr error
+		for _, h := range handles {
+			if h == nil {
+				continue
 			}
-			edges, err := h.Edges(gdi.MaskAll, nil)
-			if err != nil {
-				return 0, err
+			if err := h.ForEachNeighbor(gdi.MaskAll, func(nb gdi.VertexID) {
+				buckets[int(nb.Rank())] = append(buckets[int(nb.Rank())], nb)
+			}); err != nil {
+				ferr = err
 			}
-			for _, e := range edges {
-				buckets[int(e.Neighbor.Rank())] = append(buckets[int(e.Neighbor.Rank())], e.Neighbor)
-			}
+		}
+		if ferr != nil {
+			return 0, ferr
 		}
 		incoming := exchange(p, buckets)
 		frontier = frontier[:0]
@@ -182,10 +296,16 @@ func loadAdjacency(p *gdi.Process, tx *gdi.Transaction) (*adjacency, error) {
 	}
 	a.ids = p.LocalVertices()
 	sort.Slice(a.ids, func(i, j int) bool { return a.ids[i] < a.ids[j] })
-	for _, v := range a.ids {
-		h, err := tx.AssociateVertex(v)
-		if err != nil {
-			return nil, err
+	// One batched association for the whole shard (every holder is local
+	// here, but the batch path also skips per-call flush overhead).
+	handles, err := tx.AssociateVertices(a.ids)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range a.ids {
+		h := handles[i]
+		if h == nil {
+			return nil, fmt.Errorf("analytics: local vertex %v disappeared", v)
 		}
 		a.app[v] = h.AppID()
 		edges, err := h.Edges(gdi.MaskAll, nil)
@@ -366,29 +486,14 @@ func LCC(p *gdi.Process, g *Graph) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	neighborSet := func(v gdi.VertexID) (map[gdi.VertexID]bool, error) {
-		h, err := tx.AssociateVertex(v)
-		if err != nil {
-			return nil, err
-		}
-		edges, err := h.Edges(gdi.MaskAll, nil)
-		if err != nil {
-			return nil, err
-		}
-		set := make(map[gdi.VertexID]bool, len(edges))
-		for _, e := range edges {
-			if e.Neighbor != v {
-				set[e.Neighbor] = true
-			}
-		}
-		return set, nil
-	}
 	localSum, localCnt := 0.0, int64(0)
 	for _, v := range adj.ids {
 		mine := make(map[gdi.VertexID]bool)
+		nbrs := make([]gdi.VertexID, 0, len(adj.all[v]))
 		for _, nb := range adj.all[v] {
-			if nb != v {
+			if nb != v && !mine[nb] {
 				mine[nb] = true
+				nbrs = append(nbrs, nb)
 			}
 		}
 		deg := len(mine)
@@ -396,16 +501,30 @@ func LCC(p *gdi.Process, g *Graph) (float64, error) {
 		if deg < 2 {
 			continue
 		}
+		// Fetch the whole neighborhood in one batch: LCC is the paper's
+		// communication-heaviest kernel, and batching turns its per-neighbor
+		// remote fetches into one vectored train per owner rank.
+		handles, err := tx.AssociateVertices(nbrs)
+		if err != nil {
+			return 0, err
+		}
 		links := 0
-		for nb := range mine {
-			theirs, err := neighborSet(nb)
-			if err != nil {
-				return 0, err
+		for i, nb := range nbrs {
+			h := handles[i]
+			if h == nil {
+				return 0, fmt.Errorf("analytics: neighbor %v disappeared", nb)
 			}
-			for x := range theirs {
+			seen := make(map[gdi.VertexID]bool, h.Degree())
+			if err := h.ForEachNeighbor(gdi.MaskAll, func(x gdi.VertexID) {
+				if x == nb || seen[x] {
+					return
+				}
+				seen[x] = true
 				if mine[x] {
 					links++
 				}
+			}); err != nil {
+				return 0, err
 			}
 		}
 		localSum += float64(links) / float64(deg*(deg-1))

@@ -68,6 +68,41 @@ func TestBFSMatchesGraph500(t *testing.T) {
 	}
 }
 
+// TestBFSDirectMatchesGraph500 checks the one-sided traversal (and its
+// scalar ablation baseline) against the Graph500 oracle: every rank
+// traverses independently from its own root and must see exactly the
+// reference reached-vertex count.
+func TestBFSDirectMatchesGraph500(t *testing.T) {
+	for _, ranks := range []int{1, 4} {
+		rt, g := testGraph(t, ranks, smallCfg)
+		csr := kron.BuildCSR(smallCfg.WithDefaults())
+		for name, bfs := range map[string]func(*gdi.Process, *Graph, uint64) (int64, int, error){
+			"batched": BFSDirect, "scalar": BFSDirectScalar,
+		} {
+			var mu sync.Mutex
+			failed := false
+			rt.Run(g.DB, func(p *gdi.Process) {
+				root := uint64(p.Rank())
+				want := int64(graph500.Visited(graph500.BFS(csr, root, 0)))
+				got, _, err := bfs(p, g, root)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != want {
+					mu.Lock()
+					failed = true
+					mu.Unlock()
+					t.Errorf("%s ranks=%d root=%d: visited %d, want %d", name, ranks, root, got, want)
+				}
+			})
+			if failed {
+				return
+			}
+		}
+	}
+}
+
 func TestKHopMatchesReference(t *testing.T) {
 	rt, g := testGraph(t, 4, smallCfg)
 	csr := kron.BuildCSR(smallCfg.WithDefaults())

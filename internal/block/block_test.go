@@ -198,3 +198,47 @@ func TestABARegression(t *testing.T) {
 		t.Fatalf("pool corrupted after churn: free = %d, want 2", free)
 	}
 }
+
+func TestReadBlocksBatch(t *testing.T) {
+	f := rma.New(3)
+	s := NewStore(f, Config{BlockSize: 64, BlocksPerRank: 32})
+	// One block per rank, each with distinct content.
+	var dps []rma.DPtr
+	for r := 0; r < 3; r++ {
+		dp, err := s.AcquireBlock(0, rma.Rank(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := make([]byte, 64)
+		for i := range payload {
+			payload[i] = byte(r*100 + i)
+		}
+		s.WriteBlock(0, dp, payload)
+		dps = append(dps, dp)
+	}
+	// Read them back in interleaved order with a vectored batch.
+	order := []int{2, 0, 1, 2, 0}
+	batch := make([]rma.DPtr, len(order))
+	bufs := make([][]byte, len(order))
+	for i, j := range order {
+		batch[i] = dps[j]
+		bufs[i] = make([]byte, 64)
+	}
+	s.ReadBlocksBatch(1, batch, bufs)
+	for i, j := range order {
+		want := make([]byte, 64)
+		s.ReadBlock(1, dps[j], want)
+		if !bytes.Equal(bufs[i], want) {
+			t.Errorf("entry %d (block of rank %d): batch read diverges from scalar read", i, j)
+		}
+	}
+	// Length mismatch is a programming error.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched batch lengths should panic")
+			}
+		}()
+		s.ReadBlocksBatch(0, batch, bufs[:1])
+	}()
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/gdi-go/gdi/internal/holder"
+	"github.com/gdi-go/gdi/internal/lpg"
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// VertexFuture is the non-blocking counterpart of AssociateVertex
+// (GDI_AssociateVertex's non-blocking tier). Creating a future queues the
+// fetch; the remote accesses of every queued future are issued together on
+// the next flush — triggered by Wait on any future of the transaction or by
+// AssociateVertices — grouped by owner rank into vectored RMA reads. Under
+// injected remote latency a flush therefore pays one round-trip per owner
+// rank touched instead of one per vertex (§5.6's pipelined one-sided
+// accesses).
+//
+// Futures follow the handle rules of §3.5: they are only meaningful on the
+// process that created them and must not be shared between ranks. A future
+// left unwaited when its transaction closes is cancelled; Wait then reports
+// ErrTxClosed.
+type VertexFuture struct {
+	tx   *Tx
+	dp   rma.DPtr
+	done bool
+	h    *VertexHandle
+	err  error
+}
+
+// Test reports whether the future has completed — either satisfied from the
+// per-transaction cache at creation or resolved by a flush — without
+// triggering any communication (MPI_Test semantics).
+func (f *VertexFuture) Test() bool { return f.done }
+
+// Wait blocks until the future completes and returns its handle or error
+// (MPI_Wait semantics). Waiting on one future flushes every fetch the
+// transaction has queued, so a loop that creates N futures and then waits on
+// them pays the batched cost once, on the first Wait.
+func (f *VertexFuture) Wait() (*VertexHandle, error) {
+	if !f.done {
+		f.tx.flushPending()
+	}
+	if !f.done {
+		// The future was detached from its transaction's queue (it can only
+		// happen through misuse across goroutines); fail it rather than spin.
+		f.fail(fmt.Errorf("%w: future lost by its transaction", ErrTxCritical))
+	}
+	return f.h, f.err
+}
+
+func (f *VertexFuture) fail(err error) {
+	f.done = true
+	f.err = err
+}
+
+// resolveState completes the future from a cached or freshly installed
+// vertex state.
+func (f *VertexFuture) resolveState(st *vertexState) {
+	f.done = true
+	if st.deleted {
+		f.err = fmt.Errorf("%w: vertex %v deleted in this transaction", ErrNotFound, f.dp)
+		return
+	}
+	f.h = &VertexHandle{tx: f.tx, st: st}
+}
+
+// AssociateVertexAsync begins a non-blocking vertex association. The
+// returned future completes immediately when dp is already cached in this
+// transaction (or is invalid); otherwise the fetch is queued until the next
+// flush. Queueing performs no communication.
+func (tx *Tx) AssociateVertexAsync(dp rma.DPtr) *VertexFuture {
+	f := &VertexFuture{tx: tx, dp: dp}
+	if err := tx.check(); err != nil {
+		f.fail(err)
+		return f
+	}
+	if dp.IsNull() {
+		f.fail(fmt.Errorf("%w: NULL vertex ID", ErrBadArgument))
+		return f
+	}
+	if st, ok := tx.verts[dp]; ok {
+		f.resolveState(st)
+		return f
+	}
+	tx.pending = append(tx.pending, f)
+	return f
+}
+
+// AssociateVertices materializes handles for a whole set of vertices at once
+// — the batch entry point frontier expansions use. Fetches are grouped by
+// owner rank and issued as vectored RMA reads, so a batch spanning k ranks
+// pays k remote round-trips of injected latency rather than len(dps).
+//
+// The returned slice is aligned with dps: handles[i] belongs to dps[i], and
+// duplicates in dps resolve to the same per-transaction state. A vertex that
+// does not exist (or was deleted by this transaction) yields a nil entry
+// rather than failing the batch; transaction-level failures — closed
+// transaction, transaction-critical lock contention, a NULL vertex ID —
+// return a non-nil error.
+func (tx *Tx) AssociateVertices(dps []rma.DPtr) ([]*VertexHandle, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
+	futs := make([]*VertexFuture, len(dps))
+	for i, dp := range dps {
+		futs[i] = tx.AssociateVertexAsync(dp)
+	}
+	tx.flushPending()
+	out := make([]*VertexHandle, len(dps))
+	for i, f := range futs {
+		h, err := f.Wait()
+		switch {
+		case err == nil:
+			out[i] = h
+		case errors.Is(err, ErrNotFound):
+			// Missing vertices are reported positionally as nil handles.
+		default:
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// pendingFetch tracks one unique vertex being materialized by a flush: its
+// lock state, the growing logical stream, and every future awaiting it.
+type pendingFetch struct {
+	dp     rma.DPtr
+	st     *vertexState
+	futs   []*VertexFuture
+	buf    []byte
+	blocks []rma.DPtr
+	nb     int
+	err    error
+}
+
+// flushPending completes every queued association (the Flush of the op
+// queue). The protocol mirrors the scalar path exactly — lock, fetch,
+// decode, install — but performs the fetch rounds with vectored reads:
+//
+//  1. Per-vertex read locks are acquired with one remote atomic each
+//     (elided entirely for collective read-only transactions, §3.3). Lock
+//     contention is transaction-critical and poisons the whole flush.
+//  2. Round 0 reads every primary block, one vectored GET train per owner
+//     rank. The holder streaming invariant (table entry i precedes block
+//     i+1) then lets round i fetch block i of every multi-block holder,
+//     again batched by rank, so a flush over b-block holders needs b
+//     batched rounds, not Σb scalar reads.
+//  3. Each holder is decoded and installed into the per-transaction cache;
+//     its futures resolve to handles over the shared state.
+func (tx *Tx) flushPending() {
+	pending := tx.pending
+	tx.pending = nil
+	if len(pending) == 0 {
+		return
+	}
+	if err := tx.check(); err != nil {
+		for _, f := range pending {
+			f.fail(err)
+		}
+		return
+	}
+
+	// Deduplicate by DPtr; resolve cache hits without communication.
+	fetches := make([]*pendingFetch, 0, len(pending))
+	var uniq map[rma.DPtr]*pendingFetch
+	if len(pending) > 1 {
+		uniq = make(map[rma.DPtr]*pendingFetch, len(pending))
+	}
+	for _, f := range pending {
+		if f.done {
+			continue
+		}
+		if st, ok := tx.verts[f.dp]; ok {
+			f.resolveState(st)
+			continue
+		}
+		var pf *pendingFetch
+		if uniq != nil {
+			pf = uniq[f.dp]
+		}
+		if pf == nil {
+			pf = &pendingFetch{dp: f.dp}
+			fetches = append(fetches, pf)
+			if uniq != nil {
+				uniq[f.dp] = pf
+			}
+		}
+		pf.futs = append(pf.futs, f)
+	}
+	if len(fetches) == 0 {
+		return
+	}
+
+	// Phase 1: locks. A failed acquisition is transaction-critical; the
+	// locks already taken by this flush guard states that will never be
+	// installed, so release them before failing every future.
+	for i, pf := range fetches {
+		st := &vertexState{primary: pf.dp}
+		if !tx.skipLocks() {
+			if err := tx.lockWord(pf.dp).TryAcquireRead(tx.rank, tx.eng.cfg.LockTries); err != nil {
+				crit := tx.fail(fmt.Errorf("vertex %v: %w", pf.dp, err))
+				for _, done := range fetches[:i] {
+					tx.unlockState(done.st)
+				}
+				for _, rest := range fetches {
+					for _, f := range rest.futs {
+						f.fail(crit)
+					}
+				}
+				return
+			}
+			st.lock = lockRead
+		}
+		pf.st = st
+	}
+
+	// Phase 2, round 0: every primary block in one batched read per rank.
+	bs := tx.eng.cfg.BlockSize
+	dps := make([]rma.DPtr, len(fetches))
+	bufs := make([][]byte, len(fetches))
+	for i, pf := range fetches {
+		pf.buf = make([]byte, bs)
+		dps[i] = pf.dp
+		bufs[i] = pf.buf
+	}
+	tx.eng.store.ReadBlocksBatch(tx.rank, dps, bufs)
+	live := make([]*pendingFetch, 0, len(fetches))
+	for _, pf := range fetches {
+		nb := holder.NumBlocks(pf.buf)
+		if nb < 1 {
+			tx.unlockState(pf.st)
+			pf.err = fmt.Errorf("%w: holder %v was deleted", ErrNotFound, pf.dp)
+			continue
+		}
+		pf.nb = nb
+		pf.blocks = make([]rma.DPtr, 1, nb)
+		pf.blocks[0] = pf.dp
+		if nb > 1 {
+			full := make([]byte, nb*bs)
+			copy(full, pf.buf)
+			pf.buf = full
+		}
+		live = append(live, pf)
+	}
+
+	// Continuation rounds: block i of every holder still needing one.
+	for round := 1; ; round++ {
+		dps, bufs = dps[:0], bufs[:0]
+		next := live[:0]
+		for _, pf := range live {
+			if pf.nb <= round {
+				continue
+			}
+			dp := holder.TableEntry(pf.buf, round-1)
+			if dp.IsNull() {
+				tx.unlockState(pf.st)
+				pf.err = fmt.Errorf("%w: holder %v has a null continuation block", ErrNotFound, pf.dp)
+				continue
+			}
+			pf.blocks = append(pf.blocks, dp)
+			dps = append(dps, dp)
+			bufs = append(bufs, pf.buf[round*bs:(round+1)*bs])
+			next = append(next, pf)
+		}
+		if len(dps) == 0 {
+			break
+		}
+		tx.eng.store.ReadBlocksBatch(tx.rank, dps, bufs)
+		live = next
+	}
+
+	// Phase 3: decode, install, resolve.
+	for _, pf := range fetches {
+		if pf.err == nil {
+			v, err := holder.DecodeVertex(pf.buf)
+			if err != nil {
+				tx.unlockState(pf.st)
+				pf.err = fmt.Errorf("%w: %v", ErrNotFound, err)
+			} else {
+				pf.st.v = v
+				pf.st.blocks = pf.blocks
+				pf.st.origLabel = append([]lpg.LabelID(nil), v.Labels...)
+				tx.verts[pf.dp] = pf.st
+			}
+		}
+		for _, f := range pf.futs {
+			if pf.err != nil {
+				f.fail(pf.err)
+			} else {
+				f.resolveState(pf.st)
+			}
+		}
+	}
+}

@@ -265,12 +265,7 @@ func (h *VertexHandle) Edges(mask DirMask, cons *constraint.Constraint) ([]EdgeI
 			if es.deleted {
 				continue
 			}
-			info.Neighbor = es.e.Target
-			if info.Neighbor == h.st.primary && es.e.Dir != holder.DirUndirected {
-				info.Neighbor = es.e.Origin
-			} else if es.e.Target == h.st.primary {
-				info.Neighbor = es.e.Origin
-			}
+			info.Neighbor = heavyNeighbor(es.e, h.st.primary)
 			if len(es.e.Labels) > 0 {
 				info.Label = es.e.Labels[0]
 			}
@@ -289,6 +284,45 @@ func (h *VertexHandle) Edges(mask DirMask, cons *constraint.Constraint) ([]EdgeI
 		out = append(out, info)
 	}
 	return out, nil
+}
+
+// heavyNeighbor resolves the far endpoint of a heavy edge relative to the
+// querying vertex: the edge's target, unless the querying vertex is the
+// target (including self-loops, where both endpoints coincide).
+func heavyNeighbor(e *holder.Edge, primary rma.DPtr) rma.DPtr {
+	if e.Target == primary {
+		return e.Origin
+	}
+	return e.Target
+}
+
+// ForEachNeighbor streams the neighbor vertex ID of every incident edge
+// record matching mask to fn, in record order and without materializing
+// EdgeInfo values — the allocation-free fast path traversal kernels (BFS,
+// k-hop) iterate frontiers with. Neighbors are not deduplicated; heavy-edge
+// records resolve their holder exactly as Edges does.
+func (h *VertexHandle) ForEachNeighbor(mask DirMask, fn func(rma.DPtr)) error {
+	if err := h.tx.check(); err != nil {
+		return err
+	}
+	for _, rec := range h.st.v.Edges {
+		if !mask.matches(rec.Dir) {
+			continue
+		}
+		if rec.Heavy {
+			es, err := h.tx.fetchEdgeState(rec.Neighbor)
+			if err != nil {
+				return err
+			}
+			if es.deleted {
+				continue
+			}
+			fn(heavyNeighbor(es.e, h.st.primary))
+			continue
+		}
+		fn(rec.Neighbor)
+	}
+	return nil
 }
 
 // CountEdges counts incident edges matching mask

@@ -69,6 +69,7 @@ type Tx struct {
 	edges     map[rma.DPtr]*edgeState
 	newByApp  map[uint64]rma.DPtr // own uncommitted vertices, by app ID
 	dirtyList []rma.DPtr          // commit write-back order (the paper's vector)
+	pending   []*VertexFuture     // queued non-blocking associations
 	critical  error               // sticky transaction-critical failure
 	closed    bool
 }
@@ -195,41 +196,14 @@ func (tx *Tx) fetchBlocks(primary rma.DPtr) ([]byte, []rma.DPtr, error) {
 // vertex dp (GDI_AssociateVertex). For locking transactions it acquires a
 // read lock; mutations upgrade it. O(b) block gets for a b-block holder,
 // one remote atomic for the lock.
+//
+// It is a thin blocking wrapper over the non-blocking tier: the call queues
+// the fetch and immediately waits, which also flushes any other
+// associations the transaction has queued (a blocking operation implies
+// progress, exactly as in MPI). Latency-sensitive traversals should prefer
+// AssociateVertices or AssociateVertexAsync to amortize remote round-trips.
 func (tx *Tx) AssociateVertex(dp rma.DPtr) (*VertexHandle, error) {
-	if err := tx.check(); err != nil {
-		return nil, err
-	}
-	if dp.IsNull() {
-		return nil, fmt.Errorf("%w: NULL vertex ID", ErrBadArgument)
-	}
-	if st, ok := tx.verts[dp]; ok {
-		if st.deleted {
-			return nil, fmt.Errorf("%w: vertex %v deleted in this transaction", ErrNotFound, dp)
-		}
-		return &VertexHandle{tx: tx, st: st}, nil
-	}
-	st := &vertexState{primary: dp}
-	if !tx.skipLocks() {
-		if err := tx.lockWord(dp).TryAcquireRead(tx.rank, tx.eng.cfg.LockTries); err != nil {
-			return nil, tx.fail(fmt.Errorf("vertex %v: %w", dp, err))
-		}
-		st.lock = lockRead
-	}
-	buf, blocks, err := tx.fetchBlocks(dp)
-	if err != nil {
-		tx.unlockState(st)
-		return nil, err
-	}
-	v, err := holder.DecodeVertex(buf)
-	if err != nil {
-		tx.unlockState(st)
-		return nil, fmt.Errorf("%w: %v", ErrNotFound, err)
-	}
-	st.v = v
-	st.blocks = blocks
-	st.origLabel = append([]lpg.LabelID(nil), v.Labels...)
-	tx.verts[dp] = st
-	return &VertexHandle{tx: tx, st: st}, nil
+	return tx.AssociateVertexAsync(dp).Wait()
 }
 
 func (tx *Tx) lockWord(dp rma.DPtr) locks.Word {

@@ -1,0 +1,98 @@
+package rma
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestGetBatchMatchesScalarGets(t *testing.T) {
+	f := New(3)
+	w := f.NewByteWin(1 << 14)
+	// Fill rank 2's segment with a recognizable pattern spanning stripe
+	// boundaries.
+	data := make([]byte, 1<<14)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	w.Put(2, 2, 0, data)
+
+	ops := []GetOp{
+		{Off: 0, Buf: make([]byte, 17)},
+		{Off: 4090, Buf: make([]byte, 16)}, // crosses the 4KiB stripe
+		{Off: 1 << 13, Buf: make([]byte, 512)},
+		{Off: 1<<14 - 8, Buf: make([]byte, 8)},
+		{Off: 100, Buf: make([]byte, 0)},
+	}
+	w.GetBatch(0, 2, ops)
+	for i, op := range ops {
+		want := make([]byte, len(op.Buf))
+		w.Get(1, 2, op.Off, want)
+		if !bytes.Equal(op.Buf, want) {
+			t.Errorf("op %d: batch read %v != scalar read %v", i, op.Buf, want)
+		}
+	}
+	// Empty batch is a no-op.
+	w.GetBatch(0, 2, nil)
+}
+
+func TestGetBatchAccounting(t *testing.T) {
+	f := New(2)
+	w := f.NewByteWin(1024)
+	f.ResetCounters()
+
+	ops := []GetOp{
+		{Off: 0, Buf: make([]byte, 10)},
+		{Off: 64, Buf: make([]byte, 20)},
+		{Off: 512, Buf: make([]byte, 30)},
+	}
+	w.GetBatch(0, 1, ops)
+	s := f.CounterSnapshot(0)
+	if s.RemoteGets != 3 {
+		t.Errorf("RemoteGets = %d, want 3 (each constituent get is counted)", s.RemoteGets)
+	}
+	if s.BytesGot != 60 {
+		t.Errorf("BytesGot = %d, want 60", s.BytesGot)
+	}
+	if s.GetBatches != 1 {
+		t.Errorf("GetBatches = %d, want 1 (one train per flush)", s.GetBatches)
+	}
+
+	// Local batches are counted as local gets and no batch train.
+	f.ResetCounters()
+	w.GetBatch(1, 1, ops)
+	s = f.CounterSnapshot(1)
+	if s.LocalGets != 3 || s.GetBatches != 0 || s.RemoteGets != 0 {
+		t.Errorf("local batch: %+v", s)
+	}
+}
+
+func TestGetBatchAmortizesRemoteLatency(t *testing.T) {
+	// With 500µs per remote op (the sleep-based regime of spinWait), ten
+	// scalar gets cost at least 5ms while one ten-op batch charges the
+	// injected latency once. Generous factor-2 margin absorbs oversleep.
+	const n = 10
+	f := New(2, Options{Latency: Latency{RemoteNs: 500_000}})
+	w := f.NewByteWin(4096)
+
+	bufs := make([]GetOp, n)
+	for i := range bufs {
+		bufs[i] = GetOp{Off: i * 64, Buf: make([]byte, 64)}
+	}
+	start := time.Now()
+	for _, op := range bufs {
+		w.Get(0, 1, op.Off, op.Buf)
+	}
+	scalar := time.Since(start)
+
+	start = time.Now()
+	w.GetBatch(0, 1, bufs)
+	batched := time.Since(start)
+
+	if scalar < n*500*time.Microsecond {
+		t.Errorf("scalar loop finished in %v, below the injected %v", scalar, n*500*time.Microsecond)
+	}
+	if batched > scalar/2 {
+		t.Errorf("batched train took %v, not meaningfully below scalar %v", batched, scalar)
+	}
+}

@@ -15,8 +15,12 @@ type Counters struct {
 	BytesPut     atomic.Int64
 	BytesGot     atomic.Int64
 	Flushes      atomic.Int64
+	// GetBatches counts vectored GetBatch trains towards remote targets;
+	// each train pays the injected remote latency once however many
+	// constituent gets (counted above) it carries.
+	GetBatches atomic.Int64
 
-	_ [7]int64 // pad to a cache line to avoid false sharing between ranks
+	_ [6]int64 // pad to a cache line to avoid false sharing between ranks
 }
 
 // Snapshot is a plain-value copy of a rank's counters.
@@ -26,6 +30,7 @@ type Snapshot struct {
 	LocalAtomics, RemoteAtoms int64
 	BytesPut, BytesGot        int64
 	Flushes                   int64
+	GetBatches                int64
 }
 
 // RemoteOps returns the total number of remote one-sided operations.
@@ -43,7 +48,7 @@ func (f *Fabric) CounterSnapshot(r Rank) Snapshot {
 		LocalGets: c.LocalGets.Load(), RemoteGets: c.RemoteGets.Load(),
 		LocalAtomics: c.LocalAtomics.Load(), RemoteAtoms: c.RemoteAtomic.Load(),
 		BytesPut: c.BytesPut.Load(), BytesGot: c.BytesGot.Load(),
-		Flushes: c.Flushes.Load(),
+		Flushes: c.Flushes.Load(), GetBatches: c.GetBatches.Load(),
 	}
 }
 
@@ -61,6 +66,7 @@ func (f *Fabric) TotalSnapshot() Snapshot {
 		t.BytesPut += s.BytesPut
 		t.BytesGot += s.BytesGot
 		t.Flushes += s.Flushes
+		t.GetBatches += s.GetBatches
 	}
 	return t
 }
@@ -78,6 +84,7 @@ func (f *Fabric) ResetCounters() {
 		c.BytesPut.Store(0)
 		c.BytesGot.Store(0)
 		c.Flushes.Store(0)
+		c.GetBatches.Store(0)
 	}
 }
 
@@ -99,6 +106,12 @@ func (f *Fabric) countGet(origin, target Rank, n int) {
 		c.RemoteGets.Add(1)
 	}
 	c.BytesGot.Add(int64(n))
+}
+
+func (f *Fabric) countGetBatch(origin, target Rank) {
+	if origin != target {
+		f.counters[origin].GetBatches.Add(1)
+	}
 }
 
 func (f *Fabric) countAtomic(origin, target Rank) {

@@ -79,6 +79,12 @@ func (w *ByteWin) Get(origin, target Rank, off int, buf []byte) {
 	w.checkRange(target, off, len(buf))
 	w.f.countGet(origin, target, len(buf))
 	w.f.chargeOp(origin, target, len(buf))
+	w.getStriped(target, off, buf)
+}
+
+// getStriped performs the data movement of one GET under the per-page
+// read locks, without accounting or latency.
+func (w *ByteWin) getStriped(target Rank, off int, buf []byte) {
 	if len(buf) == 0 {
 		return
 	}
@@ -90,6 +96,38 @@ func (w *ByteWin) Get(origin, target Rank, off int, buf []byte) {
 	copy(buf, seg[off:off+len(buf)])
 	for s := first; s <= last; s++ {
 		w.stripes[target][s].RUnlock()
+	}
+}
+
+// GetOp is one element of a vectored read: len(Buf) bytes from the target's
+// segment at Off.
+type GetOp struct {
+	Off int
+	Buf []byte
+}
+
+// GetBatch issues every op towards target as one pipelined train of
+// non-blocking GETs and completes them all before returning — the paper's
+// §5.6 pattern of posting many one-sided accesses and paying a single
+// synchronization. Each constituent get is still accounted individually
+// (the NIC would still issue that many reads), but injected remote latency
+// is charged once for the whole batch plus the usual per-KiB cost of the
+// total payload, instead of one full round-trip per op. A batch of size one
+// therefore costs exactly as much as a scalar Get.
+func (w *ByteWin) GetBatch(origin, target Rank, ops []GetOp) {
+	if len(ops) == 0 {
+		return
+	}
+	total := 0
+	for _, op := range ops {
+		w.checkRange(target, op.Off, len(op.Buf))
+		w.f.countGet(origin, target, len(op.Buf))
+		total += len(op.Buf)
+	}
+	w.f.countGetBatch(origin, target)
+	w.f.chargeOp(origin, target, total)
+	for _, op := range ops {
+		w.getStriped(target, op.Off, op.Buf)
 	}
 }
 
