@@ -200,7 +200,10 @@ func TestVertexFutureClosedTransaction(t *testing.T) {
 }
 
 func TestVertexFutureTransactionCritical(t *testing.T) {
-	_, db, ids := asyncDB(t, 2, 4, gdi.DatabaseParams{LockTries: 2})
+	// ScalarCommit makes the blocker's AddLabel take its exclusive lock
+	// eagerly; on the batched path upgrades are deferred to the commit
+	// train and would not block the reader below.
+	_, db, ids := asyncDB(t, 2, 4, gdi.DatabaseParams{LockTries: 2, ScalarCommit: true})
 	label, err := db.DefineLabel("L")
 	if err != nil {
 		t.Fatal(err)

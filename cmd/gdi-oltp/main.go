@@ -21,9 +21,14 @@ func main() {
 	ranks := flag.Int("ranks", 4, "number of simulated processes (servers)")
 	scale := flag.Int("scale", 12, "graph has 2^scale vertices")
 	ops := flag.Int("ops", 10000, "operations per worker")
+	workers := flag.Int("workers", 0, "concurrent client sessions (default: one per rank; more exercises group commit)")
 	seed := flag.Int64("seed", 1, "run seed")
 	hist := flag.Bool("hist", false, "print per-op latency histograms")
+	scalarCommit := flag.Bool("scalar-commit", false, "gda: disable the batched write path (commit lock trains, vectored write-back, group commit) — ablation")
 	flag.Parse()
+	if *workers == 0 {
+		*workers = *ranks
+	}
 
 	var mix workload.Mix
 	found := false
@@ -39,12 +44,14 @@ func main() {
 
 	cfg := kron.Config{Scale: *scale, EdgeFactor: 16, Seed: *seed, NumLabels: 20, NumProps: 13}.WithDefaults()
 	var sys workload.System
+	var gdaDB *gdi.Database
 	switch *system {
 	case "gda":
 		rt := gdi.Init(*ranks)
 		db := rt.CreateDatabase(gdi.DatabaseParams{
 			BlockSize:     512,
 			BlocksPerRank: int((cfg.NumVertices()*10+cfg.NumEdges()*2)/uint64(*ranks)) + (1 << 13),
+			ScalarCommit:  *scalarCommit,
 		})
 		sch, err := kron.DefineSchema(db.Engine(), cfg)
 		if err != nil {
@@ -56,6 +63,8 @@ func main() {
 			os.Exit(1)
 		}
 		sys = &workload.GDASystem{DB: db, Schema: sch}
+		gdaDB = db
+		db.Engine().Fabric().ResetCounters() // count the OLTP run, not the load
 	case "rpc":
 		db := rpcgdb.New(*ranks)
 		defer db.Close()
@@ -71,17 +80,26 @@ func main() {
 	}
 
 	res, err := workload.Run(sys, workload.RunConfig{
-		Mix: mix, Workers: *ranks, OpsPerWorker: *ops,
+		Mix: mix, Workers: *workers, OpsPerWorker: *ops,
 		KeySpace: cfg.NumVertices(), Seed: *seed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gdi-oltp:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("system=%s mix=%q servers=%d |V|=%d |E|=%d\n",
-		res.System, res.Mix, res.Workers, cfg.NumVertices(), cfg.NumEdges())
+	fmt.Printf("system=%s mix=%q servers=%d workers=%d |V|=%d |E|=%d\n",
+		res.System, res.Mix, *ranks, res.Workers, cfg.NumVertices(), cfg.NumEdges())
 	fmt.Printf("throughput: %.0f queries/s   failed: %.2f%%   elapsed: %s\n",
 		res.QPS(), res.FailedFraction()*100, res.Elapsed.Round(1e6))
+	if gdaDB != nil {
+		snap := gdaDB.Engine().Fabric().TotalSnapshot()
+		path := "batched"
+		if *scalarCommit {
+			path = "scalar"
+		}
+		fmt.Printf("write path: %s   remote puts: %d (trains: %d)   remote atomics: %d (trains: %d)\n",
+			path, snap.RemotePuts, snap.PutBatches, snap.RemoteAtoms, snap.AtomicBatches)
+	}
 	for op := workload.Op(0); op < workload.NumOps; op++ {
 		h := res.PerOp[op]
 		if h.Count() == 0 {

@@ -205,6 +205,11 @@ type DatabaseParams struct {
 	// LockTries bounds lock acquisition before a transaction-critical
 	// failure (default 64).
 	LockTries int
+	// ScalarCommit disables the batched write path — commit-time lock
+	// trains, vectored write-back, and group commit — so every lock word
+	// and dirty block pays its own remote round-trip at commit. Ablation
+	// and debugging only; leave false in production configurations.
+	ScalarCommit bool
 }
 
 // Database is one distributed graph database. Multiple databases may
@@ -222,6 +227,7 @@ func (rt *Runtime) CreateDatabase(p DatabaseParams) *Database {
 		DHTBucketsPerRank: p.IndexBucketsPerRank,
 		DHTEntriesPerRank: p.IndexEntriesPerRank,
 		LockTries:         p.LockTries,
+		ScalarCommit:      p.ScalarCommit,
 	})
 	return &Database{rt: rt, eng: eng}
 }

@@ -242,3 +242,48 @@ func TestReadBlocksBatch(t *testing.T) {
 		s.ReadBlocksBatch(0, batch, bufs[:1])
 	}()
 }
+
+func TestWriteBlocksBatch(t *testing.T) {
+	s := newStore(t, 3, 8)
+	// One block per rank, written in one vectored batch from rank 1.
+	var dps []rma.DPtr
+	var payloads [][]byte
+	for r := 0; r < 3; r++ {
+		dp, err := s.AcquireBlock(1, rma.Rank(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := make([]byte, 64)
+		for i := range p {
+			p[i] = byte(r*37 + i)
+		}
+		dps = append(dps, dp)
+		payloads = append(payloads, p)
+	}
+	// A short payload must leave the block tail unchanged, as WriteBlock does.
+	payloads[2] = payloads[2][:16]
+	s.WriteBlocksBatch(1, dps, payloads)
+	for i, dp := range dps {
+		got := make([]byte, len(payloads[i]))
+		s.ReadBlock(0, dp, got)
+		if !bytes.Equal(got, payloads[i]) {
+			t.Errorf("block %d: read back %v, wrote %v", i, got, payloads[i])
+		}
+	}
+	// The batch pays one PUT train per distinct remote rank.
+	s.Fabric().ResetCounters()
+	s.WriteBlocksBatch(1, dps, payloads)
+	snap := s.Fabric().CounterSnapshot(1)
+	if snap.PutBatches != 2 {
+		t.Errorf("PutBatches = %d, want 2 (ranks 0 and 2; rank 1 is local)", snap.PutBatches)
+	}
+	// Length mismatch is a programming error.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched batch lengths should panic")
+			}
+		}()
+		s.WriteBlocksBatch(0, dps, payloads[:1])
+	}()
+}

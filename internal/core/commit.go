@@ -4,15 +4,27 @@ import (
 	"fmt"
 
 	"github.com/gdi-go/gdi/internal/holder"
+	"github.com/gdi-go/gdi/internal/locks"
 	"github.com/gdi-go/gdi/internal/lpg"
 	"github.com/gdi-go/gdi/internal/rma"
 )
 
 // Commit makes the transaction's changes durable and visible
 // (GDI_CloseTransaction with commit semantics). The protocol preserves
-// atomicity by splitting into a prepare phase that can fail (acquiring every
-// block the write-back needs) and an apply phase that cannot: either all
-// dirty holders are written back or none (§5.6).
+// atomicity by splitting into a prepare phase that can fail (taking the
+// exclusive locks and acquiring every block the write-back needs) and an
+// apply phase that cannot: either all dirty holders are written back or
+// none (§5.6).
+//
+// On the batched write path (the default) the remote traffic of a commit is
+// organized into per-owner-rank trains instead of per-word and per-block
+// round-trips: deferred lock upgrades and fresh-vertex locks resolve as one
+// vectored CAS train per owner rank, dirty holder blocks flush as one
+// vectored PUT train per owner rank — coalesced with concurrent committers
+// of the same rank by the engine's group committer — and the final lock
+// release is again one train per rank. Config.ScalarCommit restores the
+// scalar protocol (one remote round-trip per lock word and per dirty
+// block) for ablation.
 //
 // Work: O(Σ dirty holder blocks); depth: O(1) per holder after the
 // sequential prepare walk. Collective transactions add two O(log P)
@@ -35,6 +47,41 @@ func (tx *Tx) Commit() error {
 		tx.fail(fmt.Errorf("metadata changed during transaction"))
 		tx.abortLocked()
 		return tx.critical
+	}
+
+	batched := tx.batchedCommit()
+
+	// Prepare, lock train: resolve every deferred exclusive lock — upgrades
+	// of read-held words and fresh locks of new vertices — as one vectored
+	// CAS train per owner rank, in globally sorted (deadlock-free) order.
+	// Contention fails the whole train, which rolls its partial
+	// acquisitions back itself; the abort below then drops the still-held
+	// read locks.
+	if batched && !tx.skipLocks() {
+		var train []locks.TrainLock
+		var members []*vertexState
+		for _, primary := range tx.dirtyList {
+			st := tx.verts[primary]
+			if st == nil {
+				continue
+			}
+			switch {
+			case st.lock == lockUpgrade:
+				train = append(train, locks.TrainLock{Word: tx.lockWord(primary), FromRead: true})
+				members = append(members, st)
+			case st.lock == lockNone && st.isNew:
+				train = append(train, locks.TrainLock{Word: tx.lockWord(primary)})
+				members = append(members, st)
+			}
+		}
+		if err := locks.AcquireWriteTrain(tx.rank, train, tx.eng.cfg.LockTries); err != nil {
+			tx.fail(fmt.Errorf("commit lock train over %d vertices: %w", len(train), err))
+			tx.abortLocked()
+			return tx.critical
+		}
+		for _, st := range members {
+			st.lock = lockWrite
+		}
 	}
 
 	// Prepare: encode every dirty holder and acquire the extra blocks the
@@ -106,12 +153,45 @@ func (tx *Tx) Commit() error {
 		plans = append(plans, pl)
 	}
 
-	// Apply: write every holder back, publish/retract index entries,
-	// release locks. This phase cannot fail.
+	// Apply, write-back: every holder block and every deletion poison (a
+	// zeroed primary header, so stale DPtrs fail cleanly). This phase
+	// cannot fail. The scalar path issues one blocking PUT per block; the
+	// batched path collects the transaction's whole write set and hands it
+	// to the rank's group committer, which flushes it — merged with any
+	// concurrently committing transactions of this rank — as one vectored
+	// PUT train per owner rank.
+	var wbDps []rma.DPtr
+	var wbData [][]byte
+	put := func(dp rma.DPtr, payload []byte) {
+		if batched {
+			wbDps = append(wbDps, dp)
+			wbData = append(wbData, payload)
+		} else {
+			tx.eng.store.WriteBlock(tx.rank, dp, payload)
+		}
+	}
 	for _, pl := range plans {
 		for i, dp := range pl.blocks {
-			tx.eng.store.WriteBlock(tx.rank, dp, pl.stream[i*bs:(i+1)*bs])
+			put(dp, pl.stream[i*bs:(i+1)*bs])
 		}
+	}
+	for _, st := range tx.verts {
+		if st.deleted && !st.isNew {
+			put(st.primary, make([]byte, holder.HeaderSize))
+		}
+	}
+	for _, es := range tx.edges {
+		if es.deleted && !es.isNew {
+			put(es.primary, make([]byte, holder.HeaderSize))
+		}
+	}
+	tx.eng.groupWriteBack(tx.rank, wbDps, wbData)
+
+	// Apply, publish: release excess blocks and maintain the explicit
+	// indexes. New vertices become findable here, but their exclusive locks
+	// are still held, so no reader observes them before the write-back
+	// above has landed.
+	for _, pl := range plans {
 		for _, dp := range pl.release {
 			tx.eng.store.ReleaseBlock(tx.rank, dp)
 		}
@@ -130,8 +210,24 @@ func (tx *Tx) Commit() error {
 		}
 	}
 
-	// Deletions: retract from indexes, poison the primary header so stale
-	// DPtrs fail cleanly, then free the storage.
+	// Deletions: retract from indexes, unlock (the poison has already been
+	// written above, under the lock), then free the storage. Unlocking
+	// before the block release keeps a recycler of the freed primary from
+	// contending with our stale lock word; the batched path drops every
+	// deleted vertex's exclusive lock as one train per owner rank — the
+	// paper's demanding deletions write-lock whole neighborhoods, so
+	// delete-heavy commits would otherwise pay one release round-trip per
+	// vertex.
+	if batched {
+		var delWords []locks.Word
+		for _, st := range tx.verts {
+			if st.deleted && st.lock == lockWrite {
+				delWords = append(delWords, tx.lockWord(st.primary))
+				st.lock = lockNone
+			}
+		}
+		locks.ReleaseWriteTrain(tx.rank, delWords)
+	}
 	for _, st := range tx.verts {
 		if !st.deleted {
 			continue
@@ -140,7 +236,6 @@ func (tx *Tx) Commit() error {
 		if !st.isNew {
 			tx.eng.index.Delete(tx.rank, st.v.AppID)
 			li.removeVertex(st.primary, st.origLabel)
-			tx.eng.store.WriteBlock(tx.rank, st.primary, make([]byte, holder.HeaderSize))
 		}
 		tx.unlockState(st)
 		if st.blocks == nil {
@@ -155,9 +250,6 @@ func (tx *Tx) Commit() error {
 		if !es.deleted {
 			continue
 		}
-		if !es.isNew {
-			tx.eng.store.WriteBlock(tx.rank, es.primary, make([]byte, holder.HeaderSize))
-		}
 		if es.blocks == nil {
 			es.blocks = []rma.DPtr{es.primary}
 		}
@@ -168,8 +260,29 @@ func (tx *Tx) Commit() error {
 	}
 
 	tx.eng.fab.FlushAll(tx.rank)
-	for _, st := range tx.verts {
-		tx.unlockState(st)
+
+	// Release every remaining lock. The batched path partitions the held
+	// words by kind and drops each set as one train per owner rank; the
+	// scalar path pays one remote atomic per word.
+	if batched {
+		var wWords, rWords []locks.Word
+		for _, st := range tx.verts {
+			switch st.lock {
+			case lockWrite:
+				wWords = append(wWords, tx.lockWord(st.primary))
+			case lockRead, lockUpgrade:
+				rWords = append(rWords, tx.lockWord(st.primary))
+			default:
+				continue
+			}
+			st.lock = lockNone
+		}
+		locks.ReleaseWriteTrain(tx.rank, wWords)
+		locks.ReleaseReadTrain(tx.rank, rWords)
+	} else {
+		for _, st := range tx.verts {
+			tx.unlockState(st)
+		}
 	}
 	tx.closed = true
 	return nil

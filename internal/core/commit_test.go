@@ -1,0 +1,300 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/gdi-go/gdi/internal/lpg"
+	"github.com/gdi-go/gdi/internal/metadata"
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// commitEngines returns the batched engine and its scalar-commit ablation
+// twin, so commit-protocol invariants are checked on both write paths.
+func commitEngines(t *testing.T, ranks int, cfg Config) map[string]*Engine {
+	t.Helper()
+	scalar := cfg
+	scalar.ScalarCommit = true
+	return map[string]*Engine{
+		"batched": NewEngine(rma.New(ranks), cfg),
+		"scalar":  NewEngine(rma.New(ranks), scalar),
+	}
+}
+
+// TestPrepareFailureReleasesAcquiredBlocks drives the prepare phase into a
+// mid-walk AcquireBlock failure: a commit that needs several continuation
+// blocks with too few left in the pool must release every block it did
+// acquire, abort without touching the stored holder, and leave the vertex
+// writable for a later transaction.
+func TestPrepareFailureReleasesAcquiredBlocks(t *testing.T) {
+	for name, e := range commitEngines(t, 1, Config{BlockSize: 64, BlocksPerRank: 64}) {
+		t.Run(name, func(t *testing.T) {
+			blob, err := e.DefinePType("blob", metadata.PTypeSpec{Datatype: lpg.TypeBytes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			setup := e.StartLocal(0, ReadWrite)
+			dp, err := setup.CreateVertex(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := setup.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Drain the pool down to two free blocks: the grown holder below
+			// needs several, so prepare acquires some and then fails.
+			var filler []rma.DPtr
+			for e.FreeBlocks(0) > 2 {
+				f, err := e.store.AcquireBlock(0, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				filler = append(filler, f)
+			}
+			free := e.FreeBlocks(0)
+
+			tx := e.StartLocal(0, ReadWrite)
+			h, err := tx.AssociateVertex(dp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.AddProperty(blob, make([]byte, 64*6)); err != nil {
+				t.Fatal(err)
+			}
+			err = tx.Commit()
+			if !errors.Is(err, ErrTxCritical) || !errors.Is(err, ErrNoMemory) {
+				t.Fatalf("commit into exhausted pool: %v, want transaction-critical ErrNoMemory", err)
+			}
+			if got := e.FreeBlocks(0); got != free {
+				t.Fatalf("prepare leaked blocks: free %d -> %d", free, got)
+			}
+
+			// No partial write-back: the holder decodes with its old state.
+			check := e.StartLocal(0, ReadOnly)
+			hc, err := check.AssociateVertex(dp)
+			if err != nil {
+				t.Fatalf("holder unreadable after failed prepare: %v", err)
+			}
+			if got := hc.Properties(blob); len(got) != 0 {
+				t.Fatalf("partial write-back visible: %d blob entries", len(got))
+			}
+			check.Commit()
+
+			// The abort released the exclusive lock: with the pool refilled a
+			// fresh transaction commits the same growth.
+			for _, f := range filler {
+				e.store.ReleaseBlock(0, f)
+			}
+			retry := e.StartLocal(0, ReadWrite)
+			hr, err := retry.AssociateVertex(dp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := hr.AddProperty(blob, make([]byte, 64*6)); err != nil {
+				t.Fatal(err)
+			}
+			if err := retry.Commit(); err != nil {
+				t.Fatalf("retry after refill: %v", err)
+			}
+		})
+	}
+}
+
+// TestMetadataStaleAbortsWithoutPartialWriteBack covers the §3.8 abort: a
+// write transaction racing a metadata change must abort at commit with no
+// write-back at all — stored holders keep their old state, new vertices
+// return their blocks, and every lock is released.
+func TestMetadataStaleAbortsWithoutPartialWriteBack(t *testing.T) {
+	for name, e := range commitEngines(t, 1, Config{BlockSize: 256, BlocksPerRank: 1024}) {
+		t.Run(name, func(t *testing.T) {
+			age, err := e.DefinePType("age", metadata.PTypeSpec{Datatype: lpg.TypeUint64, SizeType: lpg.SizeFixed, Limit: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			setup := e.StartLocal(0, ReadWrite)
+			dp, err := setup.CreateVertex(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs, err := setup.AssociateVertex(dp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := hs.SetProperty(age, lpg.EncodeUint64(30)); err != nil {
+				t.Fatal(err)
+			}
+			if err := setup.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			free := e.FreeBlocks(0)
+
+			tx := e.StartLocal(0, ReadWrite)
+			h, err := tx.AssociateVertex(dp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.SetProperty(age, lpg.EncodeUint64(99)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tx.CreateVertex(2); err != nil {
+				t.Fatal(err)
+			}
+			// Metadata changes under the open transaction.
+			if _, err := e.DefineLabel("Late"); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); !errors.Is(err, ErrTxCritical) {
+				t.Fatalf("stale write commit: %v, want ErrTxCritical", err)
+			}
+
+			// The new vertex's block came back and nothing was published.
+			if got := e.FreeBlocks(0); got != free {
+				t.Fatalf("stale abort leaked blocks: free %d -> %d", free, got)
+			}
+			probe := e.StartLocal(0, ReadOnly)
+			if _, err := probe.TranslateVertexID(2); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("aborted vertex published: %v", err)
+			}
+			hp, err := probe.AssociateVertex(dp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := hp.Property(age); !ok || lpg.DecodeUint64(v) != 30 {
+				t.Fatalf("age after stale abort = %v, %v; want the old 30", v, ok)
+			}
+			probe.Commit()
+
+			// All locks were released: a fresh writer succeeds immediately.
+			retry := e.StartLocal(0, ReadWrite)
+			hr, err := retry.AssociateVertex(dp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := hr.SetProperty(age, lpg.EncodeUint64(31)); err != nil {
+				t.Fatal(err)
+			}
+			if err := retry.Commit(); err != nil {
+				t.Fatalf("writer after stale abort: %v", err)
+			}
+		})
+	}
+}
+
+// TestGroupCommitCoalescesConcurrentWriteBacks submits many single-block
+// write sets to one rank's combiner under heavy injected latency: every
+// block must land, and the leader/follower protocol must merge queued
+// trains instead of flushing one per submitter.
+func TestGroupCommitCoalescesConcurrentWriteBacks(t *testing.T) {
+	const workers = 16
+	f := rma.New(2, rma.Options{Latency: rma.Latency{RemoteNs: 500_000}})
+	e := NewEngine(f, Config{BlockSize: 64, BlocksPerRank: 256})
+
+	dps := make([]rma.DPtr, workers)
+	for i := range dps {
+		dp, err := e.store.AcquireBlock(0, 1) // remote blocks: trains pay latency
+		if err != nil {
+			t.Fatal(err)
+		}
+		dps[i] = dp
+	}
+	f.ResetCounters()
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := make([]byte, 64)
+			for j := range payload {
+				payload[j] = byte(i)
+			}
+			e.groupWriteBack(0, []rma.DPtr{dps[i]}, [][]byte{payload})
+		}(i)
+	}
+	wg.Wait()
+
+	for i, dp := range dps {
+		got := make([]byte, 64)
+		e.store.ReadBlock(1, dp, got)
+		for _, b := range got {
+			if b != byte(i) {
+				t.Fatalf("block %d: payload %v not written back", i, got)
+			}
+		}
+	}
+	snap := f.CounterSnapshot(0)
+	if snap.RemotePuts != workers {
+		t.Errorf("RemotePuts = %d, want %d", snap.RemotePuts, workers)
+	}
+	// A merged flush shows up as a PutBatch train (singleton flushes count
+	// as plain puts): with 500µs flushes and all submitters racing, the
+	// followers must have piled onto a leader's train at least once.
+	if snap.PutBatches == 0 {
+		t.Errorf("no coalescing: %d submitters all flushed singleton trains", workers)
+	}
+}
+
+// TestConcurrentCommittersOneRank runs many goroutines committing disjoint
+// vertices from the same rank — the group-commit hot path — and verifies
+// every update landed (primarily a race-detector target).
+func TestConcurrentCommittersOneRank(t *testing.T) {
+	const workers, txPerWorker = 8, 10
+	e := newEngine(t, 2)
+	age, err := e.DefinePType("age", metadata.PTypeSpec{Datatype: lpg.TypeUint64, SizeType: lpg.SizeFixed, Limit: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := e.StartLocal(0, ReadWrite)
+	dps := make([]rma.DPtr, workers)
+	for i := range dps {
+		if dps[i], err = setup.CreateVertex(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < txPerWorker; i++ {
+				tx := e.StartLocal(0, ReadWrite)
+				h, err := tx.AssociateVertex(dps[w])
+				if err == nil {
+					if err = h.SetProperty(age, lpg.EncodeUint64(uint64(i))); err == nil {
+						err = tx.Commit()
+					}
+				}
+				if err != nil {
+					tx.Abort()
+					errc <- fmt.Errorf("worker %d tx %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	check := e.StartLocal(1, ReadOnly)
+	for w, dp := range dps {
+		h, err := check.AssociateVertex(dp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := h.Property(age); !ok || lpg.DecodeUint64(v) != txPerWorker-1 {
+			t.Errorf("vertex %d: age = %v, %v; want %d", w, v, ok, txPerWorker-1)
+		}
+	}
+	check.Commit()
+}

@@ -464,7 +464,10 @@ func TestMultiBlockGrowthAndShrink(t *testing.T) {
 }
 
 func TestLockConflictFailsTransaction(t *testing.T) {
-	e := newEngine(t, 1)
+	// The scalar write path takes exclusive locks eagerly at mutation time;
+	// the batched path defers them to the commit lock train (covered by
+	// TestDeferredUpgradeConflictSurfacesAtCommit).
+	e := NewEngine(rma.New(1), Config{BlockSize: 256, BlocksPerRank: 4096, ScalarCommit: true})
 	tx := e.StartLocal(0, ReadWrite)
 	dp, _ := tx.CreateVertex(1)
 	tx.Commit()
@@ -503,6 +506,67 @@ func TestLockConflictFailsTransaction(t *testing.T) {
 		t.Fatal(err)
 	}
 	r2.Commit()
+}
+
+func TestDeferredUpgradeConflictSurfacesAtCommit(t *testing.T) {
+	// Batched write path: a mutation on a read-held vertex only marks the
+	// upgrade; the held shared lock keeps other writers out, and the
+	// exclusive CAS happens in the commit lock train. A concurrent reader
+	// therefore still associates freely, and the writer's commit fails
+	// while that reader is live.
+	e := newEngine(t, 1)
+	_, _, age, _ := seedPersonSchema(t, e)
+	tx := e.StartLocal(0, ReadWrite)
+	dp, _ := tx.CreateVertex(1)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	w := e.StartLocal(0, ReadWrite)
+	hw, err := w.AssociateVertex(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.SetProperty(age, lpg.EncodeUint64(30)); err != nil {
+		t.Fatal("mutation with deferred upgrade failed:", err)
+	}
+	if hw.st.lock != lockUpgrade {
+		t.Fatalf("lock state = %v, want deferred upgrade", hw.st.lock)
+	}
+
+	// A reader can still join: the word holds shared locks only.
+	r := e.StartLocal(0, ReadOnly)
+	if _, err := r.AssociateVertex(dp); err != nil {
+		t.Fatal("reader blocked by a deferred upgrade:", err)
+	}
+
+	// The writer's commit train cannot upgrade past the live reader.
+	if err := w.Commit(); !errors.Is(err, ErrTxCritical) {
+		t.Fatalf("commit with live reader: %v, want ErrTxCritical", err)
+	}
+	r.Commit()
+
+	// With the reader gone, a fresh writer commits and the value lands.
+	w2 := e.StartLocal(0, ReadWrite)
+	h2, err := w2.AssociateVertex(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.SetProperty(age, lpg.EncodeUint64(31)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	check := e.StartLocal(0, ReadOnly)
+	hc, err := check.AssociateVertex(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := hc.Property(age); !ok || lpg.DecodeUint64(v) != 31 {
+		t.Fatalf("age after retry = %v, %v; want 31", v, ok)
+	}
+	check.Commit()
 }
 
 func TestUpgradeConflictAborts(t *testing.T) {

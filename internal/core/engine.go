@@ -60,6 +60,12 @@ type Config struct {
 	// LockTries bounds lock acquisition; exceeding it aborts the
 	// transaction (the paper's failed transactions).
 	LockTries int
+	// ScalarCommit disables the batched write path — commit-time lock
+	// trains, vectored write-back, and group commit — so every dirty block
+	// and lock word pays its own remote round-trip at commit. It exists for
+	// the CommitBatching ablation and for debugging; production
+	// configurations leave it false.
+	ScalarCommit bool
 }
 
 // withDefaults fills zero fields with workable defaults.
@@ -85,13 +91,14 @@ func (c Config) withDefaults() Config {
 // Engine is one distributed graph database instance (GDI supports several
 // concurrent databases per environment, §3.9 — each gets its own Engine).
 type Engine struct {
-	fab   *rma.Fabric
-	store *block.Store
-	index *dht.Map
-	comm  *collective.Comm
-	regs  []*metadata.Registry
-	local []*localIndex
-	cfg   Config
+	fab     *rma.Fabric
+	store   *block.Store
+	index   *dht.Map
+	comm    *collective.Comm
+	regs    []*metadata.Registry
+	local   []*localIndex
+	commits []groupCommitter // one write-back combiner per rank
+	cfg     Config
 }
 
 // localIndex is one rank's shard of the explicit indexes: the set of local
@@ -116,13 +123,14 @@ func newLocalIndex() *localIndex {
 func NewEngine(f *rma.Fabric, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		fab:   f,
-		store: block.NewStore(f, block.Config{BlockSize: cfg.BlockSize, BlocksPerRank: cfg.BlocksPerRank}),
-		index: dht.New(f, dht.Config{BucketsPerRank: cfg.DHTBucketsPerRank, EntriesPerRank: cfg.DHTEntriesPerRank}),
-		comm:  collective.New(f),
-		regs:  make([]*metadata.Registry, f.Size()),
-		local: make([]*localIndex, f.Size()),
-		cfg:   cfg,
+		fab:     f,
+		store:   block.NewStore(f, block.Config{BlockSize: cfg.BlockSize, BlocksPerRank: cfg.BlocksPerRank}),
+		index:   dht.New(f, dht.Config{BucketsPerRank: cfg.DHTBucketsPerRank, EntriesPerRank: cfg.DHTEntriesPerRank}),
+		comm:    collective.New(f),
+		regs:    make([]*metadata.Registry, f.Size()),
+		local:   make([]*localIndex, f.Size()),
+		commits: make([]groupCommitter, f.Size()),
+		cfg:     cfg,
 	}
 	for r := range e.regs {
 		e.regs[r] = metadata.NewRegistry()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/gdi-go/gdi/internal/holder"
+	"github.com/gdi-go/gdi/internal/locks"
 	"github.com/gdi-go/gdi/internal/lpg"
 	"github.com/gdi-go/gdi/internal/rma"
 )
@@ -140,9 +141,10 @@ type pendingFetch struct {
 // queue). The protocol mirrors the scalar path exactly — lock, fetch,
 // decode, install — but performs the fetch rounds with vectored reads:
 //
-//  1. Per-vertex read locks are acquired with one remote atomic each
-//     (elided entirely for collective read-only transactions, §3.3). Lock
-//     contention is transaction-critical and poisons the whole flush.
+//  1. Per-vertex read locks are acquired as one vectored CAS train per
+//     owner rank (elided entirely for collective read-only transactions,
+//     §3.3). Lock contention is transaction-critical and poisons the whole
+//     flush.
 //  2. Round 0 reads every primary block, one vectored GET train per owner
 //     rank. The holder streaming invariant (table entry i precedes block
 //     i+1) then lets round i fetch block i of every multi-block holder,
@@ -194,24 +196,28 @@ func (tx *Tx) flushPending() {
 		return
 	}
 
-	// Phase 1: locks. A failed acquisition is transaction-critical; the
-	// locks already taken by this flush guard states that will never be
-	// installed, so release them before failing every future.
-	for i, pf := range fetches {
+	// Phase 1: locks, one vectored CAS train per owner rank (elided
+	// entirely for collective read-only transactions, §3.3). A failed
+	// acquisition is transaction-critical and poisons the whole flush; the
+	// train releases its partial acquisitions itself before reporting it.
+	if !tx.skipLocks() {
+		words := make([]locks.Word, len(fetches))
+		for i, pf := range fetches {
+			words[i] = tx.lockWord(pf.dp)
+		}
+		if err := locks.AcquireReadTrain(tx.rank, words, tx.eng.cfg.LockTries); err != nil {
+			crit := tx.fail(fmt.Errorf("read-locking a %d-vertex association batch: %w", len(fetches), err))
+			for _, pf := range fetches {
+				for _, f := range pf.futs {
+					f.fail(crit)
+				}
+			}
+			return
+		}
+	}
+	for _, pf := range fetches {
 		st := &vertexState{primary: pf.dp}
 		if !tx.skipLocks() {
-			if err := tx.lockWord(pf.dp).TryAcquireRead(tx.rank, tx.eng.cfg.LockTries); err != nil {
-				crit := tx.fail(fmt.Errorf("vertex %v: %w", pf.dp, err))
-				for _, done := range fetches[:i] {
-					tx.unlockState(done.st)
-				}
-				for _, rest := range fetches {
-					for _, f := range rest.futs {
-						f.fail(crit)
-					}
-				}
-				return
-			}
 			st.lock = lockRead
 		}
 		pf.st = st

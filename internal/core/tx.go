@@ -28,6 +28,12 @@ const (
 	lockNone lockState = iota
 	lockRead
 	lockWrite
+	// lockUpgrade marks a held shared lock whose exclusive upgrade is
+	// deferred to the commit-time lock train (the batched write path).
+	// Upgrades are only granted to the sole reader, so the held shared lock
+	// keeps every other writer out until the train runs: deferral batches
+	// the remote CAS without weakening isolation.
+	lockUpgrade
 )
 
 // vertexState is a transaction's cached view of one vertex holder: the
@@ -132,6 +138,11 @@ func (tx *Tx) check() error {
 // skipLocks reports whether this transaction runs without per-vertex locks.
 func (tx *Tx) skipLocks() bool { return tx.collective && tx.mode == ReadOnly }
 
+// batchedCommit reports whether the engine runs the batched write path:
+// deferred lock upgrades resolved by a commit-time lock train, vectored
+// write-back, and group commit.
+func (tx *Tx) batchedCommit() bool { return !tx.eng.cfg.ScalarCommit }
+
 // registry returns the rank-local metadata replica.
 func (tx *Tx) registry() *metadata.Registry { return tx.eng.regs[tx.rank] }
 
@@ -213,7 +224,7 @@ func (tx *Tx) lockWord(dp rma.DPtr) locks.Word {
 
 func (tx *Tx) unlockState(st *vertexState) {
 	switch st.lock {
-	case lockRead:
+	case lockRead, lockUpgrade: // an upgrade not yet granted holds a read lock
 		tx.lockWord(st.primary).ReleaseRead(tx.rank)
 	case lockWrite:
 		tx.lockWord(st.primary).ReleaseWrite(tx.rank)
@@ -221,20 +232,31 @@ func (tx *Tx) unlockState(st *vertexState) {
 	st.lock = lockNone
 }
 
-// ensureWrite upgrades st's lock to exclusive and marks it dirty.
+// ensureWrite makes st exclusively held and marks it dirty. On the batched
+// write path the remote upgrade CAS is deferred: the state moves to
+// lockUpgrade and the commit-time lock train resolves every deferred word
+// with one vectored CAS train per owner rank. On the scalar path (and for
+// states without a lock to build on) the upgrade happens here, one remote
+// atomic per call.
 func (tx *Tx) ensureWrite(st *vertexState) error {
 	if tx.mode == ReadOnly {
 		return ErrReadOnly
 	}
 	switch st.lock {
-	case lockWrite:
+	case lockWrite, lockUpgrade:
 	case lockRead:
-		if err := tx.lockWord(st.primary).TryUpgrade(tx.rank, tx.eng.cfg.LockTries); err != nil {
-			return tx.fail(fmt.Errorf("upgrading lock on %v: %w", st.primary, err))
+		if tx.batchedCommit() {
+			st.lock = lockUpgrade
+		} else {
+			if err := tx.lockWord(st.primary).TryUpgrade(tx.rank, tx.eng.cfg.LockTries); err != nil {
+				return tx.fail(fmt.Errorf("upgrading lock on %v: %w", st.primary, err))
+			}
+			st.lock = lockWrite
 		}
-		st.lock = lockWrite
 	case lockNone:
-		if !tx.skipLocks() {
+		// Batched-path fresh vertices stay unlocked until the commit train:
+		// they are unpublished, so nothing can race them before then.
+		if !tx.skipLocks() && !(tx.batchedCommit() && st.isNew) {
 			if err := tx.lockWord(st.primary).TryAcquireWrite(tx.rank, tx.eng.cfg.LockTries); err != nil {
 				return tx.fail(fmt.Errorf("write-locking %v: %w", st.primary, err))
 			}
@@ -269,7 +291,11 @@ func (tx *Tx) CreateVertex(appID uint64) (rma.DPtr, error) {
 		v:       &holder.Vertex{AppID: appID},
 		isNew:   true,
 	}
-	if !tx.skipLocks() {
+	// On the batched write path the exclusive lock on a fresh vertex is
+	// taken by the commit-time lock train (one CAS train per owner rank):
+	// the vertex is unpublished until commit, so nothing can touch it
+	// before then. The scalar path locks eagerly, one remote atomic each.
+	if !tx.skipLocks() && !tx.batchedCommit() {
 		if err := tx.lockWord(primary).TryAcquireWrite(tx.rank, tx.eng.cfg.LockTries); err != nil {
 			tx.eng.store.ReleaseBlock(tx.rank, primary)
 			return rma.NullDPtr, tx.fail(err)

@@ -14,6 +14,7 @@ package locks
 
 import (
 	"errors"
+	"sort"
 
 	"github.com/gdi-go/gdi/internal/rma"
 )
@@ -105,4 +106,264 @@ func (w Word) ReleaseWrite(origin rma.Rank) {
 func (w Word) Peek(origin rma.Rank) (writer bool, readers uint32) {
 	cur := w.Win.Load(origin, w.Target, w.Idx)
 	return cur&writeBit != 0, uint32(cur & readerMask)
+}
+
+// Lock trains: the write-side batching of §5.6. A transaction's commit
+// touches one lock word per written vertex; acquiring them with scalar CAS
+// costs one remote atomic round-trip each. A train sorts the words globally
+// (rank, then index — a total order shared by all ranks, so concurrent
+// trains cannot deadlock even when acquisition blocks) and issues all CAS
+// for one owner rank as a single vectored train, paying the injected remote
+// latency once per rank per round instead of once per word. All words of a
+// train must address the same window (in GDA they all live in the block
+// store's system window).
+
+// TrainLock is one element of a write-lock train.
+type TrainLock struct {
+	Word Word
+	// FromRead marks a word the caller already holds shared: the train
+	// upgrades it (sole reader → writer, CAS 1→writeBit) instead of
+	// acquiring it from free (CAS 0→writeBit).
+	FromRead bool
+}
+
+// checkTrainWin verifies the single-window invariant of lock trains.
+func checkTrainWin(win *rma.WordWin, w Word) {
+	if w.Win != win {
+		panic("locks: lock train spans multiple windows")
+	}
+}
+
+// AcquireWriteTrain write-locks every word of the train, issuing one
+// vectored CAS train per owner rank per retry round. Acquisition is all or
+// nothing: if any word cannot be taken within the retry budget, every lock
+// the train did acquire is rolled back to its pre-train state (upgrades
+// return to one reader) and ErrContended is returned. A train of size one
+// degenerates to the scalar TryAcquireWrite/TryUpgrade.
+func AcquireWriteTrain(origin rma.Rank, ls []TrainLock, tries int) error {
+	switch len(ls) {
+	case 0:
+		return nil
+	case 1:
+		if ls[0].FromRead {
+			return ls[0].Word.TryUpgrade(origin, tries)
+		}
+		return ls[0].Word.TryAcquireWrite(origin, tries)
+	}
+	train := append([]TrainLock(nil), ls...)
+	sort.Slice(train, func(i, j int) bool {
+		a, b := train[i].Word, train[j].Word
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		return a.Idx < b.Idx
+	})
+	win := train[0].Word.Win
+	held := make([]bool, len(train))
+	nHeld := 0
+	oldOf := func(l TrainLock) uint64 {
+		if l.FromRead {
+			return 1
+		}
+		return 0
+	}
+	for round := 0; round < tries && nHeld < len(train); round++ {
+		forEachRank(len(train), func(i int) rma.Rank { return train[i].Word.Target }, func(lo, hi int) {
+			ops := make([]rma.CASOp, 0, hi-lo)
+			opIdx := make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				if held[i] {
+					continue
+				}
+				checkTrainWin(win, train[i].Word)
+				ops = append(ops, rma.CASOp{Idx: train[i].Word.Idx, Old: oldOf(train[i]), New: writeBit})
+				opIdx = append(opIdx, i)
+			}
+			for i, r := range win.CASBatch(origin, train[lo].Word.Target, ops) {
+				if r.Swapped {
+					held[opIdx[i]] = true
+					nHeld++
+				}
+			}
+		})
+	}
+	if nHeld == len(train) {
+		return nil
+	}
+	// Roll back every word this train acquired, again one train per rank.
+	forEachRank(len(train), func(i int) rma.Rank { return train[i].Word.Target }, func(lo, hi int) {
+		ops := make([]rma.CASOp, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			if held[i] {
+				ops = append(ops, rma.CASOp{Idx: train[i].Word.Idx, Old: writeBit, New: oldOf(train[i])})
+			}
+		}
+		for _, r := range win.CASBatch(origin, train[lo].Word.Target, ops) {
+			if !r.Swapped {
+				panic("locks: write-train rollback of a word not exclusively held")
+			}
+		}
+	})
+	return ErrContended
+}
+
+// ReleaseWriteTrain drops exclusively held locks, one vectored CAS train per
+// owner rank. Every word must be write-held by the caller.
+func ReleaseWriteTrain(origin rma.Rank, words []Word) {
+	switch len(words) {
+	case 0:
+		return
+	case 1:
+		words[0].ReleaseWrite(origin)
+		return
+	}
+	train := sortedWords(words)
+	win := train[0].Win
+	forEachRank(len(train), func(i int) rma.Rank { return train[i].Target }, func(lo, hi int) {
+		ops := make([]rma.CASOp, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			checkTrainWin(win, train[i])
+			ops = append(ops, rma.CASOp{Idx: train[i].Idx, Old: writeBit, New: 0})
+		}
+		for _, r := range win.CASBatch(origin, train[lo].Target, ops) {
+			if !r.Swapped {
+				panic("locks: ReleaseWriteTrain without holding the write lock")
+			}
+		}
+	})
+}
+
+// AcquireReadTrain takes shared locks on every word, one vectored CAS train
+// per owner rank per round. Words observed under a writer are probed with a
+// value-preserving CAS until the writer leaves or the budget runs out. All
+// or nothing: on ErrContended every read lock the train took is released.
+func AcquireReadTrain(origin rma.Rank, words []Word, tries int) error {
+	switch len(words) {
+	case 0:
+		return nil
+	case 1:
+		return words[0].TryAcquireRead(origin, tries)
+	}
+	train := sortedWords(words)
+	win := train[0].Win
+	held := make([]bool, len(train))
+	expected := make([]uint64, len(train)) // last observed word value
+	nHeld := 0
+	for round := 0; round < tries && nHeld < len(train); round++ {
+		forEachRank(len(train), func(i int) rma.Rank { return train[i].Target }, func(lo, hi int) {
+			ops := make([]rma.CASOp, 0, hi-lo)
+			opIdx := make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				if held[i] {
+					continue
+				}
+				checkTrainWin(win, train[i])
+				op := rma.CASOp{Idx: train[i].Idx, Old: expected[i], New: expected[i] + 1}
+				if expected[i]&writeBit != 0 {
+					op.New = op.Old // probe: a writer holds the word
+				}
+				ops = append(ops, op)
+				opIdx = append(opIdx, i)
+			}
+			for j, r := range win.CASBatch(origin, train[lo].Target, ops) {
+				i := opIdx[j]
+				switch {
+				case r.Swapped && ops[j].New != ops[j].Old:
+					held[i] = true
+					nHeld++
+				case r.Swapped: // probe confirmed the writer is still there
+				default:
+					expected[i] = r.Prev
+				}
+			}
+		})
+	}
+	if nHeld == len(train) {
+		return nil
+	}
+	var taken []Word
+	for i, h := range held {
+		if h {
+			taken = append(taken, train[i])
+		}
+	}
+	ReleaseReadTrain(origin, taken)
+	return ErrContended
+}
+
+// ReleaseReadTrain drops shared locks, one vectored CAS train per owner rank
+// per round; words still contended after a few optimistic rounds fall back
+// to the scalar release loop.
+func ReleaseReadTrain(origin rma.Rank, words []Word) {
+	switch len(words) {
+	case 0:
+		return
+	case 1:
+		words[0].ReleaseRead(origin)
+		return
+	}
+	const optimisticRounds = 8
+	train := sortedWords(words)
+	win := train[0].Win
+	done := make([]bool, len(train))
+	expected := make([]uint64, len(train))
+	for i := range expected {
+		expected[i] = 1 // uncontended case: we are the only reader
+	}
+	nDone := 0
+	for round := 0; round < optimisticRounds && nDone < len(train); round++ {
+		forEachRank(len(train), func(i int) rma.Rank { return train[i].Target }, func(lo, hi int) {
+			ops := make([]rma.CASOp, 0, hi-lo)
+			opIdx := make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				if done[i] {
+					continue
+				}
+				checkTrainWin(win, train[i])
+				if expected[i]&readerMask == 0 {
+					panic("locks: ReleaseReadTrain with zero reader count")
+				}
+				ops = append(ops, rma.CASOp{Idx: train[i].Idx, Old: expected[i], New: expected[i] - 1})
+				opIdx = append(opIdx, i)
+			}
+			for j, r := range win.CASBatch(origin, train[lo].Target, ops) {
+				if r.Swapped {
+					done[opIdx[j]] = true
+					nDone++
+				} else {
+					expected[opIdx[j]] = r.Prev
+				}
+			}
+		})
+	}
+	for i, d := range done {
+		if !d {
+			train[i].ReleaseRead(origin)
+		}
+	}
+}
+
+// sortedWords copies and globally orders a word list (rank, then index).
+func sortedWords(words []Word) []Word {
+	train := append([]Word(nil), words...)
+	sort.Slice(train, func(i, j int) bool {
+		if train[i].Target != train[j].Target {
+			return train[i].Target < train[j].Target
+		}
+		return train[i].Idx < train[j].Idx
+	})
+	return train
+}
+
+// forEachRank walks the maximal runs of equal-target elements of a sorted
+// train, calling visit with each half-open run [lo, hi).
+func forEachRank(n int, target func(int) rma.Rank, visit func(lo, hi int)) {
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		for hi < n && target(hi) == target(lo) {
+			hi++
+		}
+		visit(lo, hi)
+		lo = hi
+	}
 }

@@ -128,6 +128,168 @@ func TestMutualExclusionUnderContention(t *testing.T) {
 	}
 }
 
+// trainWords builds one lock word per rank on a fresh fabric of n ranks,
+// plus extra words per rank when width > 1.
+func trainWords(n, width int) ([]Word, *rma.Fabric) {
+	f := rma.New(n)
+	win := f.NewWordWin(1 + width)
+	var ws []Word
+	for r := 0; r < n; r++ {
+		for i := 0; i < width; i++ {
+			ws = append(ws, Word{Win: win, Target: rma.Rank(r), Idx: 1 + i})
+		}
+	}
+	return ws, f
+}
+
+func TestAcquireWriteTrainFreshAndUpgrade(t *testing.T) {
+	ws, _ := trainWords(4, 2)
+	// Hold a read lock on half of the words; the train must upgrade those
+	// and fresh-acquire the rest.
+	ls := make([]TrainLock, len(ws))
+	for i, w := range ws {
+		ls[i] = TrainLock{Word: w, FromRead: i%2 == 0}
+		if ls[i].FromRead {
+			if err := w.TryAcquireRead(0, DefaultTries); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := AcquireWriteTrain(0, ls, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range ws {
+		if wr, rd := w.Peek(0); !wr || rd != 0 {
+			t.Fatalf("word %d after train: (%v, %d), want exclusively held", i, wr, rd)
+		}
+	}
+	ReleaseWriteTrain(0, ws)
+	for i, w := range ws {
+		if wr, rd := w.Peek(0); wr || rd != 0 {
+			t.Fatalf("word %d after release train: (%v, %d), want free", i, wr, rd)
+		}
+	}
+}
+
+func TestAcquireWriteTrainRollsBackOnContention(t *testing.T) {
+	ws, _ := trainWords(3, 1)
+	// A foreign reader on the middle word makes its fresh acquisition fail.
+	if err := ws[1].TryAcquireRead(0, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	// Our own read lock on the last word marks it as an upgrade.
+	if err := ws[2].TryAcquireRead(0, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	ls := []TrainLock{
+		{Word: ws[0]},
+		{Word: ws[1]},
+		{Word: ws[2], FromRead: true},
+	}
+	if err := AcquireWriteTrain(0, ls, 4); err != ErrContended {
+		t.Fatalf("train over a held word: err = %v, want ErrContended", err)
+	}
+	if wr, rd := ws[0].Peek(0); wr || rd != 0 {
+		t.Fatalf("word 0 not rolled back to free: (%v, %d)", wr, rd)
+	}
+	if wr, rd := ws[1].Peek(0); wr || rd != 1 {
+		t.Fatalf("word 1 disturbed: (%v, %d), want the foreign reader intact", wr, rd)
+	}
+	if wr, rd := ws[2].Peek(0); wr || rd != 1 {
+		t.Fatalf("word 2 not rolled back to our reader: (%v, %d)", wr, rd)
+	}
+}
+
+func TestReadTrainAcquireRelease(t *testing.T) {
+	ws, _ := trainWords(4, 2)
+	if err := AcquireReadTrain(0, ws, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	// A second overlapping train stacks reader counts.
+	if err := AcquireReadTrain(1, ws, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range ws {
+		if wr, rd := w.Peek(0); wr || rd != 2 {
+			t.Fatalf("word %d: (%v, %d), want 2 readers", i, wr, rd)
+		}
+	}
+	ReleaseReadTrain(0, ws)
+	ReleaseReadTrain(1, ws)
+	for i, w := range ws {
+		if wr, rd := w.Peek(0); wr || rd != 0 {
+			t.Fatalf("word %d after releases: (%v, %d), want free", i, wr, rd)
+		}
+	}
+}
+
+func TestReadTrainFailsUnderWriterAndRollsBack(t *testing.T) {
+	ws, _ := trainWords(3, 1)
+	if err := ws[2].TryAcquireWrite(0, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	if err := AcquireReadTrain(1, ws, 4); err != ErrContended {
+		t.Fatalf("read train under a writer: err = %v, want ErrContended", err)
+	}
+	for i, w := range ws[:2] {
+		if wr, rd := w.Peek(0); wr || rd != 0 {
+			t.Fatalf("word %d not rolled back: (%v, %d)", i, wr, rd)
+		}
+	}
+	if wr, _ := ws[2].Peek(0); !wr {
+		t.Fatal("foreign write lock disturbed by failed read train")
+	}
+	// Once the writer leaves, the same train succeeds.
+	ws[2].ReleaseWrite(0)
+	if err := AcquireReadTrain(1, ws, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	ReleaseReadTrain(1, ws)
+}
+
+func TestWriteTrainsExcludeEachOtherUnderContention(t *testing.T) {
+	ws, f := trainWords(4, 4)
+	var inCrit atomic.Int64
+	var acquired atomic.Int64
+	f.Run(func(r rma.Rank) {
+		ls := make([]TrainLock, len(ws))
+		for i, w := range ws {
+			ls[i] = TrainLock{Word: w}
+		}
+		for i := 0; i < 50; i++ {
+			if err := AcquireWriteTrain(r, ls, 100); err != nil {
+				continue
+			}
+			if inCrit.Add(1) != 1 {
+				t.Error("two trains holding the full word set")
+			}
+			inCrit.Add(-1)
+			acquired.Add(1)
+			ReleaseWriteTrain(r, ws)
+		}
+	})
+	if acquired.Load() == 0 {
+		t.Fatal("no train ever acquired the word set")
+	}
+	for i, w := range ws {
+		if wr, rd := w.Peek(0); wr || rd != 0 {
+			t.Fatalf("word %d not clean after contention: (%v, %d)", i, wr, rd)
+		}
+	}
+}
+
+func TestTrainSpanningWindowsPanics(t *testing.T) {
+	f := rma.New(2)
+	w1 := Word{Win: f.NewWordWin(2), Target: 0, Idx: 1}
+	w2 := Word{Win: f.NewWordWin(2), Target: 1, Idx: 1}
+	defer func() {
+		if recover() == nil {
+			t.Error("mixed-window train did not panic")
+		}
+	}()
+	_ = AcquireWriteTrain(0, []TrainLock{{Word: w1}, {Word: w2}}, 4)
+}
+
 func TestReadersWritersInterleaved(t *testing.T) {
 	w, f := word(8)
 	var shared int64 // guarded by w

@@ -96,3 +96,129 @@ func TestGetBatchAmortizesRemoteLatency(t *testing.T) {
 		t.Errorf("batched train took %v, not meaningfully below scalar %v", batched, scalar)
 	}
 }
+
+func TestPutBatchMatchesScalarPuts(t *testing.T) {
+	f := New(3)
+	w := f.NewByteWin(1 << 14)
+	pattern := func(seed byte, n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = seed + byte(i*7)
+		}
+		return b
+	}
+	ops := []PutOp{
+		{Off: 0, Data: pattern(1, 17)},
+		{Off: 4090, Data: pattern(2, 16)}, // crosses the 4KiB stripe
+		{Off: 1 << 13, Data: pattern(3, 512)},
+		{Off: 1<<14 - 8, Data: pattern(4, 8)},
+		{Off: 100, Data: nil},
+	}
+	w.PutBatch(0, 2, ops)
+	for i, op := range ops {
+		got := make([]byte, len(op.Data))
+		w.Get(1, 2, op.Off, got)
+		if !bytes.Equal(got, op.Data) {
+			t.Errorf("op %d: read back %v, wrote %v", i, got, op.Data)
+		}
+	}
+	// Empty batch is a no-op.
+	w.PutBatch(0, 2, nil)
+}
+
+func TestPutBatchAccounting(t *testing.T) {
+	f := New(2)
+	w := f.NewByteWin(1024)
+	f.ResetCounters()
+
+	ops := []PutOp{
+		{Off: 0, Data: make([]byte, 10)},
+		{Off: 64, Data: make([]byte, 20)},
+		{Off: 512, Data: make([]byte, 30)},
+	}
+	w.PutBatch(0, 1, ops)
+	s := f.CounterSnapshot(0)
+	if s.RemotePuts != 3 {
+		t.Errorf("RemotePuts = %d, want 3 (each constituent put is counted)", s.RemotePuts)
+	}
+	if s.BytesPut != 60 {
+		t.Errorf("BytesPut = %d, want 60", s.BytesPut)
+	}
+	if s.PutBatches != 1 {
+		t.Errorf("PutBatches = %d, want 1 (one train per flush)", s.PutBatches)
+	}
+
+	// Local batches are counted as local puts and no batch train.
+	f.ResetCounters()
+	w.PutBatch(1, 1, ops)
+	s = f.CounterSnapshot(1)
+	if s.LocalPuts != 3 || s.PutBatches != 0 || s.RemotePuts != 0 {
+		t.Errorf("local batch: %+v", s)
+	}
+}
+
+func TestPutBatchAmortizesRemoteLatency(t *testing.T) {
+	const n = 10
+	f := New(2, Options{Latency: Latency{RemoteNs: 500_000}})
+	w := f.NewByteWin(4096)
+
+	ops := make([]PutOp, n)
+	for i := range ops {
+		ops[i] = PutOp{Off: i * 64, Data: make([]byte, 64)}
+	}
+	start := time.Now()
+	for _, op := range ops {
+		w.Put(0, 1, op.Off, op.Data)
+	}
+	scalar := time.Since(start)
+
+	start = time.Now()
+	w.PutBatch(0, 1, ops)
+	batched := time.Since(start)
+
+	if scalar < n*500*time.Microsecond {
+		t.Errorf("scalar loop finished in %v, below the injected %v", scalar, n*500*time.Microsecond)
+	}
+	if batched > scalar/2 {
+		t.Errorf("batched train took %v, not meaningfully below scalar %v", batched, scalar)
+	}
+}
+
+func TestCASBatchSemanticsAndAccounting(t *testing.T) {
+	f := New(2)
+	w := f.NewWordWin(16)
+	w.Store(0, 1, 2, 7)
+	w.Store(0, 1, 3, 9)
+	f.ResetCounters()
+
+	res := w.CASBatch(0, 1, []CASOp{
+		{Idx: 1, Old: 0, New: 100}, // free word: swaps
+		{Idx: 2, Old: 7, New: 200}, // matching old: swaps
+		{Idx: 3, Old: 0, New: 300}, // mismatched old: fails, reports 9
+	})
+	s := f.CounterSnapshot(0)
+	if s.RemoteAtoms != 3 {
+		t.Errorf("RemoteAtoms = %d, want 3 (each constituent CAS is counted)", s.RemoteAtoms)
+	}
+	if s.AtomicBatches != 1 {
+		t.Errorf("AtomicBatches = %d, want 1", s.AtomicBatches)
+	}
+	if !res[0].Swapped || res[0].Prev != 0 {
+		t.Errorf("op 0: %+v, want swap from 0", res[0])
+	}
+	if !res[1].Swapped || res[1].Prev != 7 {
+		t.Errorf("op 1: %+v, want swap from 7", res[1])
+	}
+	if res[2].Swapped || res[2].Prev != 9 {
+		t.Errorf("op 2: %+v, want failure reporting 9", res[2])
+	}
+	if got := w.Load(0, 1, 1); got != 100 {
+		t.Errorf("word 1 = %d, want 100", got)
+	}
+	if got := w.Load(0, 1, 3); got != 9 {
+		t.Errorf("word 3 = %d, want 9 (failed CAS must not write)", got)
+	}
+	if w.CASBatch(0, 1, nil) != nil {
+		t.Error("empty CASBatch should return nil")
+	}
+}

@@ -19,8 +19,14 @@ type Counters struct {
 	// each train pays the injected remote latency once however many
 	// constituent gets (counted above) it carries.
 	GetBatches atomic.Int64
+	// PutBatches counts vectored PutBatch trains towards remote targets
+	// (the commit write-back trains of §5.6).
+	PutBatches atomic.Int64
+	// AtomicBatches counts vectored CASBatch trains towards remote targets
+	// (the lock trains of the batched commit path).
+	AtomicBatches atomic.Int64
 
-	_ [6]int64 // pad to a cache line to avoid false sharing between ranks
+	_ [4]int64 // pad to a cache line to avoid false sharing between ranks
 }
 
 // Snapshot is a plain-value copy of a rank's counters.
@@ -31,6 +37,8 @@ type Snapshot struct {
 	BytesPut, BytesGot        int64
 	Flushes                   int64
 	GetBatches                int64
+	PutBatches                int64
+	AtomicBatches             int64
 }
 
 // RemoteOps returns the total number of remote one-sided operations.
@@ -49,6 +57,7 @@ func (f *Fabric) CounterSnapshot(r Rank) Snapshot {
 		LocalAtomics: c.LocalAtomics.Load(), RemoteAtoms: c.RemoteAtomic.Load(),
 		BytesPut: c.BytesPut.Load(), BytesGot: c.BytesGot.Load(),
 		Flushes: c.Flushes.Load(), GetBatches: c.GetBatches.Load(),
+		PutBatches: c.PutBatches.Load(), AtomicBatches: c.AtomicBatches.Load(),
 	}
 }
 
@@ -67,6 +76,8 @@ func (f *Fabric) TotalSnapshot() Snapshot {
 		t.BytesGot += s.BytesGot
 		t.Flushes += s.Flushes
 		t.GetBatches += s.GetBatches
+		t.PutBatches += s.PutBatches
+		t.AtomicBatches += s.AtomicBatches
 	}
 	return t
 }
@@ -85,6 +96,8 @@ func (f *Fabric) ResetCounters() {
 		c.BytesGot.Store(0)
 		c.Flushes.Store(0)
 		c.GetBatches.Store(0)
+		c.PutBatches.Store(0)
+		c.AtomicBatches.Store(0)
 	}
 }
 
@@ -111,6 +124,18 @@ func (f *Fabric) countGet(origin, target Rank, n int) {
 func (f *Fabric) countGetBatch(origin, target Rank) {
 	if origin != target {
 		f.counters[origin].GetBatches.Add(1)
+	}
+}
+
+func (f *Fabric) countPutBatch(origin, target Rank) {
+	if origin != target {
+		f.counters[origin].PutBatches.Add(1)
+	}
+}
+
+func (f *Fabric) countAtomicBatch(origin, target Rank) {
+	if origin != target {
+		f.counters[origin].AtomicBatches.Add(1)
 	}
 }
 

@@ -60,18 +60,7 @@ func (w *ByteWin) Put(origin, target Rank, off int, data []byte) {
 	w.checkRange(target, off, len(data))
 	w.f.countPut(origin, target, len(data))
 	w.f.chargeOp(origin, target, len(data))
-	seg := w.segs[target]
-	first, last := off>>stripeShift, (off+len(data)-1)>>stripeShift
-	if len(data) == 0 {
-		return
-	}
-	for s := first; s <= last; s++ {
-		w.stripes[target][s].Lock()
-	}
-	copy(seg[off:off+len(data)], data)
-	for s := first; s <= last; s++ {
-		w.stripes[target][s].Unlock()
-	}
+	w.putStriped(target, off, data)
 }
 
 // Get reads len(buf) bytes from target's segment at off into buf (GET).
@@ -99,11 +88,35 @@ func (w *ByteWin) getStriped(target Rank, off int, buf []byte) {
 	}
 }
 
+// putStriped performs the data movement of one PUT under the per-page
+// write locks, without accounting or latency.
+func (w *ByteWin) putStriped(target Rank, off int, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	seg := w.segs[target]
+	first, last := off>>stripeShift, (off+len(data)-1)>>stripeShift
+	for s := first; s <= last; s++ {
+		w.stripes[target][s].Lock()
+	}
+	copy(seg[off:off+len(data)], data)
+	for s := first; s <= last; s++ {
+		w.stripes[target][s].Unlock()
+	}
+}
+
 // GetOp is one element of a vectored read: len(Buf) bytes from the target's
 // segment at Off.
 type GetOp struct {
 	Off int
 	Buf []byte
+}
+
+// PutOp is one element of a vectored write: len(Data) bytes into the
+// target's segment at Off.
+type PutOp struct {
+	Off  int
+	Data []byte
 }
 
 // GetBatch issues every op towards target as one pipelined train of
@@ -128,6 +141,31 @@ func (w *ByteWin) GetBatch(origin, target Rank, ops []GetOp) {
 	w.f.chargeOp(origin, target, total)
 	for _, op := range ops {
 		w.getStriped(target, op.Off, op.Buf)
+	}
+}
+
+// PutBatch issues every op towards target as one pipelined train of
+// non-blocking PUTs and completes them all before returning — the write-side
+// counterpart of GetBatch. Each constituent put is still accounted
+// individually, but injected remote latency is charged once for the whole
+// train plus the per-KiB cost of the total payload, instead of one full
+// round-trip per op. A batch of size one costs exactly as much as a scalar
+// Put. Ops within one train must not overlap; the per-page serialization
+// provides no ordering between them.
+func (w *ByteWin) PutBatch(origin, target Rank, ops []PutOp) {
+	if len(ops) == 0 {
+		return
+	}
+	total := 0
+	for _, op := range ops {
+		w.checkRange(target, op.Off, len(op.Data))
+		w.f.countPut(origin, target, len(op.Data))
+		total += len(op.Data)
+	}
+	w.f.countPutBatch(origin, target)
+	w.f.chargeOp(origin, target, total)
+	for _, op := range ops {
+		w.putStriped(target, op.Off, op.Data)
 	}
 }
 
@@ -200,6 +238,48 @@ func (w *WordWin) CAS(origin, target Rank, idx int, old, new uint64) (prev uint6
 	// is indistinguishable from the hardware interleaving where our CAS ran
 	// after that second change — callers must retry from the reported value.
 	return atomic.LoadUint64(addr), false
+}
+
+// CASOp is one element of a vectored compare-and-swap train.
+type CASOp struct {
+	Idx      int
+	Old, New uint64
+}
+
+// CASResult reports one constituent CAS of a train: the previous word value
+// and whether the swap happened, with the same retry contract as CAS.
+type CASResult struct {
+	Prev    uint64
+	Swapped bool
+}
+
+// CASBatch issues every op towards target as one train of remote CAS
+// atomics and returns the per-op results in order. Each constituent CAS is
+// accounted individually, but injected remote latency is charged once per
+// train — the batching the lock layer uses to acquire or release all lock
+// words a commit touches on one rank in a single round-trip. The ops are
+// applied independently (no transactional semantics across the train); a
+// train of size one costs exactly as much as a scalar CAS.
+func (w *WordWin) CASBatch(origin, target Rank, ops []CASOp) []CASResult {
+	if len(ops) == 0 {
+		return nil
+	}
+	for _, op := range ops {
+		w.checkIdx(target, op.Idx)
+		w.f.countAtomic(origin, target)
+	}
+	w.f.countAtomicBatch(origin, target)
+	w.f.chargeOp(origin, target, 8*len(ops))
+	res := make([]CASResult, len(ops))
+	for i, op := range ops {
+		addr := &w.words[target][op.Idx]
+		if atomic.CompareAndSwapUint64(addr, op.Old, op.New) {
+			res[i] = CASResult{Prev: op.Old, Swapped: true}
+		} else {
+			res[i] = CASResult{Prev: atomic.LoadUint64(addr)}
+		}
+	}
+	return res
 }
 
 // FetchAdd atomically adds delta to target's word idx and returns the

@@ -143,6 +143,9 @@ type Result struct {
 	System  string
 	Mix     string
 	Workers int
+	// Ops counts the operations actually issued: a worker that exits early
+	// on a hard error contributes only what it ran, so QPS is not inflated
+	// by operations that never happened.
 	Ops     int64
 	Failed  int64
 	Elapsed time.Duration
@@ -181,7 +184,7 @@ func Run(sys System, cfg RunConfig) (Result, error) {
 			perWorker[w][i] = &stats.Histogram{}
 		}
 	}
-	var failed, hardErrs atomic.Int64
+	var issued, failed, hardErrs atomic.Int64
 	var firstErr atomic.Value
 
 	// Fresh appIDs for inserts: disjoint per worker, above the key space.
@@ -208,6 +211,7 @@ func Run(sys System, cfg RunConfig) (Result, error) {
 				}
 				t0 := time.Now()
 				err := client.Do(op, app, app2)
+				issued.Add(1)
 				perWorker[w][op].Observe(time.Since(t0))
 				switch {
 				case err == nil:
@@ -224,7 +228,7 @@ func Run(sys System, cfg RunConfig) (Result, error) {
 	wg.Wait()
 	res.Elapsed = time.Since(start)
 	res.Failed = failed.Load()
-	res.Ops = int64(cfg.Workers) * int64(cfg.OpsPerWorker)
+	res.Ops = issued.Load()
 	for w := range perWorker {
 		for i := range perWorker[w] {
 			res.PerOp[i].Merge(perWorker[w][i])

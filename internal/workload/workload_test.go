@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sync"
@@ -174,6 +175,50 @@ func TestRunRPCBaseline(t *testing.T) {
 	}
 	if res.QPS() <= 0 {
 		t.Fatalf("rpcgdb qps = %v", res.QPS())
+	}
+}
+
+// faultySystem errors hard after a fixed number of operations per worker.
+type faultySystem struct{ failAfter int }
+
+func (s *faultySystem) Name() string { return "faulty" }
+func (s *faultySystem) NewClient(w int) Client {
+	return &faultyClient{failAfter: s.failAfter}
+}
+
+type faultyClient struct{ n, failAfter int }
+
+func (c *faultyClient) Do(Op, uint64, uint64) error {
+	c.n++
+	if c.n > c.failAfter {
+		return errFault
+	}
+	return nil
+}
+
+var errFault = errors.New("workload: injected hard fault")
+
+func TestRunCountsOnlyIssuedOps(t *testing.T) {
+	// Every worker dies on its 11th op: Ops must report what actually ran
+	// (11 per worker — the failing op was issued), not Workers*OpsPerWorker.
+	const workers, perWorker, failAfter = 4, 100, 10
+	res, err := Run(&faultySystem{failAfter: failAfter}, RunConfig{
+		Mix: ReadMostly, Workers: workers, OpsPerWorker: perWorker,
+		KeySpace: 64, Seed: 9,
+	})
+	if err == nil {
+		t.Fatal("hard errors must surface from Run")
+	}
+	want := int64(workers * (failAfter + 1))
+	if res.Ops != want {
+		t.Fatalf("Ops = %d, want %d issued (not the configured %d)", res.Ops, want, workers*perWorker)
+	}
+	var observed int64
+	for op := Op(0); op < NumOps; op++ {
+		observed += res.PerOp[op].Count()
+	}
+	if observed != res.Ops {
+		t.Fatalf("histograms hold %d ops, Ops reports %d", observed, res.Ops)
 	}
 }
 
