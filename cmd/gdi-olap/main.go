@@ -23,6 +23,7 @@ func main() {
 	k := flag.Int("k", 3, "hops for khop / feature dimension for gnn")
 	iters := flag.Int("iters", 10, "iterations for pagerank (cdlp uses 5, wcc runs to convergence)")
 	seed := flag.Int64("seed", 1, "generator seed")
+	cacheBlocks := flag.Bool("cache-blocks", false, "enable the per-process version-validated block cache; repeated frontier reads are served locally")
 	flag.Parse()
 
 	cfg := kron.Config{Scale: *scale, EdgeFactor: 16, Seed: *seed, NumLabels: 20, NumProps: 13}.WithDefaults()
@@ -30,6 +31,7 @@ func main() {
 	db := rt.CreateDatabase(gdi.DatabaseParams{
 		BlockSize:     512,
 		BlocksPerRank: int((cfg.NumVertices()*12+cfg.NumEdges()*2)/uint64(*ranks)) + (1 << 13),
+		CacheBlocks:   *cacheBlocks,
 	})
 	sch, err := kron.DefineSchema(db.Engine(), cfg)
 	if err != nil {
@@ -115,4 +117,8 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("runtime: %s\n%s\n", time.Since(start).Round(time.Microsecond), summary)
+	if *cacheBlocks {
+		snap := db.Engine().Fabric().TotalSnapshot()
+		fmt.Printf("block cache: %d hits, %d misses\n", snap.CacheHits, snap.CacheMisses)
+	}
 }

@@ -25,6 +25,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "run seed")
 	hist := flag.Bool("hist", false, "print per-op latency histograms")
 	scalarCommit := flag.Bool("scalar-commit", false, "gda: disable the batched write path (commit lock trains, vectored write-back, group commit) — ablation")
+	cacheBlocks := flag.Bool("cache-blocks", false, "gda: enable the per-process version-validated block cache (remote reads revalidate cached copies instead of re-fetching)")
+	optimisticReads := flag.Bool("optimistic-reads", false, "gda: read-only transactions take no read locks; their read set is version-validated at commit (optimistic aborts count as failed)")
 	flag.Parse()
 	if *workers == 0 {
 		*workers = *ranks
@@ -49,9 +51,11 @@ func main() {
 	case "gda":
 		rt := gdi.Init(*ranks)
 		db := rt.CreateDatabase(gdi.DatabaseParams{
-			BlockSize:     512,
-			BlocksPerRank: int((cfg.NumVertices()*10+cfg.NumEdges()*2)/uint64(*ranks)) + (1 << 13),
-			ScalarCommit:  *scalarCommit,
+			BlockSize:       512,
+			BlocksPerRank:   int((cfg.NumVertices()*10+cfg.NumEdges()*2)/uint64(*ranks)) + (1 << 13),
+			ScalarCommit:    *scalarCommit,
+			CacheBlocks:     *cacheBlocks,
+			OptimisticReads: *optimisticReads,
 		})
 		sch, err := kron.DefineSchema(db.Engine(), cfg)
 		if err != nil {
@@ -99,6 +103,20 @@ func main() {
 		}
 		fmt.Printf("write path: %s   remote puts: %d (trains: %d)   remote atomics: %d (trains: %d)\n",
 			path, snap.RemotePuts, snap.PutBatches, snap.RemoteAtoms, snap.AtomicBatches)
+		readPath := "locked"
+		if *optimisticReads {
+			readPath = "optimistic"
+		}
+		cache := "off"
+		hitRate := 0.0
+		if *cacheBlocks {
+			cache = "on"
+			if lookups := snap.CacheHits + snap.CacheMisses; lookups > 0 {
+				hitRate = float64(snap.CacheHits) / float64(lookups) * 100
+			}
+		}
+		fmt.Printf("read path: %s   cache: %s   hits: %d   misses: %d (%.1f%% hit rate)   optimistic aborts: %d\n",
+			readPath, cache, snap.CacheHits, snap.CacheMisses, hitRate, gdaDB.Engine().OptimisticAborts())
 	}
 	for op := workload.Op(0); op < workload.NumOps; op++ {
 		h := res.PerOp[op]

@@ -210,6 +210,23 @@ type DatabaseParams struct {
 	// and dirty block pays its own remote round-trip at commit. Ablation
 	// and debugging only; leave false in production configurations.
 	ScalarCommit bool
+	// CacheBlocks gives every process a version-validated cache of remote
+	// block copies: repeated vertex-holder reads revalidate their cached
+	// blocks against the version counters embedded in the per-vertex lock
+	// words (one atomic-load train per owner rank) and skip the remote GET
+	// traffic entirely on a hit. Cache hit/miss counters are reported
+	// through the fabric's counter snapshots.
+	CacheBlocks bool
+	// CacheCapacity is the per-process cache size in blocks (default 8192);
+	// only meaningful with CacheBlocks.
+	CacheCapacity int
+	// OptimisticReads switches local read-only transactions to the
+	// optimistic tier: no per-vertex read locks at all. Fetches are
+	// version-validated at read time, the (vertex, version) read set is
+	// revalidated with one atomic-load train per owner rank at Commit, and
+	// a moved version aborts the transaction with ErrTransactionCritical
+	// (the optimistic abort of §3.8). Pairs naturally with CacheBlocks.
+	OptimisticReads bool
 }
 
 // Database is one distributed graph database. Multiple databases may
@@ -228,6 +245,9 @@ func (rt *Runtime) CreateDatabase(p DatabaseParams) *Database {
 		DHTEntriesPerRank: p.IndexEntriesPerRank,
 		LockTries:         p.LockTries,
 		ScalarCommit:      p.ScalarCommit,
+		CacheBlocks:       p.CacheBlocks,
+		CacheCapacity:     p.CacheCapacity,
+		OptimisticReads:   p.OptimisticReads,
 	})
 	return &Database{rt: rt, eng: eng}
 }

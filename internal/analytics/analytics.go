@@ -194,7 +194,11 @@ func bfsDirect(p *gdi.Process, g *Graph, rootApp uint64, batched bool) (int64, i
 // associateFrontier materializes handles for one frontier, either through
 // the batch entry point (one vectored fetch train per owner rank) or with
 // scalar blocking calls (the ablation baseline). Missing vertices yield nil
-// entries in both modes.
+// entries in both modes. With DatabaseParams.CacheBlocks the batch path
+// rides the version-validated block cache automatically: a frontier vertex
+// fetched by an earlier level (or an earlier query against the same
+// database) is revalidated with the per-rank stamp train and served locally
+// instead of paying another GET train.
 func associateFrontier(tx *gdi.Transaction, frontier []gdi.VertexID, batched bool) ([]*gdi.Vertex, error) {
 	if batched {
 		return tx.AssociateVertices(frontier)

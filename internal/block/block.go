@@ -20,6 +20,13 @@
 // 32-bit ABA tag with the 32-bit block index (the "established tagged
 // pointer technique" the paper cites), so a concurrent release/acquire pair
 // cannot resurrect a stale head.
+//
+// When Config.CacheBlocks is set, every rank additionally keeps a
+// version-validated cache of remote block copies (see cache.go): the
+// stamped read protocol — GuardStamps, ReadBlocksStamped, InstallCached,
+// or the one-call ReadBlocksCached wrapper — revalidates cached holders
+// against the version counters embedded in the per-block lock words and
+// skips the GET traffic entirely on a hit.
 package block
 
 import (
@@ -42,6 +49,8 @@ type Store struct {
 	data  *rma.ByteWin // block payloads
 	usage *rma.WordWin // free-list links
 	sys   *rma.WordWin // word 0: tagged free-list head; words 1+i: lock words
+
+	caches []*blockCache // per-rank version-validated block caches; nil when disabled
 }
 
 // Config sizes the pool.
@@ -54,6 +63,11 @@ type Config struct {
 	// reserved block 0. Must be at least 2 and at most 2^32-1 so that a
 	// block index fits the 32-bit half of the tagged head word.
 	BlocksPerRank int
+	// CacheBlocks, when positive, gives every rank a version-validated
+	// cache of that many remote block copies, served by the stamped read
+	// protocol (ReadBlocksStamped and the ReadBlocksCached wrapper) and
+	// revalidated against the guard lock words' version stamps.
+	CacheBlocks int
 }
 
 // DefaultBlockSize matches the paper's example block granularity.
@@ -74,6 +88,12 @@ func NewStore(f *rma.Fabric, cfg Config) *Store {
 		data:      f.NewByteWin(cfg.BlockSize * cfg.BlocksPerRank),
 		usage:     f.NewWordWin(cfg.BlocksPerRank),
 		sys:       f.NewWordWin(1 + cfg.BlocksPerRank),
+	}
+	if cfg.CacheBlocks > 0 {
+		s.caches = make([]*blockCache, f.Size())
+		for r := range s.caches {
+			s.caches[r] = newBlockCache(cfg.CacheBlocks)
+		}
 	}
 	// Thread the free list through blocks 1..perRank-1 of every rank. This
 	// is initialization-time setup, performed locally by construction.
@@ -126,6 +146,7 @@ func (s *Store) AcquireBlock(origin, target rma.Rank) (rma.DPtr, error) {
 // atomic put, one CAS per attempt.
 func (s *Store) ReleaseBlock(origin rma.Rank, dp rma.DPtr) {
 	s.checkDPtr(dp)
+	s.invalidateCached(origin, dp)
 	target := dp.Rank()
 	idx := uint32(dp.Off())
 	for {
@@ -157,6 +178,7 @@ func (s *Store) WriteBlock(origin rma.Rank, dp rma.DPtr, payload []byte) {
 	if len(payload) > s.blockSize {
 		panic(fmt.Sprintf("block: payload of %d bytes exceeds block size %d", len(payload), s.blockSize))
 	}
+	s.invalidateCached(origin, dp)
 	s.data.Put(origin, dp.Rank(), int(dp.Off())*s.blockSize, payload)
 }
 
@@ -223,6 +245,7 @@ func (s *Store) WriteBlocksBatch(origin rma.Rank, dps []rma.DPtr, payloads [][]b
 		if len(payloads[i]) > s.blockSize {
 			panic(fmt.Sprintf("block: payload of %d bytes exceeds block size %d", len(payloads[i]), s.blockSize))
 		}
+		s.invalidateCached(origin, dp)
 		t := dp.Rank()
 		byTarget[t] = append(byTarget[t], rma.PutOp{Off: int(dp.Off()) * s.blockSize, Data: payloads[i]})
 	}

@@ -48,6 +48,10 @@ func (tx *Tx) Commit() error {
 		tx.abortLocked()
 		return tx.critical
 	}
+	if err := tx.validateOptimistic(); err != nil {
+		tx.abortLocked()
+		return tx.critical
+	}
 
 	batched := tx.batchedCommit()
 
@@ -74,13 +78,18 @@ func (tx *Tx) Commit() error {
 				members = append(members, st)
 			}
 		}
-		if err := locks.AcquireWriteTrain(tx.rank, train, tx.eng.cfg.LockTries); err != nil {
+		vers, err := locks.AcquireWriteTrain(tx.rank, train, tx.eng.cfg.LockTries)
+		if err != nil {
 			tx.fail(fmt.Errorf("commit lock train over %d vertices: %w", len(train), err))
 			tx.abortLocked()
 			return tx.critical
 		}
-		for _, st := range members {
+		// Remember each word's version: the release trains below seed their
+		// CAS with it and converge in one round per rank instead of
+		// re-learning values this train already observed.
+		for i, st := range members {
 			st.lock = lockWrite
+			st.lockVer = vers[i]
 		}
 	}
 
@@ -220,13 +229,15 @@ func (tx *Tx) Commit() error {
 	// vertex.
 	if batched {
 		var delWords []locks.Word
+		var delVers []uint64
 		for _, st := range tx.verts {
 			if st.deleted && st.lock == lockWrite {
 				delWords = append(delWords, tx.lockWord(st.primary))
+				delVers = append(delVers, st.lockVer)
 				st.lock = lockNone
 			}
 		}
-		locks.ReleaseWriteTrain(tx.rank, delWords)
+		locks.ReleaseWriteTrain(tx.rank, delWords, delVers)
 	}
 	for _, st := range tx.verts {
 		if !st.deleted {
@@ -266,10 +277,12 @@ func (tx *Tx) Commit() error {
 	// scalar path pays one remote atomic per word.
 	if batched {
 		var wWords, rWords []locks.Word
+		var wVers []uint64
 		for _, st := range tx.verts {
 			switch st.lock {
 			case lockWrite:
 				wWords = append(wWords, tx.lockWord(st.primary))
+				wVers = append(wVers, st.lockVer)
 			case lockRead, lockUpgrade:
 				rWords = append(rWords, tx.lockWord(st.primary))
 			default:
@@ -277,7 +290,7 @@ func (tx *Tx) Commit() error {
 			}
 			st.lock = lockNone
 		}
-		locks.ReleaseWriteTrain(tx.rank, wWords)
+		locks.ReleaseWriteTrain(tx.rank, wWords, wVers)
 		locks.ReleaseReadTrain(tx.rank, rWords)
 	} else {
 		for _, st := range tx.verts {
@@ -285,6 +298,35 @@ func (tx *Tx) Commit() error {
 		}
 	}
 	tx.closed = true
+	return nil
+}
+
+// validateOptimistic is the commit-time check of the optimistic read tier:
+// one atomic-load train per owner rank re-reads the guard word of every
+// vertex the transaction fetched, and the transaction serializes at this
+// instant iff every recorded version is unchanged. A version that moved
+// means a writer committed since the fetch — the optimistic abort of §3.8.
+// A guard currently write-held with an unchanged version still validates:
+// that writer has not released, so the content this transaction read is
+// still the latest committed state and the transaction serializes before
+// the writer (torn in-flight fetches were already rejected by the seqlock
+// double-check at read time).
+func (tx *Tx) validateOptimistic() error {
+	if !tx.optimistic() || len(tx.optReads) == 0 {
+		return nil
+	}
+	dps := make([]rma.DPtr, 0, len(tx.optReads))
+	for dp := range tx.optReads {
+		dps = append(dps, dp)
+	}
+	words := tx.eng.store.LockStamps(tx.rank, dps)
+	for i, dp := range dps {
+		if got := locks.Version(words[i]); got != tx.optReads[dp] {
+			tx.eng.optAborts.Add(1)
+			return tx.fail(fmt.Errorf("optimistic validation of %v: version %d, read at %d: %w",
+				dp, got, tx.optReads[dp], locks.ErrContended))
+		}
+	}
 	return nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/gdi-go/gdi/internal/block"
 	"github.com/gdi-go/gdi/internal/collective"
@@ -66,6 +67,21 @@ type Config struct {
 	// the CommitBatching ablation and for debugging; production
 	// configurations leave it false.
 	ScalarCommit bool
+	// CacheBlocks gives every rank a version-validated cache of remote
+	// block copies: vertex-holder fetches revalidate cached blocks against
+	// the version counters in the per-block lock words (one atomic-load
+	// train per owner rank) and skip the GET traffic on a hit. It composes
+	// with either write path — both bump the versions at write-unlock.
+	CacheBlocks bool
+	// CacheCapacity is the per-rank cache size in blocks (default 8192);
+	// only meaningful with CacheBlocks.
+	CacheCapacity int
+	// OptimisticReads makes local read-only transactions lock-free: instead
+	// of taking per-vertex read locks they record (vertex, version) pairs at
+	// fetch time and revalidate all of them with one atomic-load train per
+	// owner rank at commit, aborting with a transaction-critical error when
+	// any version moved (§3.8's optimistic aborts).
+	OptimisticReads bool
 }
 
 // withDefaults fills zero fields with workable defaults.
@@ -85,6 +101,9 @@ func (c Config) withDefaults() Config {
 	if c.LockTries == 0 {
 		c.LockTries = 64
 	}
+	if c.CacheBlocks && c.CacheCapacity == 0 {
+		c.CacheCapacity = 1 << 13
+	}
 	return c
 }
 
@@ -99,6 +118,8 @@ type Engine struct {
 	local   []*localIndex
 	commits []groupCommitter // one write-back combiner per rank
 	cfg     Config
+
+	optAborts atomic.Int64 // optimistic read transactions failing validation
 }
 
 // localIndex is one rank's shard of the explicit indexes: the set of local
@@ -122,9 +143,13 @@ func newLocalIndex() *localIndex {
 // NewEngine collectively creates a database engine over fabric f.
 func NewEngine(f *rma.Fabric, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	cacheBlocks := 0
+	if cfg.CacheBlocks {
+		cacheBlocks = cfg.CacheCapacity
+	}
 	e := &Engine{
 		fab:     f,
-		store:   block.NewStore(f, block.Config{BlockSize: cfg.BlockSize, BlocksPerRank: cfg.BlocksPerRank}),
+		store:   block.NewStore(f, block.Config{BlockSize: cfg.BlockSize, BlocksPerRank: cfg.BlocksPerRank, CacheBlocks: cacheBlocks}),
 		index:   dht.New(f, dht.Config{BucketsPerRank: cfg.DHTBucketsPerRank, EntriesPerRank: cfg.DHTEntriesPerRank}),
 		comm:    collective.New(f),
 		regs:    make([]*metadata.Registry, f.Size()),
@@ -296,3 +321,8 @@ func (li *localIndex) updateLabels(dp rma.DPtr, old, new []lpg.LabelID) {
 
 // FreeBlocks reports the number of free blocks on rank r (diagnostics).
 func (e *Engine) FreeBlocks(r rma.Rank) int { return e.store.FreeBlocks(r, r) }
+
+// OptimisticAborts reports how many optimistic read transactions failed
+// version validation at commit — the optimistic-abort counter OLTP reports
+// print alongside the train counters.
+func (e *Engine) OptimisticAborts() int64 { return e.optAborts.Load() }

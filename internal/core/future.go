@@ -126,7 +126,8 @@ func (tx *Tx) AssociateVertices(dps []rma.DPtr) ([]*VertexHandle, error) {
 }
 
 // pendingFetch tracks one unique vertex being materialized by a flush: its
-// lock state, the growing logical stream, and every future awaiting it.
+// lock state, the growing logical stream, the guard version the stream was
+// validated against (optimistic tier), and every future awaiting it.
 type pendingFetch struct {
 	dp     rma.DPtr
 	st     *vertexState
@@ -134,7 +135,15 @@ type pendingFetch struct {
 	buf    []byte
 	blocks []rma.DPtr
 	nb     int
+	ver    uint64
 	err    error
+	// Optimistic-tier bookkeeping: the blocks that came off the wire (their
+	// stability is only established by the post-stamp check, after which
+	// they are installed into the cache) and a provisional deleted/corrupt
+	// verdict awaiting that check.
+	fetchedDps  []rma.DPtr
+	fetchedBufs [][]byte
+	suspect     error
 }
 
 // flushPending completes every queued association (the Flush of the op
@@ -142,14 +151,22 @@ type pendingFetch struct {
 // decode, install — but performs the fetch rounds with vectored reads:
 //
 //  1. Per-vertex read locks are acquired as one vectored CAS train per
-//     owner rank (elided entirely for collective read-only transactions,
-//     §3.3). Lock contention is transaction-critical and poisons the whole
-//     flush.
+//     owner rank. Lock contention is transaction-critical and poisons the
+//     whole flush. Locking is elided entirely for collective read-only
+//     transactions (§3.3) and for the optimistic tier, which instead
+//     validates every fetch against the guard words' version stamps and
+//     records the (vertex, version) pairs for revalidation at commit.
 //  2. Round 0 reads every primary block, one vectored GET train per owner
 //     rank. The holder streaming invariant (table entry i precedes block
 //     i+1) then lets round i fetch block i of every multi-block holder,
 //     again batched by rank, so a flush over b-block holders needs b
-//     batched rounds, not Σb scalar reads.
+//     batched rounds, not Σb scalar reads. With the block cache enabled the
+//     reads go through Store.ReadBlocksStamped against guard words stamped
+//     once per flush attempt: blocks whose cached copy still carries the
+//     guard's current version are served locally with no GET traffic at
+//     all. Optimistic holders whose guard version moved
+//     mid-fetch (a writer committed between rounds) are torn; they are
+//     re-fetched from scratch, up to the transaction's retry budget.
 //  3. Each holder is decoded and installed into the per-transaction cache;
 //     its futures resolve to handles over the shared state.
 func (tx *Tx) flushPending() {
@@ -196,11 +213,13 @@ func (tx *Tx) flushPending() {
 		return
 	}
 
-	// Phase 1: locks, one vectored CAS train per owner rank (elided
-	// entirely for collective read-only transactions, §3.3). A failed
-	// acquisition is transaction-critical and poisons the whole flush; the
-	// train releases its partial acquisitions itself before reporting it.
-	if !tx.skipLocks() {
+	// Phase 1: locks, one vectored CAS train per owner rank (elided for
+	// collective read-only transactions, §3.3, and for the optimistic tier,
+	// which validates instead of locking). A failed acquisition is
+	// transaction-critical and poisons the whole flush; the train releases
+	// its partial acquisitions itself before reporting it.
+	locking := !tx.skipLocks() && !tx.optimistic()
+	if locking {
 		words := make([]locks.Word, len(fetches))
 		for i, pf := range fetches {
 			words[i] = tx.lockWord(pf.dp)
@@ -217,68 +236,43 @@ func (tx *Tx) flushPending() {
 	}
 	for _, pf := range fetches {
 		st := &vertexState{primary: pf.dp}
-		if !tx.skipLocks() {
+		if locking {
 			st.lock = lockRead
 		}
 		pf.st = st
 	}
 
-	// Phase 2, round 0: every primary block in one batched read per rank.
-	bs := tx.eng.cfg.BlockSize
-	dps := make([]rma.DPtr, len(fetches))
-	bufs := make([][]byte, len(fetches))
-	for i, pf := range fetches {
-		pf.buf = make([]byte, bs)
-		dps[i] = pf.dp
-		bufs[i] = pf.buf
-	}
-	tx.eng.store.ReadBlocksBatch(tx.rank, dps, bufs)
-	live := make([]*pendingFetch, 0, len(fetches))
-	for _, pf := range fetches {
-		nb := holder.NumBlocks(pf.buf)
-		if nb < 1 {
-			tx.unlockState(pf.st)
-			pf.err = fmt.Errorf("%w: holder %v was deleted", ErrNotFound, pf.dp)
-			continue
-		}
-		pf.nb = nb
-		pf.blocks = make([]rma.DPtr, 1, nb)
-		pf.blocks[0] = pf.dp
-		if nb > 1 {
-			full := make([]byte, nb*bs)
-			copy(full, pf.buf)
-			pf.buf = full
-		}
-		live = append(live, pf)
-	}
-
-	// Continuation rounds: block i of every holder still needing one.
-	for round := 1; ; round++ {
-		dps, bufs = dps[:0], bufs[:0]
-		next := live[:0]
-		for _, pf := range live {
-			if pf.nb <= round {
-				continue
-			}
-			dp := holder.TableEntry(pf.buf, round-1)
-			if dp.IsNull() {
-				tx.unlockState(pf.st)
-				pf.err = fmt.Errorf("%w: holder %v has a null continuation block", ErrNotFound, pf.dp)
-				continue
-			}
-			pf.blocks = append(pf.blocks, dp)
-			dps = append(dps, dp)
-			bufs = append(bufs, pf.buf[round*bs:(round+1)*bs])
-			next = append(next, pf)
-		}
-		if len(dps) == 0 {
+	// Phase 2: fetch rounds. Optimistic holders whose guard version moved
+	// mid-stream come back torn and are re-fetched from scratch; a holder
+	// still unstable after the retry budget fails the transaction, exactly
+	// as exhausted lock retries do on the locking path.
+	remaining := fetches
+	for attempt := 0; len(remaining) > 0; attempt++ {
+		unstable := tx.fetchHolderStreams(remaining)
+		if len(unstable) == 0 {
 			break
 		}
-		tx.eng.store.ReadBlocksBatch(tx.rank, dps, bufs)
-		live = next
+		if attempt+1 >= tx.eng.cfg.LockTries {
+			// An optimistic abort like the commit-time one, surfaced at
+			// fetch time: count it so ablation reports stay self-describing.
+			tx.eng.optAborts.Add(1)
+			crit := tx.fail(fmt.Errorf("optimistic fetch of %d vertices still torn after %d attempts: %w",
+				len(unstable), attempt+1, locks.ErrContended))
+			for _, pf := range unstable {
+				pf.err = crit
+			}
+			break
+		}
+		for _, pf := range unstable {
+			pf.buf, pf.blocks, pf.nb, pf.ver = nil, nil, 0, 0
+			pf.fetchedDps, pf.fetchedBufs, pf.suspect = nil, nil, nil
+		}
+		remaining = unstable
 	}
 
-	// Phase 3: decode, install, resolve.
+	// Phase 3: decode, install, resolve. The optimistic tier records the
+	// version each holder was validated at; Commit revalidates the whole
+	// read set in one train per owner rank.
 	for _, pf := range fetches {
 		if pf.err == nil {
 			v, err := holder.DecodeVertex(pf.buf)
@@ -290,6 +284,12 @@ func (tx *Tx) flushPending() {
 				pf.st.blocks = pf.blocks
 				pf.st.origLabel = append([]lpg.LabelID(nil), v.Labels...)
 				tx.verts[pf.dp] = pf.st
+				if tx.optimistic() {
+					if tx.optReads == nil {
+						tx.optReads = make(map[rma.DPtr]uint64)
+					}
+					tx.optReads[pf.dp] = pf.ver
+				}
 			}
 		}
 		for _, f := range pf.futs {
@@ -300,4 +300,173 @@ func (tx *Tx) flushPending() {
 			}
 		}
 	}
+}
+
+// fetchHolderStreams materializes the logical streams of the given fetches —
+// round 0 reads every primary, round i the i-th continuation block of every
+// holder still needing one, each round one vectored read train per owner
+// rank — and returns the subset whose optimistic reads came back unstable
+// (guard version moved or writer held across the fetch) for the caller to
+// retry. Holders that turn out deleted or corrupt have pf.err set and are
+// not returned.
+//
+// Whenever version stamps matter (the optimistic tier or the block cache),
+// the guards are stamped once up front — one atomic-load train per owner
+// rank — and every round of every holder is served against those stamps:
+// cache hits valid at the stamp cost no traffic at all, and misses come off
+// the wire one GET train per rank per round. The optimistic tier then
+// establishes stability with a single post-stamp train covering only the
+// holders that actually touched the wire (a fully cache-served holder is a
+// consistent copy at its stamped version by construction); fetched blocks
+// of holders whose guard did not move are installed into the cache.
+func (tx *Tx) fetchHolderStreams(fetches []*pendingFetch) (unstable []*pendingFetch) {
+	bs := tx.eng.cfg.BlockSize
+	store := tx.eng.store
+	opt := tx.optimistic()
+	stamped := opt || store.CacheEnabled()
+
+	// Stamp every primary once; in optimistic mode a guard already held by
+	// a writer cannot validate, so its holder goes straight to retry.
+	live := make([]*pendingFetch, 0, len(fetches))
+	var stamps map[rma.DPtr]uint64
+	if stamped {
+		prims := make([]rma.DPtr, len(fetches))
+		for i, pf := range fetches {
+			prims[i] = pf.dp
+		}
+		stamps = store.GuardStamps(tx.rank, prims)
+		for _, pf := range fetches {
+			w := stamps[pf.dp]
+			if opt && locks.WriteHeld(w) {
+				unstable = append(unstable, pf)
+				continue
+			}
+			pf.ver = locks.Version(w)
+			live = append(live, pf)
+		}
+	} else {
+		live = append(live, fetches...)
+	}
+
+	readRound := func(dps, guards []rma.DPtr, bufs [][]byte, pfs []*pendingFetch) {
+		if !stamped {
+			store.ReadBlocksBatch(tx.rank, dps, bufs)
+			return
+		}
+		fetched := store.ReadBlocksStamped(tx.rank, dps, guards, bufs, stamps, !opt)
+		if opt {
+			for j, pf := range pfs {
+				if fetched[j] {
+					pf.fetchedDps = append(pf.fetchedDps, dps[j])
+					pf.fetchedBufs = append(pf.fetchedBufs, bufs[j])
+				}
+			}
+		}
+	}
+	// fail marks a holder deleted/corrupt. On the optimistic tier the
+	// verdict is provisional — the poison itself may be a torn read — and
+	// is confirmed or discarded by the post-stamp check.
+	var toCheck []*pendingFetch
+	fail := func(pf *pendingFetch, err error) {
+		if opt {
+			pf.suspect = err
+			toCheck = append(toCheck, pf)
+			return
+		}
+		tx.unlockState(pf.st)
+		pf.err = err
+	}
+
+	// Round 0: every primary block, guarded by its own lock word.
+	dps := make([]rma.DPtr, 0, len(live))
+	guards := make([]rma.DPtr, 0, len(live))
+	bufs := make([][]byte, 0, len(live))
+	roundPfs := make([]*pendingFetch, 0, len(live))
+	for _, pf := range live {
+		pf.buf = make([]byte, bs)
+		dps = append(dps, pf.dp)
+		guards = append(guards, pf.dp)
+		bufs = append(bufs, pf.buf)
+		roundPfs = append(roundPfs, pf)
+	}
+	readRound(dps, guards, bufs, roundPfs)
+	cur := make([]*pendingFetch, 0, len(live))
+	for _, pf := range live {
+		nb := holder.NumBlocks(pf.buf)
+		if nb < 1 {
+			fail(pf, fmt.Errorf("%w: holder %v was deleted", ErrNotFound, pf.dp))
+			continue
+		}
+		pf.nb = nb
+		pf.blocks = make([]rma.DPtr, 1, nb)
+		pf.blocks[0] = pf.dp
+		if nb > 1 {
+			full := make([]byte, nb*bs)
+			copy(full, pf.buf)
+			pf.buf = full
+		}
+		cur = append(cur, pf)
+	}
+
+	// Continuation rounds: block `round` of every holder still needing one,
+	// guarded by the holder's primary.
+	for round := 1; len(cur) > 0; round++ {
+		dps, guards, bufs, roundPfs = dps[:0], guards[:0], bufs[:0], roundPfs[:0]
+		next := cur[:0]
+		for _, pf := range cur {
+			if pf.nb <= round {
+				continue
+			}
+			dp := holder.TableEntry(pf.buf, round-1)
+			if dp.IsNull() {
+				fail(pf, fmt.Errorf("%w: holder %v has a null continuation block", ErrNotFound, pf.dp))
+				continue
+			}
+			pf.blocks = append(pf.blocks, dp)
+			dps = append(dps, dp)
+			guards = append(guards, pf.dp)
+			bufs = append(bufs, pf.buf[round*bs:(round+1)*bs])
+			roundPfs = append(roundPfs, pf)
+			next = append(next, pf)
+		}
+		if len(dps) == 0 {
+			break
+		}
+		readRound(dps, guards, bufs, roundPfs)
+		cur = next
+	}
+
+	// Optimistic post-validation: one stamp train over the holders that
+	// fetched anything (or look deleted); an unmoved guard proves every one
+	// of their wire reads was stable.
+	if opt {
+		for _, pf := range fetches {
+			if pf.err == nil && pf.suspect == nil && len(pf.fetchedDps) > 0 {
+				toCheck = append(toCheck, pf)
+			}
+		}
+		if len(toCheck) == 0 {
+			return unstable
+		}
+		prims := make([]rma.DPtr, len(toCheck))
+		for i, pf := range toCheck {
+			prims[i] = pf.dp
+		}
+		post := store.GuardStamps(tx.rank, prims)
+		for _, pf := range toCheck {
+			w := post[pf.dp]
+			if locks.Version(w) != pf.ver || locks.WriteHeld(w) {
+				pf.suspect = nil
+				unstable = append(unstable, pf)
+				continue
+			}
+			if pf.suspect != nil {
+				pf.err = pf.suspect
+				pf.suspect = nil
+				continue
+			}
+			store.InstallCached(tx.rank, pf.dp, pf.ver, pf.fetchedDps, pf.fetchedBufs)
+		}
+	}
+	return unstable
 }

@@ -45,6 +45,7 @@ type vertexState struct {
 	v         *holder.Vertex
 	blocks    []rma.DPtr // all blocks incl. primary; nil for fresh vertices
 	lock      lockState
+	lockVer   uint64 // lock-word version while write-held (from the commit train)
 	dirty     bool
 	isNew     bool
 	deleted   bool
@@ -76,6 +77,7 @@ type Tx struct {
 	newByApp  map[uint64]rma.DPtr // own uncommitted vertices, by app ID
 	dirtyList []rma.DPtr          // commit write-back order (the paper's vector)
 	pending   []*VertexFuture     // queued non-blocking associations
+	optReads  map[rma.DPtr]uint64 // optimistic tier: vertex -> version observed
 	critical  error               // sticky transaction-critical failure
 	closed    bool
 }
@@ -137,6 +139,18 @@ func (tx *Tx) check() error {
 
 // skipLocks reports whether this transaction runs without per-vertex locks.
 func (tx *Tx) skipLocks() bool { return tx.collective && tx.mode == ReadOnly }
+
+// optimistic reports whether this transaction runs the optimistic read tier:
+// a local read-only transaction under Config.OptimisticReads takes no read
+// locks at all — every holder fetch is accepted only when its guard word
+// shows the same version (write bit clear) on both sides of the read, the
+// (vertex, version) pair is recorded, and Commit revalidates the whole read
+// set with one atomic-load train per owner rank. Collective read-only
+// transactions keep their own lock-free path (§3.3 lets them assume no
+// concurrent writers, so they need neither locks nor validation).
+func (tx *Tx) optimistic() bool {
+	return tx.eng.cfg.OptimisticReads && tx.mode == ReadOnly && !tx.collective
+}
 
 // batchedCommit reports whether the engine runs the batched write path:
 // deferred lock upgrades resolved by a commit-time lock train, vectored

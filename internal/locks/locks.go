@@ -1,8 +1,21 @@
 // Package locks implements the scalable two-phase reader-writer locking of
-// GDI-RMA (§5.6 of the paper). One 64-bit lock word guards each vertex: the
-// high bit is the write bit, the low 32 bits count readers. All acquisition
-// is performed with remote CAS on the word, so a lock operation costs one
-// network atomic on the fast path.
+// GDI-RMA (§5.6 of the paper). One 64-bit lock word guards each vertex:
+//
+//	bit  63      write bit (exclusively held)
+//	bits 32..62  version counter, bumped by every write-unlock
+//	bits  0..31  reader count
+//
+// All acquisition is performed with remote CAS on the word, so a lock
+// operation costs one or two network atomics on the fast path.
+//
+// The version counter is the foundation of the optimistic read tier (§3.8,
+// §5.2): holder content only changes while the write bit is set, and every
+// write-unlock bumps the version, so a reader that observes the same version
+// with the write bit clear before and after a fetch holds an untorn copy,
+// and a cached copy stamped with version v is current exactly while the word
+// still carries v. Versions are per word and strictly monotonic (releases
+// only increment; the 31-bit counter wraps after 2^31 writes per vertex,
+// far beyond any transaction lifetime this simulation runs).
 //
 // Acquisition is bounded: after maxTries failed CAS/recheck rounds the
 // attempt fails and the caller (the transaction layer) must abort the
@@ -14,6 +27,7 @@ package locks
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
 	"github.com/gdi-go/gdi/internal/rma"
@@ -24,6 +38,29 @@ const writeBit uint64 = 1 << 63
 
 // readerMask extracts the reader count.
 const readerMask uint64 = 1<<32 - 1
+
+// The version counter occupies bits 32..62.
+const (
+	versionShift        = 32
+	versionBits         = 31
+	versionOne   uint64 = 1 << versionShift
+	versionMask  uint64 = (1<<versionBits - 1) << versionShift
+)
+
+// Version extracts the version counter from a raw lock word.
+func Version(word uint64) uint64 { return (word & versionMask) >> versionShift }
+
+// WriteHeld reports whether a raw lock word is exclusively held.
+func WriteHeld(word uint64) bool { return word&writeBit != 0 }
+
+// Readers extracts the reader count from a raw lock word.
+func Readers(word uint64) uint32 { return uint32(word & readerMask) }
+
+// bumpVersion increments the version field of word, wrapping inside the
+// field so an overflow cannot spill into the write bit.
+func bumpVersion(word uint64) uint64 {
+	return (word &^ versionMask) | ((word + versionOne) & versionMask)
+}
 
 // ErrContended is returned when a bounded acquisition gives up. Transactions
 // translate it into a transaction-critical error.
@@ -67,10 +104,15 @@ func (w Word) ReleaseRead(origin rma.Rank) {
 }
 
 // TryAcquireWrite takes the exclusive lock: it succeeds only when no reader
-// and no writer holds the word.
+// and no writer holds the word. The version field is preserved across
+// acquisition (it only moves on release).
 func (w Word) TryAcquireWrite(origin rma.Rank, tries int) error {
 	for i := 0; i < tries; i++ {
-		if _, ok := w.Win.CAS(origin, w.Target, w.Idx, 0, writeBit); ok {
+		cur := w.Win.Load(origin, w.Target, w.Idx)
+		if cur&(writeBit|readerMask) != 0 {
+			continue // a writer or readers hold the lock
+		}
+		if _, ok := w.Win.CAS(origin, w.Target, w.Idx, cur, cur|writeBit); ok {
 			return nil
 		}
 	}
@@ -82,23 +124,32 @@ func (w Word) TryAcquireWrite(origin rma.Rank, tries int) error {
 // keeps its shared lock and receives ErrContended.
 func (w Word) TryUpgrade(origin rma.Rank, tries int) error {
 	for i := 0; i < tries; i++ {
-		if _, ok := w.Win.CAS(origin, w.Target, w.Idx, 1, writeBit); ok {
-			return nil
-		}
 		cur := w.Win.Load(origin, w.Target, w.Idx)
 		if cur&writeBit != 0 {
 			// Impossible while we hold a read lock under correct usage.
 			return ErrContended
 		}
+		if cur&readerMask != 1 {
+			continue // other readers present
+		}
+		if _, ok := w.Win.CAS(origin, w.Target, w.Idx, cur, (cur-1)|writeBit); ok {
+			return nil
+		}
 	}
 	return ErrContended
 }
 
-// ReleaseWrite drops the exclusive lock.
+// ReleaseWrite drops the exclusive lock and bumps the version counter — the
+// signal that tells version-validated readers their cached copies of the
+// guarded holder are stale. A write-held word is stable (readers cannot
+// enter and probes are value-preserving), so one load plus one CAS suffice.
 func (w Word) ReleaseWrite(origin rma.Rank) {
-	if prev, ok := w.Win.CAS(origin, w.Target, w.Idx, writeBit, 0); !ok {
-		_ = prev
+	cur := w.Win.Load(origin, w.Target, w.Idx)
+	if cur&writeBit == 0 {
 		panic("locks: ReleaseWrite without holding the write lock")
+	}
+	if _, ok := w.Win.CAS(origin, w.Target, w.Idx, cur, bumpVersion(cur&^writeBit)); !ok {
+		panic("locks: write-held lock word changed underfoot")
 	}
 }
 
@@ -135,38 +186,52 @@ func checkTrainWin(win *rma.WordWin, w Word) {
 }
 
 // AcquireWriteTrain write-locks every word of the train, issuing one
-// vectored CAS train per owner rank per retry round. Acquisition is all or
-// nothing: if any word cannot be taken within the retry budget, every lock
-// the train did acquire is rolled back to its pre-train state (upgrades
-// return to one reader) and ErrContended is returned. A train of size one
-// degenerates to the scalar TryAcquireWrite/TryUpgrade.
-func AcquireWriteTrain(origin rma.Rank, ls []TrainLock, tries int) error {
-	switch len(ls) {
-	case 0:
-		return nil
-	case 1:
-		if ls[0].FromRead {
-			return ls[0].Word.TryUpgrade(origin, tries)
-		}
-		return ls[0].Word.TryAcquireWrite(origin, tries)
+// vectored CAS train per owner rank per retry round. Because lock words
+// carry version counters, the train cannot guess the current word value; it
+// learns it from failed CAS results exactly as the read train does (a word
+// observed in an unacquirable state is probed with a value-preserving CAS).
+// Acquisition is all or nothing: if any word cannot be taken within the
+// retry budget, every lock the train did acquire is rolled back to its
+// pre-train state (upgrades return to one reader, versions untouched — a
+// rollback is not a write-unlock) and (nil, ErrContended) is returned.
+//
+// On success it returns the version of every held word, aligned with ls.
+// Passing those versions to ReleaseWriteTrain lets the release converge in
+// one CAS round per rank instead of re-learning the values the acquisition
+// already knew.
+func AcquireWriteTrain(origin rma.Rank, ls []TrainLock, tries int) ([]uint64, error) {
+	if len(ls) == 0 {
+		return nil, nil
 	}
-	train := append([]TrainLock(nil), ls...)
-	sort.Slice(train, func(i, j int) bool {
-		a, b := train[i].Word, train[j].Word
+	order := make([]int, len(ls)) // sorted position -> index in ls
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := ls[order[i]].Word, ls[order[j]].Word
 		if a.Target != b.Target {
 			return a.Target < b.Target
 		}
 		return a.Idx < b.Idx
 	})
+	train := make([]TrainLock, len(ls))
+	for i, src := range order {
+		train[i] = ls[src]
+	}
 	win := train[0].Word.Win
 	held := make([]bool, len(train))
-	nHeld := 0
-	oldOf := func(l TrainLock) uint64 {
+	expected := make([]uint64, len(train)) // last observed word value, or held value
+	oldReaders := func(l TrainLock) uint64 {
 		if l.FromRead {
-			return 1
+			return 1 // our own shared lock
 		}
 		return 0
 	}
+	for i, l := range train {
+		checkTrainWin(win, l.Word)
+		expected[i] = oldReaders(l) // version-0 guess; corrected by CAS results
+	}
+	nHeld := 0
 	for round := 0; round < tries && nHeld < len(train); round++ {
 		forEachRank(len(train), func(i int) rma.Rank { return train[i].Word.Target }, func(lo, hi int) {
 			ops := make([]rma.CASOp, 0, hi-lo)
@@ -175,27 +240,44 @@ func AcquireWriteTrain(origin rma.Rank, ls []TrainLock, tries int) error {
 				if held[i] {
 					continue
 				}
-				checkTrainWin(win, train[i].Word)
-				ops = append(ops, rma.CASOp{Idx: train[i].Word.Idx, Old: oldOf(train[i]), New: writeBit})
+				op := rma.CASOp{Idx: train[i].Word.Idx, Old: expected[i]}
+				if expected[i]&writeBit == 0 && expected[i]&readerMask == oldReaders(train[i]) {
+					// Acquirable: drop our reader (upgrades) and set the bit.
+					op.New = (expected[i] - oldReaders(train[i])) | writeBit
+				} else {
+					op.New = op.Old // probe: foreign readers or a writer hold it
+				}
+				ops = append(ops, op)
 				opIdx = append(opIdx, i)
 			}
-			for i, r := range win.CASBatch(origin, train[lo].Word.Target, ops) {
-				if r.Swapped {
-					held[opIdx[i]] = true
+			for j, r := range win.CASBatch(origin, train[lo].Word.Target, ops) {
+				i := opIdx[j]
+				switch {
+				case r.Swapped && ops[j].New != ops[j].Old:
+					held[i] = true
+					expected[i] = ops[j].New // the value we installed
 					nHeld++
+				case r.Swapped: // probe confirmed the blockers are still there
+				default:
+					expected[i] = r.Prev
 				}
 			}
 		})
 	}
 	if nHeld == len(train) {
-		return nil
+		vers := make([]uint64, len(ls))
+		for i, src := range order {
+			vers[src] = Version(expected[i])
+		}
+		return vers, nil
 	}
 	// Roll back every word this train acquired, again one train per rank.
+	// Held words are stable, so the single CAS per word must succeed.
 	forEachRank(len(train), func(i int) rma.Rank { return train[i].Word.Target }, func(lo, hi int) {
 		ops := make([]rma.CASOp, 0, hi-lo)
 		for i := lo; i < hi; i++ {
 			if held[i] {
-				ops = append(ops, rma.CASOp{Idx: train[i].Word.Idx, Old: writeBit, New: oldOf(train[i])})
+				ops = append(ops, rma.CASOp{Idx: train[i].Word.Idx, Old: expected[i], New: (expected[i] &^ writeBit) + oldReaders(train[i])})
 			}
 		}
 		for _, r := range win.CASBatch(origin, train[lo].Word.Target, ops) {
@@ -204,12 +286,20 @@ func AcquireWriteTrain(origin rma.Rank, ls []TrainLock, tries int) error {
 			}
 		}
 	})
-	return ErrContended
+	return nil, ErrContended
 }
 
-// ReleaseWriteTrain drops exclusively held locks, one vectored CAS train per
-// owner rank. Every word must be write-held by the caller.
-func ReleaseWriteTrain(origin rma.Rank, words []Word) {
+// ReleaseWriteTrain drops exclusively held locks and bumps their version
+// counters, one vectored CAS train per owner rank per round. Every word must
+// be write-held by the caller. vers, when non-nil, carries the held words'
+// versions (aligned with words, as returned by AcquireWriteTrain): a held
+// word's value is stable, so correct versions make the train converge in a
+// single round per rank. With vers nil the first round guesses version 0
+// and any word whose guess was wrong is released on the second round.
+func ReleaseWriteTrain(origin rma.Rank, words []Word, vers []uint64) {
+	if vers != nil && len(vers) != len(words) {
+		panic(fmt.Sprintf("locks: release train of %d words with %d versions", len(words), len(vers)))
+	}
 	switch len(words) {
 	case 0:
 		return
@@ -217,20 +307,57 @@ func ReleaseWriteTrain(origin rma.Rank, words []Word) {
 		words[0].ReleaseWrite(origin)
 		return
 	}
-	train := sortedWords(words)
-	win := train[0].Win
-	forEachRank(len(train), func(i int) rma.Rank { return train[i].Target }, func(lo, hi int) {
-		ops := make([]rma.CASOp, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			checkTrainWin(win, train[i])
-			ops = append(ops, rma.CASOp{Idx: train[i].Idx, Old: writeBit, New: 0})
+	order := make([]int, len(words))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := words[order[i]], words[order[j]]
+		if a.Target != b.Target {
+			return a.Target < b.Target
 		}
-		for _, r := range win.CASBatch(origin, train[lo].Target, ops) {
-			if !r.Swapped {
-				panic("locks: ReleaseWriteTrain without holding the write lock")
-			}
-		}
+		return a.Idx < b.Idx
 	})
+	train := make([]Word, len(words))
+	for i, src := range order {
+		train[i] = words[src]
+	}
+	win := train[0].Win
+	done := make([]bool, len(train))
+	expected := make([]uint64, len(train))
+	for i, src := range order {
+		checkTrainWin(win, train[i])
+		expected[i] = writeBit // version-0 guess; corrected by CAS results
+		if vers != nil {
+			expected[i] = vers[src]<<versionShift | writeBit
+		}
+	}
+	nDone := 0
+	for nDone < len(train) {
+		forEachRank(len(train), func(i int) rma.Rank { return train[i].Target }, func(lo, hi int) {
+			ops := make([]rma.CASOp, 0, hi-lo)
+			opIdx := make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				if done[i] {
+					continue
+				}
+				ops = append(ops, rma.CASOp{Idx: train[i].Idx, Old: expected[i], New: bumpVersion(expected[i] &^ writeBit)})
+				opIdx = append(opIdx, i)
+			}
+			for j, r := range win.CASBatch(origin, train[lo].Target, ops) {
+				i := opIdx[j]
+				if r.Swapped {
+					done[i] = true
+					nDone++
+					continue
+				}
+				if r.Prev&writeBit == 0 {
+					panic("locks: ReleaseWriteTrain without holding the write lock")
+				}
+				expected[i] = r.Prev
+			}
+		})
+	}
 }
 
 // AcquireReadTrain takes shared locks on every word, one vectored CAS train

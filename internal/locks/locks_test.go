@@ -155,7 +155,8 @@ func TestAcquireWriteTrainFreshAndUpgrade(t *testing.T) {
 			}
 		}
 	}
-	if err := AcquireWriteTrain(0, ls, DefaultTries); err != nil {
+	vers, err := AcquireWriteTrain(0, ls, DefaultTries)
+	if err != nil {
 		t.Fatal(err)
 	}
 	for i, w := range ws {
@@ -163,7 +164,7 @@ func TestAcquireWriteTrainFreshAndUpgrade(t *testing.T) {
 			t.Fatalf("word %d after train: (%v, %d), want exclusively held", i, wr, rd)
 		}
 	}
-	ReleaseWriteTrain(0, ws)
+	ReleaseWriteTrain(0, ws, vers)
 	for i, w := range ws {
 		if wr, rd := w.Peek(0); wr || rd != 0 {
 			t.Fatalf("word %d after release train: (%v, %d), want free", i, wr, rd)
@@ -186,7 +187,7 @@ func TestAcquireWriteTrainRollsBackOnContention(t *testing.T) {
 		{Word: ws[1]},
 		{Word: ws[2], FromRead: true},
 	}
-	if err := AcquireWriteTrain(0, ls, 4); err != ErrContended {
+	if _, err := AcquireWriteTrain(0, ls, 4); err != ErrContended {
 		t.Fatalf("train over a held word: err = %v, want ErrContended", err)
 	}
 	if wr, rd := ws[0].Peek(0); wr || rd != 0 {
@@ -257,7 +258,8 @@ func TestWriteTrainsExcludeEachOtherUnderContention(t *testing.T) {
 			ls[i] = TrainLock{Word: w}
 		}
 		for i := 0; i < 50; i++ {
-			if err := AcquireWriteTrain(r, ls, 100); err != nil {
+			vers, err := AcquireWriteTrain(r, ls, 100)
+			if err != nil {
 				continue
 			}
 			if inCrit.Add(1) != 1 {
@@ -265,7 +267,7 @@ func TestWriteTrainsExcludeEachOtherUnderContention(t *testing.T) {
 			}
 			inCrit.Add(-1)
 			acquired.Add(1)
-			ReleaseWriteTrain(r, ws)
+			ReleaseWriteTrain(r, ws, vers)
 		}
 	})
 	if acquired.Load() == 0 {
@@ -287,7 +289,7 @@ func TestTrainSpanningWindowsPanics(t *testing.T) {
 			t.Error("mixed-window train did not panic")
 		}
 	}()
-	_ = AcquireWriteTrain(0, []TrainLock{{Word: w1}, {Word: w2}}, 4)
+	_, _ = AcquireWriteTrain(0, []TrainLock{{Word: w1}, {Word: w2}}, 4)
 }
 
 func TestReadersWritersInterleaved(t *testing.T) {
@@ -317,5 +319,237 @@ func TestReadersWritersInterleaved(t *testing.T) {
 	})
 	if int(shared) != writes {
 		t.Fatalf("lost updates: shared = %d, writes = %d", shared, writes)
+	}
+}
+
+// raw reads the lock word value directly for version assertions.
+func raw(w Word) uint64 { return w.Win.Load(w.Target, w.Target, w.Idx) }
+
+func TestWriteUnlockBumpsVersion(t *testing.T) {
+	w, _ := word(1)
+	if v := Version(raw(w)); v != 0 {
+		t.Fatalf("fresh word version = %d, want 0", v)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := w.TryAcquireWrite(0, DefaultTries); err != nil {
+			t.Fatal(err)
+		}
+		if !WriteHeld(raw(w)) {
+			t.Fatal("write bit not set while held")
+		}
+		if v := Version(raw(w)); v != uint64(i-1) {
+			t.Fatalf("version moved during hold: %d, want %d", v, i-1)
+		}
+		w.ReleaseWrite(0)
+		if v := Version(raw(w)); v != uint64(i) {
+			t.Fatalf("after release %d: version = %d", i, v)
+		}
+	}
+	// Read lock/unlock cycles must not move the version.
+	if err := w.TryAcquireRead(0, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	w.ReleaseRead(0)
+	if v := Version(raw(w)); v != 3 {
+		t.Fatalf("read cycle moved version to %d", v)
+	}
+	// Upgrade from a shared lock preserves the version until release.
+	if err := w.TryAcquireRead(0, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TryUpgrade(0, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	if v := Version(raw(w)); v != 3 {
+		t.Fatalf("upgrade moved version to %d", v)
+	}
+	w.ReleaseWrite(0)
+	if v := Version(raw(w)); v != 4 {
+		t.Fatalf("post-upgrade release version = %d, want 4", v)
+	}
+}
+
+func TestScalarLockingWorksAtNonzeroVersions(t *testing.T) {
+	w, _ := word(1)
+	// Advance the version, then re-run the basic protocol on top of it.
+	for i := 0; i < 5; i++ {
+		if err := w.TryAcquireWrite(0, DefaultTries); err != nil {
+			t.Fatal(err)
+		}
+		w.ReleaseWrite(0)
+	}
+	if err := w.TryAcquireRead(0, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TryAcquireWrite(0, 4); err != ErrContended {
+		t.Fatalf("writer under reader at version 5: %v", err)
+	}
+	w.ReleaseRead(0)
+	if err := w.TryAcquireWrite(0, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TryAcquireRead(0, 4); err != ErrContended {
+		t.Fatalf("reader under writer at version 5: %v", err)
+	}
+	w.ReleaseWrite(0)
+	if v := Version(raw(w)); v != 6 {
+		t.Fatalf("version = %d, want 6", v)
+	}
+}
+
+func TestTrainsLearnNonzeroVersions(t *testing.T) {
+	ws, _ := trainWords(3, 2)
+	// Put every word at a different version so the trains' version-0 guesses
+	// are all wrong and must be corrected from CAS results.
+	for i, w := range ws {
+		for n := 0; n <= i; n++ {
+			if err := w.TryAcquireWrite(0, DefaultTries); err != nil {
+				t.Fatal(err)
+			}
+			w.ReleaseWrite(0)
+		}
+	}
+	before := make([]uint64, len(ws))
+	for i, w := range ws {
+		before[i] = Version(raw(w))
+	}
+	// Read train: no version movement.
+	if err := AcquireReadTrain(0, ws, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	ReleaseReadTrain(0, ws)
+	for i, w := range ws {
+		if got := Version(raw(w)); got != before[i] {
+			t.Fatalf("word %d: read train moved version %d -> %d", i, before[i], got)
+		}
+	}
+	// Write train with mixed upgrades; release bumps every word once.
+	ls := make([]TrainLock, len(ws))
+	for i, w := range ws {
+		ls[i] = TrainLock{Word: w, FromRead: i%2 == 0}
+		if ls[i].FromRead {
+			if err := w.TryAcquireRead(0, DefaultTries); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	vers, err := AcquireWriteTrain(0, ls, DefaultTries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range ws {
+		if vers[i] != before[i] {
+			t.Fatalf("word %d: train reported version %d, want %d", i, vers[i], before[i])
+		}
+		if got := Version(raw(w)); got != before[i] || !WriteHeld(raw(w)) {
+			t.Fatalf("word %d mid-hold: version %d (want %d), held %v", i, got, before[i], WriteHeld(raw(w)))
+		}
+	}
+	ReleaseWriteTrain(0, ws, vers)
+	for i, w := range ws {
+		if got := Version(raw(w)); got != before[i]+1 {
+			t.Fatalf("word %d: release train version %d, want %d", i, got, before[i]+1)
+		}
+		if wr, rd := w.Peek(0); wr || rd != 0 {
+			t.Fatalf("word %d not free after release train: (%v, %d)", i, wr, rd)
+		}
+	}
+}
+
+func TestWriteTrainRollbackPreservesVersion(t *testing.T) {
+	ws, _ := trainWords(3, 1)
+	// Give word 0 a nonzero version, block word 1 with a foreign reader.
+	if err := ws[0].TryAcquireWrite(0, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	ws[0].ReleaseWrite(0)
+	if err := ws[1].TryAcquireRead(0, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws[2].TryAcquireRead(0, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	ls := []TrainLock{{Word: ws[0]}, {Word: ws[1]}, {Word: ws[2], FromRead: true}}
+	if _, err := AcquireWriteTrain(0, ls, 4); err != ErrContended {
+		t.Fatalf("train over a held word: err = %v, want ErrContended", err)
+	}
+	// Rollback is not a write-unlock: versions unchanged, reader restored.
+	if v := Version(raw(ws[0])); v != 1 {
+		t.Fatalf("word 0 version after rollback = %d, want 1", v)
+	}
+	if v := Version(raw(ws[2])); v != 0 {
+		t.Fatalf("word 2 version after rollback = %d, want 0", v)
+	}
+	if wr, rd := ws[2].Peek(0); wr || rd != 1 {
+		t.Fatalf("word 2 not rolled back to our reader: (%v, %d)", wr, rd)
+	}
+}
+
+func TestVersionsMonotonicUnderContention(t *testing.T) {
+	w, f := word(8)
+	var acquired atomic.Int64
+	f.Run(func(r rma.Rank) {
+		last := uint64(0)
+		for i := 0; i < 100; i++ {
+			cur := w.Win.Load(r, w.Target, w.Idx)
+			if v := Version(cur); v < last {
+				t.Errorf("version went backwards: %d after %d", v, last)
+			} else {
+				last = v
+			}
+			if err := w.TryAcquireWrite(r, 10_000); err != nil {
+				continue
+			}
+			acquired.Add(1)
+			w.ReleaseWrite(r)
+		}
+	})
+	n := acquired.Load()
+	if n == 0 {
+		t.Fatal("no writer ever acquired the lock")
+	}
+	if v := Version(raw(w)); v != uint64(n) {
+		t.Fatalf("final version %d, want one bump per acquisition (%d)", v, n)
+	}
+}
+
+func TestReleaseTrainWithVersionsConvergesInOneRound(t *testing.T) {
+	ws, f := trainWords(3, 2)
+	// Put every word at a nonzero version so version-0 guesses are wrong.
+	for _, w := range ws {
+		if err := w.TryAcquireWrite(0, DefaultTries); err != nil {
+			t.Fatal(err)
+		}
+		w.ReleaseWrite(0)
+	}
+	ls := make([]TrainLock, len(ws))
+	for i, w := range ws {
+		ls[i] = TrainLock{Word: w}
+	}
+	// Origin 1 makes every CAS remote, so AtomicBatches counts the rounds.
+	vers, err := AcquireWriteTrain(1, ls, DefaultTries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ResetCounters()
+	ReleaseWriteTrain(1, ws, vers)
+	s := f.CounterSnapshot(1)
+	if want := int64(2); s.AtomicBatches != want { // one train per remote owner rank
+		t.Fatalf("seeded release used %d trains, want %d (one round per rank)", s.AtomicBatches, want)
+	}
+	// The unseeded release at nonzero versions needs a learning round.
+	if _, err := AcquireWriteTrain(1, ls, DefaultTries); err != nil {
+		t.Fatal(err)
+	}
+	f.ResetCounters()
+	ReleaseWriteTrain(1, ws, nil)
+	s = f.CounterSnapshot(1)
+	if want := int64(4); s.AtomicBatches != want {
+		t.Fatalf("unseeded release used %d trains, want %d (two rounds per rank)", s.AtomicBatches, want)
+	}
+	for i, w := range ws {
+		if wr, rd := w.Peek(0); wr || rd != 0 {
+			t.Fatalf("word %d not free after releases: (%v, %d)", i, wr, rd)
+		}
 	}
 }

@@ -1,0 +1,91 @@
+package lpg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// entriesFromBytes deterministically derives a label set and property list
+// from raw fuzz input. Property-type IDs are kept in the dynamic range
+// (reserved IDs below FirstDynamicID are rejected by AppendPropertyEntry by
+// contract) and value sizes are drawn so that unpadded, padded, empty, and
+// multi-word payloads all occur.
+func entriesFromBytes(data []byte) (labels []LabelID, props []Property) {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	nLabels := int(next() % 8)
+	for i := 0; i < nLabels; i++ {
+		labels = append(labels, LabelID(uint32(next())<<8|uint32(next())))
+	}
+	nProps := int(next() % 8)
+	for i := 0; i < nProps; i++ {
+		pt := PTypeID(FirstDynamicID + uint32(next())%1024)
+		size := int(next() % 67) // covers 0, 4-aligned, and padded sizes
+		val := make([]byte, size)
+		for j := range val {
+			val[j] = next()
+		}
+		props = append(props, Property{PType: pt, Value: val})
+	}
+	return labels, props
+}
+
+// FuzzEntryRoundTrip drives the §5.4.3 entry wire format end to end:
+// whatever label/property combination the fuzzer derives must encode into a
+// terminated region, decode back into the identical labels and properties,
+// and re-encode byte-identically (the codec is canonical).
+func FuzzEntryRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 16})
+	f.Add([]byte{0, 2, 1, 5, 4, 9, 8, 7, 6, 2, 0, 0})
+	f.Add([]byte{3, 1, 2, 3, 4, 5, 6, 3, 255, 66, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		labels, props := entriesFromBytes(data)
+		buf := EncodeEntries(labels, props)
+
+		gotLabels, gotProps := SplitEntries(buf)
+		if len(gotLabels) != len(labels) {
+			t.Fatalf("decoded %d labels, encoded %d", len(gotLabels), len(labels))
+		}
+		for i := range labels {
+			if gotLabels[i] != labels[i] {
+				t.Fatalf("label %d: got %d, want %d", i, gotLabels[i], labels[i])
+			}
+		}
+		if len(gotProps) != len(props) {
+			t.Fatalf("decoded %d properties, encoded %d", len(gotProps), len(props))
+		}
+		for i := range props {
+			if gotProps[i].PType != props[i].PType {
+				t.Fatalf("property %d: ptype %d, want %d", i, gotProps[i].PType, props[i].PType)
+			}
+			if !bytes.Equal(gotProps[i].Value, props[i].Value) {
+				t.Fatalf("property %d: value %v, want %v", i, gotProps[i].Value, props[i].Value)
+			}
+		}
+
+		// The decoder must consume exactly the encoded region (terminator
+		// included), and re-encoding the decoded form must be canonical.
+		if entries, consumed := DecodeEntries(buf); consumed != len(buf) {
+			t.Fatalf("consumed %d of %d bytes (%d entries)", consumed, len(buf), len(entries))
+		}
+		if again := EncodeEntries(gotLabels, gotProps); !bytes.Equal(again, buf) {
+			t.Fatalf("re-encode not canonical:\n got %v\nwant %v", again, buf)
+		}
+
+		// Decoding must also be stable against trailing garbage: everything
+		// after the IDEnd terminator is slack and must be ignored.
+		padded := append(append([]byte(nil), buf...), data...)
+		padLabels, padProps := SplitEntries(padded)
+		if len(padLabels) != len(labels) || len(padProps) != len(props) {
+			t.Fatalf("slack bytes changed the decode: %d/%d entries, want %d/%d",
+				len(padLabels), len(padProps), len(labels), len(props))
+		}
+	})
+}

@@ -222,3 +222,53 @@ func TestCASBatchSemanticsAndAccounting(t *testing.T) {
 		t.Error("empty CASBatch should return nil")
 	}
 }
+
+func TestLoadBatchSemanticsAndAccounting(t *testing.T) {
+	f := New(2)
+	w := f.NewWordWin(16)
+	w.Store(0, 1, 1, 11)
+	w.Store(0, 1, 5, 55)
+	f.ResetCounters()
+
+	got := w.LoadBatch(0, 1, []int{1, 5, 7})
+	want := []uint64{11, 55, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("word %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+	s := f.CounterSnapshot(0)
+	if s.RemoteAtoms != 3 {
+		t.Errorf("RemoteAtoms = %d, want 3 (each constituent load is counted)", s.RemoteAtoms)
+	}
+	if s.AtomicBatches != 1 {
+		t.Errorf("AtomicBatches = %d, want 1 (latency charged once per train)", s.AtomicBatches)
+	}
+	if w.LoadBatch(0, 1, nil) != nil {
+		t.Error("empty LoadBatch should return nil")
+	}
+
+	// Local trains count local atomics and no batch train.
+	f.ResetCounters()
+	w.LoadBatch(1, 1, []int{1, 5})
+	s = f.CounterSnapshot(1)
+	if s.LocalAtomics != 2 || s.AtomicBatches != 0 || s.RemoteAtoms != 0 {
+		t.Errorf("local train: %+v", s)
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	f := New(2)
+	f.AddCache(0, 3, 1)
+	f.AddCache(1, 0, 2)
+	if s := f.CounterSnapshot(0); s.CacheHits != 3 || s.CacheMisses != 1 {
+		t.Errorf("rank 0 cache counters: %+v", s)
+	}
+	if s := f.TotalSnapshot(); s.CacheHits != 3 || s.CacheMisses != 3 {
+		t.Errorf("total cache counters: %+v", s)
+	}
+	f.ResetCounters()
+	if s := f.TotalSnapshot(); s.CacheHits != 0 || s.CacheMisses != 0 {
+		t.Errorf("cache counters survived reset: %+v", s)
+	}
+}

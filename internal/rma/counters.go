@@ -22,11 +22,17 @@ type Counters struct {
 	// PutBatches counts vectored PutBatch trains towards remote targets
 	// (the commit write-back trains of §5.6).
 	PutBatches atomic.Int64
-	// AtomicBatches counts vectored CASBatch trains towards remote targets
-	// (the lock trains of the batched commit path).
+	// AtomicBatches counts vectored CASBatch/LoadBatch trains towards remote
+	// targets (the lock trains of the batched commit path and the version
+	// revalidation trains of the block cache).
 	AtomicBatches atomic.Int64
+	// CacheHits and CacheMisses count lookups of the rank's block cache:
+	// hits are remote block reads served from a version-validated local copy
+	// without any GET traffic, misses fall through to a fetch train.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
 
-	_ [4]int64 // pad to a cache line to avoid false sharing between ranks
+	_ [2]int64 // pad to a cache line to avoid false sharing between ranks
 }
 
 // Snapshot is a plain-value copy of a rank's counters.
@@ -39,6 +45,7 @@ type Snapshot struct {
 	GetBatches                int64
 	PutBatches                int64
 	AtomicBatches             int64
+	CacheHits, CacheMisses    int64
 }
 
 // RemoteOps returns the total number of remote one-sided operations.
@@ -58,6 +65,7 @@ func (f *Fabric) CounterSnapshot(r Rank) Snapshot {
 		BytesPut: c.BytesPut.Load(), BytesGot: c.BytesGot.Load(),
 		Flushes: c.Flushes.Load(), GetBatches: c.GetBatches.Load(),
 		PutBatches: c.PutBatches.Load(), AtomicBatches: c.AtomicBatches.Load(),
+		CacheHits: c.CacheHits.Load(), CacheMisses: c.CacheMisses.Load(),
 	}
 }
 
@@ -78,6 +86,8 @@ func (f *Fabric) TotalSnapshot() Snapshot {
 		t.GetBatches += s.GetBatches
 		t.PutBatches += s.PutBatches
 		t.AtomicBatches += s.AtomicBatches
+		t.CacheHits += s.CacheHits
+		t.CacheMisses += s.CacheMisses
 	}
 	return t
 }
@@ -98,6 +108,20 @@ func (f *Fabric) ResetCounters() {
 		c.GetBatches.Store(0)
 		c.PutBatches.Store(0)
 		c.AtomicBatches.Store(0)
+		c.CacheHits.Store(0)
+		c.CacheMisses.Store(0)
+	}
+}
+
+// AddCache accounts lookups of origin's rank-local block cache. The cache
+// lives in the block layer; the counters live here so cache traffic is
+// reported alongside the one-sided traffic it replaces.
+func (f *Fabric) AddCache(origin Rank, hits, misses int64) {
+	if hits != 0 {
+		f.counters[origin].CacheHits.Add(hits)
+	}
+	if misses != 0 {
+		f.counters[origin].CacheMisses.Add(misses)
 	}
 }
 

@@ -240,6 +240,29 @@ func (w *WordWin) CAS(origin, target Rank, idx int, old, new uint64) (prev uint6
 	return atomic.LoadUint64(addr), false
 }
 
+// LoadBatch atomically reads every word in idxs from target's segment as one
+// train of remote atomic gets and returns the values in order. Each
+// constituent load is accounted individually, but injected remote latency is
+// charged once per train — the "CAS-free word train" the block cache uses to
+// revalidate many cached holders against their version stamps in a single
+// round-trip. A batch of size one costs exactly as much as a scalar Load.
+func (w *WordWin) LoadBatch(origin, target Rank, idxs []int) []uint64 {
+	if len(idxs) == 0 {
+		return nil
+	}
+	for _, idx := range idxs {
+		w.checkIdx(target, idx)
+		w.f.countAtomic(origin, target)
+	}
+	w.f.countAtomicBatch(origin, target)
+	w.f.chargeOp(origin, target, 8*len(idxs))
+	out := make([]uint64, len(idxs))
+	for i, idx := range idxs {
+		out[i] = atomic.LoadUint64(&w.words[target][idx])
+	}
+	return out
+}
+
 // CASOp is one element of a vectored compare-and-swap train.
 type CASOp struct {
 	Idx      int
