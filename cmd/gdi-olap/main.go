@@ -1,12 +1,16 @@
-// Command gdi-olap runs one OLAP/OLSP workload of §6.5 standalone: BFS,
-// k-hop, PageRank, CDLP, WCC, LCC, BI2, or GNN on a generated Kronecker
-// LPG, printing the runtime and result summary.
+// Command gdi-olap runs OLAP/OLSP workloads of §6.5 standalone: BFS, k-hop,
+// PageRank, CDLP, WCC, LCC, BI2, or GNN on a generated Kronecker LPG. -algo
+// takes one workload, a comma-separated list, or "all"; the report carries
+// one row per algorithm with its wall time, the one-sided traffic it moved
+// (PUT/GET trains and bytes, from the fabric counters), and its result
+// summary.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -16,22 +20,33 @@ import (
 	"github.com/gdi-go/gdi/internal/workload"
 )
 
+var allAlgos = []string{"bfs", "khop", "pagerank", "cdlp", "wcc", "lcc", "bi2", "gnn"}
+
 func main() {
-	algo := flag.String("algo", "bfs", "workload: bfs, khop, pagerank, cdlp, wcc, lcc, bi2, gnn")
+	algo := flag.String("algo", "bfs", "workload: bfs, khop, pagerank, cdlp, wcc, lcc, bi2, gnn; a comma-separated list; or all")
 	ranks := flag.Int("ranks", 4, "number of simulated processes (servers)")
 	scale := flag.Int("scale", 12, "graph has 2^scale vertices")
 	k := flag.Int("k", 3, "hops for khop / feature dimension for gnn")
 	iters := flag.Int("iters", 10, "iterations for pagerank (cdlp uses 5, wcc runs to convergence)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	cacheBlocks := flag.Bool("cache-blocks", false, "enable the per-process version-validated block cache; repeated frontier reads are served locally")
+	denseAnalytics := flag.Bool("dense-analytics", false, "run the iterative kernels on the dense CSR engine: index-compacted snapshots, direction-optimizing BFS, one-sided exchange")
 	flag.Parse()
+
+	var algos []string
+	if *algo == "all" {
+		algos = allAlgos
+	} else {
+		algos = strings.Split(*algo, ",")
+	}
 
 	cfg := kron.Config{Scale: *scale, EdgeFactor: 16, Seed: *seed, NumLabels: 20, NumProps: 13}.WithDefaults()
 	rt := gdi.Init(*ranks)
 	db := rt.CreateDatabase(gdi.DatabaseParams{
-		BlockSize:     512,
-		BlocksPerRank: int((cfg.NumVertices()*12+cfg.NumEdges()*2)/uint64(*ranks)) + (1 << 13),
-		CacheBlocks:   *cacheBlocks,
+		BlockSize:      512,
+		BlocksPerRank:  int((cfg.NumVertices()*12+cfg.NumEdges()*2)/uint64(*ranks)) + (1 << 13),
+		CacheBlocks:    *cacheBlocks,
+		DenseAnalytics: *denseAnalytics,
 	})
 	sch, err := kron.DefineSchema(db.Engine(), cfg)
 	if err != nil {
@@ -43,82 +58,94 @@ func main() {
 		os.Exit(1)
 	}
 	g := &analytics.Graph{DB: db, Schema: sch}
-	fmt.Printf("workload=%s servers=%d |V|=%d |E|=%d\n", *algo, *ranks, cfg.NumVertices(), cfg.NumEdges())
+	fmt.Printf("servers=%d |V|=%d |E|=%d dense-analytics=%v\n", *ranks, cfg.NumVertices(), cfg.NumEdges(), *denseAnalytics)
+	fmt.Printf("%-10s %-12s %11s %11s %13s %13s  %s\n",
+		"algo", "time", "put-trains", "get-trains", "bytes-put", "bytes-got", "result")
 
-	var mu sync.Mutex
-	var summary string
-	var runErr error
-	start := time.Now()
-	rt.Run(db, func(p *gdi.Process) {
-		var s string
-		var err error
-		switch *algo {
-		case "bfs":
-			var visited int64
-			var depth int
-			visited, depth, err = analytics.BFS(p, g, 0)
-			s = fmt.Sprintf("visited %d vertices, eccentricity %d", visited, depth)
-		case "khop":
-			var n int64
-			n, err = analytics.KHop(p, g, 0, *k)
-			s = fmt.Sprintf("%d vertices within %d hops", n, *k)
-		case "pagerank":
-			var norm float64
-			_, norm, err = analytics.PageRank(p, g, *iters, 0.85)
-			s = fmt.Sprintf("i=%d df=0.85, total mass %.6f", *iters, norm)
-		case "cdlp":
-			var comm map[uint64]uint64
-			comm, err = analytics.CDLP(p, g, 5)
-			distinct := map[uint64]bool{}
-			for _, c := range comm {
-				distinct[c] = true
+	fab := db.Engine().Fabric()
+	for _, name := range algos {
+		before := fab.TotalSnapshot()
+		var mu sync.Mutex
+		var summary string
+		var runErr error
+		start := time.Now()
+		rt.Run(db, func(p *gdi.Process) {
+			s, err := runAlgo(p, g, sch, name, *k, *iters, *seed, *denseAnalytics)
+			if p.Rank() == 0 {
+				mu.Lock()
+				summary = s
+				if err != nil {
+					runErr = err
+				}
+				mu.Unlock()
 			}
-			s = fmt.Sprintf("i=5, %d local communities", len(distinct))
-		case "wcc":
-			var it int
-			_, it, err = analytics.WCC(p, g, 100)
-			s = fmt.Sprintf("converged in %d iterations", it)
-		case "lcc":
-			var avg float64
-			avg, err = analytics.LCC(p, g)
-			s = fmt.Sprintf("average LCC %.6f", avg)
-		case "bi2":
-			var groups map[uint64]int64
-			groups, err = analytics.BI2(p, g, sch.Labels[0], sch.AgeProp, 30, 70, sch.Props[4])
-			var total int64
-			for _, c := range groups {
-				total += c
-			}
-			s = fmt.Sprintf("%d groups, %d matches", len(groups), total)
-		case "gnn":
-			gcfg := analytics.GNNConfig{K: *k, Layers: 2, Seed: *seed}
-			feat, featNext, serr := analytics.GNNSetup(p, g, gcfg)
-			if serr != nil {
-				err = serr
-				break
-			}
-			var norm float64
-			norm, err = analytics.GNNForward(p, g, gcfg, feat, featNext)
-			s = fmt.Sprintf("k=%d layers=2, output L1 norm %.4f", *k, norm)
-		default:
-			err = fmt.Errorf("unknown workload %q", *algo)
+		})
+		elapsed := time.Since(start).Round(time.Microsecond)
+		if runErr != nil {
+			fmt.Fprintln(os.Stderr, "gdi-olap:", runErr)
+			os.Exit(1)
 		}
-		if p.Rank() == 0 {
-			mu.Lock()
-			summary = s
-			if err != nil {
-				runErr = err
-			}
-			mu.Unlock()
-		}
-	})
-	if runErr != nil {
-		fmt.Fprintln(os.Stderr, "gdi-olap:", runErr)
-		os.Exit(1)
+		after := fab.TotalSnapshot()
+		fmt.Printf("%-10s %-12s %11d %11d %13d %13d  %s\n",
+			name, elapsed,
+			after.PutBatches-before.PutBatches,
+			after.GetBatches-before.GetBatches,
+			after.BytesPut-before.BytesPut,
+			after.BytesGot-before.BytesGot,
+			summary)
 	}
-	fmt.Printf("runtime: %s\n%s\n", time.Since(start).Round(time.Microsecond), summary)
 	if *cacheBlocks {
-		snap := db.Engine().Fabric().TotalSnapshot()
+		snap := fab.TotalSnapshot()
 		fmt.Printf("block cache: %d hits, %d misses\n", snap.CacheHits, snap.CacheMisses)
+	}
+}
+
+// runAlgo executes one workload on this rank and returns its summary line.
+func runAlgo(p *gdi.Process, g *analytics.Graph, sch kron.Schema, name string, k, iters int, seed int64, dense bool) (string, error) {
+	switch name {
+	case "bfs":
+		if dense {
+			visited, depth, stats, err := analytics.BFSDense(p, g, 0)
+			return fmt.Sprintf("visited %d vertices, eccentricity %d (%d push / %d pull levels)",
+				visited, depth, stats.PushLevels, stats.PullLevels), err
+		}
+		visited, depth, err := analytics.BFS(p, g, 0)
+		return fmt.Sprintf("visited %d vertices, eccentricity %d", visited, depth), err
+	case "khop":
+		n, err := analytics.KHop(p, g, 0, k)
+		return fmt.Sprintf("%d vertices within %d hops", n, k), err
+	case "pagerank":
+		_, norm, err := analytics.PageRank(p, g, iters, 0.85)
+		return fmt.Sprintf("i=%d df=0.85, total mass %.6f", iters, norm), err
+	case "cdlp":
+		comm, err := analytics.CDLP(p, g, 5)
+		distinct := map[uint64]bool{}
+		for _, c := range comm {
+			distinct[c] = true
+		}
+		return fmt.Sprintf("i=5, %d local communities", len(distinct)), err
+	case "wcc":
+		_, it, err := analytics.WCC(p, g, 100)
+		return fmt.Sprintf("converged in %d iterations", it), err
+	case "lcc":
+		avg, err := analytics.LCC(p, g)
+		return fmt.Sprintf("average LCC %.6f", avg), err
+	case "bi2":
+		groups, err := analytics.BI2(p, g, sch.Labels[0], sch.AgeProp, 30, 70, sch.Props[4])
+		var total int64
+		for _, c := range groups {
+			total += c
+		}
+		return fmt.Sprintf("%d groups, %d matches", len(groups), total), err
+	case "gnn":
+		gcfg := analytics.GNNConfig{K: k, Layers: 2, Seed: seed}
+		feat, featNext, err := analytics.GNNSetup(p, g, gcfg)
+		if err != nil {
+			return "", err
+		}
+		norm, err := analytics.GNNForward(p, g, gcfg, feat, featNext)
+		return fmt.Sprintf("k=%d layers=2, output L1 norm %.4f", k, norm), err
+	default:
+		return "", fmt.Errorf("unknown workload %q", name)
 	}
 }

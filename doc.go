@@ -177,6 +177,59 @@
 // CacheAblation benchmark gates the tier at ≥2x over the locked, uncached
 // read path at 8 ranks under 1µs injected remote latency.
 //
+// # Dense analytics engine
+//
+// The iterative OLAP kernels (BFS, PageRank, CDLP, WCC, LCC) come in two
+// engines, selected by DatabaseParams.DenseAnalytics:
+//
+//   - The map engine (the default and the ablation baseline) snapshots each
+//     rank's shard into map[VertexID][]VertexID adjacency and exchanges
+//     per-edge message structs through the collective layer's channel mail —
+//     simple, but every iteration pays hash lookups and allocations per
+//     edge, and its traffic bypasses the RMA fabric and its latency model.
+//
+//   - The dense CSR engine compacts the shard once per query: a collective
+//     index-exchange pass assigns every local vertex a dense int32 index
+//     (ascending VertexID order) and resolves every neighbor — each distinct
+//     remote neighbor is looked up on its owner exactly once — to a
+//     pre-resolved (rank, remoteIndex) pair. Adjacency then lives in flat
+//     offset+target arrays (the CSR layout of the high-performance graph
+//     literature) and iteration values in dense []float64/[]uint64 arrays,
+//     so the kernels run with zero map lookups and zero per-edge
+//     allocations.
+//
+// Dense-engine iteration traffic moves through a one-sided exchange
+// (alltoallv) built on per-rank RMA inboxes: each rank's inbox segment is
+// statically partitioned into one slot per source, and a sender writes its
+// whole per-destination payload — however many messages it carries — as a
+// single vectored PUT train into its slot, paying the injected remote
+// latency once per destination rank and round (the §5.6 message-aggregation
+// pattern). Receivers drain their own slots locally; payloads larger than a
+// slot stream transparently over sub-rounds, with a dissemination or-reduce
+// doubling as the epoch-closing barrier. Self-rank buckets are handed over
+// directly and never touch the fabric: a rank-local round issues zero PUT
+// trains, which a counter-based test enforces. All exchange traffic is
+// visible in the PutBatches/BytesPut counters and in the gdi-olap
+// bytes-moved report columns.
+//
+// BFS is direction-optimizing over bitmap frontiers in the dense index
+// space: sparse levels push frontier indices to their owners
+// (bitmap-deduplicated per destination), and once the frontier grows dense
+// relative to the unvisited remainder (Beamer's heuristic on vertex counts)
+// the level switches to pull — the claimed-frontier bitmap is broadcast and
+// every rank scans its own unvisited vertices for a frontier neighbor.
+// BFSDense reports the push/pull split per traversal.
+//
+// The dense engine emits messages in exactly the map engine's order
+// (ascending dense index, holder record order within a vertex, incoming
+// chunks folded in source-rank order), so PageRank/CDLP/WCC/LCC results are
+// bit-identical across engines — golden equivalence tests enforce this —
+// while dense arrays additionally make dense PageRank run-to-run
+// deterministic (no map-iteration order in the sums). The AnalyticsAblation
+// benchmark gates the engine at ≥2x over the map baseline for
+// convergence-depth PageRank at 8 ranks under 1µs injected remote latency,
+// even though only the dense engine's exchange pays that latency.
+//
 // # Consistency (§3.8)
 //
 // Graph data is serializable: transactions use per-vertex reader-writer

@@ -227,6 +227,17 @@ type DatabaseParams struct {
 	// a moved version aborts the transaction with ErrTransactionCritical
 	// (the optimistic abort of §3.8). Pairs naturally with CacheBlocks.
 	OptimisticReads bool
+	// DenseAnalytics switches the iterative analytics kernels (BFS,
+	// PageRank, CDLP, WCC, LCC) to the dense CSR snapshot engine: flat
+	// offset+target adjacency arrays in a per-rank dense index space, bitmap
+	// frontiers with direction-optimizing (push/pull) BFS, and all iteration
+	// traffic routed through one-sided inbox PUT trains instead of the
+	// collective layer's channel mail. The map-based engine remains the
+	// default and serves as the AnalyticsAblation baseline.
+	DenseAnalytics bool
+	// ExchangeBytesPerRank sizes the one-sided exchange inbox per process
+	// (default 2 MiB); larger analytics rounds stream in sub-rounds.
+	ExchangeBytesPerRank int
 }
 
 // Database is one distributed graph database. Multiple databases may
@@ -239,15 +250,17 @@ type Database struct {
 // CreateDatabase creates a database over all processes (GDI_CreateDatabase).
 func (rt *Runtime) CreateDatabase(p DatabaseParams) *Database {
 	eng := core.NewEngine(rt.fab, core.Config{
-		BlockSize:         p.BlockSize,
-		BlocksPerRank:     p.BlocksPerRank,
-		DHTBucketsPerRank: p.IndexBucketsPerRank,
-		DHTEntriesPerRank: p.IndexEntriesPerRank,
-		LockTries:         p.LockTries,
-		ScalarCommit:      p.ScalarCommit,
-		CacheBlocks:       p.CacheBlocks,
-		CacheCapacity:     p.CacheCapacity,
-		OptimisticReads:   p.OptimisticReads,
+		BlockSize:            p.BlockSize,
+		BlocksPerRank:        p.BlocksPerRank,
+		DHTBucketsPerRank:    p.IndexBucketsPerRank,
+		DHTEntriesPerRank:    p.IndexEntriesPerRank,
+		LockTries:            p.LockTries,
+		ScalarCommit:         p.ScalarCommit,
+		CacheBlocks:          p.CacheBlocks,
+		CacheCapacity:        p.CacheCapacity,
+		OptimisticReads:      p.OptimisticReads,
+		DenseAnalytics:       p.DenseAnalytics,
+		ExchangeBytesPerRank: p.ExchangeBytesPerRank,
 	})
 	return &Database{rt: rt, eng: eng}
 }

@@ -10,6 +10,13 @@
 // a collective transaction, per-process iteration over the local vertex
 // shard, and collective communication for the cross-process phases
 // (Table 2).
+//
+// The iterative kernels (BFS, PageRank, CDLP, WCC, LCC) additionally come in
+// a dense CSR variant (csr.go, dense.go) selected by
+// DatabaseParams.DenseAnalytics: index-compacted snapshots, bitmap frontiers
+// with direction-optimizing BFS, and all iteration traffic routed through
+// the one-sided exchange instead of the channel mail below. See the "Dense
+// analytics engine" section of the package gdi documentation.
 package analytics
 
 import (
@@ -42,8 +49,16 @@ type fmsg struct {
 }
 
 // exchange routes messages to the rank owning each target vertex with one
-// all-to-all (O(log P) + payload depth).
+// all-to-all (O(log P) + payload depth). Self-rank delivery is handed over
+// directly — the local bucket never enters the mailbox (Alltoall assigns the
+// self slot without a channel round-trip, and a single-rank exchange skips
+// the collective entirely). The dense engine's one-sided successor
+// (exchange.Round) short-circuits the self slot the same way, issuing zero
+// PUT trains for rank-local traffic.
 func exchange[T any](p *gdi.Process, buckets [][]T) []T {
+	if p.Size() == 1 {
+		return buckets[0]
+	}
 	in := collective.Alltoall(p.Comm(), p.Rank(), buckets)
 	var out []T
 	for _, b := range in {
@@ -51,6 +66,10 @@ func exchange[T any](p *gdi.Process, buckets [][]T) []T {
 	}
 	return out
 }
+
+// denseEngine reports whether this graph's database runs the CSR analytics
+// engine (DatabaseParams.DenseAnalytics).
+func denseEngine(g *Graph) bool { return g.DB.Engine().DenseAnalytics() }
 
 func bucketize[T any](n int) [][]T { return make([][]T, n) }
 
@@ -64,7 +83,18 @@ func bucketize[T any](n int) [][]T { return make([][]T, n) }
 // owner rank, so under injected remote latency a level pays one round-trip
 // per owner rank instead of one per frontier vertex (§5.6).
 func BFS(p *gdi.Process, g *Graph, rootApp uint64) (visited int64, depth int, err error) {
+	if denseEngine(g) {
+		visited, depth, _, err = bfsDense(p, g, rootApp)
+		return visited, depth, err
+	}
 	return bfs(p, g, rootApp, true)
+}
+
+// BFSDense runs the direction-optimizing dense-engine BFS regardless of the
+// DenseAnalytics knob and additionally reports how many levels were expanded
+// top-down (push) versus bottom-up (pull).
+func BFSDense(p *gdi.Process, g *Graph, rootApp uint64) (visited int64, depth int, stats BFSStats, err error) {
+	return bfsDense(p, g, rootApp)
 }
 
 // BFSScalar is BFS with scalar frontier expansion — one blocking
@@ -330,6 +360,9 @@ func loadAdjacency(p *gdi.Process, tx *gdi.Transaction) (*adjacency, error) {
 // (df = damping factor, the paper uses 0.85 and i=10). It returns the local
 // rank mass by appID and the global L1 norm (≈1).
 func PageRank(p *gdi.Process, g *Graph, iters int, df float64) (map[uint64]float64, float64, error) {
+	if denseEngine(g) {
+		return pageRankDense(p, g, iters, df)
+	}
 	tx := p.StartCollectiveTransaction(gdi.ReadOnly)
 	defer tx.Commit()
 	adj, err := loadAdjacency(p, tx)
@@ -384,6 +417,9 @@ func PageRank(p *gdi.Process, g *Graph, iters int, df float64) (map[uint64]float
 // propagation (Graphalytics semantics: adopt the smallest most-frequent
 // neighbor label; labels start as appIDs). Returns local appID → community.
 func CDLP(p *gdi.Process, g *Graph, iters int) (map[uint64]uint64, error) {
+	if denseEngine(g) {
+		return cdlpDense(p, g, iters)
+	}
 	tx := p.StartCollectiveTransaction(gdi.ReadOnly)
 	defer tx.Commit()
 	adj, err := loadAdjacency(p, tx)
@@ -440,6 +476,9 @@ func CDLP(p *gdi.Process, g *Graph, iters int) (map[uint64]uint64, error) {
 // reports i=5 rounds on Kronecker graphs). Returns local appID → component
 // and the number of iterations executed.
 func WCC(p *gdi.Process, g *Graph, maxIters int) (map[uint64]uint64, int, error) {
+	if denseEngine(g) {
+		return wccDense(p, g, maxIters)
+	}
 	tx := p.StartCollectiveTransaction(gdi.ReadOnly)
 	defer tx.Commit()
 	adj, err := loadAdjacency(p, tx)
@@ -484,6 +523,9 @@ func WCC(p *gdi.Process, g *Graph, maxIters int) (map[uint64]uint64, int, error)
 // communication-heavy pattern the paper attributes to LCC's O(n + m^{3/2})
 // cost.
 func LCC(p *gdi.Process, g *Graph) (float64, error) {
+	if denseEngine(g) {
+		return lccDense(p, g)
+	}
 	tx := p.StartCollectiveTransaction(gdi.ReadOnly)
 	defer tx.Commit()
 	adj, err := loadAdjacency(p, tx)

@@ -1,0 +1,352 @@
+package analytics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	gdi "github.com/gdi-go/gdi"
+	"github.com/gdi-go/gdi/internal/kron"
+)
+
+// testGraphDense loads the same deterministic Kronecker LPG as testGraph,
+// with the dense CSR analytics engine switched on or off.
+func testGraphDense(t *testing.T, ranks int, cfg kron.Config, dense bool) (*gdi.Runtime, *Graph) {
+	t.Helper()
+	cfg = cfg.WithDefaults()
+	rt := gdi.Init(ranks)
+	db := rt.CreateDatabase(gdi.DatabaseParams{
+		BlockSize: 512, BlocksPerRank: 1 << 16, DenseAnalytics: dense,
+	})
+	sch, err := kron.DefineSchema(db.Engine(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loadErr error
+	var mu sync.Mutex
+	rt.Run(db, func(p *gdi.Process) {
+		n := p.Size()
+		if err := p.BulkLoadVertices(kron.VerticesFor(cfg, sch, int(p.Rank()), n)); err != nil {
+			mu.Lock()
+			loadErr = err
+			mu.Unlock()
+			return
+		}
+		if err := p.BulkLoadEdges(kron.EdgesFor(cfg, sch, int(p.Rank()), n)); err != nil {
+			mu.Lock()
+			loadErr = err
+			mu.Unlock()
+		}
+	})
+	if loadErr != nil {
+		t.Fatal(loadErr)
+	}
+	return rt, &Graph{DB: db, Schema: sch}
+}
+
+// customGraph bulk-loads an explicit edge list (rank 0 contributes all
+// specs) into a database with the dense engine enabled.
+func customGraph(t *testing.T, ranks int, nVerts uint64, edges []gdi.EdgeSpec) (*gdi.Runtime, *Graph) {
+	t.Helper()
+	rt := gdi.Init(ranks)
+	db := rt.CreateDatabase(gdi.DatabaseParams{BlocksPerRank: 1 << 14, DenseAnalytics: true})
+	label, err := db.DefineLabel("L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loadErr error
+	var mu sync.Mutex
+	rt.Run(db, func(p *gdi.Process) {
+		var vs []gdi.VertexSpec
+		var es []gdi.EdgeSpec
+		if p.Rank() == 0 {
+			for app := uint64(0); app < nVerts; app++ {
+				vs = append(vs, gdi.VertexSpec{AppID: app, Labels: []gdi.LabelID{label}})
+			}
+			es = edges
+		}
+		if err := p.BulkLoadVertices(vs); err != nil {
+			mu.Lock()
+			loadErr = err
+			mu.Unlock()
+			return
+		}
+		if err := p.BulkLoadEdges(es); err != nil {
+			mu.Lock()
+			loadErr = err
+			mu.Unlock()
+		}
+	})
+	if loadErr != nil {
+		t.Fatal(loadErr)
+	}
+	return rt, &Graph{DB: db, Schema: kron.Schema{}}
+}
+
+// mergeMaps folds one rank's result map into the cross-rank accumulator.
+func mergeMaps[K comparable, V any](mu *sync.Mutex, dst map[K]V, src map[K]V) {
+	mu.Lock()
+	defer mu.Unlock()
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// TestDenseGoldenEquivalence holds the dense CSR engine to bit-identical
+// results against the map engine on the same graph: PageRank mass per
+// vertex, CDLP labels, WCC components and iteration count, the LCC average,
+// and BFS visited count and depth.
+func TestDenseGoldenEquivalence(t *testing.T) {
+	for _, ranks := range []int{1, 4} {
+		type result struct {
+			pr      map[uint64]float64
+			prNorm  float64
+			cdlp    map[uint64]uint64
+			wcc     map[uint64]uint64
+			wccIts  int
+			lcc     float64
+			visited int64
+			depth   int
+		}
+		results := make(map[bool]*result)
+		for _, dense := range []bool{false, true} {
+			rt, g := testGraphDense(t, ranks, smallCfg, dense)
+			res := &result{
+				pr:   make(map[uint64]float64),
+				cdlp: make(map[uint64]uint64),
+				wcc:  make(map[uint64]uint64),
+			}
+			results[dense] = res
+			var mu sync.Mutex
+			rt.Run(g.DB, func(p *gdi.Process) {
+				pr, norm, err := PageRank(p, g, 5, 0.85)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				cd, err := CDLP(p, g, 5)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				wc, its, err := WCC(p, g, 1000)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				lcc, err := LCC(p, g)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				visited, depth, err := BFS(p, g, 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mergeMaps(&mu, res.pr, pr)
+				mergeMaps(&mu, res.cdlp, cd)
+				mergeMaps(&mu, res.wcc, wc)
+				mu.Lock()
+				res.prNorm, res.wccIts, res.lcc = norm, its, lcc
+				res.visited, res.depth = visited, depth
+				mu.Unlock()
+			})
+		}
+		mapRes, denseRes := results[false], results[true]
+		if len(denseRes.pr) != len(mapRes.pr) {
+			t.Fatalf("ranks=%d: PageRank covered %d vs %d vertices", ranks, len(denseRes.pr), len(mapRes.pr))
+		}
+		for app, want := range mapRes.pr {
+			if got := denseRes.pr[app]; math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("ranks=%d: PageRank[%d] = %v (dense) vs %v (map): not bit-identical", ranks, app, got, want)
+			}
+		}
+		if math.Abs(denseRes.prNorm-mapRes.prNorm) > 1e-9 {
+			t.Fatalf("ranks=%d: PageRank norm %v vs %v", ranks, denseRes.prNorm, mapRes.prNorm)
+		}
+		for app, want := range mapRes.cdlp {
+			if got := denseRes.cdlp[app]; got != want {
+				t.Fatalf("ranks=%d: CDLP[%d] = %d vs %d", ranks, app, got, want)
+			}
+		}
+		if denseRes.wccIts != mapRes.wccIts {
+			t.Fatalf("ranks=%d: WCC converged in %d vs %d iterations", ranks, denseRes.wccIts, mapRes.wccIts)
+		}
+		for app, want := range mapRes.wcc {
+			if got := denseRes.wcc[app]; got != want {
+				t.Fatalf("ranks=%d: WCC[%d] = %d vs %d", ranks, app, got, want)
+			}
+		}
+		if math.Float64bits(denseRes.lcc) != math.Float64bits(mapRes.lcc) {
+			t.Fatalf("ranks=%d: LCC %v (dense) vs %v (map): not bit-identical", ranks, denseRes.lcc, mapRes.lcc)
+		}
+		if denseRes.visited != mapRes.visited || denseRes.depth != mapRes.depth {
+			t.Fatalf("ranks=%d: BFS (%d, %d) vs (%d, %d)", ranks,
+				denseRes.visited, denseRes.depth, mapRes.visited, mapRes.depth)
+		}
+	}
+}
+
+// TestDenseBFSDirectionSwitch drives the direction-optimizing heuristic
+// through both phases on a two-tier graph: a sparse root level (push), a
+// dense middle level covering most of the graph (pull), whose expansion must
+// still discover the leaf tier.
+func TestDenseBFSDirectionSwitch(t *testing.T) {
+	const nVerts = 64
+	var edges []gdi.EdgeSpec
+	// Root 0 fans out to 1..47 (the dense frontier), vertex 1 reaches the
+	// leaves 48..63.
+	for app := uint64(1); app < 48; app++ {
+		edges = append(edges, gdi.EdgeSpec{OriginApp: 0, TargetApp: app, Dir: gdi.DirOut})
+	}
+	for app := uint64(48); app < nVerts; app++ {
+		edges = append(edges, gdi.EdgeSpec{OriginApp: 1, TargetApp: app, Dir: gdi.DirOut})
+	}
+	rt, g := customGraph(t, 4, nVerts, edges)
+	rt.Run(g.DB, func(p *gdi.Process) {
+		visited, depth, stats, err := BFSDense(p, g, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if visited != nVerts || depth != 3 {
+			t.Errorf("BFS = (%d, %d), want (%d, 3)", visited, depth, nVerts)
+		}
+		if stats.PullLevels == 0 {
+			t.Errorf("dense frontier never switched to pull: %+v", stats)
+		}
+		if stats.PushLevels == 0 {
+			t.Errorf("sparse root level should have pushed: %+v", stats)
+		}
+	})
+}
+
+// TestDenseBFSEdgeCases covers the frontier corner cases: a missing root, a
+// graph with no edges (isolated vertices), a star whose first level is the
+// whole graph, and undirected edges traversed in both directions.
+func TestDenseBFSEdgeCases(t *testing.T) {
+	t.Run("missing-root", func(t *testing.T) {
+		rt, g := testGraphDense(t, 2, kron.Config{Scale: 4, EdgeFactor: 2, Seed: 1, NumLabels: 2, NumProps: 1}, true)
+		rt.Run(g.DB, func(p *gdi.Process) {
+			visited, depth, _, err := BFSDense(p, g, 1<<40)
+			if visited != 0 || depth != 0 {
+				t.Errorf("BFS from missing root = (%d, %d)", visited, depth)
+			}
+			owner := int(g.DB.Engine().OwnerOf(1 << 40))
+			if int(p.Rank()) == owner && !errors.Is(err, gdi.ErrNotFound) {
+				t.Errorf("owner rank error = %v, want ErrNotFound", err)
+			}
+		})
+	})
+	t.Run("isolated-vertices", func(t *testing.T) {
+		rt, g := customGraph(t, 3, 12, nil)
+		rt.Run(g.DB, func(p *gdi.Process) {
+			visited, depth, _, err := BFSDense(p, g, 5)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if visited != 1 || depth != 1 {
+				t.Errorf("BFS on edgeless graph = (%d, %d), want (1, 1)", visited, depth)
+			}
+		})
+		// Every isolated vertex is its own WCC component.
+		comps := make(map[uint64]uint64)
+		var mu sync.Mutex
+		rt.Run(g.DB, func(p *gdi.Process) {
+			wc, _, err := WCC(p, g, 10)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mergeMaps(&mu, comps, wc)
+		})
+		for app, c := range comps {
+			if c != app {
+				t.Errorf("WCC[%d] = %d on an edgeless graph", app, c)
+			}
+		}
+	})
+	t.Run("full-graph-frontier", func(t *testing.T) {
+		// Star: level 1 is every remaining vertex at once.
+		const nVerts = 32
+		var edges []gdi.EdgeSpec
+		for app := uint64(1); app < nVerts; app++ {
+			edges = append(edges, gdi.EdgeSpec{OriginApp: 0, TargetApp: app, Dir: gdi.DirOut})
+		}
+		rt, g := customGraph(t, 4, nVerts, edges)
+		rt.Run(g.DB, func(p *gdi.Process) {
+			visited, depth, stats, err := BFSDense(p, g, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if visited != nVerts || depth != 2 {
+				t.Errorf("star BFS = (%d, %d), want (%d, 2)", visited, depth, nVerts)
+			}
+			if stats.PullLevels == 0 {
+				t.Errorf("full-graph frontier should pull: %+v", stats)
+			}
+		})
+	})
+	t.Run("undirected-edges", func(t *testing.T) {
+		// An undirected path 0-1-2-...-9; a BFS from the middle reaches both
+		// ends only if undirected records traverse both ways.
+		const nVerts = 10
+		var edges []gdi.EdgeSpec
+		for app := uint64(0); app+1 < nVerts; app++ {
+			edges = append(edges, gdi.EdgeSpec{OriginApp: app, TargetApp: app + 1, Dir: gdi.DirUndirected})
+		}
+		rt, g := customGraph(t, 3, nVerts, edges)
+		rt.Run(g.DB, func(p *gdi.Process) {
+			visited, depth, _, err := BFSDense(p, g, 5)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if visited != nVerts || depth != 6 {
+				t.Errorf("undirected path BFS = (%d, %d), want (%d, 6)", visited, depth, nVerts)
+			}
+		})
+	})
+}
+
+// TestDensePageRankDeterministic: two independent runs of dense PageRank at
+// the same seed must be diff-clean to the last bit — the dense arrays remove
+// the map-iteration nondeterminism of the old engine.
+func TestDensePageRankDeterministic(t *testing.T) {
+	dump := func() string {
+		rt, g := testGraphDense(t, 4, smallCfg, true)
+		got := make(map[uint64]float64)
+		var mu sync.Mutex
+		var norm float64
+		rt.Run(g.DB, func(p *gdi.Process) {
+			pr, n, err := PageRank(p, g, 10, 0.85)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mergeMaps(&mu, got, pr)
+			mu.Lock()
+			norm = n
+			mu.Unlock()
+		})
+		apps := make([]uint64, 0, len(got))
+		for app := range got {
+			apps = append(apps, app)
+		}
+		sort.Slice(apps, func(i, j int) bool { return apps[i] < apps[j] })
+		out := fmt.Sprintf("norm=%016x\n", math.Float64bits(norm))
+		for _, app := range apps {
+			out += fmt.Sprintf("%d=%016x\n", app, math.Float64bits(got[app]))
+		}
+		return out
+	}
+	if a, b := dump(), dump(); a != b {
+		t.Fatalf("two dense PageRank runs at the same seed differ:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+	}
+}

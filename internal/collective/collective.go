@@ -61,6 +61,23 @@ func (c *Comm) Barrier(me rma.Rank) {
 	}
 }
 
+// OrReduce combines every rank's flag with logical OR and delivers the
+// result to all ranks using the dissemination pattern (ceil(log2 P) rounds,
+// the same schedule as Barrier). Because no rank can exit before every rank
+// has entered, OrReduce synchronizes like a barrier — callers can fold a
+// continuation-flag exchange and a closing barrier into one step, which is
+// exactly what the one-sided exchange does between streaming sub-rounds.
+func OrReduce(c *Comm, me rma.Rank, flag bool) bool {
+	n := c.n
+	for k := 1; k < n; k <<= 1 {
+		to := rma.Rank((int(me) + k) % n)
+		from := rma.Rank((int(me) - k + n) % n)
+		c.send(me, to, flag)
+		flag = c.recv(from, me).(bool) || flag
+	}
+	return flag
+}
+
 // Bcast distributes root's value to every rank and returns it. Non-root
 // callers pass the zero value; all callers receive root's value. Binomial
 // tree, ceil(log2 P) depth.

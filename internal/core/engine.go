@@ -24,6 +24,7 @@ import (
 	"github.com/gdi-go/gdi/internal/block"
 	"github.com/gdi-go/gdi/internal/collective"
 	"github.com/gdi-go/gdi/internal/dht"
+	"github.com/gdi-go/gdi/internal/exchange"
 	"github.com/gdi-go/gdi/internal/lpg"
 	"github.com/gdi-go/gdi/internal/metadata"
 	"github.com/gdi-go/gdi/internal/rma"
@@ -82,6 +83,17 @@ type Config struct {
 	// owner rank at commit, aborting with a transaction-critical error when
 	// any version moved (§3.8's optimistic aborts).
 	OptimisticReads bool
+	// DenseAnalytics switches the iterative analytics kernels (BFS, PageRank,
+	// CDLP, WCC, LCC) to the CSR snapshot engine: per-rank index-compacted
+	// adjacency in flat offset+target arrays, bitmap frontiers with
+	// direction-optimizing BFS, and all iteration traffic routed through the
+	// one-sided exchange (per-rank inbox PUT trains) instead of the
+	// collective layer's channel mail. The map-based engine remains the
+	// default and the ablation baseline.
+	DenseAnalytics bool
+	// ExchangeBytesPerRank sizes the one-sided exchange's per-rank inbox
+	// (default 2 MiB); oversized rounds stream in sub-rounds automatically.
+	ExchangeBytesPerRank int
 }
 
 // withDefaults fills zero fields with workable defaults.
@@ -104,6 +116,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheBlocks && c.CacheCapacity == 0 {
 		c.CacheCapacity = 1 << 13
 	}
+	if c.ExchangeBytesPerRank == 0 {
+		c.ExchangeBytesPerRank = 1 << 21
+	}
 	return c
 }
 
@@ -118,6 +133,9 @@ type Engine struct {
 	local   []*localIndex
 	commits []groupCommitter // one write-back combiner per rank
 	cfg     Config
+
+	xchgOnce sync.Once
+	xchg     *exchange.Exchange
 
 	optAborts atomic.Int64 // optimistic read transactions failing validation
 }
@@ -169,6 +187,19 @@ func (e *Engine) Fabric() *rma.Fabric { return e.fab }
 
 // Comm returns the engine's communicator for user-level collectives.
 func (e *Engine) Comm() *collective.Comm { return e.comm }
+
+// DenseAnalytics reports whether the CSR analytics engine is enabled.
+func (e *Engine) DenseAnalytics() bool { return e.cfg.DenseAnalytics }
+
+// Exchange returns the engine's one-sided alltoallv context, allocating its
+// inbox windows on first use (so OLTP-only databases never pay for them).
+// The first calls may race across ranks; allocation is serialized.
+func (e *Engine) Exchange() *exchange.Exchange {
+	e.xchgOnce.Do(func() {
+		e.xchg = exchange.New(e.fab, e.comm, e.cfg.ExchangeBytesPerRank)
+	})
+	return e.xchg
+}
 
 // Store exposes the block pool (used by diagnostics and tests).
 func (e *Engine) Store() *block.Store { return e.store }

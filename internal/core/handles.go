@@ -302,6 +302,15 @@ func heavyNeighbor(e *holder.Edge, primary rma.DPtr) rma.DPtr {
 // k-hop) iterate frontiers with. Neighbors are not deduplicated; heavy-edge
 // records resolve their holder exactly as Edges does.
 func (h *VertexHandle) ForEachNeighbor(mask DirMask, fn func(rma.DPtr)) error {
+	return h.ForEachEdge(mask, func(nb rma.DPtr, _ holder.Direction) { fn(nb) })
+}
+
+// ForEachEdge streams (neighbor, direction) for every incident edge record
+// matching mask, in record order and without materializing EdgeInfo values —
+// the snapshot path analytics uses to build CSR adjacency without per-vertex
+// slice allocations. Heavy-edge records resolve their holder exactly as
+// Edges does; deleted heavy edges are skipped.
+func (h *VertexHandle) ForEachEdge(mask DirMask, fn func(nb rma.DPtr, dir holder.Direction)) error {
 	if err := h.tx.check(); err != nil {
 		return err
 	}
@@ -317,10 +326,10 @@ func (h *VertexHandle) ForEachNeighbor(mask DirMask, fn func(rma.DPtr)) error {
 			if es.deleted {
 				continue
 			}
-			fn(heavyNeighbor(es.e, h.st.primary))
+			fn(heavyNeighbor(es.e, h.st.primary), rec.Dir)
 			continue
 		}
-		fn(rec.Neighbor)
+		fn(rec.Neighbor, rec.Dir)
 	}
 	return nil
 }

@@ -1,0 +1,105 @@
+// Package exchange provides the one-sided alltoallv primitive of the dense
+// analytics engine: personalized byte payloads routed between ranks through
+// per-rank RMA inboxes instead of the collective layer's channel mail, so
+// iteration traffic (frontier segments, rank-mass and label messages) is
+// visible in the fabric's one-sided counters and pays the injected latency
+// model — exactly one PUT train per destination rank and round, however many
+// messages the payload carries (the §5.6 message-aggregation design choice).
+//
+// Self-rank payloads never touch the fabric: the local bucket is handed
+// straight from the out slot to the in slot, issuing zero window operations
+// and zero PUT trains.
+package exchange
+
+import (
+	"fmt"
+
+	"github.com/gdi-go/gdi/internal/collective"
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// Exchange is a collective alltoallv context over all ranks of a fabric.
+// Rounds on one Exchange must be issued in the same order by every rank and
+// must not be interleaved with other collective sequences on the same
+// communicator — the MPI communicator contract, shared with collective.Comm.
+type Exchange struct {
+	comm   *collective.Comm
+	ib     *rma.Inbox
+	n      int
+	budget int // max payload bytes per destination and sub-round
+}
+
+// New collectively creates an exchange with segBytes of inbox space per
+// rank. Each sender owns a static segBytes/P slot per destination and
+// sub-round, so the P-1 concurrent senders can never overflow a segment;
+// payloads larger than the slot budget are streamed transparently over
+// several sub-rounds.
+func New(f *rma.Fabric, c *collective.Comm, segBytes int) *Exchange {
+	n := f.Size()
+	ib := f.NewInbox(segBytes)
+	if ib.Budget() < 16 {
+		panic(fmt.Sprintf("exchange: %d-byte segment leaves a %d-byte per-destination budget on %d ranks", segBytes, ib.Budget(), n))
+	}
+	return &Exchange{comm: c, ib: ib, n: n, budget: ib.Budget()}
+}
+
+// Size returns the number of participating ranks.
+func (x *Exchange) Size() int { return x.n }
+
+// Round performs one personalized all-to-all: out[d] is delivered to rank d,
+// and the returned slice holds in[s], the bytes rank s sent to the caller
+// (nil when s sent nothing). Collective: every rank must call it, with
+// len(out) equal to the rank count. The self slot is short-circuited —
+// in[me] aliases out[me] and issues no window traffic — so callers must
+// treat out as frozen until they are done with in.
+//
+// Remote slots are streamed in sub-rounds of at most budget bytes per
+// destination: one PUT train into the destination's inbox slot, a barrier
+// closing the epoch, a local drain, and a barrier reopening the next epoch.
+// Payload bytes arrive concatenated in sub-round order, so arbitrarily large
+// slots reassemble exactly.
+func (x *Exchange) Round(me rma.Rank, out [][]byte) [][]byte {
+	if len(out) != x.n {
+		panic(fmt.Sprintf("exchange: Round with %d slots on a %d-rank exchange", len(out), x.n))
+	}
+	in := make([][]byte, x.n)
+	in[me] = out[me]
+	if x.n == 1 {
+		return in
+	}
+	sent := make([]int, x.n)
+	for {
+		more := false
+		for d := 0; d < x.n; d++ {
+			if rma.Rank(d) == me {
+				continue
+			}
+			rem := len(out[d]) - sent[d]
+			if rem == 0 {
+				continue
+			}
+			chunk := rem
+			if chunk > x.budget {
+				chunk = x.budget
+			}
+			x.ib.Deliver(me, rma.Rank(d), out[d][sent[d]:sent[d]+chunk])
+			sent[d] += chunk
+			if rem > chunk {
+				more = true
+			}
+		}
+		x.comm.Barrier(me)
+		x.ib.Drain(me, func(src rma.Rank, payload []byte) {
+			if in[src] == nil {
+				in[src] = payload // Drain hands over a fresh buffer
+			} else {
+				in[src] = append(in[src], payload...)
+			}
+		})
+		// OrReduce both closes the drain epoch (it synchronizes like Barrier)
+		// and agrees on whether any rank still streams a leftover chunk.
+		if !collective.OrReduce(x.comm, me, more) {
+			return in
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package rma
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// inboxHeader prefixes every delivery in an inbox slot: the payload length
+// plus one as a little-endian uint32, so a zeroed slot reads as "empty".
+const inboxHeader = 4
+
+// Inbox is a one-sided per-rank mailbox built from a byte window: the
+// alltoallv substrate of the dense analytics engine. Every rank owns one
+// segment, statically partitioned into one slot per source rank, so a
+// delivery needs no offset negotiation at all — the sender writes header
+// plus payload into its own slot of the target's segment as a single
+// vectored PUT train, paying the injected remote latency exactly once per
+// delivery, and the target executes no code on the data path (the defining
+// one-sided property the paper's §5.6 message aggregation relies on).
+//
+// Epoch discipline is the caller's job, exactly as with raw MPI RMA: at most
+// one delivery per (source, target) pair per epoch, all Delivers completed
+// (externally, e.g. with a barrier) before the target Drains, and the Drain
+// completed before the next epoch's Delivers begin, because Drain clears the
+// slot headers it consumed.
+type Inbox struct {
+	f    *Fabric
+	data *ByteWin
+	slot int // bytes per source slot
+}
+
+// NewInbox collectively allocates an inbox with segBytes of mailbox space
+// per rank, split evenly across source slots.
+func (f *Fabric) NewInbox(segBytes int) *Inbox {
+	slot := segBytes / f.Size()
+	if slot <= inboxHeader {
+		panic(fmt.Sprintf("rma: inbox segment of %d bytes leaves no payload room across %d source slots", segBytes, f.Size()))
+	}
+	return &Inbox{f: f, data: f.NewByteWin(segBytes), slot: slot}
+}
+
+// Budget returns the largest payload one delivery can carry.
+func (ib *Inbox) Budget() int { return ib.slot - inboxHeader }
+
+// Deliver writes payload into the origin's slot of target's mailbox as one
+// PUT train (header, payload). At most one delivery per (origin, target)
+// pair and epoch; payloads beyond Budget are a programming error and panic —
+// the exchange layer streams larger slots over several epochs.
+func (ib *Inbox) Deliver(origin, target Rank, payload []byte) {
+	if len(payload) > ib.Budget() {
+		panic(fmt.Sprintf("rma: inbox delivery of %d bytes exceeds the %d-byte slot budget", len(payload), ib.Budget()))
+	}
+	var hdr [inboxHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload))+1)
+	base := int(origin) * ib.slot
+	ib.data.PutBatch(origin, target, []PutOp{
+		{Off: base, Data: hdr[:]},
+		{Off: base + inboxHeader, Data: payload},
+	})
+}
+
+// Drain scans the caller's own mailbox slots in ascending source order,
+// invokes fn once per delivery, and clears the consumed headers for the next
+// epoch. Drain touches only rank-local window state, so it pays no injected
+// latency. The payload slice is freshly allocated per delivery; fn may
+// retain it.
+func (ib *Inbox) Drain(me Rank, fn func(src Rank, payload []byte)) {
+	var hdr [inboxHeader]byte
+	zero := make([]byte, inboxHeader)
+	for s := 0; s < ib.f.Size(); s++ {
+		base := s * ib.slot
+		ib.data.Get(me, me, base, hdr[:])
+		l := binary.LittleEndian.Uint32(hdr[:])
+		if l == 0 {
+			continue
+		}
+		buf := make([]byte, int(l-1))
+		ib.data.Get(me, me, base+inboxHeader, buf)
+		ib.data.Put(me, me, base, zero)
+		fn(Rank(s), buf)
+	}
+}

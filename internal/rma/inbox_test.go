@@ -1,0 +1,98 @@
+package rma
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestInboxDeliverDrain exercises the one-sided mailbox: concurrent
+// deliveries from many sources, drain in ascending source order, and slot
+// clearing between epochs.
+func TestInboxDeliverDrain(t *testing.T) {
+	const n = 4
+	f := New(n)
+	ib := f.NewInbox(1 << 12)
+	// Epoch 1: every rank but 3 delivers one payload to rank 3.
+	f.Run(func(r Rank) {
+		if r == 3 {
+			return
+		}
+		ib.Deliver(r, 3, []byte{byte(r), byte(r) * 2})
+	})
+	var got [][]byte
+	ib.Drain(3, func(src Rank, payload []byte) {
+		got = append(got, append([]byte{byte(src)}, payload...))
+	})
+	if len(got) != 3 {
+		t.Fatalf("drained %d payloads, want 3", len(got))
+	}
+	for i, g := range got {
+		want := []byte{byte(i), byte(i), byte(i) * 2}
+		if !bytes.Equal(g, want) {
+			t.Fatalf("payload %d = %v, want %v (ascending source order)", i, g, want)
+		}
+	}
+	// Epoch 2: the slots were cleared, a fresh delivery stands alone.
+	ib.Deliver(0, 3, []byte("fresh"))
+	count := 0
+	ib.Drain(3, func(src Rank, payload []byte) {
+		count++
+		if src != 0 || !bytes.Equal(payload, []byte("fresh")) {
+			t.Fatalf("epoch 2 drained %q from %d", payload, src)
+		}
+	})
+	if count != 1 {
+		t.Fatalf("epoch 2 drained %d payloads, want 1", count)
+	}
+	// An empty drain is a no-op.
+	ib.Drain(3, func(Rank, []byte) { t.Fatal("drained from an empty inbox") })
+}
+
+// TestInboxEmptyPayload: a zero-length delivery is still a delivery — the
+// header distinguishes "sent nothing" from "sent an empty payload".
+func TestInboxEmptyPayload(t *testing.T) {
+	f := New(2)
+	ib := f.NewInbox(1 << 10)
+	ib.Deliver(0, 1, nil)
+	count := 0
+	ib.Drain(1, func(src Rank, payload []byte) {
+		count++
+		if src != 0 || len(payload) != 0 {
+			t.Fatalf("drained %q from %d", payload, src)
+		}
+	})
+	if count != 1 {
+		t.Fatalf("drained %d payloads, want 1", count)
+	}
+}
+
+// TestInboxDrainIsLocal: draining pays no remote traffic — the receiving
+// rank reads and clears only its own segment.
+func TestInboxDrainIsLocal(t *testing.T) {
+	f := New(2)
+	ib := f.NewInbox(1 << 10)
+	ib.Deliver(0, 1, []byte("x"))
+	before := f.CounterSnapshot(1)
+	ib.Drain(1, func(Rank, []byte) {})
+	after := f.CounterSnapshot(1)
+	if d := after.RemoteOps() - before.RemoteOps(); d != 0 {
+		t.Fatalf("Drain issued %d remote ops", d)
+	}
+}
+
+// TestInboxDeliveryAccounting: one delivery is exactly one PUT train of two
+// constituent puts (header, payload) and no atomics — the latency model
+// charges it once.
+func TestInboxDeliveryAccounting(t *testing.T) {
+	f := New(2)
+	ib := f.NewInbox(1 << 10)
+	f.ResetCounters()
+	ib.Deliver(0, 1, []byte("hello"))
+	s := f.CounterSnapshot(0)
+	if s.PutBatches != 1 || s.RemotePuts != 2 || s.RemoteAtoms != 0 {
+		t.Fatalf("delivery accounting = %+v, want 1 train, 2 puts, 0 atomics", s)
+	}
+	if s.BytesPut != int64(len("hello"))+4 {
+		t.Fatalf("BytesPut = %d, want payload+header", s.BytesPut)
+	}
+}
