@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"sort"
 	"time"
@@ -23,6 +24,7 @@ func main() {
 	labels := flag.Int("labels", 20, "number of distinct labels")
 	props := flag.Int("props", 13, "number of property types per vertex")
 	uniform := flag.Bool("uniform", false, "uniform instead of heavy-tail degree distribution")
+	zipfS := flag.Float64("zipf", 0, "replace the Kronecker edge recursion with Zipf(s)-sampled endpoints (seeded, deterministic); 0 keeps Kronecker")
 	seed := flag.Int64("seed", 1, "generator seed")
 	flag.Parse()
 
@@ -45,7 +47,46 @@ func main() {
 		os.Exit(1)
 	}
 	start := time.Now()
-	if err := workload.LoadGDA(rt, db, cfg, sch); err != nil {
+	var degs []int
+	if *zipfS > 0 {
+		// Zipf skew mode: endpoints are drawn from a seeded Zipf sampler
+		// instead of the Kronecker recursion — the workload-skew shape the
+		// rebalancing experiments run against. Deterministic per (seed,
+		// ranks): each rank owns a fixed edge share and a fixed rng.
+		perRank := make([][]gdi.EdgeSpec, *ranks)
+		loadErrs := make([]error, *ranks)
+		rt.Run(db, func(p *gdi.Process) {
+			r, n := int(p.Rank()), p.Size()
+			if err := p.BulkLoadVertices(kron.VerticesFor(cfg, sch, r, n)); err != nil {
+				loadErrs[r] = err
+				return
+			}
+			z := workload.NewZipf(int(cfg.NumVertices()), *zipfS)
+			rng := rand.New(rand.NewSource(*seed + int64(r)*7919))
+			var specs []gdi.EdgeSpec
+			for k := uint64(r); k < cfg.NumEdges(); k += uint64(n) {
+				specs = append(specs, gdi.EdgeSpec{
+					OriginApp: z.Sample(rng), TargetApp: z.Sample(rng), Dir: gdi.DirOut,
+				})
+			}
+			perRank[r] = specs
+			loadErrs[r] = p.BulkLoadEdges(specs)
+		})
+		for _, err := range loadErrs {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gdi-gen:", err)
+				os.Exit(1)
+			}
+		}
+		deg := make([]int, cfg.NumVertices())
+		for _, specs := range perRank {
+			for _, sp := range specs {
+				deg[sp.OriginApp]++
+				deg[sp.TargetApp]++
+			}
+		}
+		degs = deg
+	} else if err := workload.LoadGDA(rt, db, cfg, sch); err != nil {
 		fmt.Fprintln(os.Stderr, "gdi-gen:", err)
 		os.Exit(1)
 	}
@@ -54,11 +95,13 @@ func main() {
 		db.TotalVertices(), cfg.NumEdges(), elapsed.Round(time.Millisecond),
 		float64(cfg.NumVertices()+cfg.NumEdges())/elapsed.Seconds())
 
-	// Degree distribution summary from the reference CSR.
-	csr := kron.BuildCSR(cfg)
-	degs := make([]int, len(csr.Degree))
-	for i, d := range csr.Degree {
-		degs[i] = int(d)
+	if degs == nil {
+		// Degree distribution summary from the reference CSR.
+		csr := kron.BuildCSR(cfg)
+		degs = make([]int, len(csr.Degree))
+		for i, d := range csr.Degree {
+			degs[i] = int(d)
+		}
 	}
 	sort.Ints(degs)
 	fmt.Printf("degree distribution: min=%d p50=%d p99=%d max=%d\n",

@@ -27,6 +27,9 @@ func main() {
 	scalarCommit := flag.Bool("scalar-commit", false, "gda: disable the batched write path (commit lock trains, vectored write-back, group commit) — ablation")
 	cacheBlocks := flag.Bool("cache-blocks", false, "gda: enable the per-process version-validated block cache (remote reads revalidate cached copies instead of re-fetching)")
 	optimisticReads := flag.Bool("optimistic-reads", false, "gda: read-only transactions take no read locks; their read set is version-validated at commit (optimistic aborts count as failed)")
+	zipfS := flag.Float64("zipf", 0, "Zipf exponent for operation keys (0 = uniform); skewed traffic, rank 0 hottest")
+	zipfLocal := flag.Bool("zipf-local", false, "with -zipf: give each worker its own hot set (worker-affine skew, the regime -rebalance exploits)")
+	rebalance := flag.Bool("rebalance", false, "gda: track access heat, run a warmup round, and live-migrate hot vertices onto their dominant accessors before the measured run")
 	flag.Parse()
 	if *workers == 0 {
 		*workers = *ranks
@@ -47,15 +50,17 @@ func main() {
 	cfg := kron.Config{Scale: *scale, EdgeFactor: 16, Seed: *seed, NumLabels: 20, NumProps: 13}.WithDefaults()
 	var sys workload.System
 	var gdaDB *gdi.Database
+	var insertBase uint64 // keeps measured-run inserts clear of warmup inserts
 	switch *system {
 	case "gda":
 		rt := gdi.Init(*ranks)
 		db := rt.CreateDatabase(gdi.DatabaseParams{
-			BlockSize:       512,
-			BlocksPerRank:   int((cfg.NumVertices()*10+cfg.NumEdges()*2)/uint64(*ranks)) + (1 << 13),
-			ScalarCommit:    *scalarCommit,
-			CacheBlocks:     *cacheBlocks,
-			OptimisticReads: *optimisticReads,
+			BlockSize:             512,
+			BlocksPerRank:         int((cfg.NumVertices()*10+cfg.NumEdges()*2)/uint64(*ranks)) + (1 << 13),
+			ScalarCommit:          *scalarCommit,
+			CacheBlocks:           *cacheBlocks,
+			OptimisticReads:       *optimisticReads,
+			RebalanceHeatTracking: *rebalance,
 		})
 		sch, err := kron.DefineSchema(db.Engine(), cfg)
 		if err != nil {
@@ -68,6 +73,37 @@ func main() {
 		}
 		sys = &workload.GDASystem{DB: db, Schema: sch}
 		gdaDB = db
+		warmupOps := *ops/10 + 1
+		if *rebalance {
+			// Warmup records heat; one Rebalance round then live-migrates
+			// the hot set onto its dominant accessors.
+			if _, err := workload.Run(sys, workload.RunConfig{
+				Mix: mix, Workers: *workers, OpsPerWorker: warmupOps,
+				KeySpace: cfg.NumVertices(), Seed: *seed + 1,
+				ZipfS: *zipfS, ZipfWorkerHot: *zipfLocal,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "gdi-oltp: warmup:", err)
+				os.Exit(1)
+			}
+			var stats gdi.RebalanceStats
+			rebErrs := make([]error, *ranks)
+			rt.Run(db, func(p *gdi.Process) {
+				s, err := p.Rebalance()
+				rebErrs[p.Rank()] = err
+				if p.Rank() == 0 {
+					stats = s
+				}
+			})
+			for _, err := range rebErrs {
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "gdi-oltp: rebalance:", err)
+					os.Exit(1)
+				}
+			}
+			fmt.Printf("rebalance: planned %d moves, migrated %d, skipped %d\n",
+				stats.Planned, db.Engine().Migrations(), db.Engine().MigrationSkips())
+			insertBase = uint64(warmupOps) * uint64(*workers)
+		}
 		db.Engine().Fabric().ResetCounters() // count the OLTP run, not the load
 	case "rpc":
 		db := rpcgdb.New(*ranks)
@@ -86,6 +122,8 @@ func main() {
 	res, err := workload.Run(sys, workload.RunConfig{
 		Mix: mix, Workers: *workers, OpsPerWorker: *ops,
 		KeySpace: cfg.NumVertices(), Seed: *seed,
+		ZipfS: *zipfS, ZipfWorkerHot: *zipfLocal,
+		InsertBase: insertBase,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gdi-oltp:", err)
@@ -117,6 +155,10 @@ func main() {
 		}
 		fmt.Printf("read path: %s   cache: %s   hits: %d   misses: %d (%.1f%% hit rate)   optimistic aborts: %d\n",
 			readPath, cache, snap.CacheHits, snap.CacheMisses, hitRate, gdaDB.Engine().OptimisticAborts())
+		if *rebalance {
+			fmt.Printf("placement: migrations: %d   skipped: %d   forwarded reads: %d\n",
+				gdaDB.Engine().Migrations(), gdaDB.Engine().MigrationSkips(), gdaDB.Engine().ForwardedReads())
+		}
 	}
 	for op := workload.Op(0); op < workload.NumOps; op++ {
 		h := res.PerOp[op]

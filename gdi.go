@@ -238,6 +238,23 @@ type DatabaseParams struct {
 	// ExchangeBytesPerRank sizes the one-sided exchange inbox per process
 	// (default 2 MiB); larger analytics rounds stream in sub-rounds.
 	ExchangeBytesPerRank int
+	// RebalanceHeatTracking enables the per-process access-heat counters the
+	// workload-aware rebalancer consumes: every vertex-holder fetch records
+	// one access for (accessing process, vertex). Off by default, in which
+	// case the hot path pays nothing and Rebalance plans no moves.
+	RebalanceHeatTracking bool
+	// RebalanceTopK is how many of its hottest vertices each process
+	// contributes to a Rebalance round's global plan (default 64).
+	RebalanceTopK int
+	// RebalanceMinHeat is the minimum observed access count before the
+	// rebalancer considers moving a vertex (default 8).
+	RebalanceMinHeat int
+	// RebalanceMaxMoves caps the vertices migrated into any one process per
+	// Rebalance round — the imbalance guard (default 256).
+	RebalanceMaxMoves int
+	// RebalanceBatch is the migration-train size: vertices moved under one
+	// batched lock/read/write train (default 32).
+	RebalanceBatch int
 }
 
 // Database is one distributed graph database. Multiple databases may
@@ -250,17 +267,22 @@ type Database struct {
 // CreateDatabase creates a database over all processes (GDI_CreateDatabase).
 func (rt *Runtime) CreateDatabase(p DatabaseParams) *Database {
 	eng := core.NewEngine(rt.fab, core.Config{
-		BlockSize:            p.BlockSize,
-		BlocksPerRank:        p.BlocksPerRank,
-		DHTBucketsPerRank:    p.IndexBucketsPerRank,
-		DHTEntriesPerRank:    p.IndexEntriesPerRank,
-		LockTries:            p.LockTries,
-		ScalarCommit:         p.ScalarCommit,
-		CacheBlocks:          p.CacheBlocks,
-		CacheCapacity:        p.CacheCapacity,
-		OptimisticReads:      p.OptimisticReads,
-		DenseAnalytics:       p.DenseAnalytics,
-		ExchangeBytesPerRank: p.ExchangeBytesPerRank,
+		BlockSize:             p.BlockSize,
+		BlocksPerRank:         p.BlocksPerRank,
+		DHTBucketsPerRank:     p.IndexBucketsPerRank,
+		DHTEntriesPerRank:     p.IndexEntriesPerRank,
+		LockTries:             p.LockTries,
+		ScalarCommit:          p.ScalarCommit,
+		CacheBlocks:           p.CacheBlocks,
+		CacheCapacity:         p.CacheCapacity,
+		OptimisticReads:       p.OptimisticReads,
+		DenseAnalytics:        p.DenseAnalytics,
+		ExchangeBytesPerRank:  p.ExchangeBytesPerRank,
+		RebalanceHeatTracking: p.RebalanceHeatTracking,
+		RebalanceTopK:         p.RebalanceTopK,
+		RebalanceMinHeat:      p.RebalanceMinHeat,
+		RebalanceMaxMoves:     p.RebalanceMaxMoves,
+		RebalanceBatch:        p.RebalanceBatch,
 	})
 	return &Database{rt: rt, eng: eng}
 }
@@ -380,6 +402,20 @@ func (p *Process) BulkLoadVertices(specs []VertexSpec) error {
 // BulkLoadEdges ingests edges collectively.
 func (p *Process) BulkLoadEdges(specs []EdgeSpec) error {
 	return p.db.eng.BulkLoadEdges(p.rank, specs)
+}
+
+// RebalanceStats reports one workload-aware rebalancing round.
+type RebalanceStats = core.RebalanceStats
+
+// Rebalance runs one workload-aware rebalancing round (collective: every
+// process must call it). The processes pool their access-heat samples, a
+// greedy Schism-style plan moves each hot vertex to its dominant accessor,
+// and every process executes the migrations it is the destination of in
+// batched migration trains — live, while OLTP traffic keeps running.
+// Requires DatabaseParams.RebalanceHeatTracking; without recorded heat the
+// round is an (inexpensive) no-op.
+func (p *Process) Rebalance() (RebalanceStats, error) {
+	return p.db.eng.Rebalance(p.rank)
 }
 
 // Barrier synchronizes all processes.

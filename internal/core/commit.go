@@ -93,6 +93,54 @@ func (tx *Tx) Commit() error {
 		}
 	}
 
+	// Prepare, stub train: a deleted vertex that migrated in its lifetime
+	// still owns the forwarding stubs at its former homes. Deletion retires
+	// them with the same discipline as the holder itself: write-lock each
+	// stub word (so the poison below bumps its version and every cached or
+	// optimistic reader of the stub revalidates), poison in the apply phase,
+	// release, and free the blocks. Acquisition can fail, so it belongs to
+	// prepare; the scalar path pays one CAS per word.
+	var stubWords []locks.Word
+	var stubVers []uint64
+	var stubBlocks []rma.DPtr
+	if !tx.skipLocks() {
+		var stubTrain []locks.TrainLock
+		for _, st := range tx.verts {
+			if !st.deleted || st.isNew || st.v == nil {
+				continue
+			}
+			for _, h := range st.v.Homes {
+				stubTrain = append(stubTrain, locks.TrainLock{Word: tx.lockWord(h)})
+				stubBlocks = append(stubBlocks, h)
+			}
+		}
+		if len(stubTrain) > 0 {
+			if batched {
+				vers, err := locks.AcquireWriteTrain(tx.rank, stubTrain, tx.eng.cfg.LockTries)
+				if err != nil {
+					tx.fail(fmt.Errorf("commit stub train over %d blocks: %w", len(stubTrain), err))
+					tx.abortLocked()
+					return tx.critical
+				}
+				stubVers = vers
+			} else {
+				for i, l := range stubTrain {
+					if err := l.Word.TryAcquireWrite(tx.rank, tx.eng.cfg.LockTries); err != nil {
+						for j := 0; j < i; j++ {
+							stubTrain[j].Word.ReleaseWrite(tx.rank)
+						}
+						tx.fail(fmt.Errorf("write-locking migration stub %v: %w", stubBlocks[i], err))
+						tx.abortLocked()
+						return tx.critical
+					}
+				}
+			}
+			for _, l := range stubTrain {
+				stubWords = append(stubWords, l.Word)
+			}
+		}
+	}
+
 	// Prepare: encode every dirty holder and acquire the extra blocks the
 	// new encodings need. Nothing is written yet, so failure aborts cleanly.
 	type plan struct {
@@ -133,6 +181,7 @@ func (tx *Tx) Commit() error {
 		for _, dp := range acquired {
 			tx.eng.store.ReleaseBlock(tx.rank, dp)
 		}
+		locks.ReleaseWriteTrain(tx.rank, stubWords, stubVers)
 		tx.fail(err)
 		tx.abortLocked()
 		return tx.critical
@@ -193,6 +242,9 @@ func (tx *Tx) Commit() error {
 		if es.deleted && !es.isNew {
 			put(es.primary, make([]byte, holder.HeaderSize))
 		}
+	}
+	for _, h := range stubBlocks {
+		put(h, make([]byte, holder.HeaderSize))
 	}
 	tx.eng.groupWriteBack(tx.rank, wbDps, wbData)
 
@@ -268,6 +320,12 @@ func (tx *Tx) Commit() error {
 			tx.eng.store.ReleaseBlock(tx.rank, dp)
 		}
 		es.blocks = nil
+	}
+	// Retire the deleted vertices' forwarding stubs: unlock (the poison
+	// above was written under these locks), then return the blocks.
+	locks.ReleaseWriteTrain(tx.rank, stubWords, stubVers)
+	for _, h := range stubBlocks {
+		tx.eng.store.ReleaseBlock(tx.rank, h)
 	}
 
 	tx.eng.fab.FlushAll(tx.rank)

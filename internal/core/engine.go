@@ -94,6 +94,23 @@ type Config struct {
 	// ExchangeBytesPerRank sizes the one-sided exchange's per-rank inbox
 	// (default 2 MiB); oversized rounds stream in sub-rounds automatically.
 	ExchangeBytesPerRank int
+	// RebalanceHeatTracking enables the per-rank access-heat counters the
+	// workload-aware rebalancer consumes: every vertex-holder fetch records
+	// one access for (accessing rank, appID) in a rank-local shard. Off by
+	// default — the hot path then pays nothing.
+	RebalanceHeatTracking bool
+	// RebalanceTopK is how many of its hottest vertices each rank proposes
+	// per Rebalance round (default 64).
+	RebalanceTopK int
+	// RebalanceMinHeat is the minimum access count a vertex needs before the
+	// rebalancer considers moving it (default 8).
+	RebalanceMinHeat int
+	// RebalanceMaxMoves caps the migrations planned into any one destination
+	// rank per Rebalance round (default 256).
+	RebalanceMaxMoves int
+	// RebalanceBatch is the migration-train size: how many vertices one rank
+	// migrates under a single batched lock/read/write train (default 32).
+	RebalanceBatch int
 }
 
 // withDefaults fills zero fields with workable defaults.
@@ -119,6 +136,18 @@ func (c Config) withDefaults() Config {
 	if c.ExchangeBytesPerRank == 0 {
 		c.ExchangeBytesPerRank = 1 << 21
 	}
+	if c.RebalanceTopK == 0 {
+		c.RebalanceTopK = 64
+	}
+	if c.RebalanceMinHeat == 0 {
+		c.RebalanceMinHeat = 8
+	}
+	if c.RebalanceMaxMoves == 0 {
+		c.RebalanceMaxMoves = 256
+	}
+	if c.RebalanceBatch == 0 {
+		c.RebalanceBatch = 32
+	}
 	return c
 }
 
@@ -132,12 +161,16 @@ type Engine struct {
 	regs    []*metadata.Registry
 	local   []*localIndex
 	commits []groupCommitter // one write-back combiner per rank
+	heat    []*heatShard     // per-rank access-heat counters (rebalancing)
 	cfg     Config
 
 	xchgOnce sync.Once
 	xchg     *exchange.Exchange
 
-	optAborts atomic.Int64 // optimistic read transactions failing validation
+	optAborts  atomic.Int64 // optimistic read transactions failing validation
+	migrations atomic.Int64 // vertices moved by live migration
+	migSkips   atomic.Int64 // planned migrations skipped (contention/staleness)
+	forwards   atomic.Int64 // reads that chased a migration forwarding stub
 }
 
 // localIndex is one rank's shard of the explicit indexes: the set of local
@@ -173,11 +206,13 @@ func NewEngine(f *rma.Fabric, cfg Config) *Engine {
 		regs:    make([]*metadata.Registry, f.Size()),
 		local:   make([]*localIndex, f.Size()),
 		commits: make([]groupCommitter, f.Size()),
+		heat:    make([]*heatShard, f.Size()),
 		cfg:     cfg,
 	}
 	for r := range e.regs {
 		e.regs[r] = metadata.NewRegistry()
 		e.local[r] = newLocalIndex()
+		e.heat[r] = newHeatShard()
 	}
 	return e
 }
@@ -357,3 +392,15 @@ func (e *Engine) FreeBlocks(r rma.Rank) int { return e.store.FreeBlocks(r, r) }
 // version validation at commit — the optimistic-abort counter OLTP reports
 // print alongside the train counters.
 func (e *Engine) OptimisticAborts() int64 { return e.optAborts.Load() }
+
+// Migrations reports how many vertices live migration has moved.
+func (e *Engine) Migrations() int64 { return e.migrations.Load() }
+
+// MigrationSkips reports planned migrations that were skipped because the
+// vertex was lock-contended, already moved, or deleted by plan-apply time.
+func (e *Engine) MigrationSkips() int64 { return e.migSkips.Load() }
+
+// ForwardedReads reports how many holder fetches chased a migration
+// forwarding stub to the vertex's current primary (stale-DPtr traffic; it
+// decays as transactions re-translate IDs against the swung DHT entries).
+func (e *Engine) ForwardedReads() int64 { return e.forwards.Load() }

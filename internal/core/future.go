@@ -86,6 +86,14 @@ func (tx *Tx) AssociateVertexAsync(dp rma.DPtr) *VertexFuture {
 		f.resolveState(st)
 		return f
 	}
+	// A stale DPtr of a vertex this transaction already chased through its
+	// forwarding stub resolves to the cached state without communication.
+	if a := tx.chaseAlias(dp); a != dp {
+		if st, ok := tx.verts[a]; ok {
+			f.resolveState(st)
+			return f
+		}
+	}
 	tx.pending = append(tx.pending, f)
 	return f
 }
@@ -125,6 +133,12 @@ func (tx *Tx) AssociateVertices(dps []rma.DPtr) ([]*VertexHandle, error) {
 	return out, nil
 }
 
+// maxForwardHops bounds how many migration forwarding stubs one association
+// may chase before the transaction gives up (a chain longer than the rank
+// count cannot arise from well-formed migrations, so hitting the bound means
+// the vertex is migrating faster than we can follow — contention).
+const maxForwardHops = 8
+
 // pendingFetch tracks one unique vertex being materialized by a flush: its
 // lock state, the growing logical stream, the guard version the stream was
 // validated against (optimistic tier), and every future awaiting it.
@@ -136,6 +150,7 @@ type pendingFetch struct {
 	blocks []rma.DPtr
 	nb     int
 	ver    uint64
+	fwd    rma.DPtr // set when dp held a migration stub: chase here
 	err    error
 	// Optimistic-tier bookkeeping: the blocks that came off the wire (their
 	// stability is only established by the post-stamp check, after which
@@ -182,50 +197,73 @@ func (tx *Tx) flushPending() {
 		return
 	}
 
-	// Deduplicate by DPtr; resolve cache hits without communication.
-	fetches := make([]*pendingFetch, 0, len(pending))
+	// Deduplicate by DPtr (resolving migration aliases this transaction has
+	// already chased); cache hits resolve without communication. The dedup
+	// map is built lazily on the second distinct fetch, so the dominant
+	// single-vertex point read allocates no map at all.
+	var fetches []*pendingFetch
 	var uniq map[rma.DPtr]*pendingFetch
-	if len(pending) > 1 {
-		uniq = make(map[rma.DPtr]*pendingFetch, len(pending))
-	}
-	for _, f := range pending {
-		if f.done {
-			continue
+	enqueue := func(dp rma.DPtr, futs []*VertexFuture) {
+		dp = tx.chaseAlias(dp)
+		if st, ok := tx.verts[dp]; ok {
+			for _, f := range futs {
+				f.resolveState(st)
+			}
+			return
 		}
-		if st, ok := tx.verts[f.dp]; ok {
-			f.resolveState(st)
-			continue
+		if uniq == nil && len(fetches) > 0 {
+			uniq = make(map[rma.DPtr]*pendingFetch, len(pending))
+			for _, q := range fetches {
+				uniq[q.dp] = q
+			}
 		}
 		var pf *pendingFetch
 		if uniq != nil {
-			pf = uniq[f.dp]
+			pf = uniq[dp]
 		}
 		if pf == nil {
-			pf = &pendingFetch{dp: f.dp}
-			fetches = append(fetches, pf)
+			pf = &pendingFetch{dp: dp}
 			if uniq != nil {
-				uniq[f.dp] = pf
+				uniq[dp] = pf
 			}
+			fetches = append(fetches, pf)
 		}
-		pf.futs = append(pf.futs, f)
+		pf.futs = append(pf.futs, futs...)
 	}
-	if len(fetches) == 0 {
-		return
+	for _, f := range pending {
+		if !f.done {
+			enqueue(f.dp, []*VertexFuture{f})
+		}
 	}
 
-	// Phase 1: locks, one vectored CAS train per owner rank (elided for
-	// collective read-only transactions, §3.3, and for the optimistic tier,
-	// which validates instead of locking). A failed acquisition is
-	// transaction-critical and poisons the whole flush; the train releases
-	// its partial acquisitions itself before reporting it.
-	locking := !tx.skipLocks() && !tx.optimistic()
-	if locking {
-		words := make([]locks.Word, len(fetches))
-		for i, pf := range fetches {
-			words[i] = tx.lockWord(pf.dp)
+	// Each generation fetches one hop of the (normally trivial) forwarding
+	// graph: fetches that land on a migration stub re-queue at the vertex's
+	// current primary and go around again, bounded by maxForwardHops.
+	for hop := 0; len(fetches) > 0; hop++ {
+		// Scrub the generation against states installed since it was
+		// queued: a chase re-queued at the vertex's current primary may
+		// race a direct fetch of that same primary resolving later in the
+		// previous generation — fetching it again would double-lock the
+		// word and fork the per-transaction state.
+		if hop > 0 {
+			live := fetches[:0]
+			for _, pf := range fetches {
+				if st, ok := tx.verts[pf.dp]; ok {
+					for _, f := range pf.futs {
+						f.resolveState(st)
+					}
+					continue
+				}
+				live = append(live, pf)
+			}
+			fetches = live
+			if len(fetches) == 0 {
+				return
+			}
 		}
-		if err := locks.AcquireReadTrain(tx.rank, words, tx.eng.cfg.LockTries); err != nil {
-			crit := tx.fail(fmt.Errorf("read-locking a %d-vertex association batch: %w", len(fetches), err))
+		if hop > maxForwardHops {
+			crit := tx.fail(fmt.Errorf("associating %d vertices: migration forwarding chain exceeded %d hops: %w",
+				len(fetches), maxForwardHops, locks.ErrContended))
 			for _, pf := range fetches {
 				for _, f := range pf.futs {
 					f.fail(crit)
@@ -233,73 +271,130 @@ func (tx *Tx) flushPending() {
 			}
 			return
 		}
-	}
-	for _, pf := range fetches {
-		st := &vertexState{primary: pf.dp}
+
+		// Phase 1: locks, one vectored CAS train per owner rank (elided for
+		// collective read-only transactions, §3.3, and for the optimistic
+		// tier, which validates instead of locking). A failed acquisition is
+		// transaction-critical and poisons the whole flush; the train
+		// releases its partial acquisitions itself before reporting it.
+		locking := !tx.skipLocks() && !tx.optimistic()
 		if locking {
-			st.lock = lockRead
-		}
-		pf.st = st
-	}
-
-	// Phase 2: fetch rounds. Optimistic holders whose guard version moved
-	// mid-stream come back torn and are re-fetched from scratch; a holder
-	// still unstable after the retry budget fails the transaction, exactly
-	// as exhausted lock retries do on the locking path.
-	remaining := fetches
-	for attempt := 0; len(remaining) > 0; attempt++ {
-		unstable := tx.fetchHolderStreams(remaining)
-		if len(unstable) == 0 {
-			break
-		}
-		if attempt+1 >= tx.eng.cfg.LockTries {
-			// An optimistic abort like the commit-time one, surfaced at
-			// fetch time: count it so ablation reports stay self-describing.
-			tx.eng.optAborts.Add(1)
-			crit := tx.fail(fmt.Errorf("optimistic fetch of %d vertices still torn after %d attempts: %w",
-				len(unstable), attempt+1, locks.ErrContended))
-			for _, pf := range unstable {
-				pf.err = crit
+			words := make([]locks.Word, len(fetches))
+			for i, pf := range fetches {
+				words[i] = tx.lockWord(pf.dp)
 			}
-			break
-		}
-		for _, pf := range unstable {
-			pf.buf, pf.blocks, pf.nb, pf.ver = nil, nil, 0, 0
-			pf.fetchedDps, pf.fetchedBufs, pf.suspect = nil, nil, nil
-		}
-		remaining = unstable
-	}
-
-	// Phase 3: decode, install, resolve. The optimistic tier records the
-	// version each holder was validated at; Commit revalidates the whole
-	// read set in one train per owner rank.
-	for _, pf := range fetches {
-		if pf.err == nil {
-			v, err := holder.DecodeVertex(pf.buf)
-			if err != nil {
-				tx.unlockState(pf.st)
-				pf.err = fmt.Errorf("%w: %v", ErrNotFound, err)
-			} else {
-				pf.st.v = v
-				pf.st.blocks = pf.blocks
-				pf.st.origLabel = append([]lpg.LabelID(nil), v.Labels...)
-				tx.verts[pf.dp] = pf.st
-				if tx.optimistic() {
-					if tx.optReads == nil {
-						tx.optReads = make(map[rma.DPtr]uint64)
+			if err := locks.AcquireReadTrain(tx.rank, words, tx.eng.cfg.LockTries); err != nil {
+				crit := tx.fail(fmt.Errorf("read-locking a %d-vertex association batch: %w", len(fetches), err))
+				for _, pf := range fetches {
+					for _, f := range pf.futs {
+						f.fail(crit)
 					}
-					tx.optReads[pf.dp] = pf.ver
+				}
+				return
+			}
+		}
+		for _, pf := range fetches {
+			st := &vertexState{primary: pf.dp}
+			if locking {
+				st.lock = lockRead
+			}
+			pf.st = st
+		}
+
+		// Phase 2: fetch rounds. Optimistic holders whose guard version
+		// moved mid-stream come back torn and are re-fetched from scratch; a
+		// holder still unstable after the retry budget fails the
+		// transaction, exactly as exhausted lock retries do on the locking
+		// path.
+		remaining := fetches
+		for attempt := 0; len(remaining) > 0; attempt++ {
+			unstable := tx.fetchHolderStreams(remaining)
+			if len(unstable) == 0 {
+				break
+			}
+			if attempt+1 >= tx.eng.cfg.LockTries {
+				// An optimistic abort like the commit-time one, surfaced at
+				// fetch time: count it so ablation reports stay
+				// self-describing.
+				tx.eng.optAborts.Add(1)
+				crit := tx.fail(fmt.Errorf("optimistic fetch of %d vertices still torn after %d attempts: %w",
+					len(unstable), attempt+1, locks.ErrContended))
+				for _, pf := range unstable {
+					pf.err = crit
+				}
+				break
+			}
+			for _, pf := range unstable {
+				pf.buf, pf.blocks, pf.nb, pf.ver, pf.fwd = nil, nil, 0, 0, 0
+				pf.fetchedDps, pf.fetchedBufs, pf.suspect = nil, nil, nil
+			}
+			remaining = unstable
+		}
+
+		// Phase 3: decode, install, resolve — or re-queue fetches that found
+		// a forwarding stub where the holder used to be. The optimistic tier
+		// records the version each holder was validated at; Commit
+		// revalidates the whole read set in one train per owner rank.
+		gen := fetches
+		fetches = nil
+		uniq = nil
+		for _, pf := range gen {
+			if pf.err == nil && !pf.fwd.IsNull() {
+				tx.eng.forwards.Add(1)
+				tx.addAlias(pf.dp, pf.fwd)
+				enqueue(pf.fwd, pf.futs)
+				continue
+			}
+			if pf.err == nil {
+				v, err := holder.DecodeVertex(pf.buf)
+				if err != nil {
+					tx.unlockState(pf.st)
+					pf.err = fmt.Errorf("%w: %v", ErrNotFound, err)
+				} else {
+					pf.st.v = v
+					pf.st.blocks = pf.blocks
+					pf.st.origLabel = append([]lpg.LabelID(nil), v.Labels...)
+					tx.verts[pf.dp] = pf.st
+					tx.eng.recordHeat(tx.rank, v.AppID)
+					if tx.optimistic() {
+						if tx.optReads == nil {
+							tx.optReads = make(map[rma.DPtr]uint64)
+						}
+						tx.optReads[pf.dp] = pf.ver
+					}
+				}
+			}
+			for _, f := range pf.futs {
+				if pf.err != nil {
+					f.fail(pf.err)
+				} else {
+					f.resolveState(pf.st)
 				}
 			}
 		}
-		for _, f := range pf.futs {
-			if pf.err != nil {
-				f.fail(pf.err)
-			} else {
-				f.resolveState(pf.st)
-			}
-		}
 	}
+}
+
+// chaseAlias resolves dp through the migration aliases this transaction has
+// discovered (old primary → current primary), bounded against cycles a
+// migrate-back can form.
+func (tx *Tx) chaseAlias(dp rma.DPtr) rma.DPtr {
+	for i := 0; i < maxForwardHops; i++ {
+		next, ok := tx.moved[dp]
+		if !ok {
+			return dp
+		}
+		dp = next
+	}
+	return dp
+}
+
+// addAlias records that dp's holder moved to next.
+func (tx *Tx) addAlias(dp, next rma.DPtr) {
+	if tx.moved == nil {
+		tx.moved = make(map[rma.DPtr]rma.DPtr)
+	}
+	tx.moved[dp] = next
 }
 
 // fetchHolderStreams materializes the logical streams of the given fetches —
@@ -395,6 +490,16 @@ func (tx *Tx) fetchHolderStreams(fetches []*pendingFetch) (unstable []*pendingFe
 		nb := holder.NumBlocks(pf.buf)
 		if nb < 1 {
 			fail(pf, fmt.Errorf("%w: holder %v was deleted", ErrNotFound, pf.dp))
+			continue
+		}
+		if holder.IsMoved(pf.buf) {
+			// The vertex migrated away and left a forwarding stub: record
+			// the chase target and drop any read lock on the vacated block —
+			// the flush re-queues the fetch at the current primary. On the
+			// optimistic tier the stub read still goes through the
+			// post-stamp check below before the target is trusted.
+			pf.fwd = holder.MovedTarget(pf.buf)
+			tx.unlockState(pf.st)
 			continue
 		}
 		pf.nb = nb

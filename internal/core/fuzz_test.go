@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// movesFromBytes deterministically derives a migration plan from raw fuzz
+// input, covering empty plans, single moves, and batches with extreme field
+// values.
+func movesFromBytes(data []byte) []MigrationMove {
+	next := func() uint64 {
+		if len(data) == 0 {
+			return 0
+		}
+		n := min(8, len(data))
+		var buf [8]byte
+		copy(buf[:], data[:n])
+		data = data[n:]
+		return binary.LittleEndian.Uint64(buf[:])
+	}
+	count := int(next() % 9)
+	moves := make([]MigrationMove, 0, count)
+	for i := 0; i < count; i++ {
+		moves = append(moves, MigrationMove{
+			App:  next(),
+			Old:  rma.DPtr(next()),
+			Dest: rma.Rank(uint16(next())),
+		})
+	}
+	return moves
+}
+
+// FuzzMigrationPlan drives the migration-plan wire format both ways: plans
+// derived from the input must encode/decode/re-encode canonically, and
+// decoding the raw input itself must be total — whatever DecodeMigrationPlan
+// accepts must re-encode byte-identically (rank 0 broadcasts these bytes to
+// every rank, so a non-canonical decode would desynchronize the collective).
+func FuzzMigrationPlan(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("GDMP\x01\x00\x00\x00\x00"))
+	f.Add(EncodeMigrationPlan([]MigrationMove{{App: 1, Old: rma.MakeDPtr(1, 17), Dest: 3}}))
+	f.Add(EncodeMigrationPlan([]MigrationMove{
+		{App: ^uint64(0), Old: rma.MakeDPtr(65535, 1<<48-1), Dest: 65535},
+		{App: 0, Old: 0, Dest: 0},
+	}))
+	f.Add([]byte("GDMP\x02\x00\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		moves := movesFromBytes(data)
+		buf := EncodeMigrationPlan(moves)
+		got, err := DecodeMigrationPlan(buf)
+		if err != nil {
+			t.Fatalf("decode of a fresh encoding failed: %v", err)
+		}
+		if len(got) != len(moves) {
+			t.Fatalf("decoded %d moves, encoded %d", len(got), len(moves))
+		}
+		for i := range moves {
+			if got[i] != moves[i] {
+				t.Fatalf("move %d: got %+v, want %+v", i, got[i], moves[i])
+			}
+		}
+		if again := EncodeMigrationPlan(got); !bytes.Equal(again, buf) {
+			t.Fatalf("re-encode not canonical:\n got %v\nwant %v", again, buf)
+		}
+
+		// Arbitrary input: decoding must not panic, and an accepted input is
+		// exactly a canonical encoding.
+		if moves2, err := DecodeMigrationPlan(data); err == nil {
+			if again := EncodeMigrationPlan(moves2); !bytes.Equal(again, data) {
+				t.Fatalf("accepted input is not canonical:\n got %v\nwant %v", again, data)
+			}
+		}
+	})
+}

@@ -265,7 +265,7 @@ func (h *VertexHandle) Edges(mask DirMask, cons *constraint.Constraint) ([]EdgeI
 			if es.deleted {
 				continue
 			}
-			info.Neighbor = heavyNeighbor(es.e, h.st.primary)
+			info.Neighbor = heavyNeighbor(es.e, h.st)
 			if len(es.e.Labels) > 0 {
 				info.Label = es.e.Labels[0]
 			}
@@ -288,9 +288,12 @@ func (h *VertexHandle) Edges(mask DirMask, cons *constraint.Constraint) ([]EdgeI
 
 // heavyNeighbor resolves the far endpoint of a heavy edge relative to the
 // querying vertex: the edge's target, unless the querying vertex is the
-// target (including self-loops, where both endpoints coincide).
-func heavyNeighbor(e *holder.Edge, primary rma.DPtr) rma.DPtr {
-	if e.Target == primary {
+// target (including self-loops, where both endpoints coincide). The
+// comparison accepts every identity the querying vertex has had — edge
+// holders record endpoint DPtrs as of edge creation, which live migration
+// does not rewrite.
+func heavyNeighbor(e *holder.Edge, st *vertexState) rma.DPtr {
+	if st.isIdentity(e.Target) {
 		return e.Origin
 	}
 	return e.Target
@@ -326,7 +329,7 @@ func (h *VertexHandle) ForEachEdge(mask DirMask, fn func(nb rma.DPtr, dir holder
 			if es.deleted {
 				continue
 			}
-			fn(heavyNeighbor(es.e, h.st.primary), rec.Dir)
+			fn(heavyNeighbor(es.e, h.st), rec.Dir)
 			continue
 		}
 		fn(rec.Neighbor, rec.Dir)
@@ -500,11 +503,16 @@ func (tx *Tx) DeleteEdge(uid holder.EdgeUID) error {
 			return err
 		}
 		other := es.e.Target
-		if other == uid.Vertex {
+		if vh.st.isIdentity(other) {
 			other = es.e.Origin
 		}
-		if other != uid.Vertex {
-			if err := tx.removeRecord(other, rec.Neighbor, true); err != nil {
+		if !vh.st.isIdentity(other) {
+			// Heavy sibling records point at the edge holder, which never
+			// migrates: match it exactly.
+			hp := rec.Neighbor
+			if err := tx.removeRecord(other, func(r holder.EdgeRec) bool {
+				return r.Heavy && r.Neighbor == hp
+			}); err != nil {
 				return err
 			}
 		}
@@ -512,16 +520,25 @@ func (tx *Tx) DeleteEdge(uid holder.EdgeUID) error {
 		es.dirty = true
 		return nil
 	}
-	if rec.Neighbor == uid.Vertex {
+	if vh.st.isIdentity(rec.Neighbor) {
 		// Self-loop: drop the sibling record in the same holder.
-		vh.st.v.Edges = removeFirstMatch(vh.st.v.Edges, uid.Vertex, false)
+		vh.st.v.Edges = removeFirstMatch(vh.st.v.Edges, matchLightSibling(vh.st))
 		return nil
 	}
-	return tx.removeRecord(rec.Neighbor, uid.Vertex, false)
+	return tx.removeRecord(rec.Neighbor, matchLightSibling(vh.st))
 }
 
-// removeRecord drops the first record at vertex `at` pointing to `to`.
-func (tx *Tx) removeRecord(at, to rma.DPtr, heavy bool) error {
+// matchLightSibling matches a lightweight record pointing at the given
+// vertex under any identity it has had (records written before a live
+// migration carry an old primary).
+func matchLightSibling(st *vertexState) func(holder.EdgeRec) bool {
+	return func(r holder.EdgeRec) bool {
+		return !r.Heavy && st.isIdentity(r.Neighbor)
+	}
+}
+
+// removeRecord drops the first record at vertex `at` accepted by match.
+func (tx *Tx) removeRecord(at rma.DPtr, match func(holder.EdgeRec) bool) error {
 	h, err := tx.AssociateVertex(at)
 	if err != nil {
 		return err
@@ -530,16 +547,16 @@ func (tx *Tx) removeRecord(at, to rma.DPtr, heavy bool) error {
 		return err
 	}
 	before := len(h.st.v.Edges)
-	h.st.v.Edges = removeFirstMatch(h.st.v.Edges, to, heavy)
+	h.st.v.Edges = removeFirstMatch(h.st.v.Edges, match)
 	if len(h.st.v.Edges) == before {
 		return fmt.Errorf("%w: sibling edge record at %v", ErrNotFound, at)
 	}
 	return nil
 }
 
-func removeFirstMatch(recs []holder.EdgeRec, to rma.DPtr, heavy bool) []holder.EdgeRec {
+func removeFirstMatch(recs []holder.EdgeRec, match func(holder.EdgeRec) bool) []holder.EdgeRec {
 	for i, r := range recs {
-		if r.Neighbor == to && r.Heavy == heavy {
+		if match(r) {
 			return append(recs[:i], recs[i+1:]...)
 		}
 	}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// Access-heat tracking for the workload-aware rebalancer. Each rank owns one
+// shard counting, by application vertex ID, the holder fetches *it* issued —
+// the accessor-side view Schism-style partitioners need: a vertex's dominant
+// accessor is the rank whose shard counts it highest, and co-locating the
+// vertex with that rank converts its remote round-trips into local reads.
+// The counters are process-local (never travel over the fabric); Rebalance
+// folds the per-rank top-K samples through the collective layer.
+type heatShard struct {
+	mu sync.Mutex
+	m  map[uint64]uint64
+}
+
+func newHeatShard() *heatShard {
+	return &heatShard{m: make(map[uint64]uint64)}
+}
+
+// HeatSample is one (vertex, access count) pair of a rank's heat shard.
+type HeatSample struct {
+	App   uint64
+	Count uint64
+}
+
+// recordHeat counts one holder fetch of appID issued by rank r. It is the
+// single hot-path hook of the rebalancer and is gated on the knob so that
+// databases without rebalancing pay nothing.
+func (e *Engine) recordHeat(r rma.Rank, appID uint64) {
+	if !e.cfg.RebalanceHeatTracking {
+		return
+	}
+	hs := e.heat[r]
+	hs.mu.Lock()
+	hs.m[appID]++
+	hs.mu.Unlock()
+}
+
+// HeatTracking reports whether the engine records access heat.
+func (e *Engine) HeatTracking() bool { return e.cfg.RebalanceHeatTracking }
+
+// topHeat snapshots rank r's k hottest vertices, ordered by count descending
+// with ties broken by ascending appID (a total order, so every rank derives
+// the same plan from the same samples).
+func (e *Engine) topHeat(r rma.Rank, k int) []HeatSample {
+	hs := e.heat[r]
+	hs.mu.Lock()
+	out := make([]HeatSample, 0, len(hs.m))
+	for app, n := range hs.m {
+		out = append(out, HeatSample{App: app, Count: n})
+	}
+	hs.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].App < out[j].App
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// HeatOf returns rank r's recorded access count for one vertex (tests and
+// diagnostics).
+func (e *Engine) HeatOf(r rma.Rank, appID uint64) uint64 {
+	hs := e.heat[r]
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	return hs.m[appID]
+}
+
+// resetHeat clears rank r's shard; Rebalance calls it after applying a plan
+// so the next round reacts to fresh traffic instead of replaying old heat.
+func (e *Engine) resetHeat(r rma.Rank) {
+	hs := e.heat[r]
+	hs.mu.Lock()
+	hs.m = make(map[uint64]uint64)
+	hs.mu.Unlock()
+}

@@ -1,0 +1,447 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/gdi-go/gdi/internal/locks"
+	"github.com/gdi-go/gdi/internal/lpg"
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// newMigrationEngine builds an engine shaped for migration tests: small
+// blocks so payload vertices span several of them, generous lock budgets.
+func newMigrationEngine(t *testing.T, ranks int) *Engine {
+	t.Helper()
+	return NewEngine(rma.New(ranks), Config{
+		BlockSize:             64,
+		BlocksPerRank:         1 << 12,
+		LockTries:             256,
+		RebalanceHeatTracking: true,
+	})
+}
+
+// moveOf resolves appID's current placement and plans a move to dest.
+func moveOf(t *testing.T, e *Engine, appID uint64, dest rma.Rank) MigrationMove {
+	t.Helper()
+	val, ok := e.index.Lookup(0, appID)
+	if !ok {
+		t.Fatalf("vertex %d not in the index", appID)
+	}
+	return MigrationMove{App: appID, Old: rma.DPtr(val), Dest: dest}
+}
+
+func mustMigrate(t *testing.T, e *Engine, appID uint64, dest rma.Rank) rma.DPtr {
+	t.Helper()
+	n, err := e.MigrateVertices(dest, []MigrationMove{moveOf(t, e, appID, dest)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("migrated %d vertices, want 1", n)
+	}
+	val, ok := e.index.Lookup(0, appID)
+	if !ok {
+		t.Fatalf("vertex %d vanished from the index after migration", appID)
+	}
+	dp := rma.DPtr(val)
+	if dp.Rank() != dest {
+		t.Fatalf("vertex %d landed on rank %d, want %d", appID, dp.Rank(), dest)
+	}
+	return dp
+}
+
+func readPayload(t *testing.T, e *Engine, r rma.Rank, dp rma.DPtr, pt lpg.PTypeID) []byte {
+	t.Helper()
+	tx := e.StartLocal(r, ReadOnly)
+	defer tx.Abort()
+	h, err := tx.AssociateVertex(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := h.Property(pt)
+	if !ok {
+		t.Fatal("payload missing")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestMigrateVertexBasic drives one live migration end to end: the DHT entry
+// swings to the new rank, the explicit indexes move, the payload is
+// bit-identical at the new placement, and a stale DPtr still resolves by
+// chasing the forwarding stub.
+func TestMigrateVertexBasic(t *testing.T) {
+	e := newMigrationEngine(t, 2)
+	pt := payloadPType(t, e)
+	old := seedPayloadVertex(t, e, 1, pt, 16) // 128 B payload: multi-block at 64 B
+	if old.Rank() != 1 {
+		t.Fatalf("vertex 1 seeded on rank %d, want 1", old.Rank())
+	}
+	pre := readPayload(t, e, 0, old, pt)
+
+	newDp := mustMigrate(t, e, 1, 0)
+	if newDp == old {
+		t.Fatal("migration did not change the primary")
+	}
+	if e.Migrations() != 1 {
+		t.Fatalf("Migrations = %d, want 1", e.Migrations())
+	}
+	if e.LocalVertexCount(0) != 1 || e.LocalVertexCount(1) != 0 {
+		t.Fatalf("local index shards = %d/%d, want 1/0", e.LocalVertexCount(0), e.LocalVertexCount(1))
+	}
+
+	// Fresh placement, bit-identical content.
+	if got := readPayload(t, e, 1, newDp, pt); !bytes.Equal(got, pre) {
+		t.Fatalf("payload changed across migration:\n got %v\nwant %v", got, pre)
+	}
+	// The stale DPtr chases the stub to the same state.
+	fwdBefore := e.ForwardedReads()
+	tx := e.StartLocal(1, ReadOnly)
+	h, err := tx.AssociateVertex(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ID() != newDp {
+		t.Fatalf("stale DPtr resolved to %v, want %v", h.ID(), newDp)
+	}
+	if v, _ := h.Property(pt); !bytes.Equal(v, pre) {
+		t.Fatal("stale-DPtr read returned different bytes")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if e.ForwardedReads() <= fwdBefore {
+		t.Fatal("stub chase not counted in ForwardedReads")
+	}
+}
+
+// TestMigrateBackReusesHomeBlock is the ABA case: migrating home again must
+// reuse the original primary block, restoring the vertex's first DPtr.
+func TestMigrateBackReusesHomeBlock(t *testing.T) {
+	e := newMigrationEngine(t, 2)
+	pt := payloadPType(t, e)
+	old := seedPayloadVertex(t, e, 1, pt, 16)
+	pre := readPayload(t, e, 0, old, pt)
+
+	away := mustMigrate(t, e, 1, 0)
+	back := mustMigrate(t, e, 1, 1)
+	if back != old {
+		t.Fatalf("migrate-back landed at %v, want the original home %v", back, old)
+	}
+	if got := readPayload(t, e, 0, back, pt); !bytes.Equal(got, pre) {
+		t.Fatal("payload changed across the round trip")
+	}
+	// The rank-0 home now forwards; the vertex remembers it for reuse.
+	tx := e.StartLocal(0, ReadOnly)
+	h, err := tx.AssociateVertex(away)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ID() != old {
+		t.Fatalf("stale rank-0 DPtr resolved to %v, want %v", h.ID(), old)
+	}
+	tx.Abort()
+}
+
+// TestMigrateVertexWithEdges checks that traversals and deletions keep
+// working when edge records carry pre-migration identities.
+func TestMigrateVertexWithEdges(t *testing.T) {
+	e := newMigrationEngine(t, 2)
+	pt := payloadPType(t, e)
+	a := seedPayloadVertex(t, e, 0, pt, 4)
+	b := seedPayloadVertex(t, e, 1, pt, 4)
+
+	setup := e.StartLocal(0, ReadWrite)
+	if _, err := setup.CreateEdge(a, b, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	newB := mustMigrate(t, e, 1, 0)
+
+	// Traversal from a reaches b through the stale record + stub chase.
+	tx := e.StartLocal(1, ReadOnly)
+	ha, err := tx.AssociateVertex(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrs, err := ha.Neighbors(MaskAll, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 1 {
+		t.Fatalf("a has %d neighbors, want 1", len(nbrs))
+	}
+	hb, err := tx.AssociateVertex(nbrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.ID() != newB || hb.AppID() != 1 {
+		t.Fatalf("neighbor resolved to %v (app %d), want %v (app 1)", hb.ID(), hb.AppID(), newB)
+	}
+	tx.Abort()
+
+	// Deleting the migrated vertex removes the stale sibling record at a.
+	del := e.StartLocal(0, ReadWrite)
+	if err := del.DeleteVertex(newB); err != nil {
+		t.Fatal(err)
+	}
+	if err := del.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	check := e.StartLocal(0, ReadOnly)
+	ha2, err := check.AssociateVertex(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ha2.Degree(); d != 0 {
+		t.Fatalf("a still has %d edge records after deleting its migrated neighbor", d)
+	}
+	check.Abort()
+	if _, err := check2Lookup(e, 1); err == nil {
+		t.Fatal("deleted migrated vertex still resolves")
+	}
+}
+
+func check2Lookup(e *Engine, appID uint64) (rma.DPtr, error) {
+	tx := e.StartLocal(0, ReadOnly)
+	defer tx.Abort()
+	return tx.TranslateVertexID(appID)
+}
+
+// TestMigrateDeletedVertexFreesStubs: deleting a migrated vertex retires its
+// forwarding stubs — the pool returns to its pre-create level and the stale
+// DPtr reports not-found instead of resurrecting anything.
+func TestMigrateDeletedVertexFreesStubs(t *testing.T) {
+	for _, scalar := range []bool{false, true} {
+		t.Run(fmt.Sprintf("scalarCommit=%v", scalar), func(t *testing.T) {
+			e := NewEngine(rma.New(2), Config{
+				BlockSize: 64, BlocksPerRank: 1 << 12, LockTries: 256,
+				ScalarCommit: scalar, RebalanceHeatTracking: true,
+			})
+			pt := payloadPType(t, e)
+			free0, free1 := e.FreeBlocks(0), e.FreeBlocks(1)
+			old := seedPayloadVertex(t, e, 1, pt, 16)
+			newDp := mustMigrate(t, e, 1, 0)
+
+			del := e.StartLocal(0, ReadWrite)
+			if err := del.DeleteVertex(newDp); err != nil {
+				t.Fatal(err)
+			}
+			if err := del.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if got0, got1 := e.FreeBlocks(0), e.FreeBlocks(1); got0 != free0 || got1 != free1 {
+				t.Fatalf("pool leaked: free blocks %d/%d, want %d/%d", got0, got1, free0, free1)
+			}
+			probe := e.StartLocal(0, ReadOnly)
+			if _, err := probe.AssociateVertex(old); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("stale DPtr of deleted vertex: err = %v, want ErrNotFound", err)
+			}
+			probe.Abort()
+		})
+	}
+}
+
+// TestMigrateSkipsContendedVertex: a vertex pinned by a reader's lock is
+// skipped, not migrated and not an error.
+func TestMigrateSkipsContendedVertex(t *testing.T) {
+	e := newMigrationEngine(t, 2)
+	pt := payloadPType(t, e)
+	dp := seedPayloadVertex(t, e, 1, pt, 4)
+
+	reader := e.StartLocal(0, ReadOnly)
+	if _, err := reader.AssociateVertex(dp); err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.MigrateVertices(0, []MigrationMove{moveOf(t, e, 1, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("migrated %d vertices under a held read lock, want 0", n)
+	}
+	if e.MigrationSkips() == 0 {
+		t.Fatal("skip not counted")
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// With the lock gone the same move succeeds.
+	mustMigrate(t, e, 1, 0)
+}
+
+// TestMigrateStalePlanSkips: a plan whose Old pointer no longer matches the
+// placement (the vertex moved first) is skipped cleanly.
+func TestMigrateStalePlanSkips(t *testing.T) {
+	e := newMigrationEngine(t, 3)
+	pt := payloadPType(t, e)
+	seedPayloadVertex(t, e, 1, pt, 4)
+	stale := moveOf(t, e, 1, 2) // captured before the move below
+	mustMigrate(t, e, 1, 0)
+
+	n, err := e.MigrateVertices(2, []MigrationMove{stale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("stale plan migrated a vertex")
+	}
+	// Placement unchanged by the stale apply.
+	val, _ := e.index.Lookup(0, 1)
+	if rma.DPtr(val).Rank() != 0 {
+		t.Fatalf("vertex ended on rank %d, want 0", rma.DPtr(val).Rank())
+	}
+}
+
+// TestRebalanceMovesHotVerticesToAccessor: the collective folds heat, plans
+// greedily, and migrates each hot vertex onto its dominant accessor.
+func TestRebalanceMovesHotVerticesToAccessor(t *testing.T) {
+	const ranks = 4
+	e := NewEngine(rma.New(ranks), Config{
+		BlockSize: 64, BlocksPerRank: 1 << 12, LockTries: 256,
+		RebalanceHeatTracking: true, RebalanceMinHeat: 2, RebalanceTopK: 16,
+	})
+	pt := payloadPType(t, e)
+	// Vertices 0..7 land round-robin (OwnerOf = app % ranks).
+	var dps []rma.DPtr
+	for app := uint64(0); app < 8; app++ {
+		dps = append(dps, seedPayloadVertex(t, e, app, pt, 4))
+	}
+	// Rank 3 hammers vertices 0 and 1 (owned by ranks 0 and 1); everything
+	// else sees one cold read from its owner.
+	for i := 0; i < 8; i++ {
+		tx := e.StartLocal(3, ReadOnly)
+		for _, dp := range dps[:2] {
+			if _, err := tx.AssociateVertex(dp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tx.Abort()
+	}
+	var firstErr error
+	stats := make([]RebalanceStats, ranks)
+	e.fab.Run(func(r rma.Rank) {
+		s, err := e.Rebalance(r)
+		stats[r] = s
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	})
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	if stats[0].Planned == 0 {
+		t.Fatal("rebalance planned nothing")
+	}
+	for app := uint64(0); app < 2; app++ {
+		val, ok := e.index.Lookup(0, app)
+		if !ok {
+			t.Fatalf("vertex %d vanished", app)
+		}
+		if got := rma.DPtr(val).Rank(); got != 3 {
+			t.Fatalf("hot vertex %d on rank %d after rebalance, want 3", app, got)
+		}
+	}
+	// Heat reset: a second round with no new traffic plans nothing.
+	e.fab.Run(func(r rma.Rank) {
+		s, err := e.Rebalance(r)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if r == 0 && s.Planned != 0 {
+			t.Errorf("second round planned %d moves from stale heat", s.Planned)
+		}
+	})
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+}
+
+// TestStaleAndFreshDPtrInOneBatch: one association batch naming the same
+// migrated vertex under both its stale and current DPtr (stale first, so the
+// chase re-queues at a primary whose direct fetch resolves later in the same
+// generation) must converge on one shared state, hold exactly one read lock,
+// and leave the lock word clean after commit.
+func TestStaleAndFreshDPtrInOneBatch(t *testing.T) {
+	e := newMigrationEngine(t, 2)
+	pt := payloadPType(t, e)
+	old := seedPayloadVertex(t, e, 1, pt, 16)
+	fresh := mustMigrate(t, e, 1, 0)
+
+	tx := e.StartLocal(1, ReadOnly)
+	hs, err := tx.AssociateVertices([]rma.DPtr{old, fresh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs[0] == nil || hs[1] == nil {
+		t.Fatal("batch dropped a handle")
+	}
+	if hs[0].ID() != fresh || hs[1].ID() != fresh {
+		t.Fatalf("handles resolved to %v/%v, want both %v", hs[0].ID(), hs[1].ID(), fresh)
+	}
+	if hs[0].st != hs[1].st {
+		t.Fatal("stale and fresh DPtr forked the per-transaction state")
+	}
+	win, target, idx := e.Store().LockWord(fresh)
+	if readers := locks.Readers(win.Load(1, target, idx)); readers != 1 {
+		t.Fatalf("vertex holds %d read locks inside the transaction, want 1", readers)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if readers := locks.Readers(win.Load(1, target, idx)); readers != 0 {
+		t.Fatalf("lock word keeps %d phantom readers after commit", readers)
+	}
+	// The vertex is still writable (no leaked lock blocks the upgrade).
+	w := e.StartLocal(0, ReadWrite)
+	wh, err := w.AssociateVertex(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wh.SetProperty(pt, payloadPattern(1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatalf("vertex permanently read-locked after the mixed batch: %v", err)
+	}
+}
+
+// TestMigrationPlanRoundTrip pins the wire format.
+func TestMigrationPlanRoundTrip(t *testing.T) {
+	plans := [][]MigrationMove{
+		nil,
+		{{App: 1, Old: rma.MakeDPtr(1, 17), Dest: 0}},
+		{{App: 0, Old: rma.MakeDPtr(0, 1), Dest: 3}, {App: ^uint64(0), Old: rma.MakeDPtr(65535, 1<<48-1), Dest: 65535}},
+	}
+	for _, p := range plans {
+		buf := EncodeMigrationPlan(p)
+		got, err := DecodeMigrationPlan(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(p) {
+			t.Fatalf("decoded %d moves, want %d", len(got), len(p))
+		}
+		for i := range p {
+			if got[i] != p[i] {
+				t.Fatalf("move %d: got %+v, want %+v", i, got[i], p[i])
+			}
+		}
+		if again := EncodeMigrationPlan(got); !bytes.Equal(again, buf) {
+			t.Fatal("re-encode not canonical")
+		}
+	}
+	for _, bad := range [][]byte{nil, []byte("GDM"), []byte("XXXX\x01\x00\x00\x00\x00"), append(EncodeMigrationPlan(plans[1]), 0)} {
+		if _, err := DecodeMigrationPlan(bad); err == nil {
+			t.Fatalf("decode accepted %v", bad)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// MigrationMove is one planned vertex migration: move the vertex with the
+// given application ID, currently resident at primary block Old, onto rank
+// Dest. Old pins the placement the plan was computed against — an executor
+// that finds the vertex elsewhere (it moved or died since planning) skips
+// the move instead of migrating a stranger.
+type MigrationMove struct {
+	App  uint64
+	Old  rma.DPtr
+	Dest rma.Rank
+}
+
+// Migration plans travel between ranks (rank 0 computes the plan, everyone
+// else receives it through a broadcast), so they have a fixed wire format:
+//
+//	magic   4 bytes "GDMP"
+//	version 1 byte  (1)
+//	count   4 bytes little-endian
+//	entries count × 18 bytes: appID u64, old DPtr u64, dest rank u16
+//
+// The codec is canonical: decode(encode(p)) == p and re-encoding a decoded
+// plan is byte-identical, which FuzzMigrationPlan pins down.
+const (
+	planMagic     = "GDMP"
+	planVersion   = 1
+	planHeaderLen = 4 + 1 + 4
+	planEntryLen  = 8 + 8 + 2
+)
+
+// EncodeMigrationPlan serializes a plan into its wire format.
+func EncodeMigrationPlan(moves []MigrationMove) []byte {
+	buf := make([]byte, planHeaderLen+planEntryLen*len(moves))
+	copy(buf, planMagic)
+	buf[4] = planVersion
+	binary.LittleEndian.PutUint32(buf[5:], uint32(len(moves)))
+	off := planHeaderLen
+	for _, mv := range moves {
+		binary.LittleEndian.PutUint64(buf[off:], mv.App)
+		binary.LittleEndian.PutUint64(buf[off+8:], uint64(mv.Old))
+		binary.LittleEndian.PutUint16(buf[off+16:], uint16(mv.Dest))
+		off += planEntryLen
+	}
+	return buf
+}
+
+// DecodeMigrationPlan parses a plan produced by EncodeMigrationPlan. It
+// rejects truncated, oversized, and mislabeled inputs rather than guessing.
+func DecodeMigrationPlan(buf []byte) ([]MigrationMove, error) {
+	if len(buf) < planHeaderLen {
+		return nil, fmt.Errorf("core: migration plan of %d bytes is smaller than the header", len(buf))
+	}
+	if string(buf[:4]) != planMagic {
+		return nil, fmt.Errorf("core: migration plan has bad magic %q", buf[:4])
+	}
+	if buf[4] != planVersion {
+		return nil, fmt.Errorf("core: migration plan version %d, want %d", buf[4], planVersion)
+	}
+	count := int(binary.LittleEndian.Uint32(buf[5:]))
+	if want := planHeaderLen + planEntryLen*count; len(buf) != want {
+		return nil, fmt.Errorf("core: migration plan of %d bytes carries %d entries (want %d bytes)",
+			len(buf), count, want)
+	}
+	moves := make([]MigrationMove, count)
+	off := planHeaderLen
+	for i := range moves {
+		moves[i] = MigrationMove{
+			App:  binary.LittleEndian.Uint64(buf[off:]),
+			Old:  rma.DPtr(binary.LittleEndian.Uint64(buf[off+8:])),
+			Dest: rma.Rank(binary.LittleEndian.Uint16(buf[off+16:])),
+		}
+		off += planEntryLen
+	}
+	return moves, nil
+}

@@ -52,6 +52,22 @@ type vertexState struct {
 	origLabel []lpg.LabelID // labels at fetch time, for index diffs
 }
 
+// isIdentity reports whether dp names this vertex: its current primary or
+// any former home block (edge records written before a live migration keep
+// pointing at the old primary, so sibling matching must accept every
+// identity the vertex has ever had).
+func (st *vertexState) isIdentity(dp rma.DPtr) bool {
+	if dp == st.primary {
+		return true
+	}
+	for _, h := range st.v.Homes {
+		if h == dp {
+			return true
+		}
+	}
+	return false
+}
+
 // edgeState caches one heavy-edge holder.
 type edgeState struct {
 	primary rma.DPtr
@@ -74,11 +90,12 @@ type Tx struct {
 
 	verts     map[rma.DPtr]*vertexState
 	edges     map[rma.DPtr]*edgeState
-	newByApp  map[uint64]rma.DPtr // own uncommitted vertices, by app ID
-	dirtyList []rma.DPtr          // commit write-back order (the paper's vector)
-	pending   []*VertexFuture     // queued non-blocking associations
-	optReads  map[rma.DPtr]uint64 // optimistic tier: vertex -> version observed
-	critical  error               // sticky transaction-critical failure
+	newByApp  map[uint64]rma.DPtr   // own uncommitted vertices, by app ID
+	dirtyList []rma.DPtr            // commit write-back order (the paper's vector)
+	pending   []*VertexFuture       // queued non-blocking associations
+	optReads  map[rma.DPtr]uint64   // optimistic tier: vertex -> version observed
+	moved     map[rma.DPtr]rma.DPtr // migration aliases chased: old -> new primary
+	critical  error                 // sticky transaction-critical failure
 	closed    bool
 }
 
@@ -346,7 +363,7 @@ func (tx *Tx) DeleteVertex(dp rma.DPtr) error {
 			}
 			continue
 		}
-		if rec.Neighbor == dp {
+		if st.isIdentity(rec.Neighbor) {
 			continue // self-loop: both records live here
 		}
 		nh, err := tx.AssociateVertex(rec.Neighbor)
@@ -356,18 +373,19 @@ func (tx *Tx) DeleteVertex(dp rma.DPtr) error {
 		if err := tx.ensureWrite(nh.st); err != nil {
 			return err
 		}
-		nh.st.v.Edges = removeSiblings(nh.st.v.Edges, dp)
+		nh.st.v.Edges = removeSiblings(nh.st.v.Edges, st)
 	}
 	st.v.Edges = nil
 	st.deleted = true
 	return nil
 }
 
-// removeSiblings drops every record pointing at the deleted vertex.
-func removeSiblings(recs []holder.EdgeRec, gone rma.DPtr) []holder.EdgeRec {
+// removeSiblings drops every record pointing at the deleted vertex, under
+// any of its identities (current primary or a pre-migration home).
+func removeSiblings(recs []holder.EdgeRec, gone *vertexState) []holder.EdgeRec {
 	out := recs[:0]
 	for _, r := range recs {
-		if !r.Heavy && r.Neighbor == gone {
+		if !r.Heavy && gone.isIdentity(r.Neighbor) {
 			continue
 		}
 		out = append(out, r)

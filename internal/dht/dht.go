@@ -253,6 +253,55 @@ func (m *Map) lookupOnce(origin rma.Rank, key uint64) (val uint64, found, restar
 	return 0, false, false
 }
 
+// Replace CAS-swings the value of an existing key from old to new — the
+// DHT-entry update live vertex migration publishes its new placement with.
+// It walks the chain like Lookup and issues a single CAS on the entry's
+// value word, so concurrent readers observe either the old or the new value,
+// never a mix. It returns false when no entry holds (key, old) — the caller
+// lost a race (or the entry was deleted) and must re-plan. Tombstoned or
+// recycled entries restart the walk, exactly as in Lookup.
+func (m *Map) Replace(origin rma.Rank, key, old, new uint64) bool {
+	for {
+		done, swapped := m.replaceOnce(origin, key, old, new)
+		if done {
+			return swapped
+		}
+	}
+}
+
+func (m *Map) replaceOnce(origin rma.Rank, key, old, new uint64) (done, swapped bool) {
+	bRank, bIdx := m.bucketOf(key)
+	bucket := ref(uint64(bRank)<<rankShift | uint64(bIdx))
+	p := m.loadNext(origin, bucket)
+	for !p.isNull() {
+		k, v, next, ok := m.loadEntry(origin, p)
+		if !ok || next == p {
+			return false, false // tombstone or recycled: restart
+		}
+		if k == key {
+			if v != old {
+				return true, false
+			}
+			base := int(p.idx()) * eWords
+			if _, ok := m.heap.CAS(origin, p.rank(), base+eVal, old, new); ok {
+				// The CAS can only race the slot being recycled, which the
+				// reuse tag detects: confirm the entry still is ours. On a
+				// mismatch the swap landed in a recycled slot; undo it
+				// (best-effort — a loss means the new owner overwrote it,
+				// so their value stands) and restart the walk.
+				if tag := uint16(m.heap.Load(origin, p.rank(), base+eTag)); tag == p.tag() {
+					return true, true
+				}
+				m.heap.CAS(origin, p.rank(), base+eVal, new, old)
+				return false, false
+			}
+			return true, false
+		}
+		p = next
+	}
+	return true, false
+}
+
 // Delete removes one entry with the given key. It reports whether an entry
 // was removed.
 func (m *Map) Delete(origin rma.Rank, key uint64) bool {

@@ -1,0 +1,68 @@
+package dht
+
+import (
+	"testing"
+
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// FuzzDHTRefRoundTrip pins the tagged-pointer encoding of the DHT: every
+// (heap flag, reuse tag, rank, slot) combination must survive an
+// encode/decode round trip with the documented field widths (15-bit tag,
+// 16-bit rank, 32-bit slot), decoding an arbitrary word must be total, and
+// re-encoding the decoded fields must be idempotent — a heap ref never
+// collides with a bucket ref or with NULL. Live migration CAS-swings DHT
+// values whose correctness rests on exactly these invariants.
+func FuzzDHTRefRoundTrip(f *testing.F) {
+	f.Add(true, uint16(0), uint16(0), uint32(0), uint64(0))
+	f.Add(true, uint16(0x7fff), uint16(65535), uint32(1<<32-1), uint64(1)<<63)
+	f.Add(false, uint16(3), uint16(7), uint32(42), uint64(0xdeadbeefcafe))
+	f.Add(true, uint16(0x8001), uint16(12), uint32(9), uint64(1<<48|17))
+	f.Fuzz(func(t *testing.T, heap bool, tag uint16, rank uint16, idx uint32, raw uint64) {
+		if heap {
+			p := heapRef(rma.Rank(rank), idx, tag)
+			if !p.isHeap() {
+				t.Fatal("heap ref lost its heap flag")
+			}
+			if p.isNull() {
+				t.Fatal("heap ref decoded as NULL")
+			}
+			if got := p.rank(); got != rma.Rank(rank) {
+				t.Fatalf("rank %d round-tripped to %d", rank, got)
+			}
+			if got := p.idx(); got != idx {
+				t.Fatalf("idx %d round-tripped to %d", idx, got)
+			}
+			if got := p.tag(); got != tag&0x7fff {
+				t.Fatalf("tag %#x round-tripped to %#x (15-bit field)", tag, got)
+			}
+			if again := heapRef(p.rank(), p.idx(), p.tag()); again != p {
+				t.Fatalf("re-encode changed the ref: %#x -> %#x", uint64(p), uint64(again))
+			}
+		} else {
+			// Bucket refs carry only rank and index; the heap flag and tag
+			// bits stay clear, so they can never alias a heap ref.
+			p := ref(uint64(rank)<<rankShift | uint64(idx))
+			if p.isHeap() {
+				t.Fatal("bucket ref decoded as heap")
+			}
+			if got := p.rank(); got != rma.Rank(rank) {
+				t.Fatalf("bucket rank %d round-tripped to %d", rank, got)
+			}
+			if got := p.idx(); got != idx {
+				t.Fatalf("bucket idx %d round-tripped to %d", idx, got)
+			}
+		}
+
+		// Decoding any raw word is total, and re-encoding the decoded heap
+		// fields reproduces the word exactly (the three fields plus the flag
+		// cover all bits a heap ref may carry).
+		p := ref(raw)
+		_ = p.isNull()
+		if p.isHeap() {
+			if again := heapRef(p.rank(), p.idx(), p.tag()); again != p {
+				t.Fatalf("raw heap word %#x re-encodes to %#x", raw, uint64(again))
+			}
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package dht
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// TestReplaceSwingsValue: the migration CAS-swing updates an existing entry
+// in place and refuses to fire on a mismatched old value or a missing key.
+func TestReplaceSwingsValue(t *testing.T) {
+	f := rma.New(2)
+	m := New(f, Config{BucketsPerRank: 8, EntriesPerRank: 64})
+	if !m.Insert(0, 42, 100) {
+		t.Fatal("insert failed")
+	}
+	if m.Replace(0, 42, 99, 200) {
+		t.Fatal("Replace fired on a mismatched old value")
+	}
+	if v, _ := m.Lookup(1, 42); v != 100 {
+		t.Fatalf("value corrupted to %d by a refused Replace", v)
+	}
+	if !m.Replace(1, 42, 100, 200) {
+		t.Fatal("Replace refused a matching swing")
+	}
+	if v, ok := m.Lookup(0, 42); !ok || v != 200 {
+		t.Fatalf("Lookup after Replace = (%d, %v), want (200, true)", v, ok)
+	}
+	if m.Replace(0, 7, 0, 1) {
+		t.Fatal("Replace fired on a missing key")
+	}
+	if !m.Delete(0, 42) {
+		t.Fatal("delete after Replace failed")
+	}
+	if m.Replace(0, 42, 200, 300) {
+		t.Fatal("Replace fired on a deleted key")
+	}
+}
+
+// TestReplaceConcurrentChain: Replace stays correct while the chain it walks
+// is churned by concurrent inserts and deletes of colliding keys, and
+// concurrent swings of the same key are linearizable (exactly one CAS chain
+// 0→1→…→n survives).
+func TestReplaceConcurrentChain(t *testing.T) {
+	const (
+		ranks    = 4
+		swings   = 200
+		churnOps = 200
+	)
+	f := rma.New(ranks)
+	// One bucket per rank forces long collision chains.
+	m := New(f, Config{BucketsPerRank: 1, EntriesPerRank: 1024})
+	const key = 1
+	if !m.Insert(0, key, 0) {
+		t.Fatal("insert failed")
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < swings; i++ {
+			for !m.Replace(1, key, i, i+1) {
+				t.Errorf("swing %d→%d failed", i, i+1)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < churnOps; i++ {
+			k := uint64(1000 + i%16)
+			if !m.Insert(2, k, k) {
+				t.Error("churn insert failed")
+				return
+			}
+			m.Delete(3, k)
+		}
+	}()
+	wg.Wait()
+	if v, ok := m.Lookup(0, key); !ok || v != swings {
+		t.Fatalf("final value %d (found %v), want %d", v, ok, swings)
+	}
+}

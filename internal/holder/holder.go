@@ -7,10 +7,12 @@
 // layout follows Figure 3:
 //
 //	header      32 bytes: #blocks, #edges, entry-region size, kind/flags,
-//	            and the application-level ID (vertices) or the endpoint
-//	            DPtrs (edge holders)
+//	            #home blocks, and the application-level ID (vertices) or the
+//	            endpoint DPtrs (edge holders)
 //	block table (#blocks-1) DPtrs of the continuation blocks — the primary
 //	            block's address is the vertex's identity and is not stored
+//	homes       #homes DPtrs of former primary blocks now holding forwarding
+//	            stubs (vertices only; populated by live migration)
 //	edges       #edges fixed-size lightweight-edge records (vertices only)
 //	entries     label & property entries (package lpg wire format)
 //	unused      slack up to #blocks · blockSize
@@ -94,6 +96,14 @@ type Vertex struct {
 	// AppID is the application-level vertex ID (also exposed as the
 	// predefined __app_id property).
 	AppID uint64
+	// Homes lists the primary blocks this vertex occupied on ranks it has
+	// lived on before live migration moved it (at most one per rank). Each
+	// listed block stays allocated and holds a one-hop forwarding stub
+	// (EncodeMoved) pointing at the current primary, so stale DPtrs in edge
+	// records keep resolving; a migration back to a former rank reuses its
+	// home block, restoring the vertex's original DPtr there (the ABA case
+	// the version counters guard). Empty for never-migrated vertices.
+	Homes []rma.DPtr
 	// Edges are the inline edge records in insertion order.
 	Edges []EdgeRec
 	// Labels are the vertex's label IDs in insertion order.
@@ -115,6 +125,10 @@ type Edge struct {
 
 const (
 	flagEdgeHolder = 1 << 0
+	// flagMoved marks a forwarding stub left behind by live vertex
+	// migration: the block is not a holder, its header carries the DPtr of
+	// the vertex's current primary block instead (EncodeMoved/MovedTarget).
+	flagMoved = 1 << 1
 )
 
 // contentSizeVertex returns the logical byte size of v excluding slack.
@@ -126,7 +140,7 @@ func contentSizeVertex(v *Vertex, numBlocks int) int {
 	for _, p := range v.Props {
 		entries += lpg.EntrySize(len(p.Value))
 	}
-	return HeaderSize + 8*(numBlocks-1) + EdgeRecSize*len(v.Edges) + entries
+	return HeaderSize + 8*(numBlocks-1) + 8*len(v.Homes) + EdgeRecSize*len(v.Edges) + entries
 }
 
 func contentSizeEdge(e *Edge, numBlocks int) int {
@@ -177,8 +191,13 @@ func EncodeVertex(v *Vertex, blockSize int) []byte {
 	binary.LittleEndian.PutUint32(buf[8:], uint32(len(entryRegion)))
 	binary.LittleEndian.PutUint32(buf[12:], 0)
 	binary.LittleEndian.PutUint64(buf[16:], v.AppID)
+	binary.LittleEndian.PutUint32(buf[24:], uint32(len(v.Homes)))
 
 	off := HeaderSize + 8*(numBlocks-1)
+	for _, h := range v.Homes {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(h))
+		off += 8
+	}
 	for _, rec := range v.Edges {
 		off += encodeEdgeRec(buf[off:], rec)
 	}
@@ -197,11 +216,19 @@ func DecodeVertex(buf []byte) (*Vertex, error) {
 	}
 	numEdges := int(binary.LittleEndian.Uint32(buf[4:]))
 	entryBytes := int(binary.LittleEndian.Uint32(buf[8:]))
+	numHomes := int(binary.LittleEndian.Uint32(buf[24:]))
 	v := &Vertex{AppID: binary.LittleEndian.Uint64(buf[16:])}
 	off := HeaderSize + 8*(numBlocks-1)
-	if off+numEdges*EdgeRecSize+entryBytes > len(buf) {
-		return nil, fmt.Errorf("holder: truncated vertex holder (%d blocks, %d edges, %d entry bytes, %d buffer)",
-			numBlocks, numEdges, entryBytes, len(buf))
+	if off+8*numHomes+numEdges*EdgeRecSize+entryBytes > len(buf) {
+		return nil, fmt.Errorf("holder: truncated vertex holder (%d blocks, %d homes, %d edges, %d entry bytes, %d buffer)",
+			numBlocks, numHomes, numEdges, entryBytes, len(buf))
+	}
+	if numHomes > 0 {
+		v.Homes = make([]rma.DPtr, numHomes)
+		for i := range v.Homes {
+			v.Homes[i] = rma.DPtr(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
 	}
 	v.Edges = make([]EdgeRec, numEdges)
 	for i := range v.Edges {
@@ -264,7 +291,11 @@ func checkHeader(buf []byte) (numBlocks int, flags uint32, err error) {
 	if numBlocks < 1 {
 		return 0, 0, fmt.Errorf("holder: corrupt header (0 blocks)")
 	}
-	return numBlocks, binary.LittleEndian.Uint32(buf[12:]), nil
+	flags = binary.LittleEndian.Uint32(buf[12:])
+	if flags&flagMoved != 0 {
+		return 0, 0, fmt.Errorf("holder: block is a migration forwarding stub, not a holder")
+	}
+	return numBlocks, flags, nil
 }
 
 func encodeEdgeRec(dst []byte, rec EdgeRec) int {
@@ -294,6 +325,38 @@ func NumBlocks(primary []byte) int {
 		panic("holder: primary block prefix too small")
 	}
 	return int(binary.LittleEndian.Uint32(primary))
+}
+
+// EncodeMoved builds the forwarding stub live migration leaves in a vacated
+// primary block: a single-block stream whose header carries the flagMoved
+// bit, the migrated vertex's application ID (diagnostics), and the DPtr of
+// the vertex's current primary. Readers that land on a stub chase target
+// instead of decoding (the stub is rejected by DecodeVertex/DecodeEdge).
+func EncodeMoved(appID uint64, target rma.DPtr, blockSize int) []byte {
+	buf := make([]byte, blockSize)
+	binary.LittleEndian.PutUint32(buf[0:], 1)
+	binary.LittleEndian.PutUint32(buf[12:], flagMoved)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(target))
+	binary.LittleEndian.PutUint64(buf[24:], appID)
+	return buf
+}
+
+// IsMoved reads the forwarding flag from a block's header prefix.
+func IsMoved(primary []byte) bool {
+	if len(primary) < HeaderSize {
+		panic("holder: primary block prefix too small")
+	}
+	return binary.LittleEndian.Uint32(primary[12:])&flagMoved != 0
+}
+
+// MovedTarget returns the current-primary DPtr a forwarding stub points at.
+func MovedTarget(primary []byte) rma.DPtr {
+	return rma.DPtr(binary.LittleEndian.Uint64(primary[16:]))
+}
+
+// MovedAppID returns the application ID recorded in a forwarding stub.
+func MovedAppID(primary []byte) uint64 {
+	return binary.LittleEndian.Uint64(primary[24:])
 }
 
 // IsEdgeHolder reads the kind flag from a holder's primary-block prefix.

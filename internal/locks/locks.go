@@ -185,25 +185,20 @@ func checkTrainWin(win *rma.WordWin, w Word) {
 	}
 }
 
-// AcquireWriteTrain write-locks every word of the train, issuing one
-// vectored CAS train per owner rank per retry round. Because lock words
-// carry version counters, the train cannot guess the current word value; it
-// learns it from failed CAS results exactly as the read train does (a word
-// observed in an unacquirable state is probed with a value-preserving CAS).
-// Acquisition is all or nothing: if any word cannot be taken within the
-// retry budget, every lock the train did acquire is rolled back to its
-// pre-train state (upgrades return to one reader, versions untouched — a
-// rollback is not a write-unlock) and (nil, ErrContended) is returned.
-//
-// On success it returns the version of every held word, aligned with ls.
-// Passing those versions to ReleaseWriteTrain lets the release converge in
-// one CAS round per rank instead of re-learning the values the acquisition
-// already knew.
-func AcquireWriteTrain(origin rma.Rank, ls []TrainLock, tries int) ([]uint64, error) {
-	if len(ls) == 0 {
-		return nil, nil
+// trainOldReaders returns the reader count a train entry starts from: one
+// for an upgrade of our own shared lock, zero for a fresh acquisition.
+func trainOldReaders(l TrainLock) uint64 {
+	if l.FromRead {
+		return 1
 	}
-	order := make([]int, len(ls)) // sorted position -> index in ls
+	return 0
+}
+
+// sortTrain globally orders ls (rank, then index — the shared total order
+// that makes concurrent trains deadlock-free) and returns the sorted train
+// plus the mapping sorted position -> index in ls.
+func sortTrain(ls []TrainLock) (train []TrainLock, order []int) {
+	order = make([]int, len(ls))
 	for i := range order {
 		order[i] = i
 	}
@@ -214,24 +209,28 @@ func AcquireWriteTrain(origin rma.Rank, ls []TrainLock, tries int) ([]uint64, er
 		}
 		return a.Idx < b.Idx
 	})
-	train := make([]TrainLock, len(ls))
+	train = make([]TrainLock, len(ls))
 	for i, src := range order {
 		train[i] = ls[src]
 	}
+	return train, order
+}
+
+// acquireWriteRounds is the acquisition core shared by the all-or-nothing
+// and best-effort write trains: up to tries vectored CAS rounds over the
+// sorted train, one train per owner rank per round. Because lock words carry
+// version counters, it cannot guess current word values; it learns them from
+// failed CAS results (a word observed in an unacquirable state is probed
+// with a value-preserving CAS). It returns the per-word held flags and, for
+// held words, the value installed (write bit + the word's version).
+func acquireWriteRounds(origin rma.Rank, train []TrainLock, tries int) (held []bool, expected []uint64, nHeld int) {
 	win := train[0].Word.Win
-	held := make([]bool, len(train))
-	expected := make([]uint64, len(train)) // last observed word value, or held value
-	oldReaders := func(l TrainLock) uint64 {
-		if l.FromRead {
-			return 1 // our own shared lock
-		}
-		return 0
-	}
+	held = make([]bool, len(train))
+	expected = make([]uint64, len(train)) // last observed word value, or held value
 	for i, l := range train {
 		checkTrainWin(win, l.Word)
-		expected[i] = oldReaders(l) // version-0 guess; corrected by CAS results
+		expected[i] = trainOldReaders(l) // version-0 guess; corrected by CAS results
 	}
-	nHeld := 0
 	for round := 0; round < tries && nHeld < len(train); round++ {
 		forEachRank(len(train), func(i int) rma.Rank { return train[i].Word.Target }, func(lo, hi int) {
 			ops := make([]rma.CASOp, 0, hi-lo)
@@ -241,9 +240,9 @@ func AcquireWriteTrain(origin rma.Rank, ls []TrainLock, tries int) ([]uint64, er
 					continue
 				}
 				op := rma.CASOp{Idx: train[i].Word.Idx, Old: expected[i]}
-				if expected[i]&writeBit == 0 && expected[i]&readerMask == oldReaders(train[i]) {
+				if expected[i]&writeBit == 0 && expected[i]&readerMask == trainOldReaders(train[i]) {
 					// Acquirable: drop our reader (upgrades) and set the bit.
-					op.New = (expected[i] - oldReaders(train[i])) | writeBit
+					op.New = (expected[i] - trainOldReaders(train[i])) | writeBit
 				} else {
 					op.New = op.Old // probe: foreign readers or a writer hold it
 				}
@@ -264,6 +263,27 @@ func AcquireWriteTrain(origin rma.Rank, ls []TrainLock, tries int) ([]uint64, er
 			}
 		})
 	}
+	return held, expected, nHeld
+}
+
+// AcquireWriteTrain write-locks every word of the train, issuing one
+// vectored CAS train per owner rank per retry round (acquireWriteRounds).
+// Acquisition is all or nothing: if any word cannot be taken within the
+// retry budget, every lock the train did acquire is rolled back to its
+// pre-train state (upgrades return to one reader, versions untouched — a
+// rollback is not a write-unlock) and (nil, ErrContended) is returned.
+//
+// On success it returns the version of every held word, aligned with ls.
+// Passing those versions to ReleaseWriteTrain lets the release converge in
+// one CAS round per rank instead of re-learning the values the acquisition
+// already knew.
+func AcquireWriteTrain(origin rma.Rank, ls []TrainLock, tries int) ([]uint64, error) {
+	if len(ls) == 0 {
+		return nil, nil
+	}
+	train, order := sortTrain(ls)
+	win := train[0].Word.Win
+	held, expected, nHeld := acquireWriteRounds(origin, train, tries)
 	if nHeld == len(train) {
 		vers := make([]uint64, len(ls))
 		for i, src := range order {
@@ -277,7 +297,7 @@ func AcquireWriteTrain(origin rma.Rank, ls []TrainLock, tries int) ([]uint64, er
 		ops := make([]rma.CASOp, 0, hi-lo)
 		for i := lo; i < hi; i++ {
 			if held[i] {
-				ops = append(ops, rma.CASOp{Idx: train[i].Word.Idx, Old: expected[i], New: (expected[i] &^ writeBit) + oldReaders(train[i])})
+				ops = append(ops, rma.CASOp{Idx: train[i].Word.Idx, Old: expected[i], New: (expected[i] &^ writeBit) + trainOldReaders(train[i])})
 			}
 		}
 		for _, r := range win.CASBatch(origin, train[lo].Word.Target, ops) {
@@ -358,6 +378,31 @@ func ReleaseWriteTrain(origin rma.Rank, words []Word, vers []uint64) {
 			}
 		})
 	}
+}
+
+// AcquireWriteTrainEach is the best-effort sibling of AcquireWriteTrain for
+// background work (live vertex migration): same acquisition rounds
+// (acquireWriteRounds), but a word still contended when the budget runs out
+// is simply not taken — the words that were acquired stay held, nothing is
+// rolled back. It returns, aligned with ls, each word's held flag and (for
+// held words) its version; the caller releases the held words with
+// ReleaseWriteTrain when done. A migrator uses this to skip busy vertices
+// instead of aborting a whole migration batch on one hot lock.
+func AcquireWriteTrainEach(origin rma.Rank, ls []TrainLock, tries int) (vers []uint64, heldOut []bool) {
+	vers = make([]uint64, len(ls))
+	heldOut = make([]bool, len(ls))
+	if len(ls) == 0 {
+		return vers, heldOut
+	}
+	train, order := sortTrain(ls)
+	held, expected, _ := acquireWriteRounds(origin, train, tries)
+	for i, src := range order {
+		if held[i] {
+			heldOut[src] = true
+			vers[src] = Version(expected[i])
+		}
+	}
+	return vers, heldOut
 }
 
 // AcquireReadTrain takes shared locks on every word, one vectored CAS train

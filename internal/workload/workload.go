@@ -136,6 +136,19 @@ type RunConfig struct {
 	KeySpace uint64
 	// Seed makes runs reproducible.
 	Seed int64
+	// ZipfS, when positive, draws operation keys from a Zipf distribution
+	// with this exponent instead of uniformly (rank 0 hottest). The sampler
+	// is seeded through each worker's rng, so runs stay reproducible.
+	ZipfS float64
+	// ZipfWorkerHot gives every worker its own hot set (WorkerKey): the
+	// worker-affine skew a workload-aware rebalancer converts into local
+	// accesses. With it false all workers share one global hot ranking.
+	ZipfWorkerHot bool
+	// InsertBase offsets the fresh appIDs AddVertex draws (above KeySpace).
+	// A driver chaining several runs against one database (e.g. a heat
+	// warmup before a measured run) advances it so the runs' inserts cannot
+	// collide on appIDs.
+	InsertBase uint64
 }
 
 // Result reports one run.
@@ -187,9 +200,24 @@ func Run(sys System, cfg RunConfig) (Result, error) {
 	var issued, failed, hardErrs atomic.Int64
 	var firstErr atomic.Value
 
-	// Fresh appIDs for inserts: disjoint per worker, above the key space.
+	// Fresh appIDs for inserts: disjoint per worker, above the key space
+	// (plus the caller's base for chained runs).
 	nextApp := func(w, i int) uint64 {
-		return cfg.KeySpace + uint64(i)*uint64(cfg.Workers) + uint64(w) + 1
+		return cfg.KeySpace + cfg.InsertBase + uint64(i)*uint64(cfg.Workers) + uint64(w) + 1
+	}
+	var zipf *Zipf
+	if cfg.ZipfS > 0 {
+		zipf = NewZipf(int(cfg.KeySpace), cfg.ZipfS)
+	}
+	pickKey := func(w int, rng *rand.Rand) uint64 {
+		if zipf == nil {
+			return rng.Uint64() % cfg.KeySpace
+		}
+		k := zipf.Sample(rng)
+		if cfg.ZipfWorkerHot {
+			return WorkerKey(k, w, cfg.Workers, cfg.KeySpace)
+		}
+		return k
 	}
 
 	var wg sync.WaitGroup
@@ -203,8 +231,8 @@ func Run(sys System, cfg RunConfig) (Result, error) {
 			inserts := 0
 			for i := 0; i < cfg.OpsPerWorker; i++ {
 				op := cfg.Mix.pick(rng)
-				app := rng.Uint64() % cfg.KeySpace
-				app2 := rng.Uint64() % cfg.KeySpace
+				app := pickKey(w, rng)
+				app2 := pickKey(w, rng)
 				if op == OpAddVertex {
 					app = nextApp(w, inserts)
 					inserts++

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf is a seeded, deterministic Zipf(s) rank sampler over {0, …, n-1}:
+// rank k is drawn with probability proportional to 1/(k+1)^s, so rank 0 is
+// the hottest. It substitutes the uniform key choice of the §6.4 OLTP driver
+// with the skewed access patterns real OLTP traffic exhibits — the regime
+// workload-aware rebalancing is built for. The sampler precomputes the
+// cumulative distribution once (O(n) memory) and draws by binary search
+// (O(log n)); it holds no mutable state, so any number of workers may share
+// one Zipf, each with its own seeded rng, and a fixed seed reproduces the
+// exact key sequence run after run.
+type Zipf struct {
+	n   int
+	s   float64
+	cum []float64 // cum[k] = Σ_{i≤k} (i+1)^-s
+}
+
+// NewZipf builds a sampler over n ranks with exponent s ≥ 0 (s = 0 is
+// uniform; s around 1 is the classic web/social skew).
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: Zipf over %d ranks", n))
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		panic(fmt.Sprintf("workload: Zipf exponent %v", s))
+	}
+	z := &Zipf{n: n, s: s, cum: make([]float64, n)}
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += math.Pow(float64(k+1), -s)
+		z.cum[k] = total
+	}
+	return z
+}
+
+// N returns the rank-space size.
+func (z *Zipf) N() int { return z.n }
+
+// S returns the exponent.
+func (z *Zipf) S() float64 { return z.s }
+
+// Sample draws one rank in [0, n) using rng. Identically seeded rngs yield
+// identical rank sequences.
+func (z *Zipf) Sample(rng *rand.Rand) uint64 {
+	r := rng.Float64() * z.cum[z.n-1]
+	return uint64(sort.SearchFloat64s(z.cum, r))
+}
+
+// Mass returns the probability mass of the k hottest ranks — handy for
+// sizing rebalance budgets ("the top 128 keys carry 61% of the traffic").
+func (z *Zipf) Mass(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > z.n {
+		k = z.n
+	}
+	return z.cum[k-1] / z.cum[z.n-1]
+}
+
+// WorkerKey maps a Zipf rank to a concrete key so that every worker gets its
+// own hot set: worker w's k-th hottest key is (k·workers + w + 1) mod keys.
+// The +1 shift decorrelates a worker's hot keys from the static hash
+// placement (key mod ranks), so a worker's hottest vertices start out on
+// other ranks — the worker-affine skew a workload-aware rebalancer converts
+// into local reads. Distinct workers' hot sets are disjoint whenever
+// workers divides keys.
+func WorkerKey(k uint64, w, workers int, keys uint64) uint64 {
+	if keys == 0 {
+		return 0
+	}
+	return (k*uint64(workers) + uint64(w) + 1) % keys
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestZipfDeterministic: the sampler is a pure function of (n, s, rng seed) —
+// two identically seeded runs produce identical key sequences.
+func TestZipfDeterministic(t *testing.T) {
+	z := NewZipf(1024, 1.1)
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		if x, y := z.Sample(a), z.Sample(b); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+// TestZipfDistributionShape draws a large sample and checks the defining
+// Zipf property: the observed frequency of rank k falls off as (k+1)^-s, so
+// the ratio freq(0)/freq(k) must approximate (k+1)^s. Also pins the
+// head-mass invariant skew is about (the hottest few keys dominate) and the
+// uniform degenerate case s=0.
+func TestZipfDistributionShape(t *testing.T) {
+	const (
+		n     = 256
+		s     = 1.2
+		draws = 2_000_000
+	)
+	z := NewZipf(n, s)
+	rng := rand.New(rand.NewSource(42))
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(rng)]++
+	}
+	for i := 1; i < n; i++ {
+		if counts[i] > counts[0] {
+			t.Fatalf("rank %d drawn more often (%d) than rank 0 (%d)", i, counts[i], counts[0])
+		}
+	}
+	for _, k := range []int{1, 3, 15, 63} {
+		want := math.Pow(float64(k+1), s)
+		got := float64(counts[0]) / float64(counts[k])
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Fatalf("freq(0)/freq(%d) = %.2f, want %.2f ±10%%", k, got, want)
+		}
+	}
+	// Head mass: the sampler's own Mass() must match the empirical mass.
+	head := 0
+	for _, c := range counts[:16] {
+		head += c
+	}
+	if emp, ana := float64(head)/draws, z.Mass(16); math.Abs(emp-ana) > 0.01 {
+		t.Fatalf("empirical head mass %.3f, analytical %.3f", emp, ana)
+	}
+	if z.Mass(n) != 1 {
+		t.Fatalf("Mass(n) = %v, want 1", z.Mass(n))
+	}
+
+	// s = 0 degenerates to uniform: min and max counts within a few percent.
+	u := NewZipf(64, 0)
+	ucounts := make([]int, 64)
+	for i := 0; i < 640_000; i++ {
+		ucounts[u.Sample(rng)]++
+	}
+	lo, hi := ucounts[0], ucounts[0]
+	for _, c := range ucounts {
+		lo, hi = min(lo, c), max(hi, c)
+	}
+	if float64(hi-lo)/float64(hi) > 0.1 {
+		t.Fatalf("s=0 not uniform: counts span [%d, %d]", lo, hi)
+	}
+}
+
+// TestWorkerKey: worker-affine keys are in range, deterministic, and give
+// distinct workers disjoint hot sets when workers divides the key space.
+func TestWorkerKey(t *testing.T) {
+	const workers = 8
+	const keys = 4096
+	seen := make(map[uint64]int)
+	for w := 0; w < workers; w++ {
+		for k := uint64(0); k < 16; k++ {
+			key := WorkerKey(k, w, workers, keys)
+			if key >= keys {
+				t.Fatalf("key %d out of range", key)
+			}
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("workers %d and %d share hot key %d", prev, w, key)
+			}
+			seen[key] = w
+			if again := WorkerKey(k, w, workers, keys); again != key {
+				t.Fatal("WorkerKey not deterministic")
+			}
+		}
+	}
+	// The shift decorrelates hot keys from the worker's own static shard:
+	// worker w's hottest key must not hash back onto owner w.
+	for w := 0; w < workers; w++ {
+		if WorkerKey(0, w, workers, keys)%workers == uint64(w) {
+			t.Fatalf("worker %d's hottest key is self-owned at static placement", w)
+		}
+	}
+}
