@@ -1,0 +1,152 @@
+// Command benchjson converts `go test -bench` output on stdin into one
+// BENCH_<name>.json file per top-level benchmark: the per-variant ns/op and
+// custom metrics, the commit the numbers were measured at, and — for the
+// ablation benchmarks whose CI tier holds a ratio gate — the measured gate
+// ratio. CI bench-smoke runs it after the benchmarks so the uploaded
+// artifacts carry machine-readable history; checked-in snapshots under
+// bench/ record the trajectory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// report is one top-level benchmark's JSON document. Variant keys are the
+// sub-benchmark names ("" for a benchmark without b.Run variants).
+type report struct {
+	Name      string                        `json:"name"`
+	Commit    string                        `json:"commit"`
+	NsPerOp   map[string]float64            `json:"ns_per_op"`
+	Metrics   map[string]map[string]float64 `json:"metrics,omitempty"`
+	Gate      string                        `json:"gate,omitempty"`
+	GateRatio float64                       `json:"gate_ratio,omitempty"`
+}
+
+// nsRatio gates a paired ablation on wall time: the baseline variant's
+// ns/op over the optimized variant's (bigger is better).
+func nsRatio(baseline, optimized string) func(*report) (string, float64) {
+	return func(r *report) (string, float64) {
+		b, okB := r.NsPerOp[baseline]
+		o, okO := r.NsPerOp[optimized]
+		if !okB || !okO || o == 0 {
+			return "", 0
+		}
+		return fmt.Sprintf("ns/op %s / %s", baseline, optimized), b / o
+	}
+}
+
+// metricRatio gates a paired ablation on a reported metric: the optimized
+// variant's value over the baseline's (bigger is better).
+func metricRatio(optimized, baseline, metric string) func(*report) (string, float64) {
+	return func(r *report) (string, float64) {
+		b := r.Metrics[baseline][metric]
+		o := r.Metrics[optimized][metric]
+		if b == 0 {
+			return "", 0
+		}
+		return fmt.Sprintf("%s %s / %s", metric, optimized, baseline), o / b
+	}
+}
+
+// gates maps each gated ablation benchmark to its CI ratio.
+var gates = map[string]func(*report) (string, float64){
+	"Ablation_FrontierBatching": nsRatio("scalar", "batched"),
+	"Ablation_CommitBatching":   nsRatio("scalar", "batched"),
+	"CacheAblation":             nsRatio("locked-uncached", "cached-optimistic"),
+	"AnalyticsAblation":         nsRatio("map-engine", "dense-csr"),
+	"RebalanceAblation":         metricRatio("rebalanced", "static", "queries/s"),
+	"HTAPAblation": func(r *report) (string, float64) {
+		return "makespan-x (stop-the-world / concurrent)", r.Metrics[""]["makespan-x"]
+	},
+}
+
+// benchLine matches one result row: name, optional /variant, iteration
+// count, ns/op, then tab-separated custom metrics. The -<GOMAXPROCS>
+// suffix go test appends (absent at GOMAXPROCS=1) is stripped afterwards.
+var benchLine = regexp.MustCompile(`^Benchmark(\w+)((?:/[^ \t]+)?)\s+\d+\s+([\d.]+) ns/op(.*)$`)
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	commit := flag.String("commit", "", "commit SHA recorded in each report")
+	dir := flag.String("dir", ".", "directory the BENCH_<name>.json files are written into")
+	flag.Parse()
+
+	reports := map[string]*report{}
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name, sub := m[1], strings.TrimPrefix(m[2], "/")
+		if sub == "" {
+			name = procSuffix.ReplaceAllString(name, "")
+		} else {
+			sub = procSuffix.ReplaceAllString(sub, "")
+		}
+		r := reports[name]
+		if r == nil {
+			r = &report{Name: name, Commit: *commit, NsPerOp: map[string]float64{}}
+			reports[name] = r
+			order = append(order, name)
+		}
+		r.NsPerOp[sub], _ = strconv.ParseFloat(m[3], 64)
+		for _, field := range strings.Split(m[4], "\t") {
+			parts := strings.SplitN(strings.TrimSpace(field), " ", 2)
+			if len(parts) != 2 {
+				continue
+			}
+			v, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil {
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = map[string]map[string]float64{}
+			}
+			if r.Metrics[sub] == nil {
+				r.Metrics[sub] = map[string]float64{}
+			}
+			r.Metrics[sub][parts[1]] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	for _, name := range order {
+		r := reports[name]
+		if gate := gates[name]; gate != nil {
+			r.Gate, r.GateRatio = gate(r)
+		}
+		buf, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*dir, "BENCH_"+name+".json")
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Println(path)
+	}
+}

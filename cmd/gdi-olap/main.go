@@ -31,11 +31,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	cacheBlocks := flag.Bool("cache-blocks", false, "enable the per-process version-validated block cache; repeated frontier reads are served locally")
 	denseAnalytics := flag.Bool("dense-analytics", false, "run the iterative kernels on the dense CSR engine: index-compacted snapshots, direction-optimizing BFS, one-sided exchange")
+	htap := flag.Bool("htap", false, "run the kernels over a live snapshot cut while an open-loop OLTP load keeps committing; reports the load's served QPS next to each algorithm's wall time (bfs and pagerank only)")
 	flag.Parse()
 
 	var algos []string
 	if *algo == "all" {
 		algos = allAlgos
+		if *htap {
+			algos = htapAlgos
+		}
 	} else {
 		algos = strings.Split(*algo, ",")
 	}
@@ -47,6 +51,7 @@ func main() {
 		BlocksPerRank:  int((cfg.NumVertices()*12+cfg.NumEdges()*2)/uint64(*ranks)) + (1 << 13),
 		CacheBlocks:    *cacheBlocks,
 		DenseAnalytics: *denseAnalytics,
+		HTAPSnapshots:  *htap,
 	})
 	sch, err := kron.DefineSchema(db.Engine(), cfg)
 	if err != nil {
@@ -58,6 +63,10 @@ func main() {
 		os.Exit(1)
 	}
 	g := &analytics.Graph{DB: db, Schema: sch}
+	if *htap {
+		runHTAP(rt, db, g, sch, cfg, algos, *ranks, *iters)
+		return
+	}
 	fmt.Printf("servers=%d |V|=%d |E|=%d dense-analytics=%v\n", *ranks, cfg.NumVertices(), cfg.NumEdges(), *denseAnalytics)
 	fmt.Printf("%-10s %-12s %11s %11s %13s %13s  %s\n",
 		"algo", "time", "put-trains", "get-trains", "bytes-put", "bytes-got", "result")
@@ -148,4 +157,91 @@ func runAlgo(p *gdi.Process, g *analytics.Graph, sch kron.Schema, name string, k
 	default:
 		return "", fmt.Errorf("unknown workload %q", name)
 	}
+}
+
+// htapAlgos are the kernels an HTAPSession exposes over a pinned cut.
+var htapAlgos = []string{"bfs", "pagerank"}
+
+// runHTAP runs each algorithm over a live snapshot cut while an open-loop
+// LinkBench load keeps committing against the same database: one row per
+// algorithm with the analytics wall time and the served OLTP QPS the load
+// sustained alongside it.
+func runHTAP(rt *gdi.Runtime, db *gdi.Database, g *analytics.Graph, sch kron.Schema, cfg kron.Config, algos []string, ranks, iters int) {
+	const (
+		opsEach = 200
+		thinkNs = 1_000_000 // 1ms between ops: a fixed offered load, not saturation
+	)
+	for _, name := range algos {
+		ok := false
+		for _, h := range htapAlgos {
+			ok = ok || name == h
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gdi-olap: -htap supports %s; %q runs only quiesced\n", strings.Join(htapAlgos, ", "), name)
+			os.Exit(1)
+		}
+	}
+	sys := &workload.GDASystem{DB: db, Schema: sch}
+	chunk := uint64(ranks*opsEach + ranks)
+	fmt.Printf("servers=%d |V|=%d |E|=%d htap=true (open-loop LinkBench: %d workers, %d ops each, %dus think)\n",
+		ranks, cfg.NumVertices(), cfg.NumEdges(), ranks, opsEach, thinkNs/1000)
+	fmt.Printf("%-10s %-12s %11s %11s  %s\n", "algo", "time", "oltp-qps", "oltp-fail", "result")
+	for i, name := range algos {
+		var mu sync.Mutex
+		var summary string
+		var runErr error
+		var res workload.Result
+		var wlErr error
+		done := make(chan struct{})
+		go func(i int) {
+			defer close(done)
+			res, wlErr = workload.Run(sys, workload.RunConfig{
+				Mix: workload.LinkBench, Workers: ranks, OpsPerWorker: opsEach,
+				KeySpace: cfg.NumVertices(), Seed: int64(i + 1),
+				InsertBase: uint64(i) * chunk, ThinkNs: thinkNs,
+			})
+		}(i)
+		start := time.Now()
+		rt.Run(db, func(p *gdi.Process) {
+			s, err := analytics.OpenHTAP(p, g)
+			if err != nil {
+				mu.Lock()
+				runErr = err
+				mu.Unlock()
+				return
+			}
+			defer s.Close()
+			var sum string
+			switch name {
+			case "bfs":
+				visited, depth, stats, e := s.BFS(0)
+				sum, err = fmt.Sprintf("visited %d vertices at cut time, eccentricity %d (%d push / %d pull levels)",
+					visited, depth, stats.PushLevels, stats.PullLevels), e
+			case "pagerank":
+				_, norm, e := s.PageRank(iters, 0.85)
+				sum, err = fmt.Sprintf("i=%d df=0.85 over the cut, total mass %.6f", iters, norm), e
+			}
+			if p.Rank() == 0 {
+				mu.Lock()
+				summary = sum
+				if err != nil {
+					runErr = err
+				}
+				mu.Unlock()
+			}
+		})
+		elapsed := time.Since(start).Round(time.Microsecond)
+		<-done
+		if runErr == nil {
+			runErr = wlErr
+		}
+		if runErr != nil {
+			fmt.Fprintln(os.Stderr, "gdi-olap:", runErr)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s %-12s %11.0f %11d  %s\n", name, elapsed, res.QPS(), res.Failed, summary)
+	}
+	eng := db.Engine()
+	fmt.Printf("snapshots: %d cuts, %d block versions retired, %d incremental folds\n",
+		eng.SnapshotCuts(), eng.RetiredBlocks(), eng.DeltaFolds())
 }

@@ -284,6 +284,61 @@
 // injected remote latency, one rebalancing round must recover at least
 // 1.5x the static-placement throughput (measured ~2x).
 //
+// # HTAP snapshots
+//
+// DatabaseParams.HTAPSnapshots adds an MVCC-lite layer so the iterative
+// analytics kernels run over a consistent snapshot while OLTP commit trains
+// keep landing — no stop-the-world quiesce, and no second copy of the
+// database. The subsystem keys everything off state the engine already
+// maintains: the 31-bit version counters in every block's lock word, and
+// the commit gate the write path already passes through.
+//
+//   - Cut acquisition: analytics.OpenHTAP pins a cut collectively. Rank 0
+//     takes the commit gate exclusively — in-flight commits drain, new ones
+//     wait — and every rank stamps its shard with one guard-word train
+//     (snapshot.Manager.PinRank reads all lock-word versions in a single
+//     batched load) and records its vertex listing and delta-log position.
+//     The gate reopens after one barrier; pinning costs OLTP a pause
+//     proportional to one lock-word scan, not to the analytics runtime.
+//
+//   - Version retirement: after the cut is live, a writer about to
+//     overwrite or free a block whose stamped version some active cut pinned
+//     first copies the old bytes into its rank's version arena (the
+//     copy-on-write step, hooked into the block store's pre-write path and
+//     the lock-release hook). A cut reader that loses the race — the block's
+//     version no longer matches its stamp — finds the retired bytes in the
+//     arena instead; the read protocol re-checks the arena after the live
+//     read so the handoff has no window. Arena entries are reference-counted
+//     across cuts and freed when the last referencing cut releases;
+//     Engine.ArenaBytes must return to zero once all sessions close (a
+//     leak test holds it there, including for cuts dropped mid-iteration
+//     via HTAPSession.Drop).
+//
+//   - Incremental folding: every commit appends, per vertex it created,
+//     deleted, or rewrote, one record to the owning rank's delta log —
+//     inside the commit gate, so a record lands atomically before or after
+//     any cut's position. HTAPSession.Refresh pins a new cut and replays
+//     only the log window between the two cuts' positions into its decoded
+//     shard mirror, instead of re-reading every holder. A fold is
+//     bit-identical to a full rebuild (golden-tested); windows trimmed
+//     under it, or vertex sets that drifted via live migration (which moves
+//     primaries without logging), are detected and answered with a full
+//     rebuild agreed across ranks by one OR-reduction. Released sessions
+//     trim the log to the oldest still-pinned position, so an idle system
+//     carries no log at all.
+//
+// Knobs and counters: DatabaseParams.HTAPSnapshots enables the subsystem
+// (commits skip all of it when off), HTAPCutRetries bounds the
+// arena/live-read validation loop; Engine.SnapshotCuts, RetiredBlocks,
+// ArenaBytes, and DeltaFolds expose cut, copy-on-write, and fold activity.
+// The HTAPAblation benchmark gates the tier against stop-the-world: under a
+// fixed offered OLTP load, concurrent cut analytics must hold served QPS at
+// ≥0.6x the analytics-free baseline while finishing both jobs ≥1.3x sooner
+// than running them back to back. TestHTAPCoherenceStress runs writers,
+// optimistic readers, and repeated cut PageRank + Refresh rounds under the
+// race detector in CI; gdi-olap -htap reports cut-analytics wall time next
+// to the served QPS of a live LinkBench load.
+//
 // # Consistency (§3.8)
 //
 // Graph data is serializable: transactions use per-vertex reader-writer

@@ -255,6 +255,15 @@ type DatabaseParams struct {
 	// RebalanceBatch is the migration-train size: vertices moved under one
 	// batched lock/read/write train (default 32).
 	RebalanceBatch int
+	// HTAPSnapshots enables the MVCC-lite snapshot subsystem: collective
+	// AcquireCut pins transaction-consistent cuts of the block store while
+	// OLTP commits keep landing, writers retire overwritten block versions
+	// into per-process arenas, and committed vertex deltas feed the
+	// incremental CSR fold of the HTAP analytics sessions.
+	HTAPSnapshots bool
+	// HTAPCutRetries bounds the validated-read loop of snapshot block reads
+	// (default 64); only meaningful with HTAPSnapshots.
+	HTAPCutRetries int
 }
 
 // Database is one distributed graph database. Multiple databases may
@@ -283,6 +292,8 @@ func (rt *Runtime) CreateDatabase(p DatabaseParams) *Database {
 		RebalanceMinHeat:      p.RebalanceMinHeat,
 		RebalanceMaxMoves:     p.RebalanceMaxMoves,
 		RebalanceBatch:        p.RebalanceBatch,
+		HTAPSnapshots:         p.HTAPSnapshots,
+		HTAPCutRetries:        p.HTAPCutRetries,
 	})
 	return &Database{rt: rt, eng: eng}
 }

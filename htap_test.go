@@ -1,0 +1,636 @@
+package gdi_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	gdi "github.com/gdi-go/gdi"
+	"github.com/gdi-go/gdi/internal/analytics"
+	"github.com/gdi-go/gdi/internal/kron"
+)
+
+// The HTAP coherence tier: snapshot analytics (internal/analytics HTAP
+// sessions over internal/snapshot cuts) running concurrently with live OLTP
+// writers and optimistic readers. The load-bearing invariants:
+//
+//   - cut stability: PageRank over a pinned cut is bit-identical to the
+//     quiesced result from before the writes started, no matter how many
+//     commits land mid-iteration;
+//   - fold equivalence: refreshing a session by folding the delta log is
+//     bit-identical to rebuilding the CSR from scratch (the golden test);
+//   - arena hygiene: dropping a session mid-run returns every retired block
+//     version, leaving the arena at zero bytes;
+//   - conservation: every committed create survives to the quiesced end
+//     state (TestHTAPCoherenceStress, run under -race in CI).
+
+// htapGraph loads a deterministic Kronecker graph into a database with the
+// snapshot subsystem (and the dense analytics engine it feeds) enabled.
+func htapGraph(t *testing.T, ranks int, cfg kron.Config, optimistic bool) (*gdi.Runtime, *gdi.Database, *analytics.Graph) {
+	t.Helper()
+	cfg = cfg.WithDefaults()
+	rt := gdi.Init(ranks)
+	db := rt.CreateDatabase(gdi.DatabaseParams{
+		BlockSize:       512,
+		BlocksPerRank:   1 << 16,
+		DenseAnalytics:  true,
+		HTAPSnapshots:   true,
+		OptimisticReads: optimistic,
+	})
+	sch, err := kron.DefineSchema(db.Engine(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loadErr error
+	var mu sync.Mutex
+	rt.Run(db, func(p *gdi.Process) {
+		n := p.Size()
+		if err := p.BulkLoadVertices(kron.VerticesFor(cfg, sch, int(p.Rank()), n)); err == nil {
+			err = p.BulkLoadEdges(kron.EdgesFor(cfg, sch, int(p.Rank()), n))
+		} else {
+			mu.Lock()
+			loadErr = err
+			mu.Unlock()
+		}
+	})
+	if loadErr != nil {
+		t.Fatal(loadErr)
+	}
+	return rt, db, &analytics.Graph{DB: db, Schema: sch}
+}
+
+// quiescedPageRank runs dense PageRank on the idle database and merges the
+// per-rank shard maps.
+func quiescedPageRank(t *testing.T, rt *gdi.Runtime, db *gdi.Database, g *analytics.Graph, iters int) map[uint64]float64 {
+	t.Helper()
+	out := make(map[uint64]float64)
+	var mu sync.Mutex
+	rt.Run(db, func(p *gdi.Process) {
+		pr, _, err := analytics.PageRank(p, g, iters, 0.85)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		for k, v := range pr {
+			out[k] = v
+		}
+		mu.Unlock()
+	})
+	return out
+}
+
+// samePageRank requires exact (bit-identical) equality of two merged
+// PageRank maps.
+func samePageRank(t *testing.T, what string, got, want map[uint64]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d vertices, want %d", what, len(got), len(want))
+	}
+	for k, w := range want {
+		v, ok := got[k]
+		if !ok {
+			t.Fatalf("%s: vertex %d missing", what, k)
+		}
+		if v != w {
+			t.Fatalf("%s: vertex %d = %v, want %v (not bit-identical)", what, k, v, w)
+		}
+	}
+}
+
+// htapWriter commits ops local read-write transactions from the given rank:
+// even rounds create a fresh vertex plus an edge to an existing one, odd
+// rounds add an edge between two existing vertices. Transient transaction
+// aborts are retried by moving on, exactly like an OLTP driver; created
+// counts only committed creates.
+func htapWriter(db *gdi.Database, rank gdi.Rank, seed int64, ops int, base uint64, existing uint64, report func(error)) (commits, created int64) {
+	rng := rand.New(rand.NewSource(seed))
+	p := db.Process(rank)
+	for i := 0; i < ops; i++ {
+		tx := p.StartTransaction(gdi.ReadWrite)
+		oldApp := uint64(rng.Intn(int(existing)))
+		old, err := tx.TranslateVertexID(oldApp)
+		if err != nil {
+			tx.Abort()
+			if errors.Is(err, gdi.ErrTransactionCritical) || errors.Is(err, gdi.ErrNotFound) {
+				continue
+			}
+			report(err)
+			return
+		}
+		madeVertex := false
+		if i%2 == 0 {
+			nv, err := tx.CreateVertex(base + uint64(i))
+			if err != nil {
+				tx.Abort()
+				if errors.Is(err, gdi.ErrTransactionCritical) {
+					continue
+				}
+				report(err)
+				return
+			}
+			_, err = tx.CreateEdge(nv, old, gdi.DirOut, 0)
+			if err != nil {
+				tx.Abort()
+				if errors.Is(err, gdi.ErrTransactionCritical) {
+					continue
+				}
+				report(err)
+				return
+			}
+			madeVertex = true
+		} else {
+			otherApp := uint64(rng.Intn(int(existing)))
+			other, err := tx.TranslateVertexID(otherApp)
+			if err != nil {
+				tx.Abort()
+				if errors.Is(err, gdi.ErrTransactionCritical) || errors.Is(err, gdi.ErrNotFound) {
+					continue
+				}
+				report(err)
+				return
+			}
+			if _, err := tx.CreateEdge(old, other, gdi.DirUndirected, 0); err != nil {
+				tx.Abort()
+				if errors.Is(err, gdi.ErrTransactionCritical) {
+					continue
+				}
+				report(err)
+				return
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			if errors.Is(err, gdi.ErrTransactionCritical) {
+				continue
+			}
+			report(err)
+			return
+		}
+		commits++
+		if madeVertex {
+			created++
+		}
+	}
+	return commits, created
+}
+
+func TestHTAPOpenRequiresKnob(t *testing.T) {
+	rt := gdi.Init(2)
+	defer rt.Finalize()
+	db := rt.CreateDatabase(gdi.DatabaseParams{BlockSize: 256, BlocksPerRank: 1 << 12, DenseAnalytics: true})
+	g := &analytics.Graph{DB: db}
+	rt.Run(db, func(p *gdi.Process) {
+		if _, err := analytics.OpenHTAP(p, g); err == nil {
+			t.Error("OpenHTAP succeeded without HTAPSnapshots")
+		}
+	})
+}
+
+// TestHTAPCutStableUnderWrites pins a cut, lets writers commit hundreds of
+// transactions while PageRank iterates over it, and requires the result to be
+// bit-identical to the quiesced pre-write answer. After the writers drain, a
+// Refresh must land the session on the post-write state, again bit-identical
+// to a quiesced rerun.
+func TestHTAPCutStableUnderWrites(t *testing.T) {
+	const (
+		ranks   = 4
+		scale   = 8
+		writers = 3
+		ops     = 120
+		iters   = 20
+	)
+	cfg := kron.Config{Scale: scale, EdgeFactor: 8, Seed: 7}
+	rt, db, g := htapGraph(t, ranks, cfg, false)
+	defer rt.Finalize()
+	nVerts := uint64(1) << scale
+
+	before := quiescedPageRank(t, rt, db, g, iters)
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		duringPR = make(map[uint64]float64)
+		afterPR  = make(map[uint64]float64)
+	)
+	report := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	start := make(chan struct{})
+	writersDone := make(chan struct{})
+	var wwg sync.WaitGroup
+	totalCommits, totalCreated := int64(0), int64(0)
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			<-start
+			c, n := htapWriter(db, gdi.Rank(w%ranks), int64(w)*977+13, ops,
+				uint64(1)<<33+uint64(w)<<20, nVerts, report)
+			mu.Lock()
+			totalCommits += c
+			totalCreated += n
+			mu.Unlock()
+		}(w)
+	}
+	go func() {
+		wwg.Wait()
+		close(writersDone)
+	}()
+
+	snap := db.Engine().Snapshots()
+	rt.Run(db, func(p *gdi.Process) {
+		s, err := analytics.OpenHTAP(p, g)
+		if err != nil {
+			report(err)
+			return
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			close(start)
+		}
+		pr, _, err := s.PageRank(iters, 0.85)
+		if err != nil {
+			report(err)
+			return
+		}
+		mu.Lock()
+		for k, v := range pr {
+			duringPR[k] = v
+		}
+		mu.Unlock()
+		<-writersDone
+		p.Barrier()
+		if p.Rank() == 0 && snap.ArenaBytes() == 0 {
+			report(errors.New("no block version was retired while the cut was pinned"))
+		}
+		if err := s.Refresh(); err != nil {
+			report(err)
+			return
+		}
+		pr2, _, err := s.PageRank(iters, 0.85)
+		if err != nil {
+			report(err)
+			return
+		}
+		mu.Lock()
+		for k, v := range pr2 {
+			afterPR[k] = v
+		}
+		mu.Unlock()
+		s.Close()
+	})
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	if totalCommits == 0 {
+		t.Fatal("no writer transaction ever committed")
+	}
+	samePageRank(t, "PageRank over the pinned cut", duringPR, before)
+
+	after := quiescedPageRank(t, rt, db, g, iters)
+	if len(after) != len(before)+int(totalCreated) {
+		t.Fatalf("post-write graph has %d vertices, want %d + %d created", len(after), len(before), totalCreated)
+	}
+	samePageRank(t, "PageRank after Refresh", afterPR, after)
+	if got := snap.ArenaBytes(); got != 0 {
+		t.Fatalf("arena holds %d bytes after the session closed", got)
+	}
+	if snap.RetiredBlocks() == 0 {
+		t.Fatal("writers never retired a block version")
+	}
+	t.Logf("commits: %d (created %d); retired versions: %d; cuts: %d; folds: %d",
+		totalCommits, totalCreated, snap.RetiredBlocks(), snap.CutsAcquired(), snap.DeltaFolds())
+}
+
+// TestHTAPFoldBitIdenticalToRebuild is the golden equivalence test: after a
+// batch of creates, adjacency updates, and a delete, a session refreshed by
+// folding the delta log must produce exactly the CSR a freshly opened session
+// rebuilds from block reads — held to bit-identical PageRank output.
+func TestHTAPFoldBitIdenticalToRebuild(t *testing.T) {
+	const ranks = 4
+	cfg := kron.Config{Scale: 7, EdgeFactor: 8, Seed: 11}
+	rt, db, g := htapGraph(t, ranks, cfg, false)
+	defer rt.Finalize()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		foldPR   = make(map[uint64]float64)
+		fullPR   = make(map[uint64]float64)
+	)
+	report := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	eng := db.Engine()
+	rt.Run(db, func(p *gdi.Process) {
+		s, err := analytics.OpenHTAP(p, g)
+		if err != nil {
+			report(err)
+			return
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			// One writer, quiesced around the barriers: creates, an adjacency
+			// rewrite, and a delete — every delta-record kind.
+			tx := p.StartTransaction(gdi.ReadWrite)
+			a, err := tx.CreateVertex(1 << 40)
+			if err == nil {
+				var old gdi.VertexID
+				if old, err = tx.TranslateVertexID(3); err == nil {
+					_, err = tx.CreateEdge(a, old, gdi.DirOut, 0)
+				}
+				var o2 gdi.VertexID
+				if err == nil {
+					if o2, err = tx.TranslateVertexID(5); err == nil {
+						_, err = tx.CreateEdge(old, o2, gdi.DirUndirected, 0)
+					}
+				}
+				var victim gdi.VertexID
+				if err == nil {
+					if victim, err = tx.TranslateVertexID(9); err == nil {
+						err = tx.DeleteVertex(victim)
+					}
+				}
+			}
+			if err == nil {
+				err = tx.Commit()
+			} else {
+				tx.Abort()
+			}
+			if err != nil {
+				report(err)
+			}
+		}
+		p.Barrier()
+		foldsBefore := eng.DeltaFolds()
+		if err := s.Refresh(); err != nil {
+			report(err)
+			return
+		}
+		if p.Rank() == 0 && eng.DeltaFolds() != foldsBefore+1 {
+			report(fmt.Errorf("refresh fell back to a rebuild: folds %d -> %d", foldsBefore, eng.DeltaFolds()))
+		}
+		pr, _, err := s.PageRank(15, 0.85)
+		if err != nil {
+			report(err)
+			return
+		}
+		s2, err := analytics.OpenHTAP(p, g)
+		if err != nil {
+			report(err)
+			return
+		}
+		pr2, _, err := s2.PageRank(15, 0.85)
+		if err != nil {
+			report(err)
+			return
+		}
+		mu.Lock()
+		for k, v := range pr {
+			foldPR[k] = v
+		}
+		for k, v := range pr2 {
+			fullPR[k] = v
+		}
+		mu.Unlock()
+		s2.Close()
+		s.Close()
+	})
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	samePageRank(t, "folded session vs full rebuild", foldPR, fullPR)
+	if got := db.Engine().Snapshots().ArenaBytes(); got != 0 {
+		t.Fatalf("arena holds %d bytes after both sessions closed", got)
+	}
+}
+
+// TestHTAPArenaLeakOnDrop abandons an analytics run mid-iteration via the
+// non-collective Drop and requires every retired block version to be
+// released: the arena must return to exactly zero bytes (the leak fix this
+// PR ships a regression test for).
+func TestHTAPArenaLeakOnDrop(t *testing.T) {
+	const ranks = 4
+	cfg := kron.Config{Scale: 7, EdgeFactor: 8, Seed: 3}
+	rt, db, g := htapGraph(t, ranks, cfg, false)
+	defer rt.Finalize()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	report := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	snap := db.Engine().Snapshots()
+	rt.Run(db, func(p *gdi.Process) {
+		s, err := analytics.OpenHTAP(p, g)
+		if err != nil {
+			report(err)
+			return
+		}
+		p.Barrier()
+		// Every rank rewrites a few of its vertices while the cut is pinned,
+		// forcing retirement of the overwritten block versions.
+		c, _ := htapWriter(db, p.Rank(), int64(p.Rank())*31+7, 20,
+			uint64(1)<<34+uint64(p.Rank())<<20, 1<<7, report)
+		if c == 0 {
+			report(fmt.Errorf("rank %d: no writer commit landed", p.Rank()))
+		}
+		// Check before the barrier: once any rank passes it, it may Drop the
+		// shared cut and legitimately empty the arena.
+		if snap.ArenaBytes() == 0 {
+			report(fmt.Errorf("rank %d: writes under a pinned cut retired nothing", p.Rank()))
+		}
+		p.Barrier()
+		// Abandon the run mid-iteration: no collective Close, just Drop from
+		// every rank (idempotent on the shared cut).
+		s.Drop()
+	})
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	if got := snap.ArenaBytes(); got != 0 {
+		t.Fatalf("arena leaked %d bytes after Drop", got)
+	}
+	if snap.RetiredBlocks() == 0 {
+		t.Fatal("stress produced no retired versions; the leak check tested nothing")
+	}
+}
+
+// TestHTAPCoherenceStress is the full HTAP tier, run under -race in CI:
+// OLTP writers and optimistic readers race against an analytics session that
+// keeps refreshing and re-ranking. Afterwards the database must be conserved
+// (every committed create present) and a final refreshed PageRank must be
+// bit-identical to a quiesced rerun.
+func TestHTAPCoherenceStress(t *testing.T) {
+	const (
+		ranks     = 4
+		scale     = 7
+		writers   = 2
+		readers   = 2
+		writerOps = 100
+		readerOps = 150
+		rounds    = 3
+	)
+	cfg := kron.Config{Scale: scale, EdgeFactor: 8, Seed: 23}
+	rt, db, g := htapGraph(t, ranks, cfg, true)
+	defer rt.Finalize()
+	nVerts := uint64(1) << scale
+	initial := db.TotalVertices()
+
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		finalPR   = make(map[uint64]float64)
+		commits   int64
+		created   int64
+		validated int64
+	)
+	report := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	start := make(chan struct{})
+	oltpDone := make(chan struct{})
+	var owg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		owg.Add(1)
+		go func(w int) {
+			defer owg.Done()
+			<-start
+			c, n := htapWriter(db, gdi.Rank(w%ranks), int64(w)*557+3, writerOps,
+				uint64(1)<<35+uint64(w)<<20, nVerts, report)
+			mu.Lock()
+			commits += c
+			created += n
+			mu.Unlock()
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		owg.Add(1)
+		go func(r int) {
+			defer owg.Done()
+			<-start
+			rng := rand.New(rand.NewSource(int64(r)*101 + 17))
+			p := db.Process(gdi.Rank((r + 1) % ranks))
+			ok := int64(0)
+			for i := 0; i < readerOps; i++ {
+				tx := p.StartTransaction(gdi.ReadOnly)
+				id, err := tx.TranslateVertexID(uint64(rng.Intn(int(nVerts))))
+				if err != nil {
+					tx.Abort()
+					if errors.Is(err, gdi.ErrTransactionCritical) || errors.Is(err, gdi.ErrNotFound) {
+						continue
+					}
+					report(err)
+					return
+				}
+				h, err := tx.AssociateVertex(id)
+				if err != nil {
+					tx.Abort()
+					if errors.Is(err, gdi.ErrTransactionCritical) || errors.Is(err, gdi.ErrNotFound) {
+						continue
+					}
+					report(err)
+					return
+				}
+				if _, err := h.Neighbors(gdi.MaskAll, nil); err != nil {
+					tx.Abort()
+					if errors.Is(err, gdi.ErrTransactionCritical) || errors.Is(err, gdi.ErrNotFound) {
+						continue
+					}
+					report(err)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					continue // optimistic validation raced a writer; discarded
+				}
+				ok++
+			}
+			mu.Lock()
+			validated += ok
+			mu.Unlock()
+		}(r)
+	}
+	go func() {
+		owg.Wait()
+		close(oltpDone)
+	}()
+
+	rt.Run(db, func(p *gdi.Process) {
+		s, err := analytics.OpenHTAP(p, g)
+		if err != nil {
+			report(err)
+			return
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			close(start)
+		}
+		for round := 0; round < rounds; round++ {
+			if _, _, err := s.PageRank(5, 0.85); err != nil {
+				report(err)
+				return
+			}
+			if err := s.Refresh(); err != nil {
+				report(err)
+				return
+			}
+		}
+		<-oltpDone
+		p.Barrier()
+		if err := s.Refresh(); err != nil { // quiesced: final cut is the end state
+			report(err)
+			return
+		}
+		pr, _, err := s.PageRank(15, 0.85)
+		if err != nil {
+			report(err)
+			return
+		}
+		mu.Lock()
+		for k, v := range pr {
+			finalPR[k] = v
+		}
+		mu.Unlock()
+		s.Close()
+	})
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	if commits == 0 {
+		t.Fatal("no writer transaction ever committed")
+	}
+	if validated == 0 {
+		t.Fatal("no optimistic reader ever validated")
+	}
+	if got := db.TotalVertices(); int64(got) != int64(initial)+created {
+		t.Fatalf("conservation: %d vertices, want %d initial + %d created", got, initial, created)
+	}
+	want := quiescedPageRank(t, rt, db, g, 15)
+	samePageRank(t, "final refreshed PageRank vs quiesced rerun", finalPR, want)
+	snap := db.Engine().Snapshots()
+	if got := snap.ArenaBytes(); got != 0 {
+		t.Fatalf("arena holds %d bytes after the stress run", got)
+	}
+	t.Logf("commits: %d (created %d); reads validated: %d; cuts: %d; folds: %d; retired: %d",
+		commits, created, validated, snap.CutsAcquired(), snap.DeltaFolds(), snap.RetiredBlocks())
+}

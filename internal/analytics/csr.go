@@ -98,9 +98,21 @@ func buildCSR(p *gdi.Process, tx *gdi.Transaction) (*csr, error) {
 		c.allOff[i+1] = int32(len(allNbr))
 	}
 
-	// Index exchange: one query per distinct remote neighbor, bucketed by
-	// owner, shipped as one PUT train per owner rank; owners answer from
-	// their own dense index, again one train per requester.
+	return c, c.finish(p, allNbr, isOut, nOut)
+}
+
+// finish turns a csr whose ids/app/offset arrays are filled into a complete
+// snapshot: it resolves every neighbor reference into dense (rank, index)
+// targets with one index-exchange pass and allgathers the shard sizes. Both
+// the live build (buildCSR) and the cut-sourced HTAP build (htap.go) end
+// here, which is what makes their outputs comparable bit for bit.
+//
+// Index exchange: one query per distinct remote neighbor, bucketed by
+// owner, shipped as one PUT train per owner rank; owners answer from
+// their own dense index, again one train per requester.
+func (c *csr) finish(p *gdi.Process, allNbr []gdi.VertexID, isOut []bool, nOut int) error {
+	n := c.nRanks
+	me := c.me
 	queries := make([][]gdi.VertexID, n)
 	resolve := make(map[gdi.VertexID]int32)
 	for _, nb := range allNbr {
@@ -151,12 +163,12 @@ func buildCSR(p *gdi.Process, tx *gdi.Transaction) (*csr, error) {
 		}
 		q := queries[d]
 		if len(rin[d]) != len(q)*4 {
-			return nil, fmt.Errorf("analytics: rank %d answered %d bytes for %d index queries", d, len(rin[d]), len(q))
+			return fmt.Errorf("analytics: rank %d answered %d bytes for %d index queries", d, len(rin[d]), len(q))
 		}
 		for k, nb := range q {
 			ix := int32(getU32(rin[d], k*4))
 			if ix < 0 {
-				return nil, fmt.Errorf("analytics: neighbor %v disappeared", nb)
+				return fmt.Errorf("analytics: neighbor %v disappeared", nb)
 			}
 			resolve[nb] = ix
 		}
@@ -170,7 +182,7 @@ func buildCSR(p *gdi.Process, tx *gdi.Transaction) (*csr, error) {
 		if int32(nb.Rank()) == me {
 			ix, ok := c.idx[nb]
 			if !ok {
-				return nil, fmt.Errorf("analytics: neighbor %v disappeared", nb)
+				return fmt.Errorf("analytics: neighbor %v disappeared", nb)
 			}
 			t = target{rank: me, idx: ix}
 		} else {
@@ -182,7 +194,7 @@ func buildCSR(p *gdi.Process, tx *gdi.Transaction) (*csr, error) {
 		}
 	}
 	c.counts = collective.Allgather(p.Comm(), p.Rank(), int32(len(c.ids)))
-	return c, nil
+	return nil
 }
 
 // Wire-format helpers: all dense-engine messages are little-endian records

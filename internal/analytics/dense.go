@@ -43,13 +43,32 @@ const bfsPullAlpha = 4
 // rank scan its own unvisited vertices for a frontier neighbor. The return
 // contract matches the map engine's BFS exactly.
 func bfsDense(p *gdi.Process, g *Graph, rootApp uint64) (int64, int, BFSStats, error) {
-	var stats BFSStats
 	tx := p.StartCollectiveTransaction(gdi.ReadOnly)
 	defer tx.Commit()
 	c, err := buildCSR(p, tx)
 	if err != nil {
-		return 0, 0, stats, err
+		return 0, 0, BFSStats{}, err
 	}
+	rootIdx := int32(-1)
+	var firstErr error
+	if int(c.me) == int(p.Database().Engine().OwnerOf(rootApp)) {
+		root, terr := tx.TranslateVertexID(rootApp)
+		if terr != nil {
+			// Match the map engine: record the error but keep running the
+			// collective loop; an empty frontier terminates it immediately.
+			firstErr = terr
+		} else if ix, ok := c.idx[root]; ok {
+			rootIdx = ix
+		}
+	}
+	return bfsOverCSR(p, c, rootIdx, firstErr)
+}
+
+// bfsOverCSR runs the direction-optimizing BFS over an already-built CSR
+// snapshot (live or cut-sourced); rootIdx is the root's dense index on this
+// rank, or -1 when the root lives elsewhere.
+func bfsOverCSR(p *gdi.Process, c *csr, rootIdx int32, firstErr error) (int64, int, BFSStats, error) {
+	var stats BFSStats
 	nv := c.nv()
 	me := int(c.me)
 	n := c.nRanks
@@ -57,16 +76,8 @@ func bfsDense(p *gdi.Process, g *Graph, rootApp uint64) (int64, int, BFSStats, e
 	frontier := newBitset(nv)
 	next := newBitset(nv)
 	newly := newBitset(nv)
-	var firstErr error
-	if me == int(p.Database().Engine().OwnerOf(rootApp)) {
-		root, terr := tx.TranslateVertexID(rootApp)
-		if terr != nil {
-			// Match the map engine: record the error but keep running the
-			// collective loop; an empty frontier terminates it immediately.
-			firstErr = terr
-		} else if ix, ok := c.idx[root]; ok {
-			frontier.set(ix)
-		}
+	if rootIdx >= 0 {
+		frontier.set(rootIdx)
 	}
 	globalN := p.AllreduceInt64(int64(nv))
 	x := xchg(p)
@@ -187,6 +198,12 @@ func pageRankDense(p *gdi.Process, g *Graph, iters int, df float64) (map[uint64]
 	if err != nil {
 		return nil, 0, err
 	}
+	return pageRankOverCSR(p, c, iters, df)
+}
+
+// pageRankOverCSR runs PageRank over an already-built CSR snapshot (live or
+// cut-sourced).
+func pageRankOverCSR(p *gdi.Process, c *csr, iters int, df float64) (map[uint64]float64, float64, error) {
 	nGlobal := float64(p.AllreduceInt64(int64(c.nv())))
 	if nGlobal == 0 {
 		return nil, 0, fmt.Errorf("analytics: empty graph")

@@ -32,6 +32,7 @@ package block
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/gdi-go/gdi/internal/rma"
 )
@@ -51,6 +52,32 @@ type Store struct {
 	sys   *rma.WordWin // word 0: tagged free-list head; words 1+i: lock words
 
 	caches []*blockCache // per-rank version-validated block caches; nil when disabled
+
+	retirer atomic.Pointer[Retirer] // pre-write hook of the snapshot layer; nil when disabled
+}
+
+// Retirer receives a notification for every block whose payload is about to
+// be overwritten, before the first byte of the new value lands. The HTAP
+// snapshot layer uses it to retire the old bytes into its version arena for
+// any pinned cut still naming them.
+type Retirer interface {
+	BeforeWrite(dp rma.DPtr)
+}
+
+// SetRetirer installs (or, with nil, removes) the store's pre-write hook.
+func (s *Store) SetRetirer(r Retirer) {
+	if r == nil {
+		s.retirer.Store(nil)
+		return
+	}
+	s.retirer.Store(&r)
+}
+
+// beforeWrite runs the retirement hook for dp, if installed.
+func (s *Store) beforeWrite(dp rma.DPtr) {
+	if r := s.retirer.Load(); r != nil {
+		(*r).BeforeWrite(dp)
+	}
 }
 
 // Config sizes the pool.
@@ -179,6 +206,7 @@ func (s *Store) WriteBlock(origin rma.Rank, dp rma.DPtr, payload []byte) {
 		panic(fmt.Sprintf("block: payload of %d bytes exceeds block size %d", len(payload), s.blockSize))
 	}
 	s.invalidateCached(origin, dp)
+	s.beforeWrite(dp)
 	s.data.Put(origin, dp.Rank(), int(dp.Off())*s.blockSize, payload)
 }
 
@@ -246,6 +274,7 @@ func (s *Store) WriteBlocksBatch(origin rma.Rank, dps []rma.DPtr, payloads [][]b
 			panic(fmt.Sprintf("block: payload of %d bytes exceeds block size %d", len(payloads[i]), s.blockSize))
 		}
 		s.invalidateCached(origin, dp)
+		s.beforeWrite(dp)
 		t := dp.Rank()
 		byTarget[t] = append(byTarget[t], rma.PutOp{Off: int(dp.Off()) * s.blockSize, Data: payloads[i]})
 	}

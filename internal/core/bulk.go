@@ -8,6 +8,7 @@ import (
 	"github.com/gdi-go/gdi/internal/holder"
 	"github.com/gdi-go/gdi/internal/lpg"
 	"github.com/gdi-go/gdi/internal/rma"
+	"github.com/gdi-go/gdi/internal/snapshot"
 )
 
 // VertexSpec describes one vertex for bulk loading.
@@ -42,6 +43,13 @@ func (e *Engine) BulkLoadVertices(rank rma.Rank, specs []VertexSpec) error {
 	}
 	in := collective.Alltoall(e.comm, rank, out)
 	bs := e.cfg.BlockSize
+	// The local materialization runs under the HTAP commit gate like any
+	// apply phase; the gate is scoped between the exchange and the barrier
+	// so a holder never waits on another rank.
+	if e.snap != nil {
+		e.htapGate.RLock()
+	}
+	var deltas []snapshot.Record
 	for _, batch := range in {
 		for _, sp := range batch {
 			v := &holder.Vertex{AppID: sp.AppID, Labels: sp.Labels, Props: sp.Props}
@@ -51,6 +59,9 @@ func (e *Engine) BulkLoadVertices(rank rma.Rank, specs []VertexSpec) error {
 			for i := range blocks {
 				dp, err := e.store.AcquireBlock(rank, rank)
 				if err != nil {
+					if e.snap != nil {
+						e.htapGate.RUnlock()
+					}
 					return fmt.Errorf("%w: bulk loading vertex %d", ErrNoMemory, sp.AppID)
 				}
 				blocks[i] = dp
@@ -63,7 +74,14 @@ func (e *Engine) BulkLoadVertices(rank rma.Rank, specs []VertexSpec) error {
 			}
 			e.index.Insert(rank, sp.AppID, uint64(blocks[0]))
 			e.local[rank].addVertex(blocks[0], sp.AppID, sp.Labels)
+			if e.snap != nil {
+				deltas = append(deltas, snapshot.Record{Kind: snapshot.KindCreate, DP: blocks[0], App: sp.AppID})
+			}
 		}
+	}
+	if e.snap != nil {
+		e.snap.AppendDeltas(rank, deltas)
+		e.htapGate.RUnlock()
 	}
 	e.comm.Barrier(rank)
 	return nil
@@ -122,10 +140,19 @@ func (e *Engine) BulkLoadEdges(rank rma.Rank, specs []EdgeSpec) error {
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 
 	bs := e.cfg.BlockSize
+	if e.snap != nil {
+		e.htapGate.RLock()
+	}
 	for _, dp := range order {
 		if err := e.appendRecords(rank, dp, byVertex[dp], bs); err != nil {
+			if e.snap != nil {
+				e.htapGate.RUnlock()
+			}
 			return err
 		}
+	}
+	if e.snap != nil {
+		e.htapGate.RUnlock()
 	}
 	e.comm.Barrier(rank)
 	return nil
@@ -173,6 +200,11 @@ func (e *Engine) appendRecords(rank rma.Rank, primary rma.DPtr, recs []holder.Ed
 	}
 	for i, dp := range blocks {
 		e.store.WriteBlock(rank, dp, stream[i*bs:(i+1)*bs])
+	}
+	// A bulk edge merge rewrites adjacency without changing the vertex set,
+	// which the incremental fold's drift check cannot see — log it.
+	if e.snap != nil {
+		e.snap.AppendDeltas(rank, []snapshot.Record{{Kind: snapshot.KindUpdate, DP: primary, App: v.AppID, Edges: v.Edges}})
 	}
 	return nil
 }

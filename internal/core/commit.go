@@ -7,6 +7,7 @@ import (
 	"github.com/gdi-go/gdi/internal/locks"
 	"github.com/gdi-go/gdi/internal/lpg"
 	"github.com/gdi-go/gdi/internal/rma"
+	"github.com/gdi-go/gdi/internal/snapshot"
 )
 
 // Commit makes the transaction's changes durable and visible
@@ -211,6 +212,18 @@ func (tx *Tx) Commit() error {
 		plans = append(plans, pl)
 	}
 
+	// HTAP gate: the whole apply phase — first write-back PUT through the
+	// final lock release, plus the delta-log append — runs under the commit
+	// gate in read mode. AcquireCut holds the gate exclusively while every
+	// rank stamps its shard, so a cut never observes a commit whose writes
+	// have partially landed or whose delta records straddle the cut's log
+	// position. Lock waits above stay outside the gate: a prepare-stage
+	// commit holds locks but has written nothing, which stamping tolerates.
+	if tx.eng.snap != nil {
+		tx.eng.htapGate.RLock()
+		defer tx.eng.htapGate.RUnlock()
+	}
+
 	// Apply, write-back: every holder block and every deletion poison (a
 	// zeroed primary header, so stale DPtrs fail cleanly). This phase
 	// cannot fail. The scalar path issues one blocking PUT per block; the
@@ -247,6 +260,41 @@ func (tx *Tx) Commit() error {
 		put(h, make([]byte, holder.HeaderSize))
 	}
 	tx.eng.groupWriteBack(tx.rank, wbDps, wbData)
+
+	// Delta log: one record per created, rewritten, or deleted vertex,
+	// routed to the rank owning its primary block. The record carries the
+	// committed holder's full inline edge list verbatim, so the incremental
+	// CSR fold replaces adjacency wholesale without diffing. Appended inside
+	// the gate, after the write-back, so the records and the block state a
+	// cut observes always agree.
+	if snap := tx.eng.snap; snap != nil {
+		byRank := make(map[rma.Rank][]snapshot.Record)
+		for _, pl := range plans {
+			if pl.vs == nil {
+				continue
+			}
+			st := pl.vs
+			kind := snapshot.KindUpdate
+			if st.isNew {
+				kind = snapshot.KindCreate
+			}
+			r := st.primary.Rank()
+			byRank[r] = append(byRank[r], snapshot.Record{Kind: kind, DP: st.primary, App: st.v.AppID, Edges: st.v.Edges})
+		}
+		for _, st := range tx.verts {
+			if st.deleted && !st.isNew {
+				rec := snapshot.Record{Kind: snapshot.KindDelete, DP: st.primary}
+				if st.v != nil {
+					rec.App = st.v.AppID
+				}
+				r := st.primary.Rank()
+				byRank[r] = append(byRank[r], rec)
+			}
+		}
+		for r, recs := range byRank {
+			snap.AppendDeltas(r, recs)
+		}
+	}
 
 	// Apply, publish: release excess blocks and maintain the explicit
 	// indexes. New vertices become findable here, but their exclusive locks

@@ -25,9 +25,11 @@ import (
 	"github.com/gdi-go/gdi/internal/collective"
 	"github.com/gdi-go/gdi/internal/dht"
 	"github.com/gdi-go/gdi/internal/exchange"
+	"github.com/gdi-go/gdi/internal/locks"
 	"github.com/gdi-go/gdi/internal/lpg"
 	"github.com/gdi-go/gdi/internal/metadata"
 	"github.com/gdi-go/gdi/internal/rma"
+	"github.com/gdi-go/gdi/internal/snapshot"
 )
 
 // Canonical engine errors. ErrTxCritical follows the GDI error model (§3.3):
@@ -111,6 +113,16 @@ type Config struct {
 	// RebalanceBatch is the migration-train size: how many vertices one rank
 	// migrates under a single batched lock/read/write train (default 32).
 	RebalanceBatch int
+	// HTAPSnapshots enables the MVCC-lite snapshot subsystem (package
+	// snapshot): collective AcquireCut pins transaction-consistent cuts of
+	// the block store while commits keep landing, writers retire overwritten
+	// block versions into per-rank arenas, and committed vertex deltas are
+	// logged for the incremental CSR fold. Off by default — the commit path
+	// then pays only an uncontended RWMutex and one atomic load per write.
+	HTAPSnapshots bool
+	// HTAPCutRetries bounds the validated-read loop of cut block reads
+	// (default snapshot.DefaultCutRetries).
+	HTAPCutRetries int
 }
 
 // withDefaults fills zero fields with workable defaults.
@@ -164,6 +176,17 @@ type Engine struct {
 	heat    []*heatShard     // per-rank access-heat counters (rebalancing)
 	cfg     Config
 
+	// snap is the HTAP snapshot manager (nil unless Config.HTAPSnapshots).
+	// htapGate is the commit gate: commits (and live migration) hold it in
+	// read mode across their whole apply phase — first write-back PUT through
+	// final lock release plus the delta-log append — while AcquireCut holds
+	// it exclusively across every rank's shard stamping. The exclusion makes
+	// the per-rank guard-stamp trains one transaction-consistent cut: no
+	// commit is mid-write-back while any rank stamps, so every commit's
+	// writes and delta records land atomically before or after the cut.
+	snap     *snapshot.Manager
+	htapGate sync.RWMutex
+
 	xchgOnce sync.Once
 	xchg     *exchange.Exchange
 
@@ -213,6 +236,21 @@ func NewEngine(f *rma.Fabric, cfg Config) *Engine {
 		e.regs[r] = metadata.NewRegistry()
 		e.local[r] = newLocalIndex()
 		e.heat[r] = newHeatShard()
+	}
+	if cfg.HTAPSnapshots {
+		e.snap = snapshot.NewManager(e.store, cfg.HTAPCutRetries)
+		// Byte-changing writers retire through the store's pre-write hook;
+		// bump-without-write releases (aborts after upgrade, no-op updates,
+		// migration secondary words) retire through the lock layer's
+		// write-unlock hook. Lock word 1+off guards block off; word 0 is the
+		// free-list head and never carries a version to preserve.
+		e.store.SetRetirer(e.snap)
+		sys, _, _ := e.store.LockWord(rma.MakeDPtr(0, 1))
+		locks.SetReleaseHook(sys, func(target rma.Rank, idx int) {
+			if idx >= 1 {
+				e.snap.Retire(target, uint64(idx-1))
+			}
+		})
 	}
 	return e
 }
@@ -404,3 +442,42 @@ func (e *Engine) MigrationSkips() int64 { return e.migSkips.Load() }
 // forwarding stub to the vertex's current primary (stale-DPtr traffic; it
 // decays as transactions re-translate IDs against the swung DHT entries).
 func (e *Engine) ForwardedReads() int64 { return e.forwards.Load() }
+
+// Snapshots returns the HTAP snapshot manager, or nil when
+// Config.HTAPSnapshots is off.
+func (e *Engine) Snapshots() *snapshot.Manager { return e.snap }
+
+// SnapshotCuts reports how many HTAP cuts have been acquired.
+func (e *Engine) SnapshotCuts() int64 {
+	if e.snap == nil {
+		return 0
+	}
+	return e.snap.CutsAcquired()
+}
+
+// RetiredBlocks reports how many block versions writers have retired into
+// the snapshot arenas on behalf of pinned cuts.
+func (e *Engine) RetiredBlocks() int64 {
+	if e.snap == nil {
+		return 0
+	}
+	return e.snap.RetiredBlocks()
+}
+
+// ArenaBytes reports how many retired-version bytes the snapshot arenas
+// currently hold; zero once every cut has released.
+func (e *Engine) ArenaBytes() int64 {
+	if e.snap == nil {
+		return 0
+	}
+	return e.snap.ArenaBytes()
+}
+
+// DeltaFolds reports how many incremental CSR folds the analytics layer has
+// applied from the committed delta logs.
+func (e *Engine) DeltaFolds() int64 {
+	if e.snap == nil {
+		return 0
+	}
+	return e.snap.DeltaFolds()
+}

@@ -100,6 +100,17 @@ func (e *Engine) MigrateVertices(me rma.Rank, moves []MigrationMove) (int, error
 		return 0, nil
 	}
 
+	// The whole train runs under the HTAP commit gate (read mode, like a
+	// commit's apply phase): a cut must never stamp shards while copies,
+	// stubs, and index swings have partially landed. Migration emits no
+	// delta records — it changes primary DPtrs, which the incremental fold
+	// detects as vertex-set drift and answers with a full rebuild. The body
+	// has no barriers, so gate holders never wait on other ranks.
+	if e.snap != nil {
+		e.htapGate.RLock()
+		defer e.htapGate.RUnlock()
+	}
+
 	// Phase 1: best-effort exclusive lock train over the old primaries.
 	// A contended vertex is skipped this round — migration is background
 	// work and must not stall behind a hot lock.

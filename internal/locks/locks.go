@@ -144,6 +144,7 @@ func (w Word) TryUpgrade(origin rma.Rank, tries int) error {
 // guarded holder are stale. A write-held word is stable (readers cannot
 // enter and probes are value-preserving), so one load plus one CAS suffice.
 func (w Word) ReleaseWrite(origin rma.Rank) {
+	runReleaseHook(w.Win, w.Target, w.Idx)
 	cur := w.Win.Load(origin, w.Target, w.Idx)
 	if cur&writeBit == 0 {
 		panic("locks: ReleaseWrite without holding the write lock")
@@ -347,6 +348,9 @@ func ReleaseWriteTrain(origin rma.Rank, words []Word, vers []uint64) {
 	expected := make([]uint64, len(train))
 	for i, src := range order {
 		checkTrainWin(win, train[i])
+		// The hook must see every word still write-held at its pre-bump
+		// version, so fire it for the whole train before any CAS round.
+		runReleaseHook(win, train[i].Target, train[i].Idx)
 		expected[i] = writeBit // version-0 guess; corrected by CAS results
 		if vers != nil {
 			expected[i] = vers[src]<<versionShift | writeBit

@@ -1,0 +1,178 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/gdi-go/gdi/internal/holder"
+	"github.com/gdi-go/gdi/internal/lpg"
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// The per-rank delta log. Every committed transaction appends, per vertex it
+// created, deleted, or rewrote, one Record to the log of the rank owning that
+// vertex's primary block — inside the commit gate, so a record is atomically
+// before or after every cut's log position. The incremental CSR fold replays
+// the records between two cuts' positions instead of re-reading holders.
+
+// Record kinds.
+const (
+	// KindCreate introduces a vertex with its full adjacency.
+	KindCreate = uint8(iota)
+	// KindUpdate replaces a vertex's adjacency wholesale. Carrying the full
+	// record list (straight out of the committed holder, in record order)
+	// keeps folds order-exact without diffing: a fold replaces the mirror
+	// entry and is bit-identical to re-reading the holder.
+	KindUpdate
+	// KindDelete removes a vertex.
+	KindDelete
+)
+
+// Record is one committed vertex delta.
+type Record struct {
+	Kind uint8
+	// DP is the vertex's primary block (its identity).
+	DP rma.DPtr
+	// App is the application-level vertex ID (create/update).
+	App uint64
+	// Edges is the committed holder's inline edge-record list, verbatim
+	// (create/update). Heavy records still point at their edge holder; the
+	// fold resolves them through the cut exactly like a holder walk.
+	Edges []holder.EdgeRec
+}
+
+// Wire format (little-endian): kind u8, dp u64, app u64, nEdges u32, then
+// per edge: neighbor u64, meta u32 (bits 0..1 direction, bit 2 heavy),
+// label u32. 21-byte header, 16 bytes per edge.
+const (
+	recHeaderSize = 1 + 8 + 8 + 4
+	recEdgeSize   = 16
+	// maxRecEdges bounds decoding against corrupt counts; a vertex holder
+	// cannot hold more records than the pool has bytes.
+	maxRecEdges = 1 << 28
+)
+
+// EncodeRecord serializes r into the delta-log wire format.
+func EncodeRecord(r Record) []byte {
+	buf := make([]byte, recHeaderSize+recEdgeSize*len(r.Edges))
+	buf[0] = r.Kind
+	binary.LittleEndian.PutUint64(buf[1:], uint64(r.DP))
+	binary.LittleEndian.PutUint64(buf[9:], r.App)
+	binary.LittleEndian.PutUint32(buf[17:], uint32(len(r.Edges)))
+	off := recHeaderSize
+	for _, e := range r.Edges {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(e.Neighbor))
+		meta := uint32(e.Dir) & 0x3
+		if e.Heavy {
+			meta |= 1 << 2
+		}
+		binary.LittleEndian.PutUint32(buf[off+8:], meta)
+		binary.LittleEndian.PutUint32(buf[off+12:], uint32(e.Label))
+		off += recEdgeSize
+	}
+	return buf
+}
+
+// DecodeRecord parses one delta-log record, rejecting truncated or oversized
+// input without panicking (the log may travel over the wire; see the fuzz
+// target).
+func DecodeRecord(buf []byte) (Record, error) {
+	if len(buf) < recHeaderSize {
+		return Record{}, fmt.Errorf("snapshot: delta record of %d bytes is smaller than the header", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf[17:]))
+	if n < 0 || n > maxRecEdges {
+		return Record{}, fmt.Errorf("snapshot: delta record claims %d edges", n)
+	}
+	if len(buf) != recHeaderSize+recEdgeSize*n {
+		return Record{}, fmt.Errorf("snapshot: delta record of %d bytes does not match %d edges", len(buf), n)
+	}
+	r := Record{
+		Kind: buf[0],
+		DP:   rma.DPtr(binary.LittleEndian.Uint64(buf[1:])),
+		App:  binary.LittleEndian.Uint64(buf[9:]),
+	}
+	if r.Kind > KindDelete {
+		return Record{}, fmt.Errorf("snapshot: unknown delta record kind %d", r.Kind)
+	}
+	if n > 0 {
+		r.Edges = make([]holder.EdgeRec, n)
+		off := recHeaderSize
+		for i := range r.Edges {
+			meta := binary.LittleEndian.Uint32(buf[off+8:])
+			if meta&^uint32(0x7) != 0 || meta&0x3 > uint32(holder.DirUndirected) {
+				return Record{}, fmt.Errorf("snapshot: delta record edge %d has invalid meta %#x", i, meta)
+			}
+			r.Edges[i] = holder.EdgeRec{
+				Neighbor: rma.DPtr(binary.LittleEndian.Uint64(buf[off:])),
+				Dir:      holder.Direction(meta & 0x3),
+				Heavy:    meta&(1<<2) != 0,
+				Label:    lpg.LabelID(binary.LittleEndian.Uint32(buf[off+12:])),
+			}
+			off += recEdgeSize
+		}
+	}
+	return r, nil
+}
+
+// AppendDeltas appends recs (encoded) to rank me's delta log. The caller
+// must hold the engine's commit gate in read mode, which serializes appends
+// against cut pinning — a commit's records land atomically before or after
+// any cut's position.
+func (m *Manager) AppendDeltas(me rma.Rank, recs []Record) {
+	if len(recs) == 0 {
+		return
+	}
+	rs := &m.ranks[me]
+	rs.mu.Lock()
+	for _, r := range recs {
+		rs.recs = append(rs.recs, EncodeRecord(r))
+	}
+	rs.mu.Unlock()
+}
+
+// Deltas decodes rank me's log records in positions [from, to). It fails if
+// the window was already trimmed (the caller must then fall back to a full
+// rebuild).
+func (m *Manager) Deltas(me rma.Rank, from, to int) ([]Record, error) {
+	rs := &m.ranks[me]
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if from < rs.logBase || to > rs.logBase+len(rs.recs) || from > to {
+		return nil, fmt.Errorf("snapshot: delta window [%d, %d) outside log [%d, %d)",
+			from, to, rs.logBase, rs.logBase+len(rs.recs))
+	}
+	out := make([]Record, 0, to-from)
+	for _, b := range rs.recs[from-rs.logBase : to-rs.logBase] {
+		r, err := DecodeRecord(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// LogLen returns rank me's current absolute delta-log position.
+func (m *Manager) LogLen(me rma.Rank) int {
+	rs := &m.ranks[me]
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.logBase + len(rs.recs)
+}
+
+// trimLogLocked drops records below the minimum position any active cut
+// pinned on rank r (all of them with no active cut): released analytics
+// sessions must not keep the OLTP-side log growing forever.
+func (rs *rankShard) trimLogLocked(r rma.Rank) {
+	min := rs.logBase + len(rs.recs)
+	for _, c := range rs.active {
+		if c.logPos[r] < min {
+			min = c.logPos[r]
+		}
+	}
+	if min > rs.logBase {
+		rs.recs = append([][]byte(nil), rs.recs[min-rs.logBase:]...)
+		rs.logBase = min
+	}
+}

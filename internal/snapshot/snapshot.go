@@ -1,0 +1,344 @@
+// Package snapshot implements the HTAP snapshot subsystem: MVCC-lite
+// copy-on-write block versions keyed off the 31-bit version counters embedded
+// in the per-block lock words (package locks), so analytics can read a
+// transaction-consistent cut of the store while OLTP commit trains keep
+// landing.
+//
+// The design is deliberately "MVCC-lite": the live store keeps exactly one
+// copy of every block, and old bytes are materialized lazily. A collective
+// AcquireCut (driven by the core engine under its commit gate) pins a cut by
+// stamping every lock word of every shard with one guard-stamp train per rank
+// — the same vectored atomic-load train the PR 3 block cache revalidates
+// with, issued owner-locally and therefore latency-free. Afterwards, any
+// writer about to overwrite a block whose stamped version is still live first
+// retires the old bytes into the owner rank's version arena (Manager.Retire,
+// invoked from the block store's pre-write hook and from the lock layer's
+// write-unlock hook). Cut readers check the arena first and fall back to a
+// validated live read; the retire-before-write ordering guarantees a reader
+// that misses the arena observed bytes no writer had started replacing.
+//
+// Arena entries are reference-counted by the cuts whose stamp they preserve
+// and freed when the last such cut is released, so a dropped analytics run
+// returns the arena to zero bytes (see Manager.ArenaBytes).
+//
+// The package also owns the per-rank delta log (delta.go): commits append
+// committed (vertex, edge-delta) records, cuts record their log position, and
+// the incremental CSR fold in internal/analytics replays the window between
+// two cuts instead of rebuilding from block reads.
+package snapshot
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/gdi-go/gdi/internal/block"
+	"github.com/gdi-go/gdi/internal/locks"
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// DefaultCutRetries bounds the arena/live-read alternation of ReadBlock.
+const DefaultCutRetries = 64
+
+// VertexRef is one entry of a cut's per-rank vertex listing: the primary
+// block and application ID of a vertex that existed when the cut was pinned.
+// The core engine fills it from its local index under the commit gate.
+type VertexRef struct {
+	DP  rma.DPtr
+	App uint64
+}
+
+// arenaKey addresses one retired block version within a rank's arena.
+type arenaKey struct {
+	off uint64 // block offset within the rank
+	ver uint64 // lock-word version the bytes belonged to
+}
+
+// arenaEntry is one retired block version, pinned by refs cuts.
+type arenaEntry struct {
+	data []byte
+	refs int
+}
+
+// rankShard is the per-rank snapshot state: the version arena, the active
+// cuts pinning this shard, and the committed delta log.
+type rankShard struct {
+	mu     sync.Mutex
+	active []*Cut
+	arena  map[arenaKey]*arenaEntry
+	// pinned mirrors len(active) so the write-path hooks can skip all work
+	// with one atomic load while no cut is open.
+	pinned atomic.Int32
+
+	// Committed delta records, encoded (delta.go). logBase is the absolute
+	// position of recs[0]; positions only grow, records below every active
+	// cut's position are trimmed on release.
+	recs    [][]byte
+	logBase int
+}
+
+// Manager tracks the active cuts, version arenas, and delta logs of all
+// ranks. One Manager serves one engine; all methods are safe for concurrent
+// use from any rank.
+type Manager struct {
+	store   *block.Store
+	sys     *rma.WordWin
+	nRanks  int
+	perRank int
+	bs      int
+	retries int
+
+	ranks []rankShard
+
+	arenaBytes atomic.Int64
+	retired    atomic.Int64
+	cutsTotal  atomic.Int64
+	folds      atomic.Int64
+}
+
+// NewManager creates the snapshot manager over the given block store.
+// retries bounds ReadBlock's validation loop (<=0 uses DefaultCutRetries).
+func NewManager(store *block.Store, retries int) *Manager {
+	sys, _, _ := store.LockWord(rma.MakeDPtr(0, 1))
+	if retries <= 0 {
+		retries = DefaultCutRetries
+	}
+	m := &Manager{
+		store:   store,
+		sys:     sys,
+		nRanks:  store.Fabric().Size(),
+		perRank: store.BlocksPerRank(),
+		bs:      store.BlockSize(),
+		retries: retries,
+		ranks:   make([]rankShard, store.Fabric().Size()),
+	}
+	for r := range m.ranks {
+		m.ranks[r].arena = make(map[arenaKey]*arenaEntry)
+	}
+	return m
+}
+
+// Cut is one pinned consistent cut across all shards. It is created on one
+// rank, shared collectively, pinned per rank with PinRank, and released once
+// (from any rank) with Release.
+type Cut struct {
+	m        *Manager
+	stamps   [][]uint64    // [rank][off] pinned lock-word version
+	verts    [][]VertexRef // [rank] vertex listing at pin time
+	logPos   []int         // [rank] delta-log position at pin time
+	retained [][]arenaKey  // [rank] arena entries this cut holds a ref on
+	released atomic.Bool
+}
+
+// NewCut allocates an empty cut shell. The engine's collective AcquireCut
+// creates it on one rank, broadcasts it, and then every rank pins its own
+// shard with PinRank under the commit gate.
+func (m *Manager) NewCut() *Cut {
+	m.cutsTotal.Add(1)
+	return &Cut{
+		m:        m,
+		stamps:   make([][]uint64, m.nRanks),
+		verts:    make([][]VertexRef, m.nRanks),
+		logPos:   make([]int, m.nRanks),
+		retained: make([][]arenaKey, m.nRanks),
+	}
+}
+
+// PinRank stamps rank me's whole shard into the cut: one guard-stamp train
+// (a vectored atomic load of every lock word, owner-local and therefore
+// latency-free) plus the shard's current delta-log position. It must run
+// under the engine's exclusive commit gate, so no commit is between its
+// first write-back PUT and its final lock release while any shard stamps —
+// that exclusion is what makes the per-rank stamps one transaction-
+// consistent cut. Write-held words are stamped at their pre-bump version:
+// such a commit has not written a byte yet (its apply phase is gated) and
+// will retire the stamped bytes before it does.
+func (m *Manager) PinRank(c *Cut, me rma.Rank) {
+	idxs := make([]int, m.perRank-1)
+	for i := range idxs {
+		idxs[i] = 2 + i // lock word of block 1+i (word 1+off; block 0 is reserved)
+	}
+	words := m.sys.LoadBatch(me, me, idxs)
+	stamps := make([]uint64, m.perRank)
+	for i, w := range words {
+		stamps[1+i] = locks.Version(w)
+	}
+	rs := &m.ranks[me]
+	rs.mu.Lock()
+	c.stamps[me] = stamps
+	c.logPos[me] = rs.logBase + len(rs.recs)
+	rs.active = append(rs.active, c)
+	rs.pinned.Add(1)
+	rs.mu.Unlock()
+}
+
+// SetVerts records the cut's vertex listing for rank me (filled by the
+// engine from its local index, under the same gate as PinRank).
+func (c *Cut) SetVerts(me rma.Rank, refs []VertexRef) { c.verts[me] = refs }
+
+// Verts returns the cut's vertex listing for rank r.
+func (c *Cut) Verts(r rma.Rank) []VertexRef { return c.verts[r] }
+
+// LogPos returns rank r's delta-log position at pin time.
+func (c *Cut) LogPos(r rma.Rank) int { return c.logPos[r] }
+
+// Released reports whether the cut has been released.
+func (c *Cut) Released() bool { return c.released.Load() }
+
+// Release unpins the cut on every rank and drops its references on retired
+// block versions; entries reaching zero references are freed, so after the
+// last cut's release the arena holds zero bytes again. Safe to call from any
+// single goroutine and idempotent — an analytics run aborted mid-iteration
+// releases exactly like a completed one.
+func (c *Cut) Release() { c.m.release(c) }
+
+func (m *Manager) release(c *Cut) {
+	if c.released.Swap(true) {
+		return
+	}
+	for r := range m.ranks {
+		rs := &m.ranks[r]
+		rs.mu.Lock()
+		for i, a := range rs.active {
+			if a == c {
+				rs.active = append(rs.active[:i], rs.active[i+1:]...)
+				rs.pinned.Add(-1)
+				break
+			}
+		}
+		for _, k := range c.retained[r] {
+			e := rs.arena[k]
+			if e == nil {
+				continue
+			}
+			e.refs--
+			if e.refs <= 0 {
+				delete(rs.arena, k)
+				m.arenaBytes.Add(-int64(len(e.data)))
+			}
+		}
+		c.retained[r] = nil
+		rs.trimLogLocked(rma.Rank(r))
+		rs.mu.Unlock()
+	}
+}
+
+// BeforeWrite implements block.Retirer: the store calls it before
+// overwriting dp's payload, giving the manager the chance to retire the old
+// bytes for any cut still pinning them.
+func (m *Manager) BeforeWrite(dp rma.DPtr) { m.Retire(dp.Rank(), dp.Off()) }
+
+// Retire preserves block (target, off)'s current bytes for every active cut
+// whose stamp still names the block's current lock-word version, unless that
+// version is already in the arena. It runs owner-side: the lock word and the
+// payload are read with rank-local accesses, which the fabric charges no
+// remote latency for — the model being that the owner's version maintenance
+// never crosses the network. Callers (the block store's pre-write hook and
+// the lock layer's write-unlock hook) invoke it before the first byte of the
+// new value lands and before the version bump, which is the ordering cut
+// readers rely on.
+func (m *Manager) Retire(target rma.Rank, off uint64) {
+	rs := &m.ranks[target]
+	if rs.pinned.Load() == 0 {
+		return
+	}
+	ver := locks.Version(m.sys.Load(target, target, 1+int(off)))
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	key := arenaKey{off: off, ver: ver}
+	if _, dup := rs.arena[key]; dup {
+		return
+	}
+	refs := 0
+	for _, c := range rs.active {
+		if c.stamps[target] != nil && c.stamps[target][off] == ver {
+			refs++
+		}
+	}
+	if refs == 0 {
+		return
+	}
+	buf := make([]byte, m.bs)
+	m.store.ReadBlock(target, rma.MakeDPtr(target, off), buf)
+	rs.arena[key] = &arenaEntry{data: buf, refs: refs}
+	for _, c := range rs.active {
+		if c.stamps[target] != nil && c.stamps[target][off] == ver {
+			c.retained[target] = append(c.retained[target], key)
+		}
+	}
+	m.arenaBytes.Add(int64(m.bs))
+	m.retired.Add(1)
+}
+
+// lookupArena returns a copy-free view of the retired bytes for (rank, off)
+// at the cut's pinned version, or nil. Entries are immutable once inserted
+// and outlive the lookup as long as the cut holds its reference, so the
+// caller may copy from the returned slice without holding the shard mutex.
+func (m *Manager) lookupArena(c *Cut, target rma.Rank, off uint64) []byte {
+	rs := &m.ranks[target]
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	e := rs.arena[arenaKey{off: off, ver: c.stamps[target][off]}]
+	if e == nil {
+		return nil
+	}
+	return e.data
+}
+
+// ReadBlock reads block dp as of the cut into buf (whole-block reads only):
+// the versioned read the cut-sourced CSR build walks holder chains with.
+//
+// Protocol: check the owner's arena for the pinned version; on a miss, read
+// the live bytes (charged like any one-sided GET) and re-check the arena.
+// A second miss proves consistency: every writer inserts (or observes) the
+// arena entry for the pinned version before its first PUT of the block, so
+// "no entry after the live read" means no post-cut overwrite had started
+// when the read began — including for continuation blocks, whose lock words
+// never change and whose reads a version stamp alone could not validate.
+func (m *Manager) ReadBlock(origin rma.Rank, c *Cut, dp rma.DPtr, buf []byte) error {
+	if c.released.Load() {
+		return fmt.Errorf("snapshot: read through a released cut")
+	}
+	target, off := dp.Rank(), dp.Off()
+	if c.stamps[target] == nil {
+		return fmt.Errorf("snapshot: rank %d was never pinned in this cut", target)
+	}
+	if len(buf) != m.bs {
+		return fmt.Errorf("snapshot: cut reads are whole-block (%d bytes), got %d", m.bs, len(buf))
+	}
+	for try := 0; try < m.retries; try++ {
+		if old := m.lookupArena(c, target, off); old != nil {
+			copy(buf, old)
+			return nil
+		}
+		m.store.ReadBlock(origin, dp, buf)
+		if old := m.lookupArena(c, target, off); old != nil {
+			copy(buf, old)
+			return nil
+		}
+		// The live bytes predate any post-cut overwrite; check that the
+		// version still matches the stamp (it must — a bump retires first).
+		ver := locks.Version(m.sys.Load(origin, target, 1+int(off)))
+		if ver == c.stamps[target][off] {
+			return nil
+		}
+	}
+	return fmt.Errorf("snapshot: block %v failed cut validation after %d attempts", dp, m.retries)
+}
+
+// ArenaBytes returns the total payload bytes currently held in all version
+// arenas. It returns to zero once every cut is released.
+func (m *Manager) ArenaBytes() int64 { return m.arenaBytes.Load() }
+
+// RetiredBlocks counts block versions retired into the arenas since start.
+func (m *Manager) RetiredBlocks() int64 { return m.retired.Load() }
+
+// CutsAcquired counts cuts created since start.
+func (m *Manager) CutsAcquired() int64 { return m.cutsTotal.Load() }
+
+// DeltaFolds counts incremental CSR folds performed against this manager's
+// delta logs (incremented by the analytics layer through CountFold).
+func (m *Manager) DeltaFolds() int64 { return m.folds.Load() }
+
+// CountFold records one successful incremental fold.
+func (m *Manager) CountFold() { m.folds.Add(1) }

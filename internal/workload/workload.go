@@ -149,6 +149,12 @@ type RunConfig struct {
 	// warmup before a measured run) advances it so the runs' inserts cannot
 	// collide on appIDs.
 	InsertBase uint64
+	// ThinkNs, when positive, makes the run open-loop: each worker sleeps
+	// this long between operations, modeling a fixed client arrival rate
+	// instead of the default closed-loop saturation. HTAP experiments use
+	// it so served QPS under concurrent analytics is comparable against an
+	// analytics-free run at the same offered load.
+	ThinkNs int64
 }
 
 // Result reports one run.
@@ -249,6 +255,9 @@ func Run(sys System, cfg RunConfig) (Result, error) {
 					hardErrs.Add(1)
 					firstErr.CompareAndSwap(nil, err)
 					return
+				}
+				if cfg.ThinkNs > 0 {
+					time.Sleep(time.Duration(cfg.ThinkNs))
 				}
 			}
 		}(w)
