@@ -1,0 +1,270 @@
+// Command gdi-cluster runs GDA as a real multi-process cluster over the TCP
+// fabric backend: N ranks, each its own OS process, connected in a full mesh
+// carrying one-sided operation trains. The same workload also runs over the
+// in-process simulator (-backend sim), and because the dense analytics pass
+// executes on the pristine loaded graph before any OLTP traffic, its report
+// lines are bit-identical between the two backends on the same seed — the
+// cross-backend equivalence check CI exploits.
+//
+// Modes:
+//
+//	gdi-cluster -ranks 4                  launcher: spawns 4 rank processes
+//	                                      of itself and waits for them
+//	gdi-cluster -rank 2 -peers a,b,c,d    join: run as rank 2 of that mesh
+//	gdi-cluster -backend sim -ranks 4     single process, simulator backend
+//
+// The workload is fixed: load a Kronecker graph, run direction-optimizing
+// dense BFS and dense PageRank (the analytics lines), then an OLTP mix with
+// one worker per rank (the committed/failed line), then the one-sided
+// traffic report. Only rank 0 prints.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"slices"
+	"strconv"
+	"strings"
+
+	gdi "github.com/gdi-go/gdi"
+	"github.com/gdi-go/gdi/internal/analytics"
+	"github.com/gdi-go/gdi/internal/fabric/tcp"
+	"github.com/gdi-go/gdi/internal/kron"
+	"github.com/gdi-go/gdi/internal/workload"
+)
+
+func main() {
+	backend := flag.String("backend", "tcp", "fabric backend: tcp (one process per rank) or sim (in-process simulator)")
+	ranks := flag.Int("ranks", 4, "number of ranks in the cluster")
+	rank := flag.Int("rank", -1, "join an existing mesh as this rank (internal: set by the launcher)")
+	peers := flag.String("peers", "", "comma-separated listen addresses, one per rank (internal: set by the launcher)")
+	scale := flag.Int("scale", 10, "graph has 2^scale vertices")
+	ops := flag.Int("ops", 1000, "OLTP operations per rank")
+	iters := flag.Int("iters", 5, "PageRank iterations")
+	seed := flag.Int64("seed", 1, "generator and workload seed")
+	mixName := flag.String("mix", "LinkBench", `OLTP mix: "read mostly", "read intensive", "write intensive", "LinkBench"`)
+	flag.Parse()
+
+	var mix workload.Mix
+	found := false
+	for _, m := range workload.Mixes {
+		if m.Name == *mixName {
+			mix, found = m, true
+		}
+	}
+	if !found {
+		fatalf("unknown mix %q", *mixName)
+	}
+
+	switch {
+	case *backend == "sim":
+		rt := gdi.Init(*ranks)
+		runWorkload(rt, mix, *scale, *ops, *iters, *seed)
+	case *rank >= 0:
+		list := strings.Split(*peers, ",")
+		t, err := tcp.New(tcp.Config{Rank: *rank, Peers: list})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		rt := gdi.InitWithTransport(t)
+		runWorkload(rt, mix, *scale, *ops, *iters, *seed)
+	case *backend == "tcp":
+		launch(*ranks)
+	default:
+		fatalf("unknown backend %q", *backend)
+	}
+}
+
+// launch spawns one rank process per rank of a fresh mesh and waits for all
+// of them, forwarding their output.
+func launch(n int) {
+	peers, err := freePorts(n)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	args := []string{"-rank", "", "-peers", strings.Join(peers, ",")}
+	// Forward every workload flag the launcher received.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name != "rank" && f.Name != "peers" && f.Name != "backend" {
+			args = append(args, "-"+f.Name, f.Value.String())
+		}
+	})
+	procs := make([]*exec.Cmd, n)
+	for r := 0; r < n; r++ {
+		a := append([]string(nil), args...)
+		a[1] = strconv.Itoa(r)
+		cmd := exec.Command(exe, a...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			fatalf("starting rank %d: %v", r, err)
+		}
+		procs[r] = cmd
+	}
+	failed := false
+	for r, cmd := range procs {
+		if err := cmd.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "gdi-cluster: rank %d: %v\n", r, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// freePorts reserves n distinct loopback ports by binding and immediately
+// releasing them; the rank processes re-bind moments later. The window in
+// between is a benign race on an otherwise idle CI host.
+func freePorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners[i] = lis
+		addrs[i] = lis.Addr().String()
+	}
+	for _, lis := range listeners {
+		lis.Close()
+	}
+	return addrs, nil
+}
+
+// runWorkload executes the fixed cluster workload over whatever transport
+// the runtime wraps. On a wire transport every rank process executes this
+// same function; the collective calls inside line them up.
+func runWorkload(rt *gdi.Runtime, mix workload.Mix, scale, ops, iters int, seed int64) {
+	cfg := kron.Config{Scale: scale, EdgeFactor: 16, Seed: seed, NumLabels: 20, NumProps: 13}.WithDefaults()
+	db := rt.CreateDatabase(gdi.DatabaseParams{
+		BlockSize:      512,
+		BlocksPerRank:  int((cfg.NumVertices()*12+cfg.NumEdges()*2)/uint64(rt.Size())) + (1 << 13),
+		DenseAnalytics: true,
+	})
+	sch, err := kron.DefineSchema(db.Engine(), cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := workload.LoadGDA(rt, db, cfg, sch); err != nil {
+		fatalf("%v", err)
+	}
+	g := &analytics.Graph{DB: db, Schema: sch}
+	sys := &workload.GDASystem{DB: db, Schema: sch}
+
+	// The analytics pass runs first, on the pristine loaded graph: its lines
+	// depend only on (scale, seed, ranks, iters), so they are bit-identical
+	// between the TCP mesh and the simulator. OLTP then follows, where only
+	// liveness (committed > 0) is asserted — interleavings are real.
+	rt.Run(db, func(p *gdi.Process) {
+		me := p.Rank()
+		visited, depth, bstats, err := analytics.BFSDense(p, g, 0)
+		if err != nil {
+			fatalf("bfs: %v", err)
+		}
+		if me == 0 {
+			fmt.Printf("bfs: visited %d vertices, eccentricity %d (%d push / %d pull levels)\n",
+				visited, depth, bstats.PushLevels, bstats.PullLevels)
+		}
+		masses, norm, err := analytics.PageRank(p, g, iters, 0.85)
+		if err != nil {
+			fatalf("pagerank: %v", err)
+		}
+		if me == 0 {
+			// Rank 0's shard mass is a partition-dependent fingerprint of the
+			// whole computation — a far stronger cross-backend equivalence
+			// signal than the global norm, which normalizes to 1.
+			apps := make([]uint64, 0, len(masses))
+			for app := range masses {
+				apps = append(apps, app)
+			}
+			slices.Sort(apps) // map order is random; FP addition is not associative
+			local := 0.0
+			for _, app := range apps {
+				local += masses[app]
+			}
+			fmt.Printf("pagerank: i=%d df=0.85, total mass %.12f, rank0 mass %.12f over %d vertices\n",
+				iters, norm, local, len(masses))
+		}
+		p.Barrier()
+
+		committed, failed := oltpWorker(sys, p, mix, cfg, ops, seed)
+		totalCommitted := p.AllreduceInt64(committed)
+		totalFailed := p.AllreduceInt64(failed)
+		if me == 0 {
+			fmt.Printf("oltp: mix=%q ranks=%d ops=%d committed=%d failed=%d\n",
+				mix.Name, p.Size(), p.Size()*ops, totalCommitted, totalFailed)
+		}
+		p.Barrier()
+		if me == 0 {
+			snap := rt.Transport().TotalSnapshot()
+			fmt.Printf("traffic: remote puts %d (trains %d), remote gets %d (trains %d), remote atomics %d (trains %d), bytes put %d, bytes got %d\n",
+				snap.RemotePuts, snap.PutBatches, snap.RemoteGets, snap.GetBatches,
+				snap.RemoteAtoms, snap.AtomicBatches, snap.BytesPut, snap.BytesGot)
+		}
+		p.Barrier()
+	})
+	rt.Finalize()
+	// Exactly one line per cluster: rank 0's process (or the single sim
+	// process) reports the clean shutdown CI greps for.
+	if rt.Transport().Local(0) {
+		fmt.Println("shutdown: clean")
+	}
+}
+
+// oltpWorker drives one closed-loop OLTP session on this rank against its
+// own process and returns (committed, failed) counts.
+func oltpWorker(sys *workload.GDASystem, p *gdi.Process, mix workload.Mix, cfg kron.Config, ops int, seed int64) (committed, failed int64) {
+	me := int(p.Rank())
+	n := p.Size()
+	client := sys.NewClient(me)
+	rng := rand.New(rand.NewSource(seed + int64(me)*7919))
+	keySpace := cfg.NumVertices()
+	inserts := 0
+	for i := 0; i < ops; i++ {
+		op := pickOp(mix, rng)
+		app := rng.Uint64() % keySpace
+		app2 := rng.Uint64() % keySpace
+		if op == workload.OpAddVertex {
+			// Fresh appIDs disjoint across ranks, above the loaded key space.
+			app = keySpace + uint64(inserts)*uint64(n) + uint64(me) + 1
+			inserts++
+		}
+		switch err := client.Do(op, app, app2); err {
+		case nil:
+			committed++
+		case workload.ErrTxFailed:
+			failed++
+		default:
+			fatalf("oltp rank %d: %v", me, err)
+		}
+	}
+	return committed, failed
+}
+
+// pickOp samples one operation from the mix's weights.
+func pickOp(mix workload.Mix, rng *rand.Rand) workload.Op {
+	r := rng.Float64()
+	acc := 0.0
+	for op := workload.Op(0); op < workload.NumOps; op++ {
+		acc += mix.Weights[op]
+		if r < acc {
+			return op
+		}
+	}
+	return workload.OpGetProps
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gdi-cluster: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -339,6 +339,38 @@
 // race detector in CI; gdi-olap -htap reports cut-analytics wall time next
 // to the served QPS of a live LinkBench load.
 //
+// # Fabric backends
+//
+// All one-sided communication flows through the fabric SPI
+// (internal/fabric): ByteWin and WordWin RMA windows with vectored op
+// trains, per-rank Inboxes, an ordered Messenger carrying the collective
+// layer, control-plane service calls, and the traffic counters. Everything
+// above the seam — the transaction engine, the lock and commit trains, the
+// block cache, the dense analytics exchange — is backend-agnostic. Two
+// backends implement it:
+//
+//   - The in-process simulator (internal/rma), built by Init: all ranks are
+//     goroutines in one address space, windows are shared slices, and the
+//     fabric carries the injectable latency model and per-op counters the
+//     ablation benchmarks gate on.
+//
+//   - The TCP wire transport (internal/fabric/tcp), passed to
+//     InitWithTransport: one OS process per rank in a full connection mesh,
+//     every remote operation or vectored train one framed request/response
+//     round-trip serviced in the owner's process. Windows are identified
+//     across processes by collective allocation order, which Transport.Run
+//     verifies before releasing application code. Command gdi-cluster
+//     launches such a cluster; CI's cluster-smoke job diffs its dense
+//     analytics output against the simulator's, bit-identical at equal
+//     seed.
+//
+// Restrictions on the wire: DatabaseParams.HTAPSnapshots is refused at
+// engine construction (the cut broadcast relies on a shared address space),
+// and payloads crossing wire collectives must be gob-encodable. See
+// ARCHITECTURE.md in the repository root for the layer diagram and the two
+// SPMD contracts backends must honor, and docs/OPERATIONS.md for launching
+// and operating clusters.
+//
 // # Consistency (§3.8)
 //
 // Graph data is serializable: transactions use per-vertex reader-writer

@@ -1,0 +1,29 @@
+package gdi_test
+
+import (
+	"fmt"
+
+	gdi "github.com/gdi-go/gdi"
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// A Runtime runs over any fabric SPI backend. Here the in-process simulator
+// (what Init builds) is constructed explicitly and handed to
+// InitWithTransport; a wire backend such as internal/fabric/tcp drops in the
+// same way, with every rank process bootstrapping its own transport and the
+// collective calls inside Run lining the processes up.
+func ExampleInitWithTransport() {
+	fab := rma.New(4)
+	rt := gdi.InitWithTransport(fab)
+	defer rt.Finalize()
+
+	db := rt.CreateDatabase(gdi.DatabaseParams{})
+	rt.Run(db, func(p *gdi.Process) {
+		sum := p.AllreduceInt64(int64(p.Rank()) + 1)
+		if p.Rank() == 0 {
+			fmt.Printf("ranks %d, allreduce sum %d\n", p.Size(), sum)
+		}
+	})
+	// Output:
+	// ranks 4, allreduce sum 10
+}

@@ -4,6 +4,7 @@ import (
 	"github.com/gdi-go/gdi/internal/collective"
 	"github.com/gdi-go/gdi/internal/constraint"
 	"github.com/gdi-go/gdi/internal/core"
+	"github.com/gdi-go/gdi/internal/fabric"
 	"github.com/gdi-go/gdi/internal/holder"
 	"github.com/gdi-go/gdi/internal/lpg"
 	"github.com/gdi-go/gdi/internal/metadata"
@@ -26,7 +27,7 @@ type (
 	PTypeSpec = metadata.PTypeSpec
 	// VertexID is the internal vertex ID (the paper's 64-bit DPtr). It is
 	// valid database-wide and may be shared between processes.
-	VertexID = rma.DPtr
+	VertexID = fabric.DPtr
 	// EdgeUID identifies an edge relative to one endpoint (§5.4.2).
 	EdgeUID = holder.EdgeUID
 	// Direction is an edge direction.
@@ -63,10 +64,17 @@ type (
 	// EdgeSpec describes an edge for bulk loading.
 	EdgeSpec = core.EdgeSpec
 	// Rank identifies a process.
-	Rank = rma.Rank
+	Rank = fabric.Rank
 	// Comm exposes the collective-communication layer for user queries
 	// (global reductions at the end of OLSP aggregations, Listing 3).
 	Comm = collective.Comm
+	// Transport is the fabric SPI every backend implements: the in-process
+	// simulator (Init) and wire transports such as internal/fabric/tcp
+	// (InitWithTransport).
+	Transport = fabric.Transport
+	// TrafficSnapshot is a plain-value copy of one rank's one-sided traffic
+	// counters, as returned by Transport.CounterSnapshot/TotalSnapshot.
+	TrafficSnapshot = fabric.Snapshot
 )
 
 // Datatype values.
@@ -162,10 +170,12 @@ var (
 	Float64VectorOf    = lpg.DecodeFloat64Vector
 )
 
-// Runtime hosts P simulated processes and their interconnect — the GDI
-// environment created by GDI_Init.
+// Runtime hosts P processes and their interconnect — the GDI environment
+// created by GDI_Init. The interconnect is any fabric SPI backend: Init
+// builds the in-process simulator; InitWithTransport accepts a prebuilt
+// transport (e.g. the multi-process TCP mesh of internal/fabric/tcp).
 type Runtime struct {
-	fab *rma.Fabric
+	fab Transport
 }
 
 // RuntimeOptions tunes the simulated fabric.
@@ -175,7 +185,7 @@ type RuntimeOptions struct {
 	RemoteLatencyNs int64
 }
 
-// Init creates a runtime with nprocs processes (GDI_Init).
+// Init creates a runtime with nprocs simulated processes (GDI_Init).
 func Init(nprocs int, opts ...RuntimeOptions) *Runtime {
 	var o RuntimeOptions
 	if len(opts) > 0 {
@@ -185,12 +195,20 @@ func Init(nprocs int, opts ...RuntimeOptions) *Runtime {
 	return &Runtime{fab: fab}
 }
 
+// InitWithTransport creates a runtime over an already-bootstrapped fabric
+// backend. On a wire transport the calling process hosts exactly the ranks
+// the transport reports Local; Run then executes fn only for those.
+func InitWithTransport(t Transport) *Runtime { return &Runtime{fab: t} }
+
+// Transport returns the runtime's fabric backend.
+func (rt *Runtime) Transport() Transport { return rt.fab }
+
 // Size returns the number of processes.
 func (rt *Runtime) Size() int { return rt.fab.Size() }
 
-// Finalize tears the runtime down (GDI_Finalize). Present for symmetry with
-// the specification; the simulated fabric needs no explicit teardown.
-func (rt *Runtime) Finalize() {}
+// Finalize tears the runtime down (GDI_Finalize): closes the transport's
+// connections and listeners. The simulated fabric's Close is a no-op.
+func (rt *Runtime) Finalize() { rt.fab.Close() }
 
 // DatabaseParams sizes a database (GDI_CreateDatabase's parameter block).
 type DatabaseParams struct {
@@ -301,7 +319,7 @@ func (rt *Runtime) CreateDatabase(p DatabaseParams) *Database {
 // Run executes fn on every process of the runtime and waits for completion
 // (the SPMD launch, mpirun's role).
 func (rt *Runtime) Run(db *Database, fn func(p *Process)) {
-	rt.fab.Run(func(r rma.Rank) {
+	rt.fab.Run(func(r Rank) {
 		fn(&Process{db: db, rank: r})
 	})
 }
@@ -326,7 +344,10 @@ func (db *Database) NewConstraint() *Constraint {
 	return constraint.New(db.eng.Registry(0))
 }
 
-// TotalVertices sums all per-process vertex shards (diagnostics).
+// TotalVertices sums all per-process vertex shards (diagnostics). It reads
+// the shards directly, so it is meaningful only when every rank lives in
+// this process (the simulator backend); over a wire transport, sum
+// Process-local counts with AllreduceInt64 from SPMD context instead.
 func (db *Database) TotalVertices() int {
 	n := 0
 	for r := 0; r < db.rt.Size(); r++ {
@@ -340,7 +361,7 @@ func (db *Database) TotalVertices() int {
 // meaningful on that process (§3.5).
 type Process struct {
 	db   *Database
-	rank rma.Rank
+	rank Rank
 }
 
 // Process returns rank r's Process outside of Run (driver-context testing).

@@ -7,8 +7,8 @@ import (
 	gdi "github.com/gdi-go/gdi"
 	"github.com/gdi-go/gdi/internal/collective"
 	"github.com/gdi-go/gdi/internal/core"
+	"github.com/gdi-go/gdi/internal/fabric"
 	"github.com/gdi-go/gdi/internal/holder"
-	"github.com/gdi-go/gdi/internal/rma"
 	"github.com/gdi-go/gdi/internal/snapshot"
 )
 
@@ -31,7 +31,7 @@ import (
 type mirrorVertex struct {
 	app   uint64
 	edges []holder.EdgeRec
-	homes []rma.DPtr
+	homes []fabric.DPtr
 }
 
 // HTAPSession is one rank's handle on a live-analytics run. All methods are
@@ -40,7 +40,7 @@ type HTAPSession struct {
 	p      *gdi.Process
 	eng    *core.Engine
 	cut    *snapshot.Cut
-	mirror map[rma.DPtr]*mirrorVertex
+	mirror map[fabric.DPtr]*mirrorVertex
 	c      *csr
 }
 
@@ -67,10 +67,10 @@ func OpenHTAP(p *gdi.Process, g *Graph) (*HTAPSession, error) {
 
 // buildMirror reads every vertex of this rank's cut listing through the
 // cut's versioned block reads. Local work only.
-func (s *HTAPSession) buildMirror(cut *snapshot.Cut) (map[rma.DPtr]*mirrorVertex, error) {
+func (s *HTAPSession) buildMirror(cut *snapshot.Cut) (map[fabric.DPtr]*mirrorVertex, error) {
 	me := s.p.Rank()
 	refs := cut.Verts(me)
-	mirror := make(map[rma.DPtr]*mirrorVertex, len(refs))
+	mirror := make(map[fabric.DPtr]*mirrorVertex, len(refs))
 	for _, ref := range refs {
 		v, err := s.eng.CutVertex(me, cut, ref.DP)
 		if err != nil {
@@ -135,7 +135,7 @@ func (s *HTAPSession) buildCSRFromMirror(cut *snapshot.Cut) (*csr, error) {
 // mirrorIsHome reports whether dp is one of the vertex's former primaries
 // (edge holders record endpoints as of creation; migration does not rewrite
 // them).
-func mirrorIsHome(mv *mirrorVertex, dp rma.DPtr) bool {
+func mirrorIsHome(mv *mirrorVertex, dp fabric.DPtr) bool {
 	for _, h := range mv.homes {
 		if h == dp {
 			return true

@@ -34,7 +34,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
-	"github.com/gdi-go/gdi/internal/rma"
+	"github.com/gdi-go/gdi/internal/fabric"
 )
 
 // ErrNoFreeBlocks is returned when the target rank's pool is exhausted.
@@ -43,13 +43,13 @@ var ErrNoFreeBlocks = errors.New("block: target rank has no free blocks")
 // Store is the distributed block pool. All ranks share one Store; every
 // method is safe for concurrent use from any rank.
 type Store struct {
-	f         *rma.Fabric
+	f         fabric.Transport
 	blockSize int
 	perRank   int
 
-	data  *rma.ByteWin // block payloads
-	usage *rma.WordWin // free-list links
-	sys   *rma.WordWin // word 0: tagged free-list head; words 1+i: lock words
+	data  fabric.ByteWin // block payloads
+	usage fabric.WordWin // free-list links
+	sys   fabric.WordWin // word 0: tagged free-list head; words 1+i: lock words
 
 	caches []*blockCache // per-rank version-validated block caches; nil when disabled
 
@@ -61,7 +61,7 @@ type Store struct {
 // snapshot layer uses it to retire the old bytes into its version arena for
 // any pinned cut still naming them.
 type Retirer interface {
-	BeforeWrite(dp rma.DPtr)
+	BeforeWrite(dp fabric.DPtr)
 }
 
 // SetRetirer installs (or, with nil, removes) the store's pre-write hook.
@@ -74,7 +74,7 @@ func (s *Store) SetRetirer(r Retirer) {
 }
 
 // beforeWrite runs the retirement hook for dp, if installed.
-func (s *Store) beforeWrite(dp rma.DPtr) {
+func (s *Store) beforeWrite(dp fabric.DPtr) {
 	if r := s.retirer.Load(); r != nil {
 		(*r).BeforeWrite(dp)
 	}
@@ -101,7 +101,7 @@ type Config struct {
 const DefaultBlockSize = 512
 
 // NewStore collectively creates the block pool over fabric f.
-func NewStore(f *rma.Fabric, cfg Config) *Store {
+func NewStore(f fabric.Transport, cfg Config) *Store {
 	if cfg.BlockSize <= 0 || cfg.BlockSize%8 != 0 {
 		panic(fmt.Sprintf("block: block size %d must be a positive multiple of 8", cfg.BlockSize))
 	}
@@ -123,9 +123,15 @@ func NewStore(f *rma.Fabric, cfg Config) *Store {
 		}
 	}
 	// Thread the free list through blocks 1..perRank-1 of every rank. This
-	// is initialization-time setup, performed locally by construction.
+	// is initialization-time setup, performed locally by construction: each
+	// process initializes exactly the ranks whose segments it hosts (every
+	// rank on the simulator, only its own on a wire transport — the SPMD
+	// peers initialize theirs).
 	for r := 0; r < f.Size(); r++ {
-		rank := rma.Rank(r)
+		rank := fabric.Rank(r)
+		if !f.Local(rank) {
+			continue
+		}
 		for i := 1; i < cfg.BlocksPerRank-1; i++ {
 			s.usage.Store(rank, rank, i, uint64(i+1))
 		}
@@ -143,7 +149,7 @@ func (s *Store) BlockSize() int { return s.blockSize }
 func (s *Store) BlocksPerRank() int { return s.perRank }
 
 // Fabric returns the underlying fabric.
-func (s *Store) Fabric() *rma.Fabric { return s.f }
+func (s *Store) Fabric() fabric.Transport { return s.f }
 
 // packHead combines a 32-bit ABA tag with a 32-bit free-block index.
 // Index 0 means the list is empty.
@@ -154,16 +160,16 @@ func unpackHead(h uint64) (tag uint32, idx uint32) { return uint32(h >> 32), uin
 // AcquireBlock allocates one block on target and returns its DPtr. It is
 // fully one-sided: two atomic gets plus one CAS on the fast path (the
 // paper's three-step protocol). O(1) work and depth per attempt.
-func (s *Store) AcquireBlock(origin, target rma.Rank) (rma.DPtr, error) {
+func (s *Store) AcquireBlock(origin, target fabric.Rank) (fabric.DPtr, error) {
 	for {
 		head := s.sys.Load(origin, target, 0)
 		tag, idx := unpackHead(head)
 		if idx == 0 {
-			return rma.NullDPtr, ErrNoFreeBlocks
+			return fabric.NullDPtr, ErrNoFreeBlocks
 		}
 		next := s.usage.Load(origin, target, int(idx))
 		if _, ok := s.sys.CAS(origin, target, 0, head, packHead(tag+1, uint32(next))); ok {
-			return rma.MakeDPtr(target, uint64(idx)), nil
+			return fabric.MakeDPtr(target, uint64(idx)), nil
 		}
 		// Another origin raced us on this rank's list; retry from the new head.
 	}
@@ -171,7 +177,7 @@ func (s *Store) AcquireBlock(origin, target rma.Rank) (rma.DPtr, error) {
 
 // ReleaseBlock returns dp to its owner's free list. One atomic get, one
 // atomic put, one CAS per attempt.
-func (s *Store) ReleaseBlock(origin rma.Rank, dp rma.DPtr) {
+func (s *Store) ReleaseBlock(origin fabric.Rank, dp fabric.DPtr) {
 	s.checkDPtr(dp)
 	s.invalidateCached(origin, dp)
 	target := dp.Rank()
@@ -188,7 +194,7 @@ func (s *Store) ReleaseBlock(origin rma.Rank, dp rma.DPtr) {
 
 // FreeBlocks counts the free blocks on target by walking its free list.
 // It is a debugging/accounting helper, not part of the hot path.
-func (s *Store) FreeBlocks(origin, target rma.Rank) int {
+func (s *Store) FreeBlocks(origin, target fabric.Rank) int {
 	_, idx := unpackHead(s.sys.Load(origin, target, 0))
 	n := 0
 	for idx != 0 {
@@ -200,7 +206,7 @@ func (s *Store) FreeBlocks(origin, target rma.Rank) int {
 
 // WriteBlock stores payload into block dp. The payload must not exceed the
 // block size; shorter payloads leave the tail of the block unchanged.
-func (s *Store) WriteBlock(origin rma.Rank, dp rma.DPtr, payload []byte) {
+func (s *Store) WriteBlock(origin fabric.Rank, dp fabric.DPtr, payload []byte) {
 	s.checkDPtr(dp)
 	if len(payload) > s.blockSize {
 		panic(fmt.Sprintf("block: payload of %d bytes exceeds block size %d", len(payload), s.blockSize))
@@ -211,7 +217,7 @@ func (s *Store) WriteBlock(origin rma.Rank, dp rma.DPtr, payload []byte) {
 }
 
 // ReadBlock fetches len(buf) bytes of block dp into buf.
-func (s *Store) ReadBlock(origin rma.Rank, dp rma.DPtr, buf []byte) {
+func (s *Store) ReadBlock(origin fabric.Rank, dp fabric.DPtr, buf []byte) {
 	s.checkDPtr(dp)
 	if len(buf) > s.blockSize {
 		panic(fmt.Sprintf("block: read of %d bytes exceeds block size %d", len(buf), s.blockSize))
@@ -224,7 +230,7 @@ func (s *Store) ReadBlock(origin rma.Rank, dp rma.DPtr, buf []byte) {
 // per block. With injected latency this pays one remote round-trip per
 // target touched rather than one per block — the batching that hides the
 // frontier-expansion latency of §5.6. The two slices must be equal length.
-func (s *Store) ReadBlocksBatch(origin rma.Rank, dps []rma.DPtr, bufs [][]byte) {
+func (s *Store) ReadBlocksBatch(origin fabric.Rank, dps []fabric.DPtr, bufs [][]byte) {
 	if len(dps) != len(bufs) {
 		panic(fmt.Sprintf("block: batch of %d DPtrs with %d buffers", len(dps), len(bufs)))
 	}
@@ -235,14 +241,14 @@ func (s *Store) ReadBlocksBatch(origin rma.Rank, dps []rma.DPtr, bufs [][]byte) 
 		s.ReadBlock(origin, dps[0], bufs[0])
 		return
 	}
-	byTarget := make(map[rma.Rank][]rma.GetOp)
+	byTarget := make(map[fabric.Rank][]fabric.GetOp)
 	for i, dp := range dps {
 		s.checkDPtr(dp)
 		if len(bufs[i]) > s.blockSize {
 			panic(fmt.Sprintf("block: read of %d bytes exceeds block size %d", len(bufs[i]), s.blockSize))
 		}
 		t := dp.Rank()
-		byTarget[t] = append(byTarget[t], rma.GetOp{Off: int(dp.Off()) * s.blockSize, Buf: bufs[i]})
+		byTarget[t] = append(byTarget[t], fabric.GetOp{Off: int(dp.Off()) * s.blockSize, Buf: bufs[i]})
 	}
 	for t, ops := range byTarget {
 		s.data.GetBatch(origin, t, ops)
@@ -256,7 +262,7 @@ func (s *Store) ReadBlocksBatch(origin rma.Rank, dps []rma.DPtr, bufs [][]byte) 
 // owner rank touched rather than one per dirty block (§5.6). The two slices
 // must be equal length; dps must not repeat within one batch (a holder block
 // is written by at most one committer, which the per-vertex locks guarantee).
-func (s *Store) WriteBlocksBatch(origin rma.Rank, dps []rma.DPtr, payloads [][]byte) {
+func (s *Store) WriteBlocksBatch(origin fabric.Rank, dps []fabric.DPtr, payloads [][]byte) {
 	if len(dps) != len(payloads) {
 		panic(fmt.Sprintf("block: batch of %d DPtrs with %d payloads", len(dps), len(payloads)))
 	}
@@ -267,7 +273,7 @@ func (s *Store) WriteBlocksBatch(origin rma.Rank, dps []rma.DPtr, payloads [][]b
 		s.WriteBlock(origin, dps[0], payloads[0])
 		return
 	}
-	byTarget := make(map[rma.Rank][]rma.PutOp)
+	byTarget := make(map[fabric.Rank][]fabric.PutOp)
 	for i, dp := range dps {
 		s.checkDPtr(dp)
 		if len(payloads[i]) > s.blockSize {
@@ -276,7 +282,7 @@ func (s *Store) WriteBlocksBatch(origin rma.Rank, dps []rma.DPtr, payloads [][]b
 		s.invalidateCached(origin, dp)
 		s.beforeWrite(dp)
 		t := dp.Rank()
-		byTarget[t] = append(byTarget[t], rma.PutOp{Off: int(dp.Off()) * s.blockSize, Data: payloads[i]})
+		byTarget[t] = append(byTarget[t], fabric.PutOp{Off: int(dp.Off()) * s.blockSize, Data: payloads[i]})
 	}
 	for t, ops := range byTarget {
 		s.data.PutBatch(origin, t, ops)
@@ -286,12 +292,12 @@ func (s *Store) WriteBlocksBatch(origin rma.Rank, dps []rma.DPtr, payloads [][]b
 // LockWord returns the system window and word index of dp's lock word, for
 // use by the locks package. Each block has one 64-bit RW-lock word; the
 // transaction layer uses the primary block's word as the per-vertex lock.
-func (s *Store) LockWord(dp rma.DPtr) (*rma.WordWin, rma.Rank, int) {
+func (s *Store) LockWord(dp fabric.DPtr) (fabric.WordWin, fabric.Rank, int) {
 	s.checkDPtr(dp)
 	return s.sys, dp.Rank(), 1 + int(dp.Off())
 }
 
-func (s *Store) checkDPtr(dp rma.DPtr) {
+func (s *Store) checkDPtr(dp fabric.DPtr) {
 	if dp.IsNull() {
 		panic("block: NULL DPtr")
 	}

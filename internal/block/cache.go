@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/gdi-go/gdi/internal/fabric"
 	"github.com/gdi-go/gdi/internal/locks"
-	"github.com/gdi-go/gdi/internal/rma"
 )
 
 // The remote-block cache of the optimistic read tier (§3.8, §5.2): each rank
@@ -27,9 +27,9 @@ import (
 
 // cacheEntry is one version-stamped block copy.
 type cacheEntry struct {
-	dp      rma.DPtr
-	guard   rma.DPtr // holder primary whose lock word stamps this copy
-	ver     uint64   // guard version the payload corresponds to
+	dp      fabric.DPtr
+	guard   fabric.DPtr // holder primary whose lock word stamps this copy
+	ver     uint64      // guard version the payload corresponds to
 	payload []byte
 }
 
@@ -39,14 +39,14 @@ type cacheEntry struct {
 type blockCache struct {
 	mu  sync.Mutex
 	cap int
-	m   map[rma.DPtr]*list.Element
+	m   map[fabric.DPtr]*list.Element
 	lru *list.List // front = most recently used; values are *cacheEntry
 }
 
 func newBlockCache(capacity int) *blockCache {
 	return &blockCache{
 		cap: capacity,
-		m:   make(map[rma.DPtr]*list.Element, capacity),
+		m:   make(map[fabric.DPtr]*list.Element, capacity),
 		lru: list.New(),
 	}
 }
@@ -54,7 +54,7 @@ func newBlockCache(capacity int) *blockCache {
 // lookup copies dp's cached payload into dst when an entry with the given
 // guard exists and is large enough, returning its stamped version. The
 // caller decides validity by comparing ver against the guard word.
-func (c *blockCache) lookup(dp, guard rma.DPtr, dst []byte) (ver uint64, ok bool) {
+func (c *blockCache) lookup(dp, guard fabric.DPtr, dst []byte) (ver uint64, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, found := c.m[dp]
@@ -72,7 +72,7 @@ func (c *blockCache) lookup(dp, guard rma.DPtr, dst []byte) (ver uint64, ok bool
 
 // install stores a validated copy, evicting from the LRU tail under capacity
 // pressure. An existing entry for dp is replaced.
-func (c *blockCache) install(dp, guard rma.DPtr, ver uint64, payload []byte) {
+func (c *blockCache) install(dp, guard fabric.DPtr, ver uint64, payload []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, found := c.m[dp]; found {
@@ -92,7 +92,7 @@ func (c *blockCache) install(dp, guard rma.DPtr, ver uint64, payload []byte) {
 }
 
 // invalidate drops dp's entry, if any.
-func (c *blockCache) invalidate(dp rma.DPtr) {
+func (c *blockCache) invalidate(dp fabric.DPtr) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, found := c.m[dp]; found {
@@ -108,7 +108,7 @@ func (c *blockCache) len() int {
 }
 
 // cacheOf returns origin's cache, or nil when caching is disabled.
-func (s *Store) cacheOf(origin rma.Rank) *blockCache {
+func (s *Store) cacheOf(origin fabric.Rank) *blockCache {
 	if s.caches == nil {
 		return nil
 	}
@@ -120,7 +120,7 @@ func (s *Store) CacheEnabled() bool { return s.caches != nil }
 
 // CacheLen returns the number of entries in rank r's cache (diagnostics and
 // tests).
-func (s *Store) CacheLen(r rma.Rank) int {
+func (s *Store) CacheLen(r fabric.Rank) int {
 	if c := s.cacheOf(r); c != nil {
 		return c.len()
 	}
@@ -132,7 +132,7 @@ func (s *Store) CacheLen(r rma.Rank) int {
 // stale copies are rejected by version validation, and so would ours — but a
 // writer knows its own copies are dead and need not wait for a failed
 // revalidation to find out.
-func (s *Store) invalidateCached(origin rma.Rank, dp rma.DPtr) {
+func (s *Store) invalidateCached(origin fabric.Rank, dp fabric.DPtr) {
 	if c := s.cacheOf(origin); c != nil {
 		c.invalidate(dp)
 	}
@@ -143,9 +143,9 @@ func (s *Store) invalidateCached(origin rma.Rank, dp rma.DPtr) {
 // aligned with dps. Interpret them with locks.Version and locks.WriteHeld.
 // This is the "CAS-free word train": revalidating any number of cached
 // holders on one rank costs a single remote round-trip.
-func (s *Store) LockStamps(origin rma.Rank, dps []rma.DPtr) []uint64 {
+func (s *Store) LockStamps(origin fabric.Rank, dps []fabric.DPtr) []uint64 {
 	out := make([]uint64, len(dps))
-	byTarget := make(map[rma.Rank][]int) // target -> positions in dps
+	byTarget := make(map[fabric.Rank][]int) // target -> positions in dps
 	for i, dp := range dps {
 		s.checkDPtr(dp)
 		byTarget[dp.Rank()] = append(byTarget[dp.Rank()], i)
@@ -167,9 +167,9 @@ func (s *Store) LockStamps(origin rma.Rank, dps []rma.DPtr) []uint64 {
 // read protocols revalidate against: the transaction layer stamps a whole
 // fetch's guards once and serves every streaming round of every holder
 // against the same stamps, instead of paying a stamp train per round.
-func (s *Store) GuardStamps(origin rma.Rank, guards []rma.DPtr) map[rma.DPtr]uint64 {
-	uniq := make([]rma.DPtr, 0, len(guards))
-	seen := make(map[rma.DPtr]uint64, len(guards))
+func (s *Store) GuardStamps(origin fabric.Rank, guards []fabric.DPtr) map[fabric.DPtr]uint64 {
+	uniq := make([]fabric.DPtr, 0, len(guards))
+	seen := make(map[fabric.DPtr]uint64, len(guards))
 	for _, g := range guards {
 		if _, dup := seen[g]; !dup {
 			seen[g] = 0
@@ -197,7 +197,7 @@ func (s *Store) GuardStamps(origin rma.Rank, guards []rma.DPtr) map[rma.DPtr]uin
 //
 // Returns fetched[i] = true for blocks that came off the wire (their
 // stability is not yet established when install is false).
-func (s *Store) ReadBlocksStamped(origin rma.Rank, dps, guards []rma.DPtr, bufs [][]byte, stamps map[rma.DPtr]uint64, install bool) (fetched []bool) {
+func (s *Store) ReadBlocksStamped(origin fabric.Rank, dps, guards []fabric.DPtr, bufs [][]byte, stamps map[fabric.DPtr]uint64, install bool) (fetched []bool) {
 	if len(dps) != len(guards) || len(dps) != len(bufs) {
 		panic(fmt.Sprintf("block: stamped batch of %d DPtrs, %d guards, %d buffers", len(dps), len(guards), len(bufs)))
 	}
@@ -227,7 +227,7 @@ func (s *Store) ReadBlocksStamped(origin rma.Rank, dps, guards []rma.DPtr, bufs 
 	if len(missIdx) == 0 {
 		return fetched
 	}
-	mdps := make([]rma.DPtr, len(missIdx))
+	mdps := make([]fabric.DPtr, len(missIdx))
 	mbufs := make([][]byte, len(missIdx))
 	for j, i := range missIdx {
 		mdps[j] = dps[i]
@@ -249,7 +249,7 @@ func (s *Store) ReadBlocksStamped(origin rma.Rank, dps, guards []rma.DPtr, bufs 
 // all guarded by guard and stable at version ver. Callers on the optimistic
 // tier invoke it after their post-stamp train confirmed the guard did not
 // move across the fetch.
-func (s *Store) InstallCached(origin rma.Rank, guard rma.DPtr, ver uint64, dps []rma.DPtr, bufs [][]byte) {
+func (s *Store) InstallCached(origin fabric.Rank, guard fabric.DPtr, ver uint64, dps []fabric.DPtr, bufs [][]byte) {
 	cache := s.cacheOf(origin)
 	if cache == nil {
 		return
@@ -277,7 +277,7 @@ func (s *Store) InstallCached(origin rma.Rank, guard rma.DPtr, ver uint64, dps [
 // (ok[i] == false, only possible with locked == false) carry torn or moving
 // content; the caller must retry or fall back to locking. It works with
 // caching disabled, degenerating to validated (but uncached) batch reads.
-func (s *Store) ReadBlocksCached(origin rma.Rank, dps, guards []rma.DPtr, bufs [][]byte, locked bool) (vers []uint64, ok []bool) {
+func (s *Store) ReadBlocksCached(origin fabric.Rank, dps, guards []fabric.DPtr, bufs [][]byte, locked bool) (vers []uint64, ok []bool) {
 	if len(dps) != len(guards) || len(dps) != len(bufs) {
 		panic(fmt.Sprintf("block: cached batch of %d DPtrs, %d guards, %d buffers", len(dps), len(guards), len(bufs)))
 	}
@@ -292,7 +292,7 @@ func (s *Store) ReadBlocksCached(origin rma.Rank, dps, guards []rma.DPtr, bufs [
 
 	post := stamps
 	if !locked {
-		var missGuards []rma.DPtr
+		var missGuards []fabric.DPtr
 		for i := range dps {
 			if fetched[i] {
 				missGuards = append(missGuards, guards[i])

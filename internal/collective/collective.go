@@ -7,57 +7,137 @@
 // communicator must call the routine, with matching arguments where the
 // operation requires it. The implementations use the classic O(log P)-round
 // algorithms (dissemination barrier, binomial trees, recursive structures)
-// over per-rank-pair mailboxes, so both the semantics and the round
-// complexity match what a tuned MPI library provides.
+// over the pairwise message substrate of the fabric SPI
+// (fabric.Messenger), so both the semantics and the round complexity match
+// what a tuned MPI library provides — and the same algorithms run unchanged
+// over the in-process simulator and the multi-process TCP transport.
+//
+// Value passage is backend-dependent: on a shared-address-space transport
+// values travel by reference (zero copies, and subsystems like the HTAP cut
+// broadcast rely on receiving the very same object); on a wire transport
+// values are encoded per message (raw bytes for []byte payloads, gob for
+// everything else — payload types crossing a wire collective must therefore
+// be gob-encodable).
 package collective
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 
-	"github.com/gdi-go/gdi/internal/rma"
+	"github.com/gdi-go/gdi/internal/fabric"
 )
 
-// Comm is a communicator over all ranks of a fabric. Collectives on a Comm
-// must be issued in the same order by every rank; concurrent use of one Comm
-// by independent collective sequences is not allowed (create one Comm per
-// sequence instead), mirroring MPI communicator semantics.
+// Comm is a communicator over all ranks of a transport. Collectives on a
+// Comm must be issued in the same order by every rank, and because all Comms
+// of one transport share its messenger substrate, only one collective
+// sequence may run at a time per transport — mirroring MPI communicator
+// semantics over MPI_COMM_WORLD.
 type Comm struct {
-	f *rma.Fabric
+	m fabric.Messenger
 	n int
-	// mail[src][dst] carries messages from src to dst. Capacity 1 suffices:
-	// within any single collective, each directed pair exchanges at most one
-	// in-flight message per algorithm round, and rounds are self-synchronizing.
-	mail [][]chan any
 }
 
-// New creates a communicator spanning all ranks of f.
-func New(f *rma.Fabric) *Comm {
-	n := f.Size()
-	c := &Comm{f: f, n: n, mail: make([][]chan any, n)}
-	for s := 0; s < n; s++ {
-		c.mail[s] = make([]chan any, n)
-		for d := 0; d < n; d++ {
-			c.mail[s][d] = make(chan any, 2)
-		}
-	}
-	return c
+// New creates a communicator spanning all ranks of t.
+func New(t fabric.Transport) *Comm {
+	return &Comm{m: t.Messenger(), n: t.Size()}
 }
 
 // Size returns the number of ranks in the communicator.
 func (c *Comm) Size() int { return c.n }
 
-func (c *Comm) send(from, to rma.Rank, v any) { c.mail[from][to] <- v }
-func (c *Comm) recv(from, to rma.Rank) any    { return <-c.mail[from][to] }
+// Wire encoding tags for the non-shared (multi-process) path.
+const (
+	tagNil   = 0 // barrier token / nil value
+	tagBytes = 1 // raw []byte payload
+	tagGob   = 2 // gob-encoded value
+)
+
+func encodeVal(v any) []byte {
+	switch b := v.(type) {
+	case nil:
+		return []byte{tagNil}
+	case []byte:
+		out := make([]byte, 1+len(b))
+		out[0] = tagBytes
+		copy(out[1:], b)
+		return out
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(tagGob)
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("collective: payload %T does not cross a wire transport: %v", v, err))
+	}
+	return buf.Bytes()
+}
+
+func decodeVal[T any](b []byte) T {
+	var out T
+	if len(b) == 0 {
+		return out
+	}
+	switch b[0] {
+	case tagNil:
+		return out
+	case tagBytes:
+		if v, ok := any(append([]byte(nil), b[1:]...)).(T); ok {
+			return v
+		}
+		panic(fmt.Sprintf("collective: []byte message decoded as %T", out))
+	case tagGob:
+		if err := gob.NewDecoder(bytes.NewReader(b[1:])).Decode(&out); err != nil {
+			panic(fmt.Sprintf("collective: decoding %T: %v", out, err))
+		}
+		return out
+	}
+	panic(fmt.Sprintf("collective: unknown wire tag %d", b[0]))
+}
+
+// sendVal and recvVal move one typed value across a directed rank pair:
+// by reference when the transport is shared, encoded when it is a wire.
+func sendVal[T any](c *Comm, from, to fabric.Rank, v T) {
+	if c.m.Shared() {
+		c.m.Send(from, to, v)
+		return
+	}
+	c.m.SendBytes(from, to, encodeVal(v))
+}
+
+func recvVal[T any](c *Comm, from, to fabric.Rank) T {
+	if c.m.Shared() {
+		v, _ := c.m.Recv(from, to).(T) // nil any → zero T
+		return v
+	}
+	return decodeVal[T](c.m.RecvBytes(from, to))
+}
+
+// sendToken and recvToken move the contentless synchronization token of
+// Barrier.
+func (c *Comm) sendToken(from, to fabric.Rank) {
+	if c.m.Shared() {
+		c.m.Send(from, to, nil)
+		return
+	}
+	c.m.SendBytes(from, to, []byte{tagNil})
+}
+
+func (c *Comm) recvToken(from, to fabric.Rank) {
+	if c.m.Shared() {
+		c.m.Recv(from, to)
+		return
+	}
+	c.m.RecvBytes(from, to)
+}
 
 // Barrier blocks until every rank has entered it. It uses the dissemination
 // algorithm: ceil(log2 P) rounds, each rank sending one token per round.
-func (c *Comm) Barrier(me rma.Rank) {
+func (c *Comm) Barrier(me fabric.Rank) {
 	n := c.n
 	for k := 1; k < n; k <<= 1 {
-		to := rma.Rank((int(me) + k) % n)
-		from := rma.Rank((int(me) - k + n) % n)
-		c.send(me, to, nil)
-		c.recv(from, me)
+		to := fabric.Rank((int(me) + k) % n)
+		from := fabric.Rank((int(me) - k + n) % n)
+		c.sendToken(me, to)
+		c.recvToken(from, me)
 	}
 }
 
@@ -67,13 +147,13 @@ func (c *Comm) Barrier(me rma.Rank) {
 // has entered, OrReduce synchronizes like a barrier — callers can fold a
 // continuation-flag exchange and a closing barrier into one step, which is
 // exactly what the one-sided exchange does between streaming sub-rounds.
-func OrReduce(c *Comm, me rma.Rank, flag bool) bool {
+func OrReduce(c *Comm, me fabric.Rank, flag bool) bool {
 	n := c.n
 	for k := 1; k < n; k <<= 1 {
-		to := rma.Rank((int(me) + k) % n)
-		from := rma.Rank((int(me) - k + n) % n)
-		c.send(me, to, flag)
-		flag = c.recv(from, me).(bool) || flag
+		to := fabric.Rank((int(me) + k) % n)
+		from := fabric.Rank((int(me) - k + n) % n)
+		sendVal(c, me, to, flag)
+		flag = recvVal[bool](c, from, me) || flag
 	}
 	return flag
 }
@@ -81,14 +161,14 @@ func OrReduce(c *Comm, me rma.Rank, flag bool) bool {
 // Bcast distributes root's value to every rank and returns it. Non-root
 // callers pass the zero value; all callers receive root's value. Binomial
 // tree, ceil(log2 P) depth.
-func Bcast[T any](c *Comm, me, root rma.Rank, val T) T {
+func Bcast[T any](c *Comm, me, root fabric.Rank, val T) T {
 	n := c.n
 	rel := (int(me) - int(root) + n) % n
 	mask := 1
 	for mask < n {
 		if rel&mask != 0 {
-			parent := rma.Rank((rel - mask + int(root)) % n)
-			val = c.recv(parent, me).(T)
+			parent := fabric.Rank((rel - mask + int(root)) % n)
+			val = recvVal[T](c, parent, me)
 			break
 		}
 		mask <<= 1
@@ -96,8 +176,8 @@ func Bcast[T any](c *Comm, me, root rma.Rank, val T) T {
 	// Forward to children: exactly the masks below the one received on.
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if rel+mask < n {
-			child := rma.Rank((rel + mask + int(root)) % n)
-			c.send(me, child, val)
+			child := fabric.Rank((rel + mask + int(root)) % n)
+			sendVal(c, me, child, val)
 		}
 	}
 	return val
@@ -105,19 +185,19 @@ func Bcast[T any](c *Comm, me, root rma.Rank, val T) T {
 
 // Reduce combines every rank's val with op and delivers the result to root;
 // other ranks receive the zero value. op must be associative. Binomial tree.
-func Reduce[T any](c *Comm, me, root rma.Rank, val T, op func(T, T) T) T {
+func Reduce[T any](c *Comm, me, root fabric.Rank, val T, op func(T, T) T) T {
 	n := c.n
 	rel := (int(me) - int(root) + n) % n
 	for mask := 1; mask < n; mask <<= 1 {
 		if rel&mask != 0 {
-			parent := rma.Rank((rel - mask + int(root)) % n)
-			c.send(me, parent, val)
+			parent := fabric.Rank((rel - mask + int(root)) % n)
+			sendVal(c, me, parent, val)
 			var zero T
 			return zero
 		}
 		if rel+mask < n {
-			child := rma.Rank((rel + mask + int(root)) % n)
-			val = op(val, c.recv(child, me).(T))
+			child := fabric.Rank((rel + mask + int(root)) % n)
+			val = op(val, recvVal[T](c, child, me))
 		}
 	}
 	return val
@@ -125,33 +205,33 @@ func Reduce[T any](c *Comm, me, root rma.Rank, val T, op func(T, T) T) T {
 
 // Allreduce combines every rank's val with op and delivers the result to all
 // ranks (reduce-to-root followed by broadcast; 2·ceil(log2 P) depth).
-func Allreduce[T any](c *Comm, me rma.Rank, val T, op func(T, T) T) T {
+func Allreduce[T any](c *Comm, me fabric.Rank, val T, op func(T, T) T) T {
 	red := Reduce(c, me, 0, val, op)
 	return Bcast(c, me, 0, red)
 }
 
 // Gather collects every rank's value at root, indexed by rank. Non-root
 // callers receive nil.
-func Gather[T any](c *Comm, me, root rma.Rank, val T) []T {
+func Gather[T any](c *Comm, me, root fabric.Rank, val T) []T {
 	if me != root {
-		c.send(me, root, val)
+		sendVal(c, me, root, val)
 		c.Barrier(me)
 		return nil
 	}
 	out := make([]T, c.n)
 	for r := 0; r < c.n; r++ {
-		if rma.Rank(r) == root {
+		if fabric.Rank(r) == root {
 			out[r] = val
 			continue
 		}
-		out[r] = c.recv(rma.Rank(r), me).(T)
+		out[r] = recvVal[T](c, fabric.Rank(r), me)
 	}
 	c.Barrier(me)
 	return out
 }
 
 // Allgather collects every rank's value at every rank, indexed by rank.
-func Allgather[T any](c *Comm, me rma.Rank, val T) []T {
+func Allgather[T any](c *Comm, me fabric.Rank, val T) []T {
 	g := Gather(c, me, 0, val)
 	return Bcast(c, me, 0, g)
 }
@@ -159,23 +239,23 @@ func Allgather[T any](c *Comm, me rma.Rank, val T) []T {
 // Alltoall performs a personalized all-to-all exchange: out[d] is sent to
 // rank d, and the returned slice holds in[s] = the value rank s sent to the
 // caller. len(out) must equal the communicator size.
-func Alltoall[T any](c *Comm, me rma.Rank, out []T) []T {
+func Alltoall[T any](c *Comm, me fabric.Rank, out []T) []T {
 	if len(out) != c.n {
 		panic(fmt.Sprintf("collective: Alltoall with %d slots on a %d-rank comm", len(out), c.n))
 	}
 	in := make([]T, c.n)
 	for d := 0; d < c.n; d++ {
-		if rma.Rank(d) == me {
+		if fabric.Rank(d) == me {
 			in[d] = out[d]
 			continue
 		}
-		c.send(me, rma.Rank(d), out[d])
+		sendVal(c, me, fabric.Rank(d), out[d])
 	}
 	for s := 0; s < c.n; s++ {
-		if rma.Rank(s) == me {
+		if fabric.Rank(s) == me {
 			continue
 		}
-		in[s] = c.recv(rma.Rank(s), me).(T)
+		in[s] = recvVal[T](c, fabric.Rank(s), me)
 	}
 	c.Barrier(me)
 	return in
@@ -184,7 +264,7 @@ func Alltoall[T any](c *Comm, me rma.Rank, out []T) []T {
 // Exscan computes the exclusive prefix reduction of val across ranks in rank
 // order: rank 0 receives the zero value, rank i receives op(val_0, …,
 // val_{i-1}). Used to assign disjoint global ID ranges during bulk loading.
-func Exscan[T any](c *Comm, me rma.Rank, val T, op func(T, T) T) T {
+func Exscan[T any](c *Comm, me fabric.Rank, val T, op func(T, T) T) T {
 	all := Allgather(c, me, val)
 	var acc T
 	for r := 0; r < int(me); r++ {

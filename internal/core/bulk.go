@@ -5,9 +5,9 @@ import (
 	"sort"
 
 	"github.com/gdi-go/gdi/internal/collective"
+	"github.com/gdi-go/gdi/internal/fabric"
 	"github.com/gdi-go/gdi/internal/holder"
 	"github.com/gdi-go/gdi/internal/lpg"
-	"github.com/gdi-go/gdi/internal/rma"
 	"github.com/gdi-go/gdi/internal/snapshot"
 )
 
@@ -34,7 +34,7 @@ type EdgeSpec struct {
 //
 // Work: O(|specs| · holder size); depth: O(log P) for the exchange plus the
 // local build.
-func (e *Engine) BulkLoadVertices(rank rma.Rank, specs []VertexSpec) error {
+func (e *Engine) BulkLoadVertices(rank fabric.Rank, specs []VertexSpec) error {
 	n := e.fab.Size()
 	out := make([][]VertexSpec, n)
 	for _, sp := range specs {
@@ -55,7 +55,7 @@ func (e *Engine) BulkLoadVertices(rank rma.Rank, specs []VertexSpec) error {
 			v := &holder.Vertex{AppID: sp.AppID, Labels: sp.Labels, Props: sp.Props}
 			stream := holder.EncodeVertex(v, bs)
 			need := len(stream) / bs
-			blocks := make([]rma.DPtr, need)
+			blocks := make([]fabric.DPtr, need)
 			for i := range blocks {
 				dp, err := e.store.AcquireBlock(rank, rank)
 				if err != nil {
@@ -89,7 +89,7 @@ func (e *Engine) BulkLoadVertices(rank rma.Rank, specs []VertexSpec) error {
 
 // recDelivery routes one edge record to the rank owning its vertex.
 type recDelivery struct {
-	V   rma.DPtr
+	V   fabric.DPtr
 	Rec holder.EdgeRec
 }
 
@@ -101,7 +101,7 @@ type recDelivery struct {
 //
 // Work: O(|specs|) DHT lookups + O(Σ touched holder blocks); depth:
 // O(log P) exchange + local merge.
-func (e *Engine) BulkLoadEdges(rank rma.Rank, specs []EdgeSpec) error {
+func (e *Engine) BulkLoadEdges(rank fabric.Rank, specs []EdgeSpec) error {
 	n := e.fab.Size()
 	out := make([][]recDelivery, n)
 	for _, sp := range specs {
@@ -113,7 +113,7 @@ func (e *Engine) BulkLoadEdges(rank rma.Rank, specs []EdgeSpec) error {
 		if !ok {
 			return fmt.Errorf("%w: bulk edge target %d", ErrNotFound, sp.TargetApp)
 		}
-		o, t := rma.DPtr(oRaw), rma.DPtr(tRaw)
+		o, t := fabric.DPtr(oRaw), fabric.DPtr(tRaw)
 		back := holder.DirIn
 		if sp.Dir == holder.DirUndirected {
 			back = holder.DirUndirected
@@ -127,13 +127,13 @@ func (e *Engine) BulkLoadEdges(rank rma.Rank, specs []EdgeSpec) error {
 	in := collective.Alltoall(e.comm, rank, out)
 
 	// Group deliveries by vertex so each holder is rewritten once.
-	byVertex := make(map[rma.DPtr][]holder.EdgeRec)
+	byVertex := make(map[fabric.DPtr][]holder.EdgeRec)
 	for _, batch := range in {
 		for _, d := range batch {
 			byVertex[d.V] = append(byVertex[d.V], d.Rec)
 		}
 	}
-	order := make([]rma.DPtr, 0, len(byVertex))
+	order := make([]fabric.DPtr, 0, len(byVertex))
 	for dp := range byVertex {
 		order = append(order, dp)
 	}
@@ -159,14 +159,14 @@ func (e *Engine) BulkLoadEdges(rank rma.Rank, specs []EdgeSpec) error {
 }
 
 // appendRecords merges records into one locally-owned vertex holder.
-func (e *Engine) appendRecords(rank rma.Rank, primary rma.DPtr, recs []holder.EdgeRec, bs int) error {
+func (e *Engine) appendRecords(rank fabric.Rank, primary fabric.DPtr, recs []holder.EdgeRec, bs int) error {
 	buf := make([]byte, bs)
 	e.store.ReadBlock(rank, primary, buf)
 	nb := holder.NumBlocks(buf)
 	if nb < 1 {
 		return fmt.Errorf("%w: bulk edge endpoint %v", ErrNotFound, primary)
 	}
-	blocks := []rma.DPtr{primary}
+	blocks := []fabric.DPtr{primary}
 	if nb > 1 {
 		full := make([]byte, nb*bs)
 		copy(full, buf)

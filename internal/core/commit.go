@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 
+	"github.com/gdi-go/gdi/internal/fabric"
 	"github.com/gdi-go/gdi/internal/holder"
 	"github.com/gdi-go/gdi/internal/locks"
 	"github.com/gdi-go/gdi/internal/lpg"
-	"github.com/gdi-go/gdi/internal/rma"
 	"github.com/gdi-go/gdi/internal/snapshot"
 )
 
@@ -103,7 +103,7 @@ func (tx *Tx) Commit() error {
 	// prepare; the scalar path pays one CAS per word.
 	var stubWords []locks.Word
 	var stubVers []uint64
-	var stubBlocks []rma.DPtr
+	var stubBlocks []fabric.DPtr
 	if !tx.skipLocks() {
 		var stubTrain []locks.TrainLock
 		for _, st := range tx.verts {
@@ -148,18 +148,18 @@ func (tx *Tx) Commit() error {
 		vs      *vertexState
 		es      *edgeState
 		stream  []byte
-		blocks  []rma.DPtr // final block list
-		release []rma.DPtr // excess blocks to free after apply
+		blocks  []fabric.DPtr // final block list
+		release []fabric.DPtr // excess blocks to free after apply
 	}
 	var plans []plan
-	var acquired []rma.DPtr // for rollback of a failed prepare
+	var acquired []fabric.DPtr // for rollback of a failed prepare
 	bs := tx.eng.cfg.BlockSize
 
-	prepare := func(primary rma.DPtr, stream []byte, old []rma.DPtr) (pl plan, err error) {
+	prepare := func(primary fabric.DPtr, stream []byte, old []fabric.DPtr) (pl plan, err error) {
 		need := len(stream) / bs
 		blocks := old
 		if blocks == nil {
-			blocks = []rma.DPtr{primary}
+			blocks = []fabric.DPtr{primary}
 		}
 		for len(blocks) < need {
 			dp, aerr := tx.eng.store.AcquireBlock(tx.rank, primary.Rank())
@@ -231,9 +231,9 @@ func (tx *Tx) Commit() error {
 	// to the rank's group committer, which flushes it — merged with any
 	// concurrently committing transactions of this rank — as one vectored
 	// PUT train per owner rank.
-	var wbDps []rma.DPtr
+	var wbDps []fabric.DPtr
 	var wbData [][]byte
-	put := func(dp rma.DPtr, payload []byte) {
+	put := func(dp fabric.DPtr, payload []byte) {
 		if batched {
 			wbDps = append(wbDps, dp)
 			wbData = append(wbData, payload)
@@ -268,7 +268,7 @@ func (tx *Tx) Commit() error {
 	// the gate, after the write-back, so the records and the block state a
 	// cut observes always agree.
 	if snap := tx.eng.snap; snap != nil {
-		byRank := make(map[rma.Rank][]snapshot.Record)
+		byRank := make(map[fabric.Rank][]snapshot.Record)
 		for _, pl := range plans {
 			if pl.vs == nil {
 				continue
@@ -306,12 +306,11 @@ func (tx *Tx) Commit() error {
 		}
 		if pl.vs != nil {
 			st := pl.vs
-			li := tx.eng.local[st.primary.Rank()]
 			if st.isNew {
 				tx.eng.index.Insert(tx.rank, st.v.AppID, uint64(st.primary))
-				li.addVertex(st.primary, st.v.AppID, st.v.Labels)
+				tx.eng.idxAddVertex(tx.rank, st.primary, st.v.AppID, st.v.Labels)
 			} else if !labelSetsEqual(st.origLabel, st.v.Labels) {
-				li.updateLabels(st.primary, st.origLabel, st.v.Labels)
+				tx.eng.idxUpdateLabels(tx.rank, st.primary, st.origLabel, st.v.Labels)
 			}
 			st.blocks = pl.blocks
 		} else {
@@ -343,14 +342,13 @@ func (tx *Tx) Commit() error {
 		if !st.deleted {
 			continue
 		}
-		li := tx.eng.local[st.primary.Rank()]
 		if !st.isNew {
 			tx.eng.index.Delete(tx.rank, st.v.AppID)
-			li.removeVertex(st.primary, st.origLabel)
+			tx.eng.idxRemoveVertex(tx.rank, st.primary, st.origLabel)
 		}
 		tx.unlockState(st)
 		if st.blocks == nil {
-			st.blocks = []rma.DPtr{st.primary}
+			st.blocks = []fabric.DPtr{st.primary}
 		}
 		for _, dp := range st.blocks {
 			tx.eng.store.ReleaseBlock(tx.rank, dp)
@@ -362,7 +360,7 @@ func (tx *Tx) Commit() error {
 			continue
 		}
 		if es.blocks == nil {
-			es.blocks = []rma.DPtr{es.primary}
+			es.blocks = []fabric.DPtr{es.primary}
 		}
 		for _, dp := range es.blocks {
 			tx.eng.store.ReleaseBlock(tx.rank, dp)
@@ -421,7 +419,7 @@ func (tx *Tx) validateOptimistic() error {
 	if !tx.optimistic() || len(tx.optReads) == 0 {
 		return nil
 	}
-	dps := make([]rma.DPtr, 0, len(tx.optReads))
+	dps := make([]fabric.DPtr, 0, len(tx.optReads))
 	for dp := range tx.optReads {
 		dps = append(dps, dp)
 	}

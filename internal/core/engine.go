@@ -25,10 +25,10 @@ import (
 	"github.com/gdi-go/gdi/internal/collective"
 	"github.com/gdi-go/gdi/internal/dht"
 	"github.com/gdi-go/gdi/internal/exchange"
+	"github.com/gdi-go/gdi/internal/fabric"
 	"github.com/gdi-go/gdi/internal/locks"
 	"github.com/gdi-go/gdi/internal/lpg"
 	"github.com/gdi-go/gdi/internal/metadata"
-	"github.com/gdi-go/gdi/internal/rma"
 	"github.com/gdi-go/gdi/internal/snapshot"
 )
 
@@ -166,7 +166,7 @@ func (c Config) withDefaults() Config {
 // Engine is one distributed graph database instance (GDI supports several
 // concurrent databases per environment, §3.9 — each gets its own Engine).
 type Engine struct {
-	fab     *rma.Fabric
+	fab     fabric.Transport
 	store   *block.Store
 	index   *dht.Map
 	comm    *collective.Comm
@@ -175,6 +175,7 @@ type Engine struct {
 	commits []groupCommitter // one write-back combiner per rank
 	heat    []*heatShard     // per-rank access-heat counters (rebalancing)
 	cfg     Config
+	mp      bool // true when some rank lives in another OS process
 
 	// snap is the HTAP snapshot manager (nil unless Config.HTAPSnapshots).
 	// htapGate is the commit gate: commits (and live migration) hold it in
@@ -203,19 +204,19 @@ type Engine struct {
 // shard directly in this simulation.
 type localIndex struct {
 	mu      sync.Mutex
-	verts   map[rma.DPtr]uint64 // local vertex -> appID
-	byLabel map[lpg.LabelID]map[rma.DPtr]struct{}
+	verts   map[fabric.DPtr]uint64 // local vertex -> appID
+	byLabel map[lpg.LabelID]map[fabric.DPtr]struct{}
 }
 
 func newLocalIndex() *localIndex {
 	return &localIndex{
-		verts:   make(map[rma.DPtr]uint64),
-		byLabel: make(map[lpg.LabelID]map[rma.DPtr]struct{}),
+		verts:   make(map[fabric.DPtr]uint64),
+		byLabel: make(map[lpg.LabelID]map[fabric.DPtr]struct{}),
 	}
 }
 
 // NewEngine collectively creates a database engine over fabric f.
-func NewEngine(f *rma.Fabric, cfg Config) *Engine {
+func NewEngine(f fabric.Transport, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	cacheBlocks := 0
 	if cfg.CacheBlocks {
@@ -237,6 +238,15 @@ func NewEngine(f *rma.Fabric, cfg Config) *Engine {
 		e.local[r] = newLocalIndex()
 		e.heat[r] = newHeatShard()
 	}
+	e.mp = computeMultiProcess(f)
+	if e.mp {
+		if cfg.HTAPSnapshots {
+			// The snapshot manager shares cut objects and arenas by
+			// reference across ranks; it has no wire representation yet.
+			panic("core: HTAPSnapshots requires a shared-address-space transport (run HTAP on the simulator backend)")
+		}
+		e.registerServices()
+	}
 	if cfg.HTAPSnapshots {
 		e.snap = snapshot.NewManager(e.store, cfg.HTAPCutRetries)
 		// Byte-changing writers retire through the store's pre-write hook;
@@ -245,8 +255,8 @@ func NewEngine(f *rma.Fabric, cfg Config) *Engine {
 		// write-unlock hook. Lock word 1+off guards block off; word 0 is the
 		// free-list head and never carries a version to preserve.
 		e.store.SetRetirer(e.snap)
-		sys, _, _ := e.store.LockWord(rma.MakeDPtr(0, 1))
-		locks.SetReleaseHook(sys, func(target rma.Rank, idx int) {
+		sys, _, _ := e.store.LockWord(fabric.MakeDPtr(0, 1))
+		locks.SetReleaseHook(sys, func(target fabric.Rank, idx int) {
 			if idx >= 1 {
 				e.snap.Retire(target, uint64(idx-1))
 			}
@@ -256,7 +266,7 @@ func NewEngine(f *rma.Fabric, cfg Config) *Engine {
 }
 
 // Fabric returns the engine's fabric.
-func (e *Engine) Fabric() *rma.Fabric { return e.fab }
+func (e *Engine) Fabric() fabric.Transport { return e.fab }
 
 // Comm returns the engine's communicator for user-level collectives.
 func (e *Engine) Comm() *collective.Comm { return e.comm }
@@ -278,13 +288,13 @@ func (e *Engine) Exchange() *exchange.Exchange {
 func (e *Engine) Store() *block.Store { return e.store }
 
 // Registry returns rank r's metadata replica.
-func (e *Engine) Registry(r rma.Rank) *metadata.Registry { return e.regs[r] }
+func (e *Engine) Registry(r fabric.Rank) *metadata.Registry { return e.regs[r] }
 
 // OwnerOf returns the rank a vertex with the given application ID is placed
 // on. GDA distributes vertices round-robin (§5.4); the GDI spec is
 // deliberately orthogonal to this choice.
-func (e *Engine) OwnerOf(appID uint64) rma.Rank {
-	return rma.Rank(appID % uint64(e.fab.Size()))
+func (e *Engine) OwnerOf(appID uint64) fabric.Rank {
+	return fabric.Rank(appID % uint64(e.fab.Size()))
 }
 
 // DefineLabel registers a label on every replica. It is the driver-context
@@ -326,7 +336,7 @@ func (e *Engine) DefinePType(name string, spec metadata.PTypeSpec) (lpg.PTypeID,
 
 // CreateLabelCollective registers a label from SPMD context: every rank must
 // call it with the same name. Collective, O(log P) depth for the barrier.
-func (e *Engine) CreateLabelCollective(rank rma.Rank, name string) (lpg.LabelID, error) {
+func (e *Engine) CreateLabelCollective(rank fabric.Rank, name string) (lpg.LabelID, error) {
 	e.comm.Barrier(rank)
 	l, err := e.regs[rank].AddLabel(name)
 	e.comm.Barrier(rank)
@@ -337,7 +347,7 @@ func (e *Engine) CreateLabelCollective(rank rma.Rank, name string) (lpg.LabelID,
 }
 
 // CreatePTypeCollective registers a property type from SPMD context.
-func (e *Engine) CreatePTypeCollective(rank rma.Rank, name string, spec metadata.PTypeSpec) (lpg.PTypeID, error) {
+func (e *Engine) CreatePTypeCollective(rank fabric.Rank, name string, spec metadata.PTypeSpec) (lpg.PTypeID, error) {
 	e.comm.Barrier(rank)
 	pt, err := e.regs[rank].AddPType(name, spec)
 	e.comm.Barrier(rank)
@@ -349,11 +359,11 @@ func (e *Engine) CreatePTypeCollective(rank rma.Rank, name string, spec metadata
 
 // LocalVertices snapshots rank r's vertex shard: the "get local vertices of
 // an index" primitive collective transactions iterate (Listings 2 and 3).
-func (e *Engine) LocalVertices(r rma.Rank) []rma.DPtr {
+func (e *Engine) LocalVertices(r fabric.Rank) []fabric.DPtr {
 	li := e.local[r]
 	li.mu.Lock()
 	defer li.mu.Unlock()
-	out := make([]rma.DPtr, 0, len(li.verts))
+	out := make([]fabric.DPtr, 0, len(li.verts))
 	for dp := range li.verts {
 		out = append(out, dp)
 	}
@@ -361,7 +371,7 @@ func (e *Engine) LocalVertices(r rma.Rank) []rma.DPtr {
 }
 
 // LocalVertexCount returns the size of rank r's vertex shard.
-func (e *Engine) LocalVertexCount(r rma.Rank) int {
+func (e *Engine) LocalVertexCount(r fabric.Rank) int {
 	li := e.local[r]
 	li.mu.Lock()
 	defer li.mu.Unlock()
@@ -369,32 +379,32 @@ func (e *Engine) LocalVertexCount(r rma.Rank) int {
 }
 
 // LocalVerticesWithLabel snapshots rank r's posting list for one label.
-func (e *Engine) LocalVerticesWithLabel(r rma.Rank, l lpg.LabelID) []rma.DPtr {
+func (e *Engine) LocalVerticesWithLabel(r fabric.Rank, l lpg.LabelID) []fabric.DPtr {
 	li := e.local[r]
 	li.mu.Lock()
 	defer li.mu.Unlock()
-	out := make([]rma.DPtr, 0, len(li.byLabel[l]))
+	out := make([]fabric.DPtr, 0, len(li.byLabel[l]))
 	for dp := range li.byLabel[l] {
 		out = append(out, dp)
 	}
 	return out
 }
 
-func (li *localIndex) addVertex(dp rma.DPtr, appID uint64, labels []lpg.LabelID) {
+func (li *localIndex) addVertex(dp fabric.DPtr, appID uint64, labels []lpg.LabelID) {
 	li.mu.Lock()
 	defer li.mu.Unlock()
 	li.verts[dp] = appID
 	for _, l := range labels {
 		set, ok := li.byLabel[l]
 		if !ok {
-			set = make(map[rma.DPtr]struct{})
+			set = make(map[fabric.DPtr]struct{})
 			li.byLabel[l] = set
 		}
 		set[dp] = struct{}{}
 	}
 }
 
-func (li *localIndex) removeVertex(dp rma.DPtr, labels []lpg.LabelID) {
+func (li *localIndex) removeVertex(dp fabric.DPtr, labels []lpg.LabelID) {
 	li.mu.Lock()
 	defer li.mu.Unlock()
 	delete(li.verts, dp)
@@ -405,7 +415,7 @@ func (li *localIndex) removeVertex(dp rma.DPtr, labels []lpg.LabelID) {
 	}
 }
 
-func (li *localIndex) updateLabels(dp rma.DPtr, old, new []lpg.LabelID) {
+func (li *localIndex) updateLabels(dp fabric.DPtr, old, new []lpg.LabelID) {
 	li.mu.Lock()
 	defer li.mu.Unlock()
 	for _, l := range old {
@@ -416,7 +426,7 @@ func (li *localIndex) updateLabels(dp rma.DPtr, old, new []lpg.LabelID) {
 	for _, l := range new {
 		set, ok := li.byLabel[l]
 		if !ok {
-			set = make(map[rma.DPtr]struct{})
+			set = make(map[fabric.DPtr]struct{})
 			li.byLabel[l] = set
 		}
 		set[dp] = struct{}{}
@@ -424,7 +434,7 @@ func (li *localIndex) updateLabels(dp rma.DPtr, old, new []lpg.LabelID) {
 }
 
 // FreeBlocks reports the number of free blocks on rank r (diagnostics).
-func (e *Engine) FreeBlocks(r rma.Rank) int { return e.store.FreeBlocks(r, r) }
+func (e *Engine) FreeBlocks(r fabric.Rank) int { return e.store.FreeBlocks(r, r) }
 
 // OptimisticAborts reports how many optimistic read transactions failed
 // version validation at commit — the optimistic-abort counter OLTP reports

@@ -4,10 +4,10 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/gdi-go/gdi/internal/fabric"
 	"github.com/gdi-go/gdi/internal/holder"
 	"github.com/gdi-go/gdi/internal/locks"
 	"github.com/gdi-go/gdi/internal/lpg"
-	"github.com/gdi-go/gdi/internal/rma"
 )
 
 // VertexFuture is the non-blocking counterpart of AssociateVertex
@@ -25,7 +25,7 @@ import (
 // ErrTxClosed.
 type VertexFuture struct {
 	tx   *Tx
-	dp   rma.DPtr
+	dp   fabric.DPtr
 	done bool
 	h    *VertexHandle
 	err  error
@@ -72,7 +72,7 @@ func (f *VertexFuture) resolveState(st *vertexState) {
 // returned future completes immediately when dp is already cached in this
 // transaction (or is invalid); otherwise the fetch is queued until the next
 // flush. Queueing performs no communication.
-func (tx *Tx) AssociateVertexAsync(dp rma.DPtr) *VertexFuture {
+func (tx *Tx) AssociateVertexAsync(dp fabric.DPtr) *VertexFuture {
 	f := &VertexFuture{tx: tx, dp: dp}
 	if err := tx.check(); err != nil {
 		f.fail(err)
@@ -109,7 +109,7 @@ func (tx *Tx) AssociateVertexAsync(dp rma.DPtr) *VertexFuture {
 // rather than failing the batch; transaction-level failures — closed
 // transaction, transaction-critical lock contention, a NULL vertex ID —
 // return a non-nil error.
-func (tx *Tx) AssociateVertices(dps []rma.DPtr) ([]*VertexHandle, error) {
+func (tx *Tx) AssociateVertices(dps []fabric.DPtr) ([]*VertexHandle, error) {
 	if err := tx.check(); err != nil {
 		return nil, err
 	}
@@ -143,20 +143,20 @@ const maxForwardHops = 8
 // lock state, the growing logical stream, the guard version the stream was
 // validated against (optimistic tier), and every future awaiting it.
 type pendingFetch struct {
-	dp     rma.DPtr
+	dp     fabric.DPtr
 	st     *vertexState
 	futs   []*VertexFuture
 	buf    []byte
-	blocks []rma.DPtr
+	blocks []fabric.DPtr
 	nb     int
 	ver    uint64
-	fwd    rma.DPtr // set when dp held a migration stub: chase here
+	fwd    fabric.DPtr // set when dp held a migration stub: chase here
 	err    error
 	// Optimistic-tier bookkeeping: the blocks that came off the wire (their
 	// stability is only established by the post-stamp check, after which
 	// they are installed into the cache) and a provisional deleted/corrupt
 	// verdict awaiting that check.
-	fetchedDps  []rma.DPtr
+	fetchedDps  []fabric.DPtr
 	fetchedBufs [][]byte
 	suspect     error
 }
@@ -202,8 +202,8 @@ func (tx *Tx) flushPending() {
 	// map is built lazily on the second distinct fetch, so the dominant
 	// single-vertex point read allocates no map at all.
 	var fetches []*pendingFetch
-	var uniq map[rma.DPtr]*pendingFetch
-	enqueue := func(dp rma.DPtr, futs []*VertexFuture) {
+	var uniq map[fabric.DPtr]*pendingFetch
+	enqueue := func(dp fabric.DPtr, futs []*VertexFuture) {
 		dp = tx.chaseAlias(dp)
 		if st, ok := tx.verts[dp]; ok {
 			for _, f := range futs {
@@ -212,7 +212,7 @@ func (tx *Tx) flushPending() {
 			return
 		}
 		if uniq == nil && len(fetches) > 0 {
-			uniq = make(map[rma.DPtr]*pendingFetch, len(pending))
+			uniq = make(map[fabric.DPtr]*pendingFetch, len(pending))
 			for _, q := range fetches {
 				uniq[q.dp] = q
 			}
@@ -358,7 +358,7 @@ func (tx *Tx) flushPending() {
 					tx.eng.recordHeat(tx.rank, v.AppID)
 					if tx.optimistic() {
 						if tx.optReads == nil {
-							tx.optReads = make(map[rma.DPtr]uint64)
+							tx.optReads = make(map[fabric.DPtr]uint64)
 						}
 						tx.optReads[pf.dp] = pf.ver
 					}
@@ -378,7 +378,7 @@ func (tx *Tx) flushPending() {
 // chaseAlias resolves dp through the migration aliases this transaction has
 // discovered (old primary → current primary), bounded against cycles a
 // migrate-back can form.
-func (tx *Tx) chaseAlias(dp rma.DPtr) rma.DPtr {
+func (tx *Tx) chaseAlias(dp fabric.DPtr) fabric.DPtr {
 	for i := 0; i < maxForwardHops; i++ {
 		next, ok := tx.moved[dp]
 		if !ok {
@@ -390,9 +390,9 @@ func (tx *Tx) chaseAlias(dp rma.DPtr) rma.DPtr {
 }
 
 // addAlias records that dp's holder moved to next.
-func (tx *Tx) addAlias(dp, next rma.DPtr) {
+func (tx *Tx) addAlias(dp, next fabric.DPtr) {
 	if tx.moved == nil {
-		tx.moved = make(map[rma.DPtr]rma.DPtr)
+		tx.moved = make(map[fabric.DPtr]fabric.DPtr)
 	}
 	tx.moved[dp] = next
 }
@@ -423,9 +423,9 @@ func (tx *Tx) fetchHolderStreams(fetches []*pendingFetch) (unstable []*pendingFe
 	// Stamp every primary once; in optimistic mode a guard already held by
 	// a writer cannot validate, so its holder goes straight to retry.
 	live := make([]*pendingFetch, 0, len(fetches))
-	var stamps map[rma.DPtr]uint64
+	var stamps map[fabric.DPtr]uint64
 	if stamped {
-		prims := make([]rma.DPtr, len(fetches))
+		prims := make([]fabric.DPtr, len(fetches))
 		for i, pf := range fetches {
 			prims[i] = pf.dp
 		}
@@ -443,7 +443,7 @@ func (tx *Tx) fetchHolderStreams(fetches []*pendingFetch) (unstable []*pendingFe
 		live = append(live, fetches...)
 	}
 
-	readRound := func(dps, guards []rma.DPtr, bufs [][]byte, pfs []*pendingFetch) {
+	readRound := func(dps, guards []fabric.DPtr, bufs [][]byte, pfs []*pendingFetch) {
 		if !stamped {
 			store.ReadBlocksBatch(tx.rank, dps, bufs)
 			return
@@ -473,8 +473,8 @@ func (tx *Tx) fetchHolderStreams(fetches []*pendingFetch) (unstable []*pendingFe
 	}
 
 	// Round 0: every primary block, guarded by its own lock word.
-	dps := make([]rma.DPtr, 0, len(live))
-	guards := make([]rma.DPtr, 0, len(live))
+	dps := make([]fabric.DPtr, 0, len(live))
+	guards := make([]fabric.DPtr, 0, len(live))
 	bufs := make([][]byte, 0, len(live))
 	roundPfs := make([]*pendingFetch, 0, len(live))
 	for _, pf := range live {
@@ -503,7 +503,7 @@ func (tx *Tx) fetchHolderStreams(fetches []*pendingFetch) (unstable []*pendingFe
 			continue
 		}
 		pf.nb = nb
-		pf.blocks = make([]rma.DPtr, 1, nb)
+		pf.blocks = make([]fabric.DPtr, 1, nb)
 		pf.blocks[0] = pf.dp
 		if nb > 1 {
 			full := make([]byte, nb*bs)
@@ -553,7 +553,7 @@ func (tx *Tx) fetchHolderStreams(fetches []*pendingFetch) (unstable []*pendingFe
 		if len(toCheck) == 0 {
 			return unstable
 		}
-		prims := make([]rma.DPtr, len(toCheck))
+		prims := make([]fabric.DPtr, len(toCheck))
 		for i, pf := range toCheck {
 			prims[i] = pf.dp
 		}

@@ -3,7 +3,7 @@ package core
 import (
 	"sync"
 
-	"github.com/gdi-go/gdi/internal/rma"
+	"github.com/gdi-go/gdi/internal/fabric"
 )
 
 // groupCommitter coalesces the apply-phase write-back trains of concurrent
@@ -23,7 +23,7 @@ type groupCommitter struct {
 
 // commitTrain is one transaction's dirty-block write set awaiting a leader.
 type commitTrain struct {
-	dps  []rma.DPtr
+	dps  []fabric.DPtr
 	data [][]byte
 	done chan struct{}
 }
@@ -31,7 +31,7 @@ type commitTrain struct {
 // groupWriteBack submits one transaction's dirty blocks to rank's combiner
 // and returns once they are written — either by this goroutine acting as
 // leader or by a concurrent leader whose merged train carried them.
-func (e *Engine) groupWriteBack(rank rma.Rank, dps []rma.DPtr, data [][]byte) {
+func (e *Engine) groupWriteBack(rank fabric.Rank, dps []fabric.DPtr, data [][]byte) {
 	if len(dps) == 0 {
 		return
 	}
@@ -58,7 +58,7 @@ func (e *Engine) groupWriteBack(rank rma.Rank, dps []rma.DPtr, data [][]byte) {
 			for _, b := range batch {
 				n += len(b.dps)
 			}
-			mdps := make([]rma.DPtr, 0, n)
+			mdps := make([]fabric.DPtr, 0, n)
 			mdata := make([][]byte, 0, n)
 			for _, b := range batch {
 				mdps = append(mdps, b.dps...)

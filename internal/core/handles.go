@@ -4,10 +4,10 @@ import (
 	"fmt"
 
 	"github.com/gdi-go/gdi/internal/constraint"
+	"github.com/gdi-go/gdi/internal/fabric"
 	"github.com/gdi-go/gdi/internal/holder"
 	"github.com/gdi-go/gdi/internal/lpg"
 	"github.com/gdi-go/gdi/internal/metadata"
-	"github.com/gdi-go/gdi/internal/rma"
 )
 
 // VertexHandle is the process-local access object for one vertex within one
@@ -20,7 +20,7 @@ type VertexHandle struct {
 }
 
 // ID returns the vertex's internal ID (its primary-block DPtr).
-func (h *VertexHandle) ID() rma.DPtr { return h.st.primary }
+func (h *VertexHandle) ID() fabric.DPtr { return h.st.primary }
 
 // AppID returns the application-level vertex ID.
 func (h *VertexHandle) AppID() uint64 { return h.st.v.AppID }
@@ -224,7 +224,7 @@ type EdgeInfo struct {
 	// UID identifies the edge relative to the queried vertex.
 	UID holder.EdgeUID
 	// Neighbor is the other endpoint's vertex DPtr.
-	Neighbor rma.DPtr
+	Neighbor fabric.DPtr
 	// Dir is the direction relative to the queried vertex.
 	Dir holder.Direction
 	// Label is the lightweight label (0 if none). For heavy edges it is the
@@ -232,7 +232,7 @@ type EdgeInfo struct {
 	Label lpg.LabelID
 	// Heavy marks edges with a dedicated holder; Holder is its DPtr.
 	Heavy  bool
-	Holder rma.DPtr
+	Holder fabric.DPtr
 }
 
 // Edges lists the vertex's incident edges matching mask and, optionally, a
@@ -292,7 +292,7 @@ func (h *VertexHandle) Edges(mask DirMask, cons *constraint.Constraint) ([]EdgeI
 // comparison accepts every identity the querying vertex has had — edge
 // holders record endpoint DPtrs as of edge creation, which live migration
 // does not rewrite.
-func heavyNeighbor(e *holder.Edge, st *vertexState) rma.DPtr {
+func heavyNeighbor(e *holder.Edge, st *vertexState) fabric.DPtr {
 	if st.isIdentity(e.Target) {
 		return e.Origin
 	}
@@ -304,8 +304,8 @@ func heavyNeighbor(e *holder.Edge, st *vertexState) rma.DPtr {
 // EdgeInfo values — the allocation-free fast path traversal kernels (BFS,
 // k-hop) iterate frontiers with. Neighbors are not deduplicated; heavy-edge
 // records resolve their holder exactly as Edges does.
-func (h *VertexHandle) ForEachNeighbor(mask DirMask, fn func(rma.DPtr)) error {
-	return h.ForEachEdge(mask, func(nb rma.DPtr, _ holder.Direction) { fn(nb) })
+func (h *VertexHandle) ForEachNeighbor(mask DirMask, fn func(fabric.DPtr)) error {
+	return h.ForEachEdge(mask, func(nb fabric.DPtr, _ holder.Direction) { fn(nb) })
 }
 
 // ForEachEdge streams (neighbor, direction) for every incident edge record
@@ -313,7 +313,7 @@ func (h *VertexHandle) ForEachNeighbor(mask DirMask, fn func(rma.DPtr)) error {
 // the snapshot path analytics uses to build CSR adjacency without per-vertex
 // slice allocations. Heavy-edge records resolve their holder exactly as
 // Edges does; deleted heavy edges are skipped.
-func (h *VertexHandle) ForEachEdge(mask DirMask, fn func(nb rma.DPtr, dir holder.Direction)) error {
+func (h *VertexHandle) ForEachEdge(mask DirMask, fn func(nb fabric.DPtr, dir holder.Direction)) error {
 	if err := h.tx.check(); err != nil {
 		return err
 	}
@@ -352,13 +352,13 @@ func (h *VertexHandle) CountEdges(mask DirMask) int {
 
 // Neighbors returns the distinct neighbor vertex IDs reachable over edges
 // matching mask and constraint (GDI_GetNeighborVerticesOfVertex).
-func (h *VertexHandle) Neighbors(mask DirMask, cons *constraint.Constraint) ([]rma.DPtr, error) {
+func (h *VertexHandle) Neighbors(mask DirMask, cons *constraint.Constraint) ([]fabric.DPtr, error) {
 	infos, err := h.Edges(mask, cons)
 	if err != nil {
 		return nil, err
 	}
-	seen := make(map[rma.DPtr]struct{}, len(infos))
-	out := make([]rma.DPtr, 0, len(infos))
+	seen := make(map[fabric.DPtr]struct{}, len(infos))
+	out := make([]fabric.DPtr, 0, len(infos))
 	for _, e := range infos {
 		if _, dup := seen[e.Neighbor]; dup {
 			continue
@@ -376,7 +376,7 @@ func (h *VertexHandle) Degree() int { return len(h.st.v.Edges) }
 // properties) between two vertices. A record is stored in both endpoint
 // holders so that incoming and undirected queries stay O(1); the returned
 // UID is relative to the origin. O(1) holder updates on both endpoints.
-func (tx *Tx) CreateEdge(origin, target rma.DPtr, dir holder.Direction, label lpg.LabelID) (holder.EdgeUID, error) {
+func (tx *Tx) CreateEdge(origin, target fabric.DPtr, dir holder.Direction, label lpg.LabelID) (holder.EdgeUID, error) {
 	if err := tx.check(); err != nil {
 		return holder.EdgeUID{}, err
 	}
@@ -416,7 +416,7 @@ func (tx *Tx) CreateEdge(origin, target rma.DPtr, dir holder.Direction, label lp
 
 // CreateRichEdge adds a heavy edge carrying arbitrary labels and properties
 // in a dedicated edge holder. O(1) holder updates plus one holder creation.
-func (tx *Tx) CreateRichEdge(origin, target rma.DPtr, dir holder.Direction, labels []lpg.LabelID, props []lpg.Property) (holder.EdgeUID, error) {
+func (tx *Tx) CreateRichEdge(origin, target fabric.DPtr, dir holder.Direction, labels []lpg.LabelID, props []lpg.Property) (holder.EdgeUID, error) {
 	if err := tx.check(); err != nil {
 		return holder.EdgeUID{}, err
 	}
@@ -538,7 +538,7 @@ func matchLightSibling(st *vertexState) func(holder.EdgeRec) bool {
 }
 
 // removeRecord drops the first record at vertex `at` accepted by match.
-func (tx *Tx) removeRecord(at rma.DPtr, match func(holder.EdgeRec) bool) error {
+func (tx *Tx) removeRecord(at fabric.DPtr, match func(holder.EdgeRec) bool) error {
 	h, err := tx.AssociateVertex(at)
 	if err != nil {
 		return err
@@ -571,7 +571,7 @@ type EdgeHandle struct {
 
 // AssociateEdgeHolder opens a handle on a heavy edge's holder
 // (GDI_AssociateEdge for rich edges).
-func (tx *Tx) AssociateEdgeHolder(dp rma.DPtr) (*EdgeHandle, error) {
+func (tx *Tx) AssociateEdgeHolder(dp fabric.DPtr) (*EdgeHandle, error) {
 	if err := tx.check(); err != nil {
 		return nil, err
 	}
@@ -586,7 +586,7 @@ func (tx *Tx) AssociateEdgeHolder(dp rma.DPtr) (*EdgeHandle, error) {
 }
 
 // Vertices returns the edge's endpoints (GDI_GetVerticesOfEdge).
-func (h *EdgeHandle) Vertices() (origin, target rma.DPtr) { return h.es.e.Origin, h.es.e.Target }
+func (h *EdgeHandle) Vertices() (origin, target fabric.DPtr) { return h.es.e.Origin, h.es.e.Target }
 
 // Dir returns the edge's direction.
 func (h *EdgeHandle) Dir() holder.Direction { return h.es.e.Dir }

@@ -4,7 +4,7 @@ import (
 	"sort"
 	"sync"
 
-	"github.com/gdi-go/gdi/internal/rma"
+	"github.com/gdi-go/gdi/internal/fabric"
 )
 
 // Access-heat tracking for the workload-aware rebalancer. Each rank owns one
@@ -32,7 +32,7 @@ type HeatSample struct {
 // recordHeat counts one holder fetch of appID issued by rank r. It is the
 // single hot-path hook of the rebalancer and is gated on the knob so that
 // databases without rebalancing pay nothing.
-func (e *Engine) recordHeat(r rma.Rank, appID uint64) {
+func (e *Engine) recordHeat(r fabric.Rank, appID uint64) {
 	if !e.cfg.RebalanceHeatTracking {
 		return
 	}
@@ -48,7 +48,7 @@ func (e *Engine) HeatTracking() bool { return e.cfg.RebalanceHeatTracking }
 // topHeat snapshots rank r's k hottest vertices, ordered by count descending
 // with ties broken by ascending appID (a total order, so every rank derives
 // the same plan from the same samples).
-func (e *Engine) topHeat(r rma.Rank, k int) []HeatSample {
+func (e *Engine) topHeat(r fabric.Rank, k int) []HeatSample {
 	hs := e.heat[r]
 	hs.mu.Lock()
 	out := make([]HeatSample, 0, len(hs.m))
@@ -70,7 +70,7 @@ func (e *Engine) topHeat(r rma.Rank, k int) []HeatSample {
 
 // HeatOf returns rank r's recorded access count for one vertex (tests and
 // diagnostics).
-func (e *Engine) HeatOf(r rma.Rank, appID uint64) uint64 {
+func (e *Engine) HeatOf(r fabric.Rank, appID uint64) uint64 {
 	hs := e.heat[r]
 	hs.mu.Lock()
 	defer hs.mu.Unlock()
@@ -79,7 +79,7 @@ func (e *Engine) HeatOf(r rma.Rank, appID uint64) uint64 {
 
 // resetHeat clears rank r's shard; Rebalance calls it after applying a plan
 // so the next round reacts to fresh traffic instead of replaying old heat.
-func (e *Engine) resetHeat(r rma.Rank) {
+func (e *Engine) resetHeat(r fabric.Rank) {
 	hs := e.heat[r]
 	hs.mu.Lock()
 	hs.m = make(map[uint64]uint64)

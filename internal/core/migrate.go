@@ -5,9 +5,9 @@ import (
 	"sort"
 
 	"github.com/gdi-go/gdi/internal/collective"
+	"github.com/gdi-go/gdi/internal/fabric"
 	"github.com/gdi-go/gdi/internal/holder"
 	"github.com/gdi-go/gdi/internal/locks"
-	"github.com/gdi-go/gdi/internal/rma"
 )
 
 // Live vertex migration. A migration moves one vertex's holder chain from
@@ -40,14 +40,14 @@ import (
 // rejects anything that raced the move.
 
 // lockWordOf addresses dp's per-block reader-writer lock word.
-func (e *Engine) lockWordOf(dp rma.DPtr) locks.Word {
+func (e *Engine) lockWordOf(dp fabric.DPtr) locks.Word {
 	win, target, idx := e.store.LockWord(dp)
 	return locks.Word{Win: win, Target: target, Idx: idx}
 }
 
 // validPoolDPtr reports whether dp addresses a real block of the pool
 // (plans travel over the wire; apply must not panic on a corrupt one).
-func (e *Engine) validPoolDPtr(dp rma.DPtr) bool {
+func (e *Engine) validPoolDPtr(dp fabric.DPtr) bool {
 	return !dp.IsNull() && dp.Off() > 0 && dp.Off() < uint64(e.store.BlocksPerRank()) &&
 		int(dp.Rank()) < e.fab.Size()
 }
@@ -55,16 +55,16 @@ func (e *Engine) validPoolDPtr(dp rma.DPtr) bool {
 // migCand tracks one move through the phases of a migration train.
 type migCand struct {
 	mv        MigrationMove
-	word      locks.Word // old primary's lock word
-	ver       uint64     // its version while held
-	buf       []byte     // old holder's full logical stream
-	oldBlocks []rma.DPtr // old chain (buf's blocks, primary first)
+	word      locks.Word    // old primary's lock word
+	ver       uint64        // its version while held
+	buf       []byte        // old holder's full logical stream
+	oldBlocks []fabric.DPtr // old chain (buf's blocks, primary first)
 	v         *holder.Vertex
-	dst       rma.DPtr     // new primary on the destination rank
+	dst       fabric.DPtr  // new primary on the destination rank
 	dstFresh  bool         // dst came from the allocator (vs. a reused home)
 	secWords  []locks.Word // dst word + stub words of the other homes
 	secVers   []uint64
-	newBlocks []rma.DPtr
+	newBlocks []fabric.DPtr
 	stream    []byte
 	ok        bool
 }
@@ -77,7 +77,7 @@ type migCand struct {
 // PUT train per owner rank, CAS-swings the DHT entries, and releases all
 // locks as one train. It returns how many vertices actually moved; skipped
 // moves are counted on the engine (MigrationSkips).
-func (e *Engine) MigrateVertices(me rma.Rank, moves []MigrationMove) (int, error) {
+func (e *Engine) MigrateVertices(me fabric.Rank, moves []MigrationMove) (int, error) {
 	if len(moves) == 0 {
 		return 0, nil
 	}
@@ -156,7 +156,7 @@ func (e *Engine) MigrateVertices(me rma.Rank, moves []MigrationMove) (int, error
 	// Phase 2: read the holder chains, batched — round 0 all primaries, then
 	// one batched round per continuation block. Content is stable under the
 	// exclusive locks.
-	var dps []rma.DPtr
+	var dps []fabric.DPtr
 	var bufs [][]byte
 	for _, c := range live {
 		c.buf = make([]byte, bs)
@@ -218,7 +218,7 @@ func (e *Engine) MigrateVertices(me rma.Rank, moves []MigrationMove) (int, error
 			skip(c)
 			continue
 		}
-		if val, found := e.index.Lookup(me, v.AppID); !found || rma.DPtr(val) != c.mv.Old {
+		if val, found := e.index.Lookup(me, v.AppID); !found || fabric.DPtr(val) != c.mv.Old {
 			skip(c) // the index no longer names this placement
 			continue
 		}
@@ -286,7 +286,7 @@ func (e *Engine) MigrateVertices(me rma.Rank, moves []MigrationMove) (int, error
 		if !c.ok {
 			continue
 		}
-		homes := make([]rma.DPtr, 0, len(c.v.Homes)+1)
+		homes := make([]fabric.DPtr, 0, len(c.v.Homes)+1)
 		for _, h := range c.v.Homes {
 			if h != c.dst {
 				homes = append(homes, h)
@@ -318,7 +318,7 @@ func (e *Engine) MigrateVertices(me rma.Rank, moves []MigrationMove) (int, error
 	// one vectored PUT train per owner rank. The content lands before any
 	// pointer to it is readable: the destination words are still write-held,
 	// and the DHT swing below happens after the writes.
-	var wDps []rma.DPtr
+	var wDps []fabric.DPtr
 	var wData [][]byte
 	for _, c := range live {
 		if !c.ok {
@@ -361,7 +361,7 @@ func (e *Engine) MigrateVertices(me rma.Rank, moves []MigrationMove) (int, error
 			c.ok = false
 			continue
 		}
-		e.local[c.mv.Old.Rank()].removeVertex(c.mv.Old, c.v.Labels)
+		e.idxRemoveVertex(me, c.mv.Old, c.v.Labels)
 		e.local[me].addVertex(c.dst, c.v.AppID, c.v.Labels)
 		migrated++
 	}
@@ -408,7 +408,7 @@ type RebalanceStats struct {
 // of RebalanceBatch vertices. Heat shards reset afterwards so the next round
 // reacts to fresh traffic. OLTP traffic may keep running concurrently; the
 // per-vertex locks and version stamps keep it coherent.
-func (e *Engine) Rebalance(rank rma.Rank) (RebalanceStats, error) {
+func (e *Engine) Rebalance(rank fabric.Rank) (RebalanceStats, error) {
 	var stats RebalanceStats
 	e.comm.Barrier(rank)
 	tops := collective.Allgather(e.comm, rank, e.topHeat(rank, e.cfg.RebalanceTopK))
@@ -489,12 +489,12 @@ func (e *Engine) planRebalance(tops [][]HeatSample) []MigrationMove {
 		if !found {
 			continue
 		}
-		old := rma.DPtr(val)
+		old := fabric.DPtr(val)
 		owner := old.Rank()
-		best := rma.Rank(0)
+		best := fabric.Rank(0)
 		for r := 1; r < n; r++ {
 			if c.byRank[r] > c.byRank[best] {
-				best = rma.Rank(r)
+				best = fabric.Rank(r)
 			}
 		}
 		if best == owner || c.byRank[best] <= c.byRank[owner] {

@@ -4,7 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
-	"github.com/gdi-go/gdi/internal/rma"
+	"github.com/gdi-go/gdi/internal/fabric"
 )
 
 // MigrationMove is one planned vertex migration: move the vertex with the
@@ -14,8 +14,8 @@ import (
 // the move instead of migrating a stranger.
 type MigrationMove struct {
 	App  uint64
-	Old  rma.DPtr
-	Dest rma.Rank
+	Old  fabric.DPtr
+	Dest fabric.Rank
 }
 
 // Migration plans travel between ranks (rank 0 computes the plan, everyone
@@ -73,8 +73,8 @@ func DecodeMigrationPlan(buf []byte) ([]MigrationMove, error) {
 	for i := range moves {
 		moves[i] = MigrationMove{
 			App:  binary.LittleEndian.Uint64(buf[off:]),
-			Old:  rma.DPtr(binary.LittleEndian.Uint64(buf[off+8:])),
-			Dest: rma.Rank(binary.LittleEndian.Uint16(buf[off+16:])),
+			Old:  fabric.DPtr(binary.LittleEndian.Uint64(buf[off+8:])),
+			Dest: fabric.Rank(binary.LittleEndian.Uint16(buf[off+16:])),
 		}
 		off += planEntryLen
 	}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"github.com/gdi-go/gdi/internal/fabric"
+	"github.com/gdi-go/gdi/internal/lpg"
+)
+
+// The explicit indexes (localIndex) are process-local bookkeeping, but the
+// ranks that maintain them are not always the ranks that own them: a
+// committer inserts a new vertex into the *owner's* shard, and live
+// migration retracts a moved vertex from its *old* owner's shard. In the
+// simulator every shard is reachable directly; across processes these
+// updates ride the transport's control-plane service channel
+// (fabric.SvcIndex*). The data path — blocks, locks, DHT — stays strictly
+// one-sided in both modes; only this eventual-consistency index maintenance
+// (§3.8) uses the escape hatch.
+
+// multiProcess reports whether any rank's memory lives outside this process.
+func (e *Engine) multiProcess() bool { return e.mp }
+
+func computeMultiProcess(f fabric.Transport) bool {
+	for r := 0; r < f.Size(); r++ {
+		if !f.Local(fabric.Rank(r)) {
+			return true
+		}
+	}
+	return false
+}
+
+// registerServices installs the index-maintenance handlers on the transport.
+// Called from NewEngine only in multi-process mode, where one process hosts
+// exactly one engine (the transport panics on duplicate registration).
+func (e *Engine) registerServices() {
+	e.fab.Register(fabric.SvcIndexAdd, func(from fabric.Rank, req []byte) []byte {
+		dp, app, labels := decodeIndexAdd(req)
+		e.local[dp.Rank()].addVertex(dp, app, labels)
+		return nil
+	})
+	e.fab.Register(fabric.SvcIndexRemove, func(from fabric.Rank, req []byte) []byte {
+		dp, _, labels := decodeIndexAdd(req)
+		e.local[dp.Rank()].removeVertex(dp, labels)
+		return nil
+	})
+	e.fab.Register(fabric.SvcIndexRelabel, func(from fabric.Rank, req []byte) []byte {
+		dp, old, new := decodeIndexRelabel(req)
+		e.local[dp.Rank()].updateLabels(dp, old, new)
+		return nil
+	})
+}
+
+// idxAddVertex publishes a committed vertex into its owner's explicit
+// indexes: directly when the owner's shard is in this process, else via one
+// service call to the owning process.
+func (e *Engine) idxAddVertex(origin fabric.Rank, dp fabric.DPtr, appID uint64, labels []lpg.LabelID) {
+	owner := dp.Rank()
+	if e.fab.Local(owner) {
+		e.local[owner].addVertex(dp, appID, labels)
+		return
+	}
+	e.fab.Call(origin, owner, fabric.SvcIndexAdd, encodeIndexAdd(dp, appID, labels))
+}
+
+// idxRemoveVertex retracts a deleted (or migrated-away) vertex from its
+// owner's explicit indexes.
+func (e *Engine) idxRemoveVertex(origin fabric.Rank, dp fabric.DPtr, labels []lpg.LabelID) {
+	owner := dp.Rank()
+	if e.fab.Local(owner) {
+		e.local[owner].removeVertex(dp, labels)
+		return
+	}
+	e.fab.Call(origin, owner, fabric.SvcIndexRemove, encodeIndexAdd(dp, 0, labels))
+}
+
+// idxUpdateLabels rewrites a vertex's label postings on its owner.
+func (e *Engine) idxUpdateLabels(origin fabric.Rank, dp fabric.DPtr, old, new []lpg.LabelID) {
+	owner := dp.Rank()
+	if e.fab.Local(owner) {
+		e.local[owner].updateLabels(dp, old, new)
+		return
+	}
+	e.fab.Call(origin, owner, fabric.SvcIndexRelabel, encodeIndexRelabel(dp, old, new))
+}
+
+// Wire codec: fixed-width little-endian, labels as u32 runs.
+
+func appendLabels(b []byte, labels []lpg.LabelID) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(labels)))
+	for _, l := range labels {
+		b = binary.LittleEndian.AppendUint32(b, uint32(l))
+	}
+	return b
+}
+
+func takeLabels(b []byte) ([]lpg.LabelID, []byte) {
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	var labels []lpg.LabelID
+	for i := uint32(0); i < n; i++ {
+		labels = append(labels, lpg.LabelID(binary.LittleEndian.Uint32(b)))
+		b = b[4:]
+	}
+	return labels, b
+}
+
+func encodeIndexAdd(dp fabric.DPtr, appID uint64, labels []lpg.LabelID) []byte {
+	b := make([]byte, 0, 20+4*len(labels))
+	b = binary.LittleEndian.AppendUint64(b, uint64(dp))
+	b = binary.LittleEndian.AppendUint64(b, appID)
+	return appendLabels(b, labels)
+}
+
+func decodeIndexAdd(b []byte) (fabric.DPtr, uint64, []lpg.LabelID) {
+	dp := fabric.DPtr(binary.LittleEndian.Uint64(b))
+	app := binary.LittleEndian.Uint64(b[8:])
+	labels, _ := takeLabels(b[16:])
+	return dp, app, labels
+}
+
+func encodeIndexRelabel(dp fabric.DPtr, old, new []lpg.LabelID) []byte {
+	b := make([]byte, 0, 16+4*(len(old)+len(new)))
+	b = binary.LittleEndian.AppendUint64(b, uint64(dp))
+	b = appendLabels(b, old)
+	return appendLabels(b, new)
+}
+
+func decodeIndexRelabel(b []byte) (fabric.DPtr, []lpg.LabelID, []lpg.LabelID) {
+	dp := fabric.DPtr(binary.LittleEndian.Uint64(b))
+	old, rest := takeLabels(b[8:])
+	new, _ := takeLabels(rest)
+	return dp, old, new
+}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"github.com/gdi-go/gdi/internal/collective"
+	"github.com/gdi-go/gdi/internal/fabric"
 	"github.com/gdi-go/gdi/internal/holder"
-	"github.com/gdi-go/gdi/internal/rma"
 	"github.com/gdi-go/gdi/internal/snapshot"
 )
 
@@ -20,7 +20,7 @@ import (
 //
 // Work: O(blocks/rank) local atomic loads per rank; depth: O(log P) for the
 // barriers. Commits block only for the duration of the stamping itself.
-func (e *Engine) AcquireCut(rank rma.Rank) (*snapshot.Cut, error) {
+func (e *Engine) AcquireCut(rank fabric.Rank) (*snapshot.Cut, error) {
 	if e.snap == nil {
 		return nil, fmt.Errorf("%w: HTAP snapshots are not enabled", ErrBadArgument)
 	}
@@ -45,7 +45,7 @@ func (e *Engine) AcquireCut(rank rma.Rank) (*snapshot.Cut, error) {
 }
 
 // cutVertexRefs snapshots rank r's local vertex shard as cut references.
-func (e *Engine) cutVertexRefs(r rma.Rank) []snapshot.VertexRef {
+func (e *Engine) cutVertexRefs(r fabric.Rank) []snapshot.VertexRef {
 	li := e.local[r]
 	li.mu.Lock()
 	defer li.mu.Unlock()
@@ -61,7 +61,7 @@ func (e *Engine) cutVertexRefs(r rma.Rank) []snapshot.VertexRef {
 // references, returning retired bytes to the pool. A non-collective drop
 // (e.g. an analytics run dying mid-iteration) may instead call cut.Release
 // directly from one goroutine.
-func (e *Engine) ReleaseCut(rank rma.Rank, cut *snapshot.Cut) {
+func (e *Engine) ReleaseCut(rank fabric.Rank, cut *snapshot.Cut) {
 	e.comm.Barrier(rank)
 	if rank == 0 {
 		cut.Release()
@@ -79,7 +79,7 @@ const maxCutForwards = 8
 // decoded holder is exactly the committed state at pin time even while live
 // writers rewrite the chain. Forwarding stubs left by pre-cut migrations are
 // chased like the live read path does.
-func (e *Engine) CutVertex(origin rma.Rank, cut *snapshot.Cut, dp rma.DPtr) (*holder.Vertex, error) {
+func (e *Engine) CutVertex(origin fabric.Rank, cut *snapshot.Cut, dp fabric.DPtr) (*holder.Vertex, error) {
 	buf, err := e.cutChain(origin, cut, dp)
 	if err != nil {
 		return nil, err
@@ -92,7 +92,7 @@ func (e *Engine) CutVertex(origin rma.Rank, cut *snapshot.Cut, dp rma.DPtr) (*ho
 }
 
 // CutEdge reads a heavy-edge holder as of the cut (see CutVertex).
-func (e *Engine) CutEdge(origin rma.Rank, cut *snapshot.Cut, dp rma.DPtr) (*holder.Edge, error) {
+func (e *Engine) CutEdge(origin fabric.Rank, cut *snapshot.Cut, dp fabric.DPtr) (*holder.Edge, error) {
 	buf, err := e.cutChain(origin, cut, dp)
 	if err != nil {
 		return nil, err
@@ -105,7 +105,7 @@ func (e *Engine) CutEdge(origin rma.Rank, cut *snapshot.Cut, dp rma.DPtr) (*hold
 }
 
 // cutChain assembles one holder's full block chain through cut reads.
-func (e *Engine) cutChain(origin rma.Rank, cut *snapshot.Cut, dp rma.DPtr) ([]byte, error) {
+func (e *Engine) cutChain(origin fabric.Rank, cut *snapshot.Cut, dp fabric.DPtr) ([]byte, error) {
 	bs := e.cfg.BlockSize
 	buf := make([]byte, bs)
 	for hop := 0; ; hop++ {

@@ -3,11 +3,11 @@ package core
 import (
 	"fmt"
 
+	"github.com/gdi-go/gdi/internal/fabric"
 	"github.com/gdi-go/gdi/internal/holder"
 	"github.com/gdi-go/gdi/internal/locks"
 	"github.com/gdi-go/gdi/internal/lpg"
 	"github.com/gdi-go/gdi/internal/metadata"
-	"github.com/gdi-go/gdi/internal/rma"
 )
 
 // Mode distinguishes read-only from read-write transactions (§3.3): GDI
@@ -41,9 +41,9 @@ const (
 // and dirtiness bookkeeping (the paper's per-transaction hashmaps plus
 // dirty vector, §5.6).
 type vertexState struct {
-	primary   rma.DPtr
+	primary   fabric.DPtr
 	v         *holder.Vertex
-	blocks    []rma.DPtr // all blocks incl. primary; nil for fresh vertices
+	blocks    []fabric.DPtr // all blocks incl. primary; nil for fresh vertices
 	lock      lockState
 	lockVer   uint64 // lock-word version while write-held (from the commit train)
 	dirty     bool
@@ -56,7 +56,7 @@ type vertexState struct {
 // any former home block (edge records written before a live migration keep
 // pointing at the old primary, so sibling matching must accept every
 // identity the vertex has ever had).
-func (st *vertexState) isIdentity(dp rma.DPtr) bool {
+func (st *vertexState) isIdentity(dp fabric.DPtr) bool {
 	if dp == st.primary {
 		return true
 	}
@@ -70,9 +70,9 @@ func (st *vertexState) isIdentity(dp rma.DPtr) bool {
 
 // edgeState caches one heavy-edge holder.
 type edgeState struct {
-	primary rma.DPtr
+	primary fabric.DPtr
 	e       *holder.Edge
-	blocks  []rma.DPtr
+	blocks  []fabric.DPtr
 	dirty   bool
 	isNew   bool
 	deleted bool
@@ -83,30 +83,30 @@ type edgeState struct {
 // rank may run arbitrarily many concurrent transactions.
 type Tx struct {
 	eng        *Engine
-	rank       rma.Rank
+	rank       fabric.Rank
 	mode       Mode
 	collective bool
 	metaVer    uint64
 
-	verts     map[rma.DPtr]*vertexState
-	edges     map[rma.DPtr]*edgeState
-	newByApp  map[uint64]rma.DPtr   // own uncommitted vertices, by app ID
-	dirtyList []rma.DPtr            // commit write-back order (the paper's vector)
-	pending   []*VertexFuture       // queued non-blocking associations
-	optReads  map[rma.DPtr]uint64   // optimistic tier: vertex -> version observed
-	moved     map[rma.DPtr]rma.DPtr // migration aliases chased: old -> new primary
-	critical  error                 // sticky transaction-critical failure
+	verts     map[fabric.DPtr]*vertexState
+	edges     map[fabric.DPtr]*edgeState
+	newByApp  map[uint64]fabric.DPtr      // own uncommitted vertices, by app ID
+	dirtyList []fabric.DPtr               // commit write-back order (the paper's vector)
+	pending   []*VertexFuture             // queued non-blocking associations
+	optReads  map[fabric.DPtr]uint64      // optimistic tier: vertex -> version observed
+	moved     map[fabric.DPtr]fabric.DPtr // migration aliases chased: old -> new primary
+	critical  error                       // sticky transaction-critical failure
 	closed    bool
 }
 
 // StartLocal begins a single-process transaction (GDI_StartTransaction).
 // O(1) work and depth.
-func (e *Engine) StartLocal(rank rma.Rank, mode Mode) *Tx {
+func (e *Engine) StartLocal(rank fabric.Rank, mode Mode) *Tx {
 	return &Tx{
 		eng: e, rank: rank, mode: mode,
 		metaVer: e.regs[rank].Version(),
-		verts:   make(map[rma.DPtr]*vertexState),
-		edges:   make(map[rma.DPtr]*edgeState),
+		verts:   make(map[fabric.DPtr]*vertexState),
+		edges:   make(map[fabric.DPtr]*edgeState),
 	}
 }
 
@@ -116,7 +116,7 @@ func (e *Engine) StartLocal(rank rma.Rank, mode Mode) *Tx {
 // collective transactions skip per-vertex locking entirely — GDI specifies
 // that read transactions may assume no participant modifies the data
 // (§3.3), which is what makes large OLAP scans cheap.
-func (e *Engine) StartCollective(rank rma.Rank, mode Mode) *Tx {
+func (e *Engine) StartCollective(rank fabric.Rank, mode Mode) *Tx {
 	e.comm.Barrier(rank)
 	tx := e.StartLocal(rank, mode)
 	tx.collective = true
@@ -124,7 +124,7 @@ func (e *Engine) StartCollective(rank rma.Rank, mode Mode) *Tx {
 }
 
 // Rank returns the owning rank of the transaction.
-func (tx *Tx) Rank() rma.Rank { return tx.rank }
+func (tx *Tx) Rank() fabric.Rank { return tx.rank }
 
 // Mode returns the transaction's read/write mode.
 func (tx *Tx) Mode() Mode { return tx.mode }
@@ -185,30 +185,30 @@ func (tx *Tx) MetadataStale() bool { return tx.registry().Version() != tx.metaVe
 // DPtr via the internal index (GDI_TranslateVertexID). Vertices created by
 // this transaction are visible before commit (read-your-own-writes). One
 // DHT lookup: O(1) expected work and depth.
-func (tx *Tx) TranslateVertexID(appID uint64) (rma.DPtr, error) {
+func (tx *Tx) TranslateVertexID(appID uint64) (fabric.DPtr, error) {
 	if err := tx.check(); err != nil {
-		return rma.NullDPtr, err
+		return fabric.NullDPtr, err
 	}
 	if dp, ok := tx.newByApp[appID]; ok {
 		if tx.verts[dp] != nil && tx.verts[dp].deleted {
-			return rma.NullDPtr, fmt.Errorf("%w: vertex app ID %d", ErrNotFound, appID)
+			return fabric.NullDPtr, fmt.Errorf("%w: vertex app ID %d", ErrNotFound, appID)
 		}
 		return dp, nil
 	}
 	v, ok := tx.eng.index.Lookup(tx.rank, appID)
 	if !ok {
-		return rma.NullDPtr, fmt.Errorf("%w: vertex app ID %d", ErrNotFound, appID)
+		return fabric.NullDPtr, fmt.Errorf("%w: vertex app ID %d", ErrNotFound, appID)
 	}
-	if st := tx.verts[rma.DPtr(v)]; st != nil && st.deleted {
-		return rma.NullDPtr, fmt.Errorf("%w: vertex app ID %d", ErrNotFound, appID)
+	if st := tx.verts[fabric.DPtr(v)]; st != nil && st.deleted {
+		return fabric.NullDPtr, fmt.Errorf("%w: vertex app ID %d", ErrNotFound, appID)
 	}
-	return rma.DPtr(v), nil
+	return fabric.DPtr(v), nil
 }
 
 // fetchBlocks reads a holder's full logical stream starting from its
 // primary block, exploiting the streaming invariant of package holder:
 // table entry i is always available before block i+1 is needed.
-func (tx *Tx) fetchBlocks(primary rma.DPtr) ([]byte, []rma.DPtr, error) {
+func (tx *Tx) fetchBlocks(primary fabric.DPtr) ([]byte, []fabric.DPtr, error) {
 	bs := tx.eng.cfg.BlockSize
 	buf := make([]byte, bs)
 	tx.eng.store.ReadBlock(tx.rank, primary, buf)
@@ -216,7 +216,7 @@ func (tx *Tx) fetchBlocks(primary rma.DPtr) ([]byte, []rma.DPtr, error) {
 	if nb < 1 {
 		return nil, nil, fmt.Errorf("%w: holder %v was deleted", ErrNotFound, primary)
 	}
-	blocks := make([]rma.DPtr, 1, nb)
+	blocks := make([]fabric.DPtr, 1, nb)
 	blocks[0] = primary
 	if nb > 1 {
 		full := make([]byte, nb*bs)
@@ -244,11 +244,11 @@ func (tx *Tx) fetchBlocks(primary rma.DPtr) ([]byte, []rma.DPtr, error) {
 // associations the transaction has queued (a blocking operation implies
 // progress, exactly as in MPI). Latency-sensitive traversals should prefer
 // AssociateVertices or AssociateVertexAsync to amortize remote round-trips.
-func (tx *Tx) AssociateVertex(dp rma.DPtr) (*VertexHandle, error) {
+func (tx *Tx) AssociateVertex(dp fabric.DPtr) (*VertexHandle, error) {
 	return tx.AssociateVertexAsync(dp).Wait()
 }
 
-func (tx *Tx) lockWord(dp rma.DPtr) locks.Word {
+func (tx *Tx) lockWord(dp fabric.DPtr) locks.Word {
 	win, target, idx := tx.eng.store.LockWord(dp)
 	return locks.Word{Win: win, Target: target, Idx: idx}
 }
@@ -305,17 +305,17 @@ func (tx *Tx) ensureWrite(st *vertexState) error {
 // placed on OwnerOf(appID), and returns its internal ID. The vertex becomes
 // visible to other transactions at commit, when it is published in the
 // internal index. O(1) work and depth.
-func (tx *Tx) CreateVertex(appID uint64) (rma.DPtr, error) {
+func (tx *Tx) CreateVertex(appID uint64) (fabric.DPtr, error) {
 	if err := tx.check(); err != nil {
-		return rma.NullDPtr, err
+		return fabric.NullDPtr, err
 	}
 	if tx.mode == ReadOnly {
-		return rma.NullDPtr, ErrReadOnly
+		return fabric.NullDPtr, ErrReadOnly
 	}
 	owner := tx.eng.OwnerOf(appID)
 	primary, err := tx.eng.store.AcquireBlock(tx.rank, owner)
 	if err != nil {
-		return rma.NullDPtr, tx.fail(ErrNoMemory)
+		return fabric.NullDPtr, tx.fail(ErrNoMemory)
 	}
 	st := &vertexState{
 		primary: primary,
@@ -329,7 +329,7 @@ func (tx *Tx) CreateVertex(appID uint64) (rma.DPtr, error) {
 	if !tx.skipLocks() && !tx.batchedCommit() {
 		if err := tx.lockWord(primary).TryAcquireWrite(tx.rank, tx.eng.cfg.LockTries); err != nil {
 			tx.eng.store.ReleaseBlock(tx.rank, primary)
-			return rma.NullDPtr, tx.fail(err)
+			return fabric.NullDPtr, tx.fail(err)
 		}
 		st.lock = lockWrite
 	}
@@ -337,7 +337,7 @@ func (tx *Tx) CreateVertex(appID uint64) (rma.DPtr, error) {
 	tx.dirtyList = append(tx.dirtyList, primary)
 	tx.verts[primary] = st
 	if tx.newByApp == nil {
-		tx.newByApp = make(map[uint64]rma.DPtr)
+		tx.newByApp = make(map[uint64]fabric.DPtr)
 	}
 	tx.newByApp[appID] = primary
 	return primary, nil
@@ -346,7 +346,7 @@ func (tx *Tx) CreateVertex(appID uint64) (rma.DPtr, error) {
 // DeleteVertex removes a vertex and all of its edges. Every neighbor's
 // holder is updated, so the operation write-locks the neighborhood — the
 // "demanding vertex deletions" of §6.4. O(deg(v)) holder updates.
-func (tx *Tx) DeleteVertex(dp rma.DPtr) error {
+func (tx *Tx) DeleteVertex(dp fabric.DPtr) error {
 	h, err := tx.AssociateVertex(dp)
 	if err != nil {
 		return err
@@ -394,7 +394,7 @@ func removeSiblings(recs []holder.EdgeRec, gone *vertexState) []holder.EdgeRec {
 }
 
 // dropEdgeHolder marks a heavy-edge holder deleted.
-func (tx *Tx) dropEdgeHolder(dp rma.DPtr) error {
+func (tx *Tx) dropEdgeHolder(dp fabric.DPtr) error {
 	es, err := tx.fetchEdgeState(dp)
 	if err != nil {
 		return err
@@ -404,7 +404,7 @@ func (tx *Tx) dropEdgeHolder(dp rma.DPtr) error {
 	return nil
 }
 
-func (tx *Tx) fetchEdgeState(dp rma.DPtr) (*edgeState, error) {
+func (tx *Tx) fetchEdgeState(dp fabric.DPtr) (*edgeState, error) {
 	if es, ok := tx.edges[dp]; ok {
 		return es, nil
 	}

@@ -29,7 +29,7 @@ package dht
 import (
 	"fmt"
 
-	"github.com/gdi-go/gdi/internal/rma"
+	"github.com/gdi-go/gdi/internal/fabric"
 )
 
 // ref is a tagged pointer to either a bucket word or a heap entry:
@@ -51,15 +51,15 @@ const (
 	idxMask   uint64 = 1<<32 - 1
 )
 
-func heapRef(r rma.Rank, idx uint32, tag uint16) ref {
+func heapRef(r fabric.Rank, idx uint32, tag uint16) ref {
 	return ref(heapFlag | uint64(tag&0x7fff)<<tagShift | uint64(r)<<rankShift | uint64(idx))
 }
 
-func (p ref) isNull() bool   { return p == 0 }
-func (p ref) isHeap() bool   { return uint64(p)&heapFlag != 0 }
-func (p ref) rank() rma.Rank { return rma.Rank(uint64(p) & rankMask >> rankShift) }
-func (p ref) idx() uint32    { return uint32(uint64(p) & idxMask) }
-func (p ref) tag() uint16    { return uint16(uint64(p) & tagMask >> tagShift) }
+func (p ref) isNull() bool      { return p == 0 }
+func (p ref) isHeap() bool      { return uint64(p)&heapFlag != 0 }
+func (p ref) rank() fabric.Rank { return fabric.Rank(uint64(p) & rankMask >> rankShift) }
+func (p ref) idx() uint32       { return uint32(uint64(p) & idxMask) }
+func (p ref) tag() uint16       { return uint16(uint64(p) & tagMask >> tagShift) }
 
 // Heap entry layout, in words.
 const (
@@ -73,13 +73,13 @@ const (
 // Map is the distributed hash table. All ranks share one Map; every method
 // is safe for concurrent use from any rank and is fully one-sided.
 type Map struct {
-	f           *rma.Fabric
+	f           fabric.Transport
 	bucketsPer  int
 	entriesPer  int
-	table       *rma.WordWin // bucket head pointers (ref words)
-	heap        *rma.WordWin // entry slots, eWords words each
-	free        *rma.WordWin // free-list links between slots
-	sys         *rma.WordWin // word 0: tagged free-list head per rank
+	table       fabric.WordWin // bucket head pointers (ref words)
+	heap        fabric.WordWin // entry slots, eWords words each
+	free        fabric.WordWin // free-list links between slots
+	sys         fabric.WordWin // word 0: tagged free-list head per rank
 	totalBucket uint64
 }
 
@@ -92,7 +92,7 @@ type Config struct {
 }
 
 // New collectively creates a Map over fabric f.
-func New(f *rma.Fabric, cfg Config) *Map {
+func New(f fabric.Transport, cfg Config) *Map {
 	if cfg.BucketsPerRank < 1 || cfg.EntriesPerRank < 1 {
 		panic(fmt.Sprintf("dht: invalid config %+v", cfg))
 	}
@@ -110,7 +110,7 @@ func New(f *rma.Fabric, cfg Config) *Map {
 		totalBucket: uint64(cfg.BucketsPerRank) * uint64(f.Size()),
 	}
 	for r := 0; r < f.Size(); r++ {
-		rank := rma.Rank(r)
+		rank := fabric.Rank(r)
 		// Slot free list: 1-based indices, 0 = empty.
 		for i := 1; i < cfg.EntriesPerRank; i++ {
 			m.free.Store(rank, rank, i-1, uint64(i+1))
@@ -125,19 +125,19 @@ func packFreeHead(tag uint32, idx uint32) uint64 { return uint64(tag)<<32 | uint
 func unpackFreeHead(h uint64) (tag, idx uint32)  { return uint32(h >> 32), uint32(h) }
 
 // hash spreads a key over the global bucket space (Fibonacci hashing).
-func (m *Map) bucketOf(key uint64) (rma.Rank, int) {
+func (m *Map) bucketOf(key uint64) (fabric.Rank, int) {
 	h := key * 0x9e3779b97f4a7c15
 	b := h % m.totalBucket
-	return rma.Rank(b / uint64(m.bucketsPer)), int(b % uint64(m.bucketsPer))
+	return fabric.Rank(b / uint64(m.bucketsPer)), int(b % uint64(m.bucketsPer))
 }
 
 // alloc grabs a heap slot on the origin's own rank (local, cheap) and bumps
 // its reuse tag. Falls back to stealing from successive ranks if the local
 // heap is exhausted.
-func (m *Map) alloc(origin rma.Rank) (ref, bool) {
+func (m *Map) alloc(origin fabric.Rank) (ref, bool) {
 	n := m.f.Size()
 	for attempt := 0; attempt < n; attempt++ {
-		target := rma.Rank((int(origin) + attempt) % n)
+		target := fabric.Rank((int(origin) + attempt) % n)
 		if r, ok := m.allocOn(origin, target); ok {
 			return r, true
 		}
@@ -145,7 +145,7 @@ func (m *Map) alloc(origin rma.Rank) (ref, bool) {
 	return 0, false
 }
 
-func (m *Map) allocOn(origin, target rma.Rank) (ref, bool) {
+func (m *Map) allocOn(origin, target fabric.Rank) (ref, bool) {
 	for {
 		head := m.sys.Load(origin, target, 0)
 		tag, idx := unpackFreeHead(head)
@@ -161,7 +161,7 @@ func (m *Map) allocOn(origin, target rma.Rank) (ref, bool) {
 	}
 }
 
-func (m *Map) dealloc(origin rma.Rank, p ref) {
+func (m *Map) dealloc(origin fabric.Rank, p ref) {
 	target, slot := p.rank(), p.idx()
 	for {
 		head := m.sys.Load(origin, target, 0)
@@ -175,14 +175,14 @@ func (m *Map) dealloc(origin rma.Rank, p ref) {
 
 // word addressing helpers for the "next field" of a ref: for a bucket the
 // next field is the bucket word itself; for a heap entry it is word eNext.
-func (m *Map) loadNext(origin rma.Rank, p ref) ref {
+func (m *Map) loadNext(origin fabric.Rank, p ref) ref {
 	if p.isHeap() {
 		return ref(m.heap.Load(origin, p.rank(), int(p.idx())*eWords+eNext))
 	}
 	return ref(m.table.Load(origin, p.rank(), int(p.idx())))
 }
 
-func (m *Map) casNext(origin rma.Rank, p ref, old, new ref) bool {
+func (m *Map) casNext(origin fabric.Rank, p ref, old, new ref) bool {
 	if p.isHeap() {
 		_, ok := m.heap.CAS(origin, p.rank(), int(p.idx())*eWords+eNext, uint64(old), uint64(new))
 		return ok
@@ -193,7 +193,7 @@ func (m *Map) casNext(origin rma.Rank, p ref, old, new ref) bool {
 
 // loadEntry AGETs an entry's fields and verifies the reuse tag. ok is false
 // when the slot was recycled under the reader, who must restart.
-func (m *Map) loadEntry(origin rma.Rank, p ref) (key, val uint64, next ref, ok bool) {
+func (m *Map) loadEntry(origin fabric.Rank, p ref) (key, val uint64, next ref, ok bool) {
 	r, base := p.rank(), int(p.idx())*eWords
 	key = m.heap.Load(origin, r, base+eKey)
 	val = m.heap.Load(origin, r, base+eVal)
@@ -206,7 +206,7 @@ func (m *Map) loadEntry(origin rma.Rank, p ref) (key, val uint64, next ref, ok b
 // Insert adds key → val. Duplicate keys may coexist (the paper's DHT is a
 // multimap at the protocol level); GDA's users ensure key uniqueness.
 // Returns false when the heap is exhausted.
-func (m *Map) Insert(origin rma.Rank, key, val uint64) bool {
+func (m *Map) Insert(origin fabric.Rank, key, val uint64) bool {
 	bRank, bIdx := m.bucketOf(key)
 	bucket := ref(uint64(bRank)<<rankShift | uint64(bIdx))
 	p, ok := m.alloc(origin)
@@ -226,7 +226,7 @@ func (m *Map) Insert(origin rma.Rank, key, val uint64) bool {
 }
 
 // Lookup finds key and returns its value.
-func (m *Map) Lookup(origin rma.Rank, key uint64) (val uint64, found bool) {
+func (m *Map) Lookup(origin fabric.Rank, key uint64) (val uint64, found bool) {
 	for {
 		v, ok, restart := m.lookupOnce(origin, key)
 		if !restart {
@@ -235,7 +235,7 @@ func (m *Map) Lookup(origin rma.Rank, key uint64) (val uint64, found bool) {
 	}
 }
 
-func (m *Map) lookupOnce(origin rma.Rank, key uint64) (val uint64, found, restart bool) {
+func (m *Map) lookupOnce(origin fabric.Rank, key uint64) (val uint64, found, restart bool) {
 	bRank, bIdx := m.bucketOf(key)
 	bucket := ref(uint64(bRank)<<rankShift | uint64(bIdx))
 	p := m.loadNext(origin, bucket)
@@ -260,7 +260,7 @@ func (m *Map) lookupOnce(origin rma.Rank, key uint64) (val uint64, found, restar
 // never a mix. It returns false when no entry holds (key, old) — the caller
 // lost a race (or the entry was deleted) and must re-plan. Tombstoned or
 // recycled entries restart the walk, exactly as in Lookup.
-func (m *Map) Replace(origin rma.Rank, key, old, new uint64) bool {
+func (m *Map) Replace(origin fabric.Rank, key, old, new uint64) bool {
 	for {
 		done, swapped := m.replaceOnce(origin, key, old, new)
 		if done {
@@ -269,7 +269,7 @@ func (m *Map) Replace(origin rma.Rank, key, old, new uint64) bool {
 	}
 }
 
-func (m *Map) replaceOnce(origin rma.Rank, key, old, new uint64) (done, swapped bool) {
+func (m *Map) replaceOnce(origin fabric.Rank, key, old, new uint64) (done, swapped bool) {
 	bRank, bIdx := m.bucketOf(key)
 	bucket := ref(uint64(bRank)<<rankShift | uint64(bIdx))
 	p := m.loadNext(origin, bucket)
@@ -304,7 +304,7 @@ func (m *Map) replaceOnce(origin rma.Rank, key, old, new uint64) (done, swapped 
 
 // Delete removes one entry with the given key. It reports whether an entry
 // was removed.
-func (m *Map) Delete(origin rma.Rank, key uint64) bool {
+func (m *Map) Delete(origin fabric.Rank, key uint64) bool {
 	for {
 		done, removed := m.deleteOnce(origin, key)
 		if done {
@@ -314,7 +314,7 @@ func (m *Map) Delete(origin rma.Rank, key uint64) bool {
 }
 
 // deleteOnce walks the chain once; done=false requests a restart.
-func (m *Map) deleteOnce(origin rma.Rank, key uint64) (done, removed bool) {
+func (m *Map) deleteOnce(origin fabric.Rank, key uint64) (done, removed bool) {
 	bRank, bIdx := m.bucketOf(key)
 	bucket := ref(uint64(bRank)<<rankShift | uint64(bIdx))
 	prev := bucket
@@ -353,7 +353,7 @@ func (m *Map) deleteOnce(origin rma.Rank, key uint64) (done, removed bool) {
 // reachable until this succeeds: tombstones are only unlinked by their own
 // deleter, and a deleted predecessor's CAS 2 re-routes the chain around the
 // predecessor while still leading to t.
-func (m *Map) unlinkTombstone(origin rma.Rank, bucket, t, succ ref) {
+func (m *Map) unlinkTombstone(origin fabric.Rank, bucket, t, succ ref) {
 	for {
 		prev := bucket
 		p := m.loadNext(origin, bucket)
@@ -383,7 +383,7 @@ func (m *Map) unlinkTombstone(origin rma.Rank, bucket, t, succ ref) {
 }
 
 // Len counts all entries (diagnostic; walks every bucket).
-func (m *Map) Len(origin rma.Rank) int {
+func (m *Map) Len(origin fabric.Rank) int {
 	n := 0
 	for r := 0; r < m.f.Size(); r++ {
 		for b := 0; b < m.bucketsPer; b++ {

@@ -15,7 +15,7 @@ import (
 	"fmt"
 
 	"github.com/gdi-go/gdi/internal/collective"
-	"github.com/gdi-go/gdi/internal/rma"
+	"github.com/gdi-go/gdi/internal/fabric"
 )
 
 // Exchange is a collective alltoallv context over all ranks of a fabric.
@@ -24,7 +24,7 @@ import (
 // communicator — the MPI communicator contract, shared with collective.Comm.
 type Exchange struct {
 	comm   *collective.Comm
-	ib     *rma.Inbox
+	ib     fabric.Inbox
 	n      int
 	budget int // max payload bytes per destination and sub-round
 }
@@ -34,7 +34,7 @@ type Exchange struct {
 // sub-round, so the P-1 concurrent senders can never overflow a segment;
 // payloads larger than the slot budget are streamed transparently over
 // several sub-rounds.
-func New(f *rma.Fabric, c *collective.Comm, segBytes int) *Exchange {
+func New(f fabric.Transport, c *collective.Comm, segBytes int) *Exchange {
 	n := f.Size()
 	ib := f.NewInbox(segBytes)
 	if ib.Budget() < 16 {
@@ -58,7 +58,7 @@ func (x *Exchange) Size() int { return x.n }
 // closing the epoch, a local drain, and a barrier reopening the next epoch.
 // Payload bytes arrive concatenated in sub-round order, so arbitrarily large
 // slots reassemble exactly.
-func (x *Exchange) Round(me rma.Rank, out [][]byte) [][]byte {
+func (x *Exchange) Round(me fabric.Rank, out [][]byte) [][]byte {
 	if len(out) != x.n {
 		panic(fmt.Sprintf("exchange: Round with %d slots on a %d-rank exchange", len(out), x.n))
 	}
@@ -71,7 +71,7 @@ func (x *Exchange) Round(me rma.Rank, out [][]byte) [][]byte {
 	for {
 		more := false
 		for d := 0; d < x.n; d++ {
-			if rma.Rank(d) == me {
+			if fabric.Rank(d) == me {
 				continue
 			}
 			rem := len(out[d]) - sent[d]
@@ -82,14 +82,14 @@ func (x *Exchange) Round(me rma.Rank, out [][]byte) [][]byte {
 			if chunk > x.budget {
 				chunk = x.budget
 			}
-			x.ib.Deliver(me, rma.Rank(d), out[d][sent[d]:sent[d]+chunk])
+			x.ib.Deliver(me, fabric.Rank(d), out[d][sent[d]:sent[d]+chunk])
 			sent[d] += chunk
 			if rem > chunk {
 				more = true
 			}
 		}
 		x.comm.Barrier(me)
-		x.ib.Drain(me, func(src rma.Rank, payload []byte) {
+		x.ib.Drain(me, func(src fabric.Rank, payload []byte) {
 			if in[src] == nil {
 				in[src] = payload // Drain hands over a fresh buffer
 			} else {

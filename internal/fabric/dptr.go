@@ -1,4 +1,4 @@
-package rma
+package fabric
 
 import "fmt"
 
@@ -20,7 +20,7 @@ const offBits = 48
 // MakeDPtr builds a pointer to offset off on rank r.
 func MakeDPtr(r Rank, off uint64) DPtr {
 	if off >= 1<<offBits {
-		panic(fmt.Sprintf("rma: DPtr offset %d exceeds 48 bits", off))
+		panic(fmt.Sprintf("fabric: DPtr offset %d exceeds 48 bits", off))
 	}
 	return DPtr(uint64(r)<<offBits | off)
 }

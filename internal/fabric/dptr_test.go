@@ -1,0 +1,39 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDPtrRoundTrip(t *testing.T) {
+	check := func(r uint16, off uint64) bool {
+		off &= 1<<offBits - 1
+		p := MakeDPtr(Rank(r), off)
+		return p.Rank() == Rank(r) && p.Off() == off && !p.IsNull() == (p != 0)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDPtrNull(t *testing.T) {
+	if !NullDPtr.IsNull() {
+		t.Fatal("NullDPtr.IsNull() = false")
+	}
+	if NullDPtr.String() != "DPtr(null)" {
+		t.Fatalf("NullDPtr.String() = %q", NullDPtr.String())
+	}
+	p := MakeDPtr(3, 42)
+	if p.String() != "DPtr(3:42)" {
+		t.Fatalf("String() = %q", p.String())
+	}
+}
+
+func TestDPtrOffsetOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MakeDPtr with 49-bit offset did not panic")
+		}
+	}()
+	MakeDPtr(0, 1<<offBits)
+}

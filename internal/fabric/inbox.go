@@ -1,0 +1,63 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// inboxHeader prefixes every delivery in an inbox slot: the payload length
+// plus one as a little-endian uint32, so a zeroed slot reads as "empty".
+const inboxHeader = 4
+
+// slotInbox implements Inbox over any ByteWin: the slot layout, headers, and
+// drain protocol are pure window arithmetic, so one implementation serves
+// every backend — the simulator and the TCP transport both build their
+// inboxes through NewSlotInbox.
+type slotInbox struct {
+	n    int
+	data ByteWin
+	slot int // bytes per source slot
+}
+
+// NewSlotInbox builds the standard static-slot inbox over an already
+// allocated byte window shared by n ranks. Transports call this from their
+// NewInbox; callers outside a transport should use Transport.NewInbox.
+func NewSlotInbox(n int, data ByteWin) Inbox {
+	slot := data.SegSize() / n
+	if slot <= inboxHeader {
+		panic(fmt.Sprintf("fabric: inbox segment of %d bytes leaves no payload room across %d source slots", data.SegSize(), n))
+	}
+	return &slotInbox{n: n, data: data, slot: slot}
+}
+
+func (ib *slotInbox) Budget() int { return ib.slot - inboxHeader }
+
+func (ib *slotInbox) Deliver(origin, target Rank, payload []byte) {
+	if len(payload) > ib.Budget() {
+		panic(fmt.Sprintf("fabric: inbox delivery of %d bytes exceeds the %d-byte slot budget", len(payload), ib.Budget()))
+	}
+	var hdr [inboxHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload))+1)
+	base := int(origin) * ib.slot
+	ib.data.PutBatch(origin, target, []PutOp{
+		{Off: base, Data: hdr[:]},
+		{Off: base + inboxHeader, Data: payload},
+	})
+}
+
+func (ib *slotInbox) Drain(me Rank, fn func(src Rank, payload []byte)) {
+	var hdr [inboxHeader]byte
+	zero := make([]byte, inboxHeader)
+	for s := 0; s < ib.n; s++ {
+		base := s * ib.slot
+		ib.data.Get(me, me, base, hdr[:])
+		l := binary.LittleEndian.Uint32(hdr[:])
+		if l == 0 {
+			continue
+		}
+		buf := make([]byte, int(l-1))
+		ib.data.Get(me, me, base+inboxHeader, buf)
+		ib.data.Put(me, me, base, zero)
+		fn(Rank(s), buf)
+	}
+}

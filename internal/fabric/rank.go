@@ -1,0 +1,8 @@
+package fabric
+
+// Rank identifies one process in the fabric, mirroring an MPI rank. Ranks
+// are dense integers in [0, Size).
+type Rank int
+
+// NullRank marks an absent/invalid rank.
+const NullRank Rank = -1

@@ -1,0 +1,98 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire format: every frame is
+//
+//	u32 length | u8 type | body (length-1 bytes)
+//
+// with all integers little-endian. The length covers the type byte plus the
+// body, so a zero-body frame has length 1.
+//
+// Frame types:
+//
+//	hello  body = u16 rank                — handshake, first frame of a conn
+//	req    body = u64 id | u8 op | rest   — one-sided operation request
+//	resp   body = u64 id | result         — response, matched by id
+//	msg    body = payload                 — messenger delivery (FIFO per conn)
+const (
+	ftHello = byte(1)
+	ftReq   = byte(2)
+	ftResp  = byte(3)
+	ftMsg   = byte(4)
+)
+
+// Operation codes carried by req frames. Request bodies are op-specific,
+// fixed-width little-endian:
+//
+//	get        win u32 | off u64 | n u64                  → n bytes
+//	put        win u32 | off u64 | data                   → empty
+//	getBatch   win u32 | k u32 | k×(off u64, n u64)       → concatenated bytes
+//	putBatch   win u32 | k u32 | k×(off u64, n u32, data) → empty
+//	load       win u32 | idx u64                          → u64
+//	store      win u32 | idx u64 | val u64                → empty
+//	cas        win u32 | idx u64 | old u64 | new u64      → u64 prev | u8 swapped
+//	loadBatch  win u32 | k u32 | k×idx u64                → k×u64
+//	casBatch   win u32 | k u32 | k×(idx, old, new u64)    → k×(prev u64, swapped u8)
+//	fetchAdd   win u32 | idx u64 | delta u64              → u64 prev
+//	call       svc u8 | req bytes                         → resp bytes
+//	counters   empty                                      → 14×u64 snapshot
+//	reset      empty                                      → empty
+const (
+	opGet = byte(iota + 1)
+	opPut
+	opGetBatch
+	opPutBatch
+	opLoad
+	opStore
+	opCAS
+	opLoadBatch
+	opCASBatch
+	opFetchAdd
+	opCall
+	opCounters
+	opReset
+)
+
+// maxFrame bounds a frame's length field: a defense against a corrupt or
+// hostile peer allocating unbounded memory. 1 GiB comfortably exceeds any
+// train the engine issues (the largest are full-inbox PutBatch deliveries).
+const maxFrame = 1 << 30
+
+// appendFrame encodes one frame (header, type, body) into dst and returns
+// the extended slice.
+func appendFrame(dst []byte, ft byte, body []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(1+len(body)))
+	dst = append(dst, ft)
+	return append(dst, body...)
+}
+
+// readFrame reads exactly one frame from r. It tolerates partial reads (the
+// header and body are filled with io.ReadFull) and rejects malformed length
+// fields without allocating for them.
+func readFrame(r io.Reader) (ft byte, body []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	l := binary.LittleEndian.Uint32(hdr[:4])
+	if l < 1 {
+		return 0, nil, fmt.Errorf("tcp: frame length %d < 1", l)
+	}
+	if l > maxFrame {
+		return 0, nil, fmt.Errorf("tcp: frame length %d exceeds the %d-byte bound", l, maxFrame)
+	}
+	ft = hdr[4]
+	if ft < ftHello || ft > ftMsg {
+		return 0, nil, fmt.Errorf("tcp: unknown frame type %d", ft)
+	}
+	body = make([]byte, l-1)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return ft, body, nil
+}

@@ -1,0 +1,108 @@
+package tcp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		ft   byte
+		body []byte
+	}{
+		{ftHello, []byte{3, 0}},
+		{ftReq, []byte("request body")},
+		{ftResp, nil},
+		{ftMsg, bytes.Repeat([]byte{0xAB}, 9001)},
+	}
+	var stream []byte
+	for _, c := range cases {
+		stream = appendFrame(stream, c.ft, c.body)
+	}
+	r := bytes.NewReader(stream)
+	for i, c := range cases {
+		ft, body, err := readFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if ft != c.ft || !bytes.Equal(body, c.body) {
+			t.Fatalf("frame %d: got type %d body %d bytes, want type %d body %d bytes",
+				i, ft, len(body), c.ft, len(c.body))
+		}
+	}
+	if _, _, err := readFrame(r); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+// oneByteReader exposes readFrame to partial reads: every Read call returns
+// at most one byte, as a fragmented TCP stream would.
+type oneByteReader struct{ r io.Reader }
+
+func (o oneByteReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+func TestFrameReadTolerantOfPartialReads(t *testing.T) {
+	body := []byte("split across many tiny reads")
+	stream := appendFrame(nil, ftMsg, body)
+	ft, got, err := readFrame(oneByteReader{bytes.NewReader(stream)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != ftMsg || !bytes.Equal(got, body) {
+		t.Fatalf("got type %d body %q", ft, got)
+	}
+}
+
+func TestFrameTruncatedBodyErrors(t *testing.T) {
+	stream := appendFrame(nil, ftMsg, []byte("full body"))
+	_, _, err := readFrame(bytes.NewReader(stream[:len(stream)-3]))
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated frame: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestFrameRejectsMalformedHeaders(t *testing.T) {
+	bad := [][]byte{
+		{0, 0, 0, 0, byte(ftMsg)},       // length 0 < 1
+		{0xFF, 0xFF, 0xFF, 0xFF, ftMsg}, // length over maxFrame
+		{1, 0, 0, 0, 0},                 // frame type 0
+		{1, 0, 0, 0, 99},                // unknown frame type
+	}
+	for i, h := range bad {
+		if _, _, err := readFrame(bytes.NewReader(h)); err == nil {
+			t.Errorf("header %d (% x): accepted, want error", i, h)
+		}
+	}
+}
+
+// FuzzFrame asserts readFrame never panics and never over-allocates on
+// arbitrary input, and that every frame it accepts re-encodes to the bytes
+// it consumed.
+func FuzzFrame(f *testing.F) {
+	f.Add(appendFrame(nil, ftMsg, []byte("seed")))
+	f.Add(appendFrame(nil, ftHello, []byte{1, 0}))
+	f.Add([]byte{0, 0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		ft, body, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		re := appendFrame(nil, ft, body)
+		consumed := len(data) - r.Len()
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatalf("accepted frame does not re-encode to its input: % x vs % x", re, data[:consumed])
+		}
+		if binary.LittleEndian.Uint32(data) != uint32(1+len(body)) {
+			t.Fatalf("length field %d disagrees with body %d", binary.LittleEndian.Uint32(data), len(body))
+		}
+	})
+}

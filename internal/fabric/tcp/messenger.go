@@ -1,0 +1,92 @@
+package tcp
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/gdi-go/gdi/internal/fabric"
+)
+
+// messenger is the wire backend's pairwise substrate: Shared reports false,
+// so the collective layer encodes every value for the wire and only
+// SendBytes/RecvBytes carry traffic. Because each (from, to) pair rides one
+// TCP connection and TCP preserves order, per-pair FIFO — the property the
+// collective algorithms rest on — comes for free; this side only buffers.
+type messenger struct {
+	t      *Transport
+	queues []msgQueue // indexed by source rank; queues[me] is the self-loop
+}
+
+// msgQueue is one source rank's unbounded FIFO of undrained deliveries.
+type msgQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    [][]byte
+}
+
+func newMessenger(t *Transport) *messenger {
+	m := &messenger{t: t, queues: make([]msgQueue, t.n)}
+	for i := range m.queues {
+		m.queues[i].cond = sync.NewCond(&m.queues[i].mu)
+	}
+	return m
+}
+
+// Shared reports false: ranks live in separate address spaces.
+func (m *messenger) Shared() bool { return false }
+
+// Send is the in-process reference-passing path; it cannot cross a wire.
+func (m *messenger) Send(from, to fabric.Rank, v any) {
+	panic("tcp: Messenger.Send passes Go values by reference and is unavailable on a wire transport; use SendBytes")
+}
+
+// Recv is the in-process reference-passing path; it cannot cross a wire.
+func (m *messenger) Recv(from, to fabric.Rank) any {
+	panic("tcp: Messenger.Recv passes Go values by reference and is unavailable on a wire transport; use RecvBytes")
+}
+
+// SendBytes delivers b on the (from, to) FIFO channel. from must be this
+// process's rank.
+func (m *messenger) SendBytes(from, to fabric.Rank, b []byte) {
+	if from != m.t.me {
+		panic(fmt.Sprintf("tcp: rank %d cannot send as rank %d", m.t.me, from))
+	}
+	if to == m.t.me {
+		m.enqueue(to, append([]byte(nil), b...))
+		return
+	}
+	if to < 0 || int(to) >= m.t.n || m.t.peers[to] == nil {
+		panic(fmt.Sprintf("tcp: send to unconnected rank %d", to))
+	}
+	m.t.peers[to].writeFrame(ftMsg, b)
+}
+
+// RecvBytes blocks until a delivery from from arrives and returns it. to
+// must be this process's rank.
+func (m *messenger) RecvBytes(from, to fabric.Rank) []byte {
+	if to != m.t.me {
+		panic(fmt.Sprintf("tcp: rank %d cannot receive as rank %d", m.t.me, to))
+	}
+	if from < 0 || int(from) >= m.t.n {
+		panic(fmt.Sprintf("tcp: receive from rank %d out of range [0, %d)", from, m.t.n))
+	}
+	q := &m.queues[from]
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.q) == 0 {
+		q.cond.Wait()
+	}
+	b := q.q[0]
+	q.q = q.q[1:]
+	return b
+}
+
+// enqueue appends one delivery from src (called by the reader goroutine of
+// src's connection, or by SendBytes for the self-loop).
+func (m *messenger) enqueue(src fabric.Rank, b []byte) {
+	q := &m.queues[src]
+	q.mu.Lock()
+	q.q = append(q.q, b)
+	q.mu.Unlock()
+	q.cond.Signal()
+}

@@ -4,7 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"github.com/gdi-go/gdi/internal/rma"
+	"github.com/gdi-go/gdi/internal/fabric"
 )
 
 // Write-unlock retirement hook. Every write-unlock bumps the guarded word's
@@ -23,14 +23,14 @@ import (
 // registered anywhere in the process.
 var (
 	releaseHooksOn atomic.Bool
-	releaseHooks   sync.Map // *rma.WordWin -> func(rma.Rank, int)
+	releaseHooks   sync.Map // fabric.WordWin -> func(fabric.Rank, int)
 )
 
 // SetReleaseHook installs fn as win's write-unlock hook: it is called with
 // the word's owner rank and index immediately before each release's version-
 // bump CAS, while the caller still holds the word exclusively. A nil fn
 // removes the hook.
-func SetReleaseHook(win *rma.WordWin, fn func(target rma.Rank, idx int)) {
+func SetReleaseHook(win fabric.WordWin, fn func(target fabric.Rank, idx int)) {
 	if fn == nil {
 		releaseHooks.Delete(win)
 		return
@@ -40,11 +40,11 @@ func SetReleaseHook(win *rma.WordWin, fn func(target rma.Rank, idx int)) {
 }
 
 // runReleaseHook fires the registered hook for one about-to-be-released word.
-func runReleaseHook(win *rma.WordWin, target rma.Rank, idx int) {
+func runReleaseHook(win fabric.WordWin, target fabric.Rank, idx int) {
 	if !releaseHooksOn.Load() {
 		return
 	}
 	if fn, ok := releaseHooks.Load(win); ok {
-		fn.(func(rma.Rank, int))(target, idx)
+		fn.(func(fabric.Rank, int))(target, idx)
 	}
 }

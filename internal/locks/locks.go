@@ -30,7 +30,7 @@ import (
 	"fmt"
 	"sort"
 
-	"github.com/gdi-go/gdi/internal/rma"
+	"github.com/gdi-go/gdi/internal/fabric"
 )
 
 // writeBit marks an exclusively held word.
@@ -71,13 +71,13 @@ const DefaultTries = 64
 
 // Word addresses one lock word inside an RMA word window.
 type Word struct {
-	Win    *rma.WordWin
-	Target rma.Rank
+	Win    fabric.WordWin
+	Target fabric.Rank
 	Idx    int
 }
 
 // TryAcquireRead takes a shared lock, retrying at most tries rounds.
-func (w Word) TryAcquireRead(origin rma.Rank, tries int) error {
+func (w Word) TryAcquireRead(origin fabric.Rank, tries int) error {
 	for i := 0; i < tries; i++ {
 		cur := w.Win.Load(origin, w.Target, w.Idx)
 		if cur&writeBit != 0 {
@@ -91,7 +91,7 @@ func (w Word) TryAcquireRead(origin rma.Rank, tries int) error {
 }
 
 // ReleaseRead drops a shared lock.
-func (w Word) ReleaseRead(origin rma.Rank) {
+func (w Word) ReleaseRead(origin fabric.Rank) {
 	for {
 		cur := w.Win.Load(origin, w.Target, w.Idx)
 		if cur&readerMask == 0 {
@@ -106,7 +106,7 @@ func (w Word) ReleaseRead(origin rma.Rank) {
 // TryAcquireWrite takes the exclusive lock: it succeeds only when no reader
 // and no writer holds the word. The version field is preserved across
 // acquisition (it only moves on release).
-func (w Word) TryAcquireWrite(origin rma.Rank, tries int) error {
+func (w Word) TryAcquireWrite(origin fabric.Rank, tries int) error {
 	for i := 0; i < tries; i++ {
 		cur := w.Win.Load(origin, w.Target, w.Idx)
 		if cur&(writeBit|readerMask) != 0 {
@@ -122,7 +122,7 @@ func (w Word) TryAcquireWrite(origin rma.Rank, tries int) error {
 // TryUpgrade converts a held shared lock into the exclusive lock. It
 // succeeds only while the caller is the sole reader; otherwise the caller
 // keeps its shared lock and receives ErrContended.
-func (w Word) TryUpgrade(origin rma.Rank, tries int) error {
+func (w Word) TryUpgrade(origin fabric.Rank, tries int) error {
 	for i := 0; i < tries; i++ {
 		cur := w.Win.Load(origin, w.Target, w.Idx)
 		if cur&writeBit != 0 {
@@ -143,7 +143,7 @@ func (w Word) TryUpgrade(origin rma.Rank, tries int) error {
 // signal that tells version-validated readers their cached copies of the
 // guarded holder are stale. A write-held word is stable (readers cannot
 // enter and probes are value-preserving), so one load plus one CAS suffice.
-func (w Word) ReleaseWrite(origin rma.Rank) {
+func (w Word) ReleaseWrite(origin fabric.Rank) {
 	runReleaseHook(w.Win, w.Target, w.Idx)
 	cur := w.Win.Load(origin, w.Target, w.Idx)
 	if cur&writeBit == 0 {
@@ -155,7 +155,7 @@ func (w Word) ReleaseWrite(origin rma.Rank) {
 }
 
 // Peek returns the raw lock word (diagnostics and tests).
-func (w Word) Peek(origin rma.Rank) (writer bool, readers uint32) {
+func (w Word) Peek(origin fabric.Rank) (writer bool, readers uint32) {
 	cur := w.Win.Load(origin, w.Target, w.Idx)
 	return cur&writeBit != 0, uint32(cur & readerMask)
 }
@@ -180,7 +180,7 @@ type TrainLock struct {
 }
 
 // checkTrainWin verifies the single-window invariant of lock trains.
-func checkTrainWin(win *rma.WordWin, w Word) {
+func checkTrainWin(win fabric.WordWin, w Word) {
 	if w.Win != win {
 		panic("locks: lock train spans multiple windows")
 	}
@@ -224,7 +224,7 @@ func sortTrain(ls []TrainLock) (train []TrainLock, order []int) {
 // failed CAS results (a word observed in an unacquirable state is probed
 // with a value-preserving CAS). It returns the per-word held flags and, for
 // held words, the value installed (write bit + the word's version).
-func acquireWriteRounds(origin rma.Rank, train []TrainLock, tries int) (held []bool, expected []uint64, nHeld int) {
+func acquireWriteRounds(origin fabric.Rank, train []TrainLock, tries int) (held []bool, expected []uint64, nHeld int) {
 	win := train[0].Word.Win
 	held = make([]bool, len(train))
 	expected = make([]uint64, len(train)) // last observed word value, or held value
@@ -233,14 +233,14 @@ func acquireWriteRounds(origin rma.Rank, train []TrainLock, tries int) (held []b
 		expected[i] = trainOldReaders(l) // version-0 guess; corrected by CAS results
 	}
 	for round := 0; round < tries && nHeld < len(train); round++ {
-		forEachRank(len(train), func(i int) rma.Rank { return train[i].Word.Target }, func(lo, hi int) {
-			ops := make([]rma.CASOp, 0, hi-lo)
+		forEachRank(len(train), func(i int) fabric.Rank { return train[i].Word.Target }, func(lo, hi int) {
+			ops := make([]fabric.CASOp, 0, hi-lo)
 			opIdx := make([]int, 0, hi-lo)
 			for i := lo; i < hi; i++ {
 				if held[i] {
 					continue
 				}
-				op := rma.CASOp{Idx: train[i].Word.Idx, Old: expected[i]}
+				op := fabric.CASOp{Idx: train[i].Word.Idx, Old: expected[i]}
 				if expected[i]&writeBit == 0 && expected[i]&readerMask == trainOldReaders(train[i]) {
 					// Acquirable: drop our reader (upgrades) and set the bit.
 					op.New = (expected[i] - trainOldReaders(train[i])) | writeBit
@@ -278,7 +278,7 @@ func acquireWriteRounds(origin rma.Rank, train []TrainLock, tries int) (held []b
 // Passing those versions to ReleaseWriteTrain lets the release converge in
 // one CAS round per rank instead of re-learning the values the acquisition
 // already knew.
-func AcquireWriteTrain(origin rma.Rank, ls []TrainLock, tries int) ([]uint64, error) {
+func AcquireWriteTrain(origin fabric.Rank, ls []TrainLock, tries int) ([]uint64, error) {
 	if len(ls) == 0 {
 		return nil, nil
 	}
@@ -294,11 +294,11 @@ func AcquireWriteTrain(origin rma.Rank, ls []TrainLock, tries int) ([]uint64, er
 	}
 	// Roll back every word this train acquired, again one train per rank.
 	// Held words are stable, so the single CAS per word must succeed.
-	forEachRank(len(train), func(i int) rma.Rank { return train[i].Word.Target }, func(lo, hi int) {
-		ops := make([]rma.CASOp, 0, hi-lo)
+	forEachRank(len(train), func(i int) fabric.Rank { return train[i].Word.Target }, func(lo, hi int) {
+		ops := make([]fabric.CASOp, 0, hi-lo)
 		for i := lo; i < hi; i++ {
 			if held[i] {
-				ops = append(ops, rma.CASOp{Idx: train[i].Word.Idx, Old: expected[i], New: (expected[i] &^ writeBit) + trainOldReaders(train[i])})
+				ops = append(ops, fabric.CASOp{Idx: train[i].Word.Idx, Old: expected[i], New: (expected[i] &^ writeBit) + trainOldReaders(train[i])})
 			}
 		}
 		for _, r := range win.CASBatch(origin, train[lo].Word.Target, ops) {
@@ -317,7 +317,7 @@ func AcquireWriteTrain(origin rma.Rank, ls []TrainLock, tries int) ([]uint64, er
 // word's value is stable, so correct versions make the train converge in a
 // single round per rank. With vers nil the first round guesses version 0
 // and any word whose guess was wrong is released on the second round.
-func ReleaseWriteTrain(origin rma.Rank, words []Word, vers []uint64) {
+func ReleaseWriteTrain(origin fabric.Rank, words []Word, vers []uint64) {
 	if vers != nil && len(vers) != len(words) {
 		panic(fmt.Sprintf("locks: release train of %d words with %d versions", len(words), len(vers)))
 	}
@@ -358,14 +358,14 @@ func ReleaseWriteTrain(origin rma.Rank, words []Word, vers []uint64) {
 	}
 	nDone := 0
 	for nDone < len(train) {
-		forEachRank(len(train), func(i int) rma.Rank { return train[i].Target }, func(lo, hi int) {
-			ops := make([]rma.CASOp, 0, hi-lo)
+		forEachRank(len(train), func(i int) fabric.Rank { return train[i].Target }, func(lo, hi int) {
+			ops := make([]fabric.CASOp, 0, hi-lo)
 			opIdx := make([]int, 0, hi-lo)
 			for i := lo; i < hi; i++ {
 				if done[i] {
 					continue
 				}
-				ops = append(ops, rma.CASOp{Idx: train[i].Idx, Old: expected[i], New: bumpVersion(expected[i] &^ writeBit)})
+				ops = append(ops, fabric.CASOp{Idx: train[i].Idx, Old: expected[i], New: bumpVersion(expected[i] &^ writeBit)})
 				opIdx = append(opIdx, i)
 			}
 			for j, r := range win.CASBatch(origin, train[lo].Target, ops) {
@@ -392,7 +392,7 @@ func ReleaseWriteTrain(origin rma.Rank, words []Word, vers []uint64) {
 // held words) its version; the caller releases the held words with
 // ReleaseWriteTrain when done. A migrator uses this to skip busy vertices
 // instead of aborting a whole migration batch on one hot lock.
-func AcquireWriteTrainEach(origin rma.Rank, ls []TrainLock, tries int) (vers []uint64, heldOut []bool) {
+func AcquireWriteTrainEach(origin fabric.Rank, ls []TrainLock, tries int) (vers []uint64, heldOut []bool) {
 	vers = make([]uint64, len(ls))
 	heldOut = make([]bool, len(ls))
 	if len(ls) == 0 {
@@ -413,7 +413,7 @@ func AcquireWriteTrainEach(origin rma.Rank, ls []TrainLock, tries int) (vers []u
 // per owner rank per round. Words observed under a writer are probed with a
 // value-preserving CAS until the writer leaves or the budget runs out. All
 // or nothing: on ErrContended every read lock the train took is released.
-func AcquireReadTrain(origin rma.Rank, words []Word, tries int) error {
+func AcquireReadTrain(origin fabric.Rank, words []Word, tries int) error {
 	switch len(words) {
 	case 0:
 		return nil
@@ -426,15 +426,15 @@ func AcquireReadTrain(origin rma.Rank, words []Word, tries int) error {
 	expected := make([]uint64, len(train)) // last observed word value
 	nHeld := 0
 	for round := 0; round < tries && nHeld < len(train); round++ {
-		forEachRank(len(train), func(i int) rma.Rank { return train[i].Target }, func(lo, hi int) {
-			ops := make([]rma.CASOp, 0, hi-lo)
+		forEachRank(len(train), func(i int) fabric.Rank { return train[i].Target }, func(lo, hi int) {
+			ops := make([]fabric.CASOp, 0, hi-lo)
 			opIdx := make([]int, 0, hi-lo)
 			for i := lo; i < hi; i++ {
 				if held[i] {
 					continue
 				}
 				checkTrainWin(win, train[i])
-				op := rma.CASOp{Idx: train[i].Idx, Old: expected[i], New: expected[i] + 1}
+				op := fabric.CASOp{Idx: train[i].Idx, Old: expected[i], New: expected[i] + 1}
 				if expected[i]&writeBit != 0 {
 					op.New = op.Old // probe: a writer holds the word
 				}
@@ -470,7 +470,7 @@ func AcquireReadTrain(origin rma.Rank, words []Word, tries int) error {
 // ReleaseReadTrain drops shared locks, one vectored CAS train per owner rank
 // per round; words still contended after a few optimistic rounds fall back
 // to the scalar release loop.
-func ReleaseReadTrain(origin rma.Rank, words []Word) {
+func ReleaseReadTrain(origin fabric.Rank, words []Word) {
 	switch len(words) {
 	case 0:
 		return
@@ -488,8 +488,8 @@ func ReleaseReadTrain(origin rma.Rank, words []Word) {
 	}
 	nDone := 0
 	for round := 0; round < optimisticRounds && nDone < len(train); round++ {
-		forEachRank(len(train), func(i int) rma.Rank { return train[i].Target }, func(lo, hi int) {
-			ops := make([]rma.CASOp, 0, hi-lo)
+		forEachRank(len(train), func(i int) fabric.Rank { return train[i].Target }, func(lo, hi int) {
+			ops := make([]fabric.CASOp, 0, hi-lo)
 			opIdx := make([]int, 0, hi-lo)
 			for i := lo; i < hi; i++ {
 				if done[i] {
@@ -499,7 +499,7 @@ func ReleaseReadTrain(origin rma.Rank, words []Word) {
 				if expected[i]&readerMask == 0 {
 					panic("locks: ReleaseReadTrain with zero reader count")
 				}
-				ops = append(ops, rma.CASOp{Idx: train[i].Idx, Old: expected[i], New: expected[i] - 1})
+				ops = append(ops, fabric.CASOp{Idx: train[i].Idx, Old: expected[i], New: expected[i] - 1})
 				opIdx = append(opIdx, i)
 			}
 			for j, r := range win.CASBatch(origin, train[lo].Target, ops) {
@@ -533,7 +533,7 @@ func sortedWords(words []Word) []Word {
 
 // forEachRank walks the maximal runs of equal-target elements of a sorted
 // train, calling visit with each half-open run [lo, hi).
-func forEachRank(n int, target func(int) rma.Rank, visit func(lo, hi int)) {
+func forEachRank(n int, target func(int) fabric.Rank, visit func(lo, hi int)) {
 	for lo := 0; lo < n; {
 		hi := lo + 1
 		for hi < n && target(hi) == target(lo) {

@@ -1,93 +1,19 @@
 package rma
 
-import "sync/atomic"
-
-// Counters aggregates the one-sided traffic a single rank has issued. It
-// substitutes for the RDMA NIC hardware counters of the paper's testbed and
-// lets experiments report communication volume alongside wall-clock time.
-type Counters struct {
-	LocalPuts    atomic.Int64
-	RemotePuts   atomic.Int64
-	LocalGets    atomic.Int64
-	RemoteGets   atomic.Int64
-	LocalAtomics atomic.Int64
-	RemoteAtomic atomic.Int64
-	BytesPut     atomic.Int64
-	BytesGot     atomic.Int64
-	Flushes      atomic.Int64
-	// GetBatches counts vectored GetBatch trains towards remote targets;
-	// each train pays the injected remote latency once however many
-	// constituent gets (counted above) it carries.
-	GetBatches atomic.Int64
-	// PutBatches counts vectored PutBatch trains towards remote targets
-	// (the commit write-back trains of §5.6).
-	PutBatches atomic.Int64
-	// AtomicBatches counts vectored CASBatch/LoadBatch trains towards remote
-	// targets (the lock trains of the batched commit path and the version
-	// revalidation trains of the block cache).
-	AtomicBatches atomic.Int64
-	// CacheHits and CacheMisses count lookups of the rank's block cache:
-	// hits are remote block reads served from a version-validated local copy
-	// without any GET traffic, misses fall through to a fetch train.
-	CacheHits   atomic.Int64
-	CacheMisses atomic.Int64
-
-	_ [2]int64 // pad to a cache line to avoid false sharing between ranks
-}
-
-// Snapshot is a plain-value copy of a rank's counters.
-type Snapshot struct {
-	LocalPuts, RemotePuts     int64
-	LocalGets, RemoteGets     int64
-	LocalAtomics, RemoteAtoms int64
-	BytesPut, BytesGot        int64
-	Flushes                   int64
-	GetBatches                int64
-	PutBatches                int64
-	AtomicBatches             int64
-	CacheHits, CacheMisses    int64
-}
-
-// RemoteOps returns the total number of remote one-sided operations.
-func (s Snapshot) RemoteOps() int64 { return s.RemotePuts + s.RemoteGets + s.RemoteAtoms }
-
-// LocalOps returns the total number of local window operations.
-func (s Snapshot) LocalOps() int64 { return s.LocalPuts + s.LocalGets + s.LocalAtomics }
+// The counter structures live in the fabric package (shared with the wire
+// backends); the simulator keeps one padded Counters per rank and delegates.
 
 // CounterSnapshot returns a copy of rank r's counters.
 func (f *Fabric) CounterSnapshot(r Rank) Snapshot {
 	f.checkRank(r)
-	c := &f.counters[r]
-	return Snapshot{
-		LocalPuts: c.LocalPuts.Load(), RemotePuts: c.RemotePuts.Load(),
-		LocalGets: c.LocalGets.Load(), RemoteGets: c.RemoteGets.Load(),
-		LocalAtomics: c.LocalAtomics.Load(), RemoteAtoms: c.RemoteAtomic.Load(),
-		BytesPut: c.BytesPut.Load(), BytesGot: c.BytesGot.Load(),
-		Flushes: c.Flushes.Load(), GetBatches: c.GetBatches.Load(),
-		PutBatches: c.PutBatches.Load(), AtomicBatches: c.AtomicBatches.Load(),
-		CacheHits: c.CacheHits.Load(), CacheMisses: c.CacheMisses.Load(),
-	}
+	return f.counters[r].Snapshot()
 }
 
 // TotalSnapshot sums the counters of every rank.
 func (f *Fabric) TotalSnapshot() Snapshot {
 	var t Snapshot
 	for r := 0; r < f.n; r++ {
-		s := f.CounterSnapshot(Rank(r))
-		t.LocalPuts += s.LocalPuts
-		t.RemotePuts += s.RemotePuts
-		t.LocalGets += s.LocalGets
-		t.RemoteGets += s.RemoteGets
-		t.LocalAtomics += s.LocalAtomics
-		t.RemoteAtoms += s.RemoteAtoms
-		t.BytesPut += s.BytesPut
-		t.BytesGot += s.BytesGot
-		t.Flushes += s.Flushes
-		t.GetBatches += s.GetBatches
-		t.PutBatches += s.PutBatches
-		t.AtomicBatches += s.AtomicBatches
-		t.CacheHits += s.CacheHits
-		t.CacheMisses += s.CacheMisses
+		t.Add(f.counters[r].Snapshot())
 	}
 	return t
 }
@@ -95,79 +21,35 @@ func (f *Fabric) TotalSnapshot() Snapshot {
 // ResetCounters zeroes the counters of every rank.
 func (f *Fabric) ResetCounters() {
 	for r := range f.counters {
-		c := &f.counters[r]
-		c.LocalPuts.Store(0)
-		c.RemotePuts.Store(0)
-		c.LocalGets.Store(0)
-		c.RemoteGets.Store(0)
-		c.LocalAtomics.Store(0)
-		c.RemoteAtomic.Store(0)
-		c.BytesPut.Store(0)
-		c.BytesGot.Store(0)
-		c.Flushes.Store(0)
-		c.GetBatches.Store(0)
-		c.PutBatches.Store(0)
-		c.AtomicBatches.Store(0)
-		c.CacheHits.Store(0)
-		c.CacheMisses.Store(0)
+		f.counters[r].Reset()
 	}
 }
 
-// AddCache accounts lookups of origin's rank-local block cache. The cache
-// lives in the block layer; the counters live here so cache traffic is
-// reported alongside the one-sided traffic it replaces.
+// AddCache accounts lookups of origin's rank-local block cache.
 func (f *Fabric) AddCache(origin Rank, hits, misses int64) {
-	if hits != 0 {
-		f.counters[origin].CacheHits.Add(hits)
-	}
-	if misses != 0 {
-		f.counters[origin].CacheMisses.Add(misses)
-	}
+	f.counters[origin].AddCache(hits, misses)
 }
 
 func (f *Fabric) countPut(origin, target Rank, n int) {
-	c := &f.counters[origin]
-	if origin == target {
-		c.LocalPuts.Add(1)
-	} else {
-		c.RemotePuts.Add(1)
-	}
-	c.BytesPut.Add(int64(n))
+	f.counters[origin].CountPut(origin == target, n)
 }
 
 func (f *Fabric) countGet(origin, target Rank, n int) {
-	c := &f.counters[origin]
-	if origin == target {
-		c.LocalGets.Add(1)
-	} else {
-		c.RemoteGets.Add(1)
-	}
-	c.BytesGot.Add(int64(n))
+	f.counters[origin].CountGet(origin == target, n)
 }
 
 func (f *Fabric) countGetBatch(origin, target Rank) {
-	if origin != target {
-		f.counters[origin].GetBatches.Add(1)
-	}
+	f.counters[origin].CountGetBatch(origin == target)
 }
 
 func (f *Fabric) countPutBatch(origin, target Rank) {
-	if origin != target {
-		f.counters[origin].PutBatches.Add(1)
-	}
+	f.counters[origin].CountPutBatch(origin == target)
 }
 
 func (f *Fabric) countAtomicBatch(origin, target Rank) {
-	if origin != target {
-		f.counters[origin].AtomicBatches.Add(1)
-	}
+	f.counters[origin].CountAtomicBatch(origin == target)
 }
 
 func (f *Fabric) countAtomic(origin, target Rank) {
-	c := &f.counters[origin]
-	if origin == target {
-		c.LocalAtomics.Add(1)
-	} else {
-		c.RemoteAtomic.Add(1)
-	}
+	f.counters[origin].CountAtomic(origin == target)
 }

@@ -1,44 +1,43 @@
-// Package rma provides a simulated one-sided Remote Memory Access fabric.
-//
-// The paper's GDI-RMA implementation runs on Cray Aries RDMA hardware through
-// foMPI's MPI-3 one-sided routines (puts, gets, atomics, flushes). This
-// package substitutes a process-local simulation of the same programming
-// model: P ranks (goroutines) each own segments of shared windows, and any
-// rank may access any segment with one-sided operations. The defining
-// property of one-sided communication is preserved — the target rank never
-// executes code on the data path; origins operate on target memory directly
-// with plain loads/stores (bulk windows) and hardware atomics (word windows).
+// Package rma is the in-process simulator backend of the fabric SPI
+// (package internal/fabric): a simulated one-sided Remote Memory Access
+// fabric in which P ranks (goroutines) each own segments of shared windows,
+// and any rank may access any segment with one-sided operations. The
+// defining property of one-sided communication is preserved — the target
+// rank never executes code on the data path; origins operate on target
+// memory directly with plain loads/stores (bulk windows) and hardware
+// atomics (word windows).
 //
 // Every operation is accounted per rank (local vs. remote, op class, bytes),
 // which substitutes for NIC hardware counters, and an optional Latency model
-// injects per-remote-op delays for latency-shaped experiments.
+// injects per-remote-op delays for latency-shaped experiments. Both stay
+// simulator-only: they are what make this backend the ablation testbed,
+// while internal/fabric/tcp provides the real multi-process deployment.
 package rma
 
 import (
 	"fmt"
 	"sync"
+
+	"github.com/gdi-go/gdi/internal/fabric"
 )
-
-// Rank identifies a process within a Fabric. Ranks are dense in [0, N).
-type Rank int
-
-// NullRank is the invalid rank value.
-const NullRank Rank = -1
 
 // Fabric is a group of N simulated processes sharing RMA windows. It plays
 // the role of MPI_COMM_WORLD plus the RDMA NIC: windows are allocated
-// collectively from it, and per-rank traffic counters live on it.
+// collectively from it, and per-rank traffic counters live on it. It
+// implements fabric.Transport.
 //
 // A Fabric is safe for concurrent use by all of its ranks.
 type Fabric struct {
 	n        int
 	latency  Latency
 	counters []Counters // one per rank, padded to avoid false sharing
+	msgr     *messenger
 
-	mu       sync.Mutex
-	byteWins []*ByteWin
-	wordWins []*WordWin
+	svcMu    sync.RWMutex
+	services map[fabric.ServiceID]fabric.Handler
 }
+
+var _ fabric.Transport = (*Fabric)(nil)
 
 // Options configures a Fabric.
 type Options struct {
@@ -52,7 +51,12 @@ func New(n int, opts ...Options) *Fabric {
 	if n < 1 || n > 1<<16 {
 		panic(fmt.Sprintf("rma: rank count %d out of range [1, 65536]", n))
 	}
-	f := &Fabric{n: n, counters: make([]Counters, n)}
+	f := &Fabric{
+		n:        n,
+		counters: make([]Counters, n),
+		msgr:     newMessenger(n),
+		services: make(map[fabric.ServiceID]fabric.Handler),
+	}
 	if len(opts) > 0 {
 		f.latency = opts[0].Latency
 	}
@@ -61,6 +65,13 @@ func New(n int, opts ...Options) *Fabric {
 
 // Size returns the number of ranks in the fabric.
 func (f *Fabric) Size() int { return f.n }
+
+// Local reports whether rank r's memory lives in this process — always true
+// on the simulator, where every rank is a goroutine of one address space.
+func (f *Fabric) Local(r Rank) bool {
+	f.checkRank(r)
+	return true
+}
 
 // Run executes fn once per rank, each in its own goroutine, and waits for
 // all of them to return. It is the simulation equivalent of launching an
@@ -77,6 +88,19 @@ func (f *Fabric) Run(fn func(rank Rank)) {
 	wg.Wait()
 }
 
+// Close releases the fabric's resources; the simulator holds none.
+func (f *Fabric) Close() error { return nil }
+
+// NewInbox collectively allocates an inbox with segBytes of mailbox space
+// per rank, split evenly across source slots.
+func (f *Fabric) NewInbox(segBytes int) fabric.Inbox {
+	return fabric.NewSlotInbox(f.n, f.NewByteWin(segBytes))
+}
+
+// Messenger returns the pairwise substrate of the collective layer: shared
+// address space, so values travel by reference through buffered channels.
+func (f *Fabric) Messenger() fabric.Messenger { return f.msgr }
+
 // Flush completes all outstanding non-blocking operations issued by origin
 // towards target. In this simulation operations complete eagerly, so Flush
 // only charges accounting (and latency, modeling the synchronization
@@ -92,8 +116,66 @@ func (f *Fabric) FlushAll(origin Rank) {
 	f.counters[origin].Flushes.Add(1)
 }
 
+// Register installs the handler for one control-plane service. Registering
+// a service twice panics — services are engine-global.
+func (f *Fabric) Register(svc fabric.ServiceID, h fabric.Handler) {
+	f.svcMu.Lock()
+	defer f.svcMu.Unlock()
+	if _, dup := f.services[svc]; dup {
+		panic(fmt.Sprintf("rma: service %d registered twice", svc))
+	}
+	f.services[svc] = h
+}
+
+// Call invokes svc on rank target. All ranks share this process, so the
+// call is a direct function invocation; target only selects whose shard the
+// handler operates on.
+func (f *Fabric) Call(origin, target Rank, svc fabric.ServiceID, req []byte) []byte {
+	f.checkRank(origin)
+	f.checkRank(target)
+	f.svcMu.RLock()
+	h := f.services[svc]
+	f.svcMu.RUnlock()
+	if h == nil {
+		panic(fmt.Sprintf("rma: call to unregistered service %d", svc))
+	}
+	return h(origin, req)
+}
+
 func (f *Fabric) checkRank(r Rank) {
 	if r < 0 || int(r) >= f.n {
 		panic(fmt.Sprintf("rma: rank %d out of range [0, %d)", r, f.n))
 	}
 }
+
+// messenger is the simulator's pairwise message substrate: one buffered
+// channel per directed rank pair, moving Go values by reference. The
+// capacity of 2 lets the dissemination rounds of the collective layer
+// overlap one send without blocking.
+type messenger struct {
+	n    int
+	mail [][]chan any // mail[from][to]
+}
+
+var _ fabric.Messenger = (*messenger)(nil)
+
+func newMessenger(n int) *messenger {
+	m := &messenger{n: n, mail: make([][]chan any, n)}
+	for i := range m.mail {
+		m.mail[i] = make([]chan any, n)
+		for j := range m.mail[i] {
+			m.mail[i][j] = make(chan any, 2)
+		}
+	}
+	return m
+}
+
+func (m *messenger) Shared() bool { return true }
+
+func (m *messenger) Send(from, to Rank, v any) { m.mail[from][to] <- v }
+
+func (m *messenger) Recv(from, to Rank) any { return <-m.mail[from][to] }
+
+func (m *messenger) SendBytes(from, to Rank, b []byte) { m.mail[from][to] <- b }
+
+func (m *messenger) RecvBytes(from, to Rank) []byte { return (<-m.mail[from][to]).([]byte) }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"github.com/gdi-go/gdi/internal/fabric"
 )
 
 // stripeShift determines the granularity of the per-page write serialization
@@ -24,8 +26,10 @@ type ByteWin struct {
 	stripes [][]sync.RWMutex
 }
 
+var _ fabric.ByteWin = (*ByteWin)(nil)
+
 // NewByteWin collectively allocates a byte window with segSize bytes per rank.
-func (f *Fabric) NewByteWin(segSize int) *ByteWin {
+func (f *Fabric) NewByteWin(segSize int) fabric.ByteWin {
 	if segSize <= 0 {
 		panic("rma: ByteWin segment size must be positive")
 	}
@@ -37,9 +41,6 @@ func (f *Fabric) NewByteWin(segSize int) *ByteWin {
 		w.segs[r] = make([]byte, segSize)
 		w.stripes[r] = make([]sync.RWMutex, nStripes)
 	}
-	f.mu.Lock()
-	f.byteWins = append(f.byteWins, w)
-	f.mu.Unlock()
 	return w
 }
 
@@ -105,20 +106,6 @@ func (w *ByteWin) putStriped(target Rank, off int, data []byte) {
 	}
 }
 
-// GetOp is one element of a vectored read: len(Buf) bytes from the target's
-// segment at Off.
-type GetOp struct {
-	Off int
-	Buf []byte
-}
-
-// PutOp is one element of a vectored write: len(Data) bytes into the
-// target's segment at Off.
-type PutOp struct {
-	Off  int
-	Data []byte
-}
-
 // GetBatch issues every op towards target as one pipelined train of
 // non-blocking GETs and completes them all before returning — the paper's
 // §5.6 pattern of posting many one-sided accesses and paying a single
@@ -179,9 +166,11 @@ type WordWin struct {
 	words [][]uint64
 }
 
+var _ fabric.WordWin = (*WordWin)(nil)
+
 // NewWordWin collectively allocates a word window with nWords 64-bit words
 // per rank.
-func (f *Fabric) NewWordWin(nWords int) *WordWin {
+func (f *Fabric) NewWordWin(nWords int) fabric.WordWin {
 	if nWords <= 0 {
 		panic("rma: WordWin word count must be positive")
 	}
@@ -189,9 +178,6 @@ func (f *Fabric) NewWordWin(nWords int) *WordWin {
 	for r := 0; r < f.n; r++ {
 		w.words[r] = make([]uint64, nWords)
 	}
-	f.mu.Lock()
-	f.wordWins = append(f.wordWins, w)
-	f.mu.Unlock()
 	return w
 }
 
@@ -261,19 +247,6 @@ func (w *WordWin) LoadBatch(origin, target Rank, idxs []int) []uint64 {
 		out[i] = atomic.LoadUint64(&w.words[target][idx])
 	}
 	return out
-}
-
-// CASOp is one element of a vectored compare-and-swap train.
-type CASOp struct {
-	Idx      int
-	Old, New uint64
-}
-
-// CASResult reports one constituent CAS of a train: the previous word value
-// and whether the swap happened, with the same retry contract as CAS.
-type CASResult struct {
-	Prev    uint64
-	Swapped bool
 }
 
 // CASBatch issues every op towards target as one train of remote CAS

@@ -4,9 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"github.com/gdi-go/gdi/internal/fabric"
 	"github.com/gdi-go/gdi/internal/holder"
 	"github.com/gdi-go/gdi/internal/lpg"
-	"github.com/gdi-go/gdi/internal/rma"
 )
 
 // The per-rank delta log. Every committed transaction appends, per vertex it
@@ -32,7 +32,7 @@ const (
 type Record struct {
 	Kind uint8
 	// DP is the vertex's primary block (its identity).
-	DP rma.DPtr
+	DP fabric.DPtr
 	// App is the application-level vertex ID (create/update).
 	App uint64
 	// Edges is the committed holder's inline edge-record list, verbatim
@@ -89,7 +89,7 @@ func DecodeRecord(buf []byte) (Record, error) {
 	}
 	r := Record{
 		Kind: buf[0],
-		DP:   rma.DPtr(binary.LittleEndian.Uint64(buf[1:])),
+		DP:   fabric.DPtr(binary.LittleEndian.Uint64(buf[1:])),
 		App:  binary.LittleEndian.Uint64(buf[9:]),
 	}
 	if r.Kind > KindDelete {
@@ -104,7 +104,7 @@ func DecodeRecord(buf []byte) (Record, error) {
 				return Record{}, fmt.Errorf("snapshot: delta record edge %d has invalid meta %#x", i, meta)
 			}
 			r.Edges[i] = holder.EdgeRec{
-				Neighbor: rma.DPtr(binary.LittleEndian.Uint64(buf[off:])),
+				Neighbor: fabric.DPtr(binary.LittleEndian.Uint64(buf[off:])),
 				Dir:      holder.Direction(meta & 0x3),
 				Heavy:    meta&(1<<2) != 0,
 				Label:    lpg.LabelID(binary.LittleEndian.Uint32(buf[off+12:])),
@@ -119,7 +119,7 @@ func DecodeRecord(buf []byte) (Record, error) {
 // must hold the engine's commit gate in read mode, which serializes appends
 // against cut pinning — a commit's records land atomically before or after
 // any cut's position.
-func (m *Manager) AppendDeltas(me rma.Rank, recs []Record) {
+func (m *Manager) AppendDeltas(me fabric.Rank, recs []Record) {
 	if len(recs) == 0 {
 		return
 	}
@@ -134,7 +134,7 @@ func (m *Manager) AppendDeltas(me rma.Rank, recs []Record) {
 // Deltas decodes rank me's log records in positions [from, to). It fails if
 // the window was already trimmed (the caller must then fall back to a full
 // rebuild).
-func (m *Manager) Deltas(me rma.Rank, from, to int) ([]Record, error) {
+func (m *Manager) Deltas(me fabric.Rank, from, to int) ([]Record, error) {
 	rs := &m.ranks[me]
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
@@ -154,7 +154,7 @@ func (m *Manager) Deltas(me rma.Rank, from, to int) ([]Record, error) {
 }
 
 // LogLen returns rank me's current absolute delta-log position.
-func (m *Manager) LogLen(me rma.Rank) int {
+func (m *Manager) LogLen(me fabric.Rank) int {
 	rs := &m.ranks[me]
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
@@ -164,7 +164,7 @@ func (m *Manager) LogLen(me rma.Rank) int {
 // trimLogLocked drops records below the minimum position any active cut
 // pinned on rank r (all of them with no active cut): released analytics
 // sessions must not keep the OLTP-side log growing forever.
-func (rs *rankShard) trimLogLocked(r rma.Rank) {
+func (rs *rankShard) trimLogLocked(r fabric.Rank) {
 	min := rs.logBase + len(rs.recs)
 	for _, c := range rs.active {
 		if c.logPos[r] < min {

@@ -33,8 +33,8 @@ import (
 	"sync/atomic"
 
 	"github.com/gdi-go/gdi/internal/block"
+	"github.com/gdi-go/gdi/internal/fabric"
 	"github.com/gdi-go/gdi/internal/locks"
-	"github.com/gdi-go/gdi/internal/rma"
 )
 
 // DefaultCutRetries bounds the arena/live-read alternation of ReadBlock.
@@ -44,7 +44,7 @@ const DefaultCutRetries = 64
 // block and application ID of a vertex that existed when the cut was pinned.
 // The core engine fills it from its local index under the commit gate.
 type VertexRef struct {
-	DP  rma.DPtr
+	DP  fabric.DPtr
 	App uint64
 }
 
@@ -82,7 +82,7 @@ type rankShard struct {
 // use from any rank.
 type Manager struct {
 	store   *block.Store
-	sys     *rma.WordWin
+	sys     fabric.WordWin
 	nRanks  int
 	perRank int
 	bs      int
@@ -99,7 +99,7 @@ type Manager struct {
 // NewManager creates the snapshot manager over the given block store.
 // retries bounds ReadBlock's validation loop (<=0 uses DefaultCutRetries).
 func NewManager(store *block.Store, retries int) *Manager {
-	sys, _, _ := store.LockWord(rma.MakeDPtr(0, 1))
+	sys, _, _ := store.LockWord(fabric.MakeDPtr(0, 1))
 	if retries <= 0 {
 		retries = DefaultCutRetries
 	}
@@ -153,7 +153,7 @@ func (m *Manager) NewCut() *Cut {
 // consistent cut. Write-held words are stamped at their pre-bump version:
 // such a commit has not written a byte yet (its apply phase is gated) and
 // will retire the stamped bytes before it does.
-func (m *Manager) PinRank(c *Cut, me rma.Rank) {
+func (m *Manager) PinRank(c *Cut, me fabric.Rank) {
 	idxs := make([]int, m.perRank-1)
 	for i := range idxs {
 		idxs[i] = 2 + i // lock word of block 1+i (word 1+off; block 0 is reserved)
@@ -174,13 +174,13 @@ func (m *Manager) PinRank(c *Cut, me rma.Rank) {
 
 // SetVerts records the cut's vertex listing for rank me (filled by the
 // engine from its local index, under the same gate as PinRank).
-func (c *Cut) SetVerts(me rma.Rank, refs []VertexRef) { c.verts[me] = refs }
+func (c *Cut) SetVerts(me fabric.Rank, refs []VertexRef) { c.verts[me] = refs }
 
 // Verts returns the cut's vertex listing for rank r.
-func (c *Cut) Verts(r rma.Rank) []VertexRef { return c.verts[r] }
+func (c *Cut) Verts(r fabric.Rank) []VertexRef { return c.verts[r] }
 
 // LogPos returns rank r's delta-log position at pin time.
-func (c *Cut) LogPos(r rma.Rank) int { return c.logPos[r] }
+func (c *Cut) LogPos(r fabric.Rank) int { return c.logPos[r] }
 
 // Released reports whether the cut has been released.
 func (c *Cut) Released() bool { return c.released.Load() }
@@ -218,7 +218,7 @@ func (m *Manager) release(c *Cut) {
 			}
 		}
 		c.retained[r] = nil
-		rs.trimLogLocked(rma.Rank(r))
+		rs.trimLogLocked(fabric.Rank(r))
 		rs.mu.Unlock()
 	}
 }
@@ -226,7 +226,7 @@ func (m *Manager) release(c *Cut) {
 // BeforeWrite implements block.Retirer: the store calls it before
 // overwriting dp's payload, giving the manager the chance to retire the old
 // bytes for any cut still pinning them.
-func (m *Manager) BeforeWrite(dp rma.DPtr) { m.Retire(dp.Rank(), dp.Off()) }
+func (m *Manager) BeforeWrite(dp fabric.DPtr) { m.Retire(dp.Rank(), dp.Off()) }
 
 // Retire preserves block (target, off)'s current bytes for every active cut
 // whose stamp still names the block's current lock-word version, unless that
@@ -237,7 +237,7 @@ func (m *Manager) BeforeWrite(dp rma.DPtr) { m.Retire(dp.Rank(), dp.Off()) }
 // the lock layer's write-unlock hook) invoke it before the first byte of the
 // new value lands and before the version bump, which is the ordering cut
 // readers rely on.
-func (m *Manager) Retire(target rma.Rank, off uint64) {
+func (m *Manager) Retire(target fabric.Rank, off uint64) {
 	rs := &m.ranks[target]
 	if rs.pinned.Load() == 0 {
 		return
@@ -259,7 +259,7 @@ func (m *Manager) Retire(target rma.Rank, off uint64) {
 		return
 	}
 	buf := make([]byte, m.bs)
-	m.store.ReadBlock(target, rma.MakeDPtr(target, off), buf)
+	m.store.ReadBlock(target, fabric.MakeDPtr(target, off), buf)
 	rs.arena[key] = &arenaEntry{data: buf, refs: refs}
 	for _, c := range rs.active {
 		if c.stamps[target] != nil && c.stamps[target][off] == ver {
@@ -274,7 +274,7 @@ func (m *Manager) Retire(target rma.Rank, off uint64) {
 // at the cut's pinned version, or nil. Entries are immutable once inserted
 // and outlive the lookup as long as the cut holds its reference, so the
 // caller may copy from the returned slice without holding the shard mutex.
-func (m *Manager) lookupArena(c *Cut, target rma.Rank, off uint64) []byte {
+func (m *Manager) lookupArena(c *Cut, target fabric.Rank, off uint64) []byte {
 	rs := &m.ranks[target]
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
@@ -295,7 +295,7 @@ func (m *Manager) lookupArena(c *Cut, target rma.Rank, off uint64) []byte {
 // "no entry after the live read" means no post-cut overwrite had started
 // when the read began — including for continuation blocks, whose lock words
 // never change and whose reads a version stamp alone could not validate.
-func (m *Manager) ReadBlock(origin rma.Rank, c *Cut, dp rma.DPtr, buf []byte) error {
+func (m *Manager) ReadBlock(origin fabric.Rank, c *Cut, dp fabric.DPtr, buf []byte) error {
 	if c.released.Load() {
 		return fmt.Errorf("snapshot: read through a released cut")
 	}
