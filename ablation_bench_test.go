@@ -565,6 +565,133 @@ func BenchmarkRebalanceAblation(b *testing.B) {
 	b.Run("rebalanced", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkReplicationAblation measures what k-replica holder chains buy on
+// read-dominated skewed traffic: the same worker-affine Zipf shape as the
+// rebalance ablation, but with ~1/16 writes and every rank seeding follower
+// chains of its hottest remotely-owned vertices after the warmup round
+// (ReplicateHot, k=3). An optimistic read of a replicated vertex is then
+// served from the local follower chain — no remote GET train at all — and
+// only the commit-time validation train still touches the primary. Writes
+// keep a fixed payload size so the fan-out path (same holder shape) keeps
+// the followers in lockstep instead of dropping them on reshape. With
+// RemoteLatencyNs = 1000 at 8 ranks the k=3 run must deliver at least 1.5x
+// the unreplicated throughput.
+func BenchmarkReplicationAblation(b *testing.B) {
+	const (
+		ranks        = 8
+		numVertices  = 4096
+		warmupOps    = 2000
+		opsPerRank   = 400
+		payloadBytes = 64
+		zipfS        = 1.2
+		replicaK     = 3
+		replicaTopM  = 1024
+	)
+	run := func(b *testing.B, replicated bool) {
+		rt := gdi.Init(ranks, gdi.RuntimeOptions{RemoteLatencyNs: 1000})
+		db := rt.CreateDatabase(gdi.DatabaseParams{
+			BlockSize:             512,
+			BlocksPerRank:         1 << 13,
+			LockTries:             512,
+			OptimisticReads:       true,
+			RebalanceHeatTracking: true, // both variants pay for tracking
+			RebalanceTopK:         1024,
+		})
+		payload, err := db.DefinePType("payload", gdi.PTypeSpec{Datatype: gdi.TypeBytes})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var loadErr error
+		rt.Run(db, func(p *gdi.Process) {
+			var specs []gdi.VertexSpec
+			if p.Rank() == 0 {
+				for app := uint64(0); app < numVertices; app++ {
+					specs = append(specs, gdi.VertexSpec{
+						AppID: app,
+						Props: []gdi.Property{{PType: payload, Value: make([]byte, payloadBytes)}},
+					})
+				}
+			}
+			if err := p.BulkLoadVertices(specs); err != nil {
+				loadErr = err
+			}
+		})
+		if loadErr != nil {
+			b.Fatal(loadErr)
+		}
+		zipf := workload.NewZipf(numVertices, zipfS)
+		caches := make([]map[uint64]gdi.VertexID, ranks)
+		for r := range caches {
+			caches[r] = make(map[uint64]gdi.VertexID, numVertices)
+		}
+		opRound := func(p *gdi.Process, seed int64, ops int) {
+			rng := rand.New(rand.NewSource(seed))
+			cache := caches[p.Rank()]
+			wp := make([]byte, payloadBytes)
+			for i := 0; i < ops; i++ {
+				app := workload.WorkerKey(zipf.Sample(rng), int(p.Rank()), ranks, numVertices)
+				write := rng.Intn(16) == 0
+				mode := gdi.ReadOnly
+				if write {
+					mode = gdi.ReadWrite
+				}
+				tx := p.StartTransaction(mode)
+				dp, cached := cache[app]
+				if !cached {
+					var err error
+					if dp, err = tx.TranslateVertexID(app); err != nil {
+						b.Error(err)
+						tx.Abort()
+						return
+					}
+				}
+				h, err := tx.AssociateVertex(dp)
+				if err != nil {
+					tx.Abort()
+					continue
+				}
+				cache[app] = h.ID()
+				if write {
+					wp[0] = byte(i) // fixed size: same shape, fan-out keeps replicas
+					if err := h.SetProperty(payload, wp); err != nil {
+						b.Error(err)
+						tx.Abort()
+						return
+					}
+				} else {
+					h.Property(payload)
+				}
+				if err := tx.Commit(); err != nil {
+					continue // optimistic abort: retry is the client's business
+				}
+			}
+		}
+		// Warmup records per-rank heat and fills the translation caches.
+		rt.Run(db, func(p *gdi.Process) { opRound(p, int64(p.Rank())*131+1, warmupOps) })
+		if replicated {
+			rt.Run(db, func(p *gdi.Process) { p.ReplicateHot(replicaK, replicaTopM) })
+		}
+		start := time.Now()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.Run(db, func(p *gdi.Process) {
+				opRound(p, int64(i)*7919+int64(p.Rank())*131+2, opsPerRank)
+			})
+		}
+		b.StopTimer()
+		qps := float64(b.N) * ranks * opsPerRank / time.Since(start).Seconds()
+		b.ReportMetric(qps, "queries/s")
+		if replicated {
+			st := db.ReplicaStats()
+			b.ReportMetric(float64(st.Reads), "replreads")
+			b.ReportMetric(float64(st.Reseeds), "reseeds")
+			b.ReportMetric(float64(st.Drops), "repldrops")
+		}
+	}
+	b.Run("unreplicated", func(b *testing.B) { run(b, false) })
+	b.Run("replicated-k3", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkAblation_CollectiveVsLocalScan compares reading every vertex
 // through one collective read transaction (lock-free, §3.3) against
 // pointwise local read transactions (one lock round trip per vertex).

@@ -12,6 +12,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -63,26 +65,49 @@ var gates = map[string]func(*report) (string, float64){
 	"CacheAblation":             nsRatio("locked-uncached", "cached-optimistic"),
 	"AnalyticsAblation":         nsRatio("map-engine", "dense-csr"),
 	"RebalanceAblation":         metricRatio("rebalanced", "static", "queries/s"),
+	"ReplicationAblation":       metricRatio("replicated-k3", "unreplicated", "queries/s"),
 	"HTAPAblation": func(r *report) (string, float64) {
-		return "makespan-x (stop-the-world / concurrent)", r.Metrics[""]["makespan-x"]
+		x := r.Metrics[""]["makespan-x"]
+		if x == 0 {
+			return "", 0
+		}
+		return "makespan-x (stop-the-world / concurrent)", x
 	},
+}
+
+// applyGate fills in r.Gate and r.GateRatio for a gated benchmark. When the
+// gate cannot be computed — a variant that did not run, or a baseline metric
+// that is absent or zero — the verdict is the explicit "skipped" instead of a
+// degenerate ratio: +Inf and NaN are unrepresentable in JSON (marshalling
+// would fail), and a silent 0 would read as a catastrophic regression.
+func applyGate(r *report) {
+	gate := gates[r.Name]
+	if gate == nil {
+		return
+	}
+	label, ratio := gate(r)
+	if label == "" || ratio == 0 || math.IsInf(ratio, 0) || math.IsNaN(ratio) {
+		r.Gate, r.GateRatio = "skipped", 0
+		return
+	}
+	r.Gate, r.GateRatio = label, ratio
 }
 
 // benchLine matches one result row: name, optional /variant, iteration
 // count, ns/op, then tab-separated custom metrics. The -<GOMAXPROCS>
-// suffix go test appends (absent at GOMAXPROCS=1) is stripped afterwards.
-var benchLine = regexp.MustCompile(`^Benchmark(\w+)((?:/[^ \t]+)?)\s+\d+\s+([\d.]+) ns/op(.*)$`)
+// suffix go test appends (absent at GOMAXPROCS=1) lands in the name when
+// there is no variant — Go identifiers cannot contain '-' — and is stripped
+// afterwards.
+var benchLine = regexp.MustCompile(`^Benchmark([\w-]+)((?:/[^ \t]+)?)\s+\d+\s+([\d.]+) ns/op(.*)$`)
 
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
-func main() {
-	commit := flag.String("commit", "", "commit SHA recorded in each report")
-	dir := flag.String("dir", ".", "directory the BENCH_<name>.json files are written into")
-	flag.Parse()
-
+// parse folds `go test -bench` output into one report per top-level
+// benchmark, returned in first-seen order.
+func parse(in io.Reader, commit string) (map[string]*report, []string, error) {
 	reports := map[string]*report{}
 	var order []string
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -97,7 +122,7 @@ func main() {
 		}
 		r := reports[name]
 		if r == nil {
-			r = &report{Name: name, Commit: *commit, NsPerOp: map[string]float64{}}
+			r = &report{Name: name, Commit: commit, NsPerOp: map[string]float64{}}
 			reports[name] = r
 			order = append(order, name)
 		}
@@ -121,6 +146,18 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return reports, order, nil
+}
+
+func main() {
+	commit := flag.String("commit", "", "commit SHA recorded in each report")
+	dir := flag.String("dir", ".", "directory the BENCH_<name>.json files are written into")
+	flag.Parse()
+
+	reports, order, err := parse(os.Stdin, *commit)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -134,9 +171,7 @@ func main() {
 	}
 	for _, name := range order {
 		r := reports[name]
-		if gate := gates[name]; gate != nil {
-			r.Gate, r.GateRatio = gate(r)
-		}
+		applyGate(r)
 		buf, err := json.MarshalIndent(r, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)

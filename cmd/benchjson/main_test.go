@@ -1,0 +1,112 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+BenchmarkRebalanceAblation/static-8         	       1	5000000 ns/op	       120000 queries/s
+BenchmarkRebalanceAblation/rebalanced-8     	       1	3000000 ns/op	       180000 queries/s
+BenchmarkReplicationAblation/unreplicated-8 	       1	4000000 ns/op	       100000 queries/s
+BenchmarkReplicationAblation/replicated-k3-8	       1	2000000 ns/op	       210000 queries/s
+BenchmarkCacheAblation/locked-uncached-8    	     100	  40000 ns/op
+BenchmarkHTAPAblation-8                     	       1	9000000 ns/op
+BenchmarkUngated/only-8                     	    1000	   1000 ns/op
+`
+
+func parseSample(t *testing.T) map[string]*report {
+	t.Helper()
+	reports, order, err := parse(strings.NewReader(sampleBench), "abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 5 {
+		t.Fatalf("parsed %d benchmarks (%v), want 5", len(order), order)
+	}
+	return reports
+}
+
+func TestParse(t *testing.T) {
+	reports := parseSample(t)
+	r := reports["RebalanceAblation"]
+	if r == nil {
+		t.Fatal("RebalanceAblation not parsed")
+	}
+	if r.Commit != "abc123" {
+		t.Errorf("commit = %q, want abc123", r.Commit)
+	}
+	if got := r.NsPerOp["static"]; got != 5000000 {
+		t.Errorf("static ns/op = %v, want 5000000", got)
+	}
+	if got := r.Metrics["rebalanced"]["queries/s"]; got != 180000 {
+		t.Errorf("rebalanced queries/s = %v, want 180000", got)
+	}
+	if got := reports["HTAPAblation"].NsPerOp[""]; got != 9000000 {
+		t.Errorf("HTAPAblation ns/op = %v, want 9000000 under the empty variant key", got)
+	}
+}
+
+func TestApplyGateRatios(t *testing.T) {
+	reports := parseSample(t)
+
+	r := reports["RebalanceAblation"]
+	applyGate(r)
+	if r.Gate == "" || r.Gate == "skipped" {
+		t.Errorf("RebalanceAblation gate = %q, want a computed gate", r.Gate)
+	}
+	if r.GateRatio != 1.5 {
+		t.Errorf("RebalanceAblation ratio = %v, want 1.5", r.GateRatio)
+	}
+
+	r = reports["ReplicationAblation"]
+	applyGate(r)
+	if r.Gate != "queries/s replicated-k3 / unreplicated" {
+		t.Errorf("ReplicationAblation gate = %q", r.Gate)
+	}
+	if r.GateRatio != 2.1 {
+		t.Errorf("ReplicationAblation ratio = %v, want 2.1", r.GateRatio)
+	}
+
+	r = reports["Ungated"]
+	applyGate(r)
+	if r.Gate != "" || r.GateRatio != 0 {
+		t.Errorf("ungated benchmark got gate %q ratio %v", r.Gate, r.GateRatio)
+	}
+}
+
+// TestApplyGateSkipsDegenerateBaselines is the regression test for the
+// divide-by-zero gate bug: a run where the baseline variant is missing (or a
+// baseline metric never reported) must yield the explicit verdict "skipped",
+// never a 0 or +Inf ratio — +Inf is unrepresentable in JSON, and a silent 0
+// reads as a catastrophic regression.
+func TestApplyGateSkipsDegenerateBaselines(t *testing.T) {
+	reports := parseSample(t)
+
+	// CacheAblation ran only its baseline variant: the ns/op gate divides by
+	// an absent optimized variant.
+	r := reports["CacheAblation"]
+	applyGate(r)
+	if r.Gate != "skipped" || r.GateRatio != 0 {
+		t.Errorf("CacheAblation gate = %q ratio %v, want skipped/0", r.Gate, r.GateRatio)
+	}
+
+	// HTAPAblation ran without its makespan-x metric (the closure used to
+	// emit a labelled gate with ratio 0).
+	r = reports["HTAPAblation"]
+	applyGate(r)
+	if r.Gate != "skipped" || r.GateRatio != 0 {
+		t.Errorf("HTAPAblation gate = %q ratio %v, want skipped/0", r.Gate, r.GateRatio)
+	}
+
+	// A zero baseline metric must not produce +Inf.
+	r = &report{Name: "ReplicationAblation", NsPerOp: map[string]float64{"unreplicated": 1, "replicated-k3": 1},
+		Metrics: map[string]map[string]float64{
+			"unreplicated":  {"queries/s": 0},
+			"replicated-k3": {"queries/s": 50000},
+		}}
+	applyGate(r)
+	if r.Gate != "skipped" || r.GateRatio != 0 {
+		t.Errorf("zero baseline: gate = %q ratio %v, want skipped/0", r.Gate, r.GateRatio)
+	}
+}

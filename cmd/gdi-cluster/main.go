@@ -20,6 +20,7 @@
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -29,11 +30,15 @@ import (
 	"slices"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	gdi "github.com/gdi-go/gdi"
 	"github.com/gdi-go/gdi/internal/analytics"
+	"github.com/gdi-go/gdi/internal/fabric"
 	"github.com/gdi-go/gdi/internal/fabric/tcp"
 	"github.com/gdi-go/gdi/internal/kron"
+	"github.com/gdi-go/gdi/internal/rma"
 	"github.com/gdi-go/gdi/internal/workload"
 )
 
@@ -47,7 +52,12 @@ func main() {
 	iters := flag.Int("iters", 5, "PageRank iterations")
 	seed := flag.Int64("seed", 1, "generator and workload seed")
 	mixName := flag.String("mix", "LinkBench", `OLTP mix: "read mostly", "read intensive", "write intensive", "LinkBench"`)
+	replicas := flag.Int("replicas", 1, "k-replica holder chains: every vertex gets one primary plus k-1 follower chains kept in lockstep by the commit fan-out")
+	kill := flag.Int("kill", -1, "kill-one-process variant: rank to kill halfway through the write run (must not be 0); survivors promote its followers and each prints a committed-write conservation line")
 	flag.Parse()
+	if *kill == 0 || *kill >= *ranks {
+		fatalf("-kill must name a non-zero rank below -ranks (rank 0 prints the reports)")
+	}
 
 	var mix workload.Mix
 	found := false
@@ -63,7 +73,11 @@ func main() {
 	switch {
 	case *backend == "sim":
 		rt := gdi.Init(*ranks)
-		runWorkload(rt, mix, *scale, *ops, *iters, *seed)
+		if *kill >= 0 {
+			runKill(rt, *ops, *seed, *replicas, *kill)
+		} else {
+			runWorkload(rt, mix, *scale, *ops, *iters, *seed, *replicas)
+		}
 	case *rank >= 0:
 		list := strings.Split(*peers, ",")
 		t, err := tcp.New(tcp.Config{Rank: *rank, Peers: list})
@@ -71,17 +85,23 @@ func main() {
 			fatalf("%v", err)
 		}
 		rt := gdi.InitWithTransport(t)
-		runWorkload(rt, mix, *scale, *ops, *iters, *seed)
+		if *kill >= 0 {
+			runKill(rt, *ops, *seed, *replicas, *kill)
+		} else {
+			runWorkload(rt, mix, *scale, *ops, *iters, *seed, *replicas)
+		}
 	case *backend == "tcp":
-		launch(*ranks)
+		launch(*ranks, *kill)
 	default:
 		fatalf("unknown backend %q", *backend)
 	}
 }
 
 // launch spawns one rank process per rank of a fresh mesh and waits for all
-// of them, forwarding their output.
-func launch(n int) {
+// of them, forwarding their output. In the kill variant (kill >= 0) that
+// rank's process SIGKILLs itself mid-run, so its non-zero exit is expected
+// and does not fail the cluster.
+func launch(n, kill int) {
 	peers, err := freePorts(n)
 	if err != nil {
 		fatalf("%v", err)
@@ -112,6 +132,10 @@ func launch(n int) {
 	failed := false
 	for r, cmd := range procs {
 		if err := cmd.Wait(); err != nil {
+			if r == kill {
+				fmt.Printf("killed: rank %d (%v)\n", r, err)
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "gdi-cluster: rank %d: %v\n", r, err)
 			failed = true
 		}
@@ -144,12 +168,16 @@ func freePorts(n int) ([]string, error) {
 // runWorkload executes the fixed cluster workload over whatever transport
 // the runtime wraps. On a wire transport every rank process executes this
 // same function; the collective calls inside line them up.
-func runWorkload(rt *gdi.Runtime, mix workload.Mix, scale, ops, iters int, seed int64) {
+func runWorkload(rt *gdi.Runtime, mix workload.Mix, scale, ops, iters int, seed int64, replicas int) {
 	cfg := kron.Config{Scale: scale, EdgeFactor: 16, Seed: seed, NumLabels: 20, NumProps: 13}.WithDefaults()
 	db := rt.CreateDatabase(gdi.DatabaseParams{
 		BlockSize:      512,
 		BlocksPerRank:  int((cfg.NumVertices()*12+cfg.NumEdges()*2)/uint64(rt.Size())) + (1 << 13),
 		DenseAnalytics: true,
+		// Follower chains serve optimistic reads only; without replicas the
+		// read path is unchanged so the cross-backend equivalence runs stay
+		// bit-identical.
+		OptimisticReads: replicas > 1,
 	})
 	sch, err := kron.DefineSchema(db.Engine(), cfg)
 	if err != nil {
@@ -167,6 +195,14 @@ func runWorkload(rt *gdi.Runtime, mix workload.Mix, scale, ops, iters int, seed 
 	// liveness (committed > 0) is asserted — interleavings are real.
 	rt.Run(db, func(p *gdi.Process) {
 		me := p.Rank()
+		if replicas > 1 {
+			seeded := p.Replicate(replicas)
+			total := p.AllreduceInt64(int64(seeded))
+			if me == 0 {
+				fmt.Printf("replication: k=%d, seeded %d follower chains\n", replicas, total)
+			}
+			p.Barrier()
+		}
 		visited, depth, bstats, err := analytics.BFSDense(p, g, 0)
 		if err != nil {
 			fatalf("bfs: %v", err)
@@ -211,6 +247,13 @@ func runWorkload(rt *gdi.Runtime, mix workload.Mix, scale, ops, iters int, seed 
 				snap.RemotePuts, snap.PutBatches, snap.RemoteGets, snap.GetBatches,
 				snap.RemoteAtoms, snap.AtomicBatches, snap.BytesPut, snap.BytesGot)
 		}
+		if replicas > 1 && me == 0 {
+			// Engine counters are process-local on a wire transport: this is
+			// rank 0's view (the whole cluster's on the simulator).
+			st := db.ReplicaStats()
+			fmt.Printf("replication: replica reads %d, reseeds %d, promotions %d, drops %d\n",
+				st.Reads, st.Reseeds, st.Promotions, st.Drops)
+		}
 		p.Barrier()
 	})
 	rt.Finalize()
@@ -219,6 +262,191 @@ func runWorkload(rt *gdi.Runtime, mix workload.Mix, scale, ops, iters int, seed 
 	if rt.Transport().Local(0) {
 		fmt.Println("shutdown: clean")
 	}
+}
+
+// runKill executes the kill-one-process conservation workload: a flat
+// vertex set replicated k ways, every rank rewriting its own key slice with
+// monotonically increasing sequence payloads, the doomed rank dying halfway
+// through its write loop (SIGKILL on the TCP mesh, the simulator's KillRank
+// hook in-process). Each survivor then promotes the dead rank's followers
+// and re-reads every write it successfully committed: a committed sequence
+// that is not readable afterwards — promoted copies included — is a lost
+// write and fails the run. Keys whose lookup metadata (DHT shard) died with
+// the killed process are counted unresolvable rather than lost: on a real
+// wire transport the dead rank's memory is gone, and the directory itself
+// is not replicated.
+//
+// No collective runs after the kill point — with a dead rank the collective
+// layer would hang — so the drain before promotion and the cross-rank
+// alignment before shutdown are generous sleeps, which is all a smoke tier
+// needs.
+func runKill(rt *gdi.Runtime, ops int, seed int64, replicas, kill int) {
+	const (
+		numVertices  = 256
+		payloadBytes = 16
+	)
+	if replicas < 2 {
+		replicas = 3
+	}
+	db := rt.CreateDatabase(gdi.DatabaseParams{
+		BlockSize:       512,
+		BlocksPerRank:   1 << 13,
+		LockTries:       512,
+		OptimisticReads: true,
+	})
+	payload, err := db.DefinePType("payload", gdi.PTypeSpec{Datatype: gdi.TypeBytes})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sim, _ := rt.Transport().(*rma.Fabric)
+	rt.Run(db, func(p *gdi.Process) {
+		me := int(p.Rank())
+		n := p.Size()
+		var specs []gdi.VertexSpec
+		if me == 0 {
+			for app := uint64(0); app < numVertices; app++ {
+				specs = append(specs, gdi.VertexSpec{
+					AppID: app,
+					Props: []gdi.Property{{PType: payload, Value: make([]byte, payloadBytes)}},
+				})
+			}
+		}
+		if err := p.BulkLoadVertices(specs); err != nil {
+			fatalf("%v", err)
+		}
+		seeded := p.Replicate(replicas)
+		total := p.AllreduceInt64(int64(seeded))
+		if me == 0 {
+			fmt.Printf("replication: k=%d, seeded %d follower chains\n", replicas, total)
+		}
+		p.Barrier() // the last collective: everything below survives a dead rank
+
+		// Every rank owns the keys congruent to it mod n, so "last committed
+		// sequence" per key has exactly one writer and is well defined.
+		committed := make(map[uint64]uint64)
+		seq := uint64(me)*1_000_000 + 1
+		for i := 0; i < ops; i++ {
+			if me == kill && i == ops/2 {
+				if sim != nil {
+					sim.KillRank(gdi.Rank(kill))
+					return // the dead rank does no further work
+				}
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+			app := uint64(me + (i%(numVertices/n))*n)
+			s := seq
+			if absorb(func() bool { return writeSeq(p, payload, app, s) }) {
+				committed[app] = s
+				seq++
+			}
+		}
+		if me == kill {
+			return
+		}
+		// Drain: the other survivors finish their write loops (same length,
+		// same machine) before anyone promotes over their in-flight commits.
+		time.Sleep(1 * time.Second)
+		promos := p.PromoteDead()
+		time.Sleep(1 * time.Second) // let every survivor finish promoting
+
+		checked, unresolvable := 0, 0
+		for app, want := range committed {
+			var got uint64
+			ok := false
+			for try := 0; try < 10 && !ok; try++ {
+				if try > 0 {
+					time.Sleep(200 * time.Millisecond)
+				}
+				ok = absorb(func() bool {
+					g, valid := readSeqValue(p, payload, app)
+					got = g
+					return valid
+				})
+			}
+			if !ok {
+				unresolvable++
+				continue
+			}
+			if got != want {
+				fmt.Fprintf(os.Stderr,
+					"gdi-cluster: conservation: rank %d LOST vertex %d: committed seq %d, read back %d\n",
+					me, app, want, got)
+				os.Exit(1)
+			}
+			checked++
+		}
+		fmt.Printf("conservation: rank %d ok (%d committed writes verified, %d unresolvable, %d promoted)\n",
+			me, checked, unresolvable, promos)
+		time.Sleep(1 * time.Second) // laggard survivors may still need our windows
+	})
+	rt.Finalize()
+	if rt.Transport().Local(0) {
+		fmt.Println("shutdown: clean")
+	}
+}
+
+// writeSeq commits one fixed-size payload rewrite of app carrying seq. The
+// deferred Abort is a no-op after Commit closed the transaction; it matters
+// on the error paths and when a peer-death panic unwinds through here.
+func writeSeq(p *gdi.Process, payload gdi.PTypeID, app, seq uint64) bool {
+	tx := p.StartTransaction(gdi.ReadWrite)
+	defer tx.Abort()
+	dp, err := tx.TranslateVertexID(app)
+	if err != nil {
+		return false
+	}
+	h, err := tx.AssociateVertex(dp)
+	if err != nil {
+		return false
+	}
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf, seq)
+	binary.LittleEndian.PutUint64(buf[8:], seq)
+	if err := h.SetProperty(payload, buf); err != nil {
+		return false
+	}
+	return tx.Commit() == nil
+}
+
+// readSeqValue reads app's payload through a validated optimistic read and
+// returns the sequence it carries.
+func readSeqValue(p *gdi.Process, payload gdi.PTypeID, app uint64) (uint64, bool) {
+	tx := p.StartTransaction(gdi.ReadOnly)
+	defer tx.Abort()
+	dp, err := tx.TranslateVertexID(app)
+	if err != nil {
+		return 0, false
+	}
+	h, err := tx.AssociateVertex(dp)
+	if err != nil {
+		return 0, false
+	}
+	v, ok := h.Property(payload)
+	if !ok || len(v) != 16 {
+		return 0, false
+	}
+	a := binary.LittleEndian.Uint64(v)
+	b := binary.LittleEndian.Uint64(v[8:])
+	if a != b { // torn read: the optimistic validation below must reject it
+		return 0, false
+	}
+	return a, tx.Commit() == nil
+}
+
+// absorb runs one transaction attempt, converting a peer-death panic (an
+// access that raced into the dead rank) into false — what any production
+// driver does when a request hits a dying peer.
+func absorb(fn func() bool) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, peer := fabric.AsPeerDeath(r); peer {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn()
 }
 
 // oltpWorker drives one closed-loop OLTP session on this rank against its

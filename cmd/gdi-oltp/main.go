@@ -30,6 +30,7 @@ func main() {
 	zipfS := flag.Float64("zipf", 0, "Zipf exponent for operation keys (0 = uniform); skewed traffic, rank 0 hottest")
 	zipfLocal := flag.Bool("zipf-local", false, "with -zipf: give each worker its own hot set (worker-affine skew, the regime -rebalance exploits)")
 	rebalance := flag.Bool("rebalance", false, "gda: track access heat, run a warmup round, and live-migrate hot vertices onto their dominant accessors before the measured run")
+	replicas := flag.Int("replicas", 1, "gda: k-replica holder chains — every vertex gets one primary plus k-1 follower chains kept in lockstep by the commit fan-out; optimistic reads are served from a local follower when one exists (pair with -optimistic-reads)")
 	flag.Parse()
 	if *workers == 0 {
 		*workers = *ranks
@@ -73,6 +74,15 @@ func main() {
 		}
 		sys = &workload.GDASystem{DB: db, Schema: sch}
 		gdaDB = db
+		if *replicas > 1 {
+			seeded := make([]int, *ranks)
+			rt.Run(db, func(p *gdi.Process) { seeded[p.Rank()] = p.Replicate(*replicas) })
+			total := 0
+			for _, n := range seeded {
+				total += n
+			}
+			fmt.Printf("replication: k=%d, seeded %d follower chains\n", *replicas, total)
+		}
 		warmupOps := *ops/10 + 1
 		if *rebalance {
 			// Warmup records heat; one Rebalance round then live-migrates
@@ -158,6 +168,11 @@ func main() {
 		if *rebalance {
 			fmt.Printf("placement: migrations: %d   skipped: %d   forwarded reads: %d\n",
 				gdaDB.Engine().Migrations(), gdaDB.Engine().MigrationSkips(), gdaDB.Engine().ForwardedReads())
+		}
+		if *replicas > 1 {
+			st := gdaDB.ReplicaStats()
+			fmt.Printf("replication: replica reads: %d   reseeds: %d   promotions: %d   drops: %d\n",
+				st.Reads, st.Reseeds, st.Promotions, st.Drops)
 		}
 	}
 	for op := workload.Op(0); op < workload.NumOps; op++ {

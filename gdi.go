@@ -450,6 +450,54 @@ func (p *Process) Rebalance() (RebalanceStats, error) {
 	return p.db.eng.Rebalance(p.rank)
 }
 
+// Replicate seeds k-replica holder chains on this process: every vertex is
+// backed by one primary chain plus up to k-1 follower chains on distinct
+// ranks, kept in lockstep by the commit fan-out. This process pulls follower
+// copies of the vertices owned by its k-1 predecessor ranks (mod size), so
+// calling it on every rank gives each vertex a full replica ring. Returns
+// the number of follower chains seeded. k <= 1 is a no-op.
+func (p *Process) Replicate(k int) int {
+	return p.db.eng.ReplicateUniform(p.rank, k)
+}
+
+// ReplicateHot seeds follower chains for up to topM of this process's
+// hottest remotely-owned vertices (by recorded access heat — requires
+// DatabaseParams.RebalanceHeatTracking), bringing read-mostly hot data next
+// to its readers without replicating the cold tail. Returns the number of
+// follower chains seeded.
+func (p *Process) ReplicateHot(k, topM int) int {
+	return p.db.eng.ReplicateHot(p.rank, k, topM)
+}
+
+// PromoteDead fails over the follower chains this process holds for
+// vertices whose primary rank has died: each is promoted to primary by a
+// DHT compare-and-swap (exactly one survivor wins per vertex), the losers
+// re-key their copies under the new primary, and the directory entry of the
+// dead rank is dropped. Callers must only invoke it after in-flight commits
+// on the surviving ranks have drained. Returns the number of vertices this
+// process won promotion of.
+func (p *Process) PromoteDead() int {
+	return p.db.eng.PromoteDead(p.rank)
+}
+
+// ReplicaStats is a snapshot of the engine-wide replication counters.
+type ReplicaStats struct {
+	Reads      int64 // optimistic reads served from a local follower chain
+	Reseeds    int64 // follower chains seeded (initial replication + repair)
+	Promotions int64 // followers promoted to primary after a rank death
+	Drops      int64 // follower chains dropped (reshape, delete, lockstep loss)
+}
+
+// ReplicaStats returns the database's replication counters.
+func (db *Database) ReplicaStats() ReplicaStats {
+	return ReplicaStats{
+		Reads:      db.eng.ReplicaReads(),
+		Reseeds:    db.eng.Reseeds(),
+		Promotions: db.eng.Promotions(),
+		Drops:      db.eng.ReplicaDrops(),
+	}
+}
+
 // Barrier synchronizes all processes.
 func (p *Process) Barrier() { p.db.eng.Comm().Barrier(p.rank) }
 

@@ -472,6 +472,251 @@ func TestHTAPArenaLeakOnDrop(t *testing.T) {
 	}
 }
 
+// TestHTAPReplicatedCommitsUnderPinnedCut is the replication/snapshot
+// interplay test: fixed-size property rewrites on k=3 replicated vertices
+// commit while an HTAP cut is pinned. The commit path then does three things
+// at once — retires the primary's overwritten block versions into the cut,
+// fans the new content to the follower chains through the same write-back
+// train, and bumps the mirror words — and the invariants are:
+//
+//   - the mirror fan-out must NOT retire follower blocks into the cut (the
+//     mirror trains fire no release hook; only the primary's release does),
+//     so the arena drains to exactly zero when the session closes;
+//   - follower chains are invisible to analytics (they live in the replica
+//     directory, not the local vertex index), so PageRank over the pinned
+//     cut stays bit-identical to the pre-write answer and a post-Refresh
+//     rank equals a quiesced rerun;
+//   - the fan-out keeps every follower in lockstep across the pinned cut:
+//     zero drops, and once the writers drain a replica-served optimistic
+//     read returns exactly the last committed value.
+func TestHTAPReplicatedCommitsUnderPinnedCut(t *testing.T) {
+	const (
+		ranks        = 4
+		scale        = 7
+		keysPerRank  = 32
+		writeOps     = 96
+		readOps      = 64
+		payloadBytes = 32
+		replicaK     = 3
+		iters        = 15
+	)
+	cfg := kron.Config{Scale: scale, EdgeFactor: 8, Seed: 31}
+	rt, db, g := htapGraph(t, ranks, cfg, true)
+	defer rt.Finalize()
+
+	payload, err := db.DefinePType("replpayload", gdi.PTypeSpec{Datatype: gdi.TypeBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		duringPR = make(map[uint64]float64)
+		afterPR  = make(map[uint64]float64)
+		lasts    = make([]map[uint64]byte, ranks)
+	)
+	report := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	// writeVal commits one fixed-size payload write, retried past transient
+	// aborts; false means it never committed (and wrote nothing).
+	writeVal := func(p *gdi.Process, app uint64, v byte) bool {
+		for try := 0; try < 8; try++ {
+			tx := p.StartTransaction(gdi.ReadWrite)
+			dp, err := tx.TranslateVertexID(app)
+			if err != nil {
+				tx.Abort()
+				if errors.Is(err, gdi.ErrTransactionCritical) {
+					continue
+				}
+				report(err)
+				return false
+			}
+			h, err := tx.AssociateVertex(dp)
+			if err != nil {
+				tx.Abort()
+				continue
+			}
+			wp := make([]byte, payloadBytes)
+			wp[0] = v
+			if err := h.SetProperty(payload, wp); err != nil {
+				tx.Abort()
+				report(err)
+				return false
+			}
+			if err := tx.Commit(); err == nil {
+				return true
+			}
+		}
+		return false
+	}
+	// readVal runs one optimistic read of the payload byte; false means the
+	// read did not validate (fine while writers race, an error once drained).
+	readVal := func(p *gdi.Process, app uint64) (byte, bool) {
+		tx := p.StartTransaction(gdi.ReadOnly)
+		dp, err := tx.TranslateVertexID(app)
+		if err != nil {
+			tx.Abort()
+			return 0, false
+		}
+		h, err := tx.AssociateVertex(dp)
+		if err != nil {
+			tx.Abort()
+			return 0, false
+		}
+		val, ok := h.Property(payload)
+		if !ok || len(val) != payloadBytes {
+			tx.Abort()
+			return 0, false
+		}
+		v := val[0]
+		if err := tx.Commit(); err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+
+	// Seed the payload at its fixed size on every key we will rewrite: shape
+	// changes are free before any follower chain exists, and from here on
+	// every write keeps the holder shape constant.
+	rt.Run(db, func(p *gdi.Process) {
+		me, n := int(p.Rank()), p.Size()
+		for j := 0; j < keysPerRank; j++ {
+			if !writeVal(p, uint64(me+j*n), 0) {
+				report(fmt.Errorf("rank %d: seeding key %d never committed", me, j))
+			}
+		}
+	})
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+
+	before := quiescedPageRank(t, rt, db, g, iters)
+
+	var seeded int64
+	rt.Run(db, func(p *gdi.Process) {
+		n := int64(p.Replicate(replicaK))
+		mu.Lock()
+		seeded += n
+		mu.Unlock()
+	})
+	if seeded == 0 {
+		t.Fatal("Replicate seeded no follower chains")
+	}
+
+	snap := db.Engine().Snapshots()
+	retiredBefore := snap.RetiredBlocks()
+
+	rt.Run(db, func(p *gdi.Process) {
+		me, n := int(p.Rank()), p.Size()
+		s, err := analytics.OpenHTAP(p, g)
+		if err != nil {
+			report(err)
+			return
+		}
+		p.Barrier()
+		// Replicated rewrites while the cut is pinned.
+		last := make(map[uint64]byte, keysPerRank)
+		for i := 0; i < writeOps; i++ {
+			app := uint64(me + (i%keysPerRank)*n)
+			v := byte(i + 1)
+			if writeVal(p, app, v) {
+				last[app] = v
+			}
+		}
+		mu.Lock()
+		lasts[me] = last
+		mu.Unlock()
+		// Optimistic reads of the previous rank's keys: its follower chains
+		// live here, so these are replica-served, each validated against the
+		// primary's version word. Racing its writer may abort them; at least
+		// one must land.
+		prev := (me + n - 1) % n
+		okReads := 0
+		for i := 0; i < readOps; i++ {
+			if _, ok := readVal(p, uint64(prev+(i%keysPerRank)*n)); ok {
+				okReads++
+			}
+		}
+		if okReads == 0 {
+			report(fmt.Errorf("rank %d: no optimistic read validated", me))
+		}
+		// The pinned cut must not have seen any of it.
+		pr, _, err := s.PageRank(iters, 0.85)
+		if err != nil {
+			report(err)
+			return
+		}
+		mu.Lock()
+		for k, v := range pr {
+			duringPR[k] = v
+		}
+		mu.Unlock()
+		p.Barrier()
+		if p.Rank() == 0 && snap.ArenaBytes() == 0 {
+			report(errors.New("replicated writes under the pinned cut retired nothing"))
+		}
+		if err := s.Refresh(); err != nil {
+			report(err)
+			return
+		}
+		pr2, _, err := s.PageRank(iters, 0.85)
+		if err != nil {
+			report(err)
+			return
+		}
+		mu.Lock()
+		for k, v := range pr2 {
+			afterPR[k] = v
+		}
+		mu.Unlock()
+		s.Close()
+		p.Barrier()
+		// Writers drained: a replica-served read of the previous rank's keys
+		// must return exactly its last committed value — the fan-out kept
+		// the followers in lockstep across the pinned cut.
+		mu.Lock()
+		want := lasts[prev]
+		mu.Unlock()
+		for app, wantV := range want {
+			got, ok := readVal(p, app)
+			if !ok {
+				report(fmt.Errorf("rank %d: quiesced read of key %d did not validate", me, app))
+				continue
+			}
+			if got != wantV {
+				report(fmt.Errorf("rank %d: key %d = %d, want last committed %d", me, app, got, wantV))
+			}
+		}
+	})
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	samePageRank(t, "PageRank over the cut pinned across replicated commits", duringPR, before)
+	after := quiescedPageRank(t, rt, db, g, iters)
+	samePageRank(t, "PageRank after Refresh", afterPR, after)
+	if snap.RetiredBlocks() == retiredBefore {
+		t.Fatal("no block version was retired by the replicated writes")
+	}
+	if got := snap.ArenaBytes(); got != 0 {
+		t.Fatalf("arena holds %d bytes after the session closed (follower fan-out must not retire)", got)
+	}
+	st := db.ReplicaStats()
+	if st.Reads == 0 {
+		t.Fatal("no read was served by a follower chain")
+	}
+	if st.Drops != 0 {
+		t.Fatalf("fixed-size fan-out dropped %d follower groups under the pinned cut", st.Drops)
+	}
+	t.Logf("seeded: %d chains; replica reads: %d; retired: %d; reseeds: %d",
+		seeded, st.Reads, snap.RetiredBlocks()-retiredBefore, st.Reseeds)
+}
+
 // TestHTAPCoherenceStress is the full HTAP tier, run under -race in CI:
 // OLTP writers and optimistic readers race against an analytics session that
 // keeps refreshing and re-ranking. Afterwards the database must be conserved

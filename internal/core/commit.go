@@ -148,8 +148,10 @@ func (tx *Tx) Commit() error {
 		vs      *vertexState
 		es      *edgeState
 		stream  []byte
-		blocks  []fabric.DPtr // final block list
-		release []fabric.DPtr // excess blocks to free after apply
+		blocks  []fabric.DPtr   // final block list
+		release []fabric.DPtr   // excess blocks to free after apply
+		fan     [][]fabric.DPtr // follower groups to rewrite in lockstep
+		drop    [][]fabric.DPtr // follower groups this commit retires
 	}
 	var plans []plan
 	var acquired []fabric.DPtr // for rollback of a failed prepare
@@ -193,11 +195,14 @@ func (tx *Tx) Commit() error {
 		if st == nil || !st.dirty || st.deleted {
 			continue
 		}
-		pl, err := prepare(primary, holder.EncodeVertex(st.v, bs), st.blocks)
+		stream, fan, drop := tx.encodeForCommit(st, bs)
+		pl, err := prepare(primary, stream, st.blocks)
 		if err != nil {
 			return fail(err)
 		}
 		pl.vs = st
+		pl.fan = fan
+		pl.drop = drop
 		plans = append(plans, pl)
 	}
 	for _, es := range tx.edges {
@@ -224,6 +229,74 @@ func (tx *Tx) Commit() error {
 		defer tx.eng.htapGate.RUnlock()
 	}
 
+	// Replica fan-out, mark: mirror-mark the follower words of every kept
+	// follower group — one vectored CAS train per follower rank across the
+	// whole transaction. The primary write locks are already held, so no
+	// competing mirror train can race; a mark that fails means the follower
+	// fell out of lockstep (reseed raced, earlier fan-out died) and that
+	// group is skipped and its directory entry dropped — the commit itself
+	// never blocks on a follower. Marked groups get the new content through
+	// the same group-committer train as the primary blocks below and are
+	// released to the primary's new version after the primary's own release:
+	// primary-then-follower order end to end.
+	type fanRef struct {
+		pl    int
+		g     int
+		group []fabric.DPtr
+	}
+	fanHeld := make(map[int][][]fabric.DPtr) // plan index → marked groups
+	var mirWords [][]locks.Word              // per follower rank, for release
+	var mirVers [][]uint64
+	if len(plans) > 0 {
+		byRank := make(map[fabric.Rank][]fanRef)
+		for pi := range plans {
+			for gi, g := range plans[pi].fan {
+				if len(g) == 0 {
+					continue
+				}
+				fr := g[0].Rank()
+				if tx.eng.isDead(fr) {
+					tx.eng.replicaDrops.Add(1)
+					continue
+				}
+				byRank[fr] = append(byRank[fr], fanRef{pl: pi, g: gi, group: g})
+			}
+		}
+		for fr, refs := range byRank {
+			words := make([]locks.Word, len(refs))
+			vers := make([]uint64, len(refs))
+			for i, ref := range refs {
+				words[i] = tx.lockWord(ref.group[0])
+				vers[i] = plans[ref.pl].vs.lockVer
+			}
+			var held []bool
+			if !runIsolated(func() { held = locks.AcquireMirrorTrain(tx.rank, words, vers) }) {
+				tx.eng.replicaDrops.Add(int64(len(refs)))
+				continue
+			}
+			var hw []locks.Word
+			var hv []uint64
+			for i, ref := range refs {
+				if held[i] {
+					fanHeld[ref.pl] = append(fanHeld[ref.pl], ref.group)
+					hw = append(hw, words[i])
+					hv = append(hv, vers[i])
+				} else {
+					// Out of lockstep: retire the copy. Its stale listing in
+					// the primary's group table is harmless — every later
+					// fan-out fails the same CAS and drops it again.
+					pr := plans[ref.pl].vs.primary
+					runIsolated(func() { tx.eng.replDirDrop(tx.rank, fr, pr) })
+					tx.eng.replicaDrops.Add(1)
+				}
+			}
+			if len(hw) > 0 {
+				mirWords = append(mirWords, hw)
+				mirVers = append(mirVers, hv)
+			}
+		}
+	}
+
 	// Apply, write-back: every holder block and every deletion poison (a
 	// zeroed primary header, so stale DPtrs fail cleanly). This phase
 	// cannot fail. The scalar path issues one blocking PUT per block; the
@@ -241,14 +314,43 @@ func (tx *Tx) Commit() error {
 			tx.eng.store.WriteBlock(tx.rank, dp, payload)
 		}
 	}
-	for _, pl := range plans {
+	for pi, pl := range plans {
 		for i, dp := range pl.blocks {
 			put(dp, pl.stream[i*bs:(i+1)*bs])
 		}
+		// Follower fan-out: the marked groups receive the same stream with
+		// the replica flag set and the block table re-pointed at their own
+		// blocks, riding the same write-back train.
+		for _, g := range fanHeld[pi] {
+			rep := holder.RewriteAsReplica(pl.stream, g)
+			for i, dp := range g {
+				put(dp, rep[i*bs:(i+1)*bs])
+			}
+		}
+		// Reshaped-away groups are poisoned at the head (a local replica read
+		// then fails the replica-flag check and falls back) before their
+		// blocks are returned below.
+		for _, g := range pl.drop {
+			if len(g) > 0 && !tx.eng.isDead(g[0].Rank()) {
+				put(g[0], make([]byte, holder.HeaderSize))
+			}
+		}
 	}
+	// Deleted replicated vertices retire their follower groups the same way:
+	// poison the heads under the primary's lock, return the blocks after the
+	// train lands.
+	var delDrops []plan
 	for _, st := range tx.verts {
 		if st.deleted && !st.isNew {
 			put(st.primary, make([]byte, holder.HeaderSize))
+			if st.v != nil && len(st.v.Replicas) > 0 {
+				for _, g := range st.v.Replicas {
+					if len(g) > 0 && !tx.eng.isDead(g[0].Rank()) {
+						put(g[0], make([]byte, holder.HeaderSize))
+					}
+				}
+				delDrops = append(delDrops, plan{vs: st, drop: st.v.Replicas})
+			}
 		}
 	}
 	for _, es := range tx.edges {
@@ -260,6 +362,17 @@ func (tx *Tx) Commit() error {
 		put(h, make([]byte, holder.HeaderSize))
 	}
 	tx.eng.groupWriteBack(tx.rank, wbDps, wbData)
+
+	// Retire dropped follower groups now that their poison has landed: return
+	// the blocks and clear the follower ranks' directory entries.
+	for pi := range plans {
+		if len(plans[pi].drop) > 0 {
+			tx.eng.dropFollowerGroups(tx.rank, plans[pi].vs.primary, plans[pi].drop)
+		}
+	}
+	for _, dd := range delDrops {
+		tx.eng.dropFollowerGroups(tx.rank, dd.vs.primary, dd.drop)
+	}
 
 	// Delta log: one record per created, rewritten, or deleted vertex,
 	// routed to the rank owning its primary block. The record carries the
@@ -401,8 +514,37 @@ func (tx *Tx) Commit() error {
 			tx.unlockState(st)
 		}
 	}
+
+	// Replica fan-out, release: the marked follower words move to the
+	// version the primaries' release train just published — one CAS train
+	// per follower rank, after every primary word is free. A follower rank
+	// that died mid-commit is absorbed: its words stay marked and promotion's
+	// steal path (or a reseed) reclaims them.
+	for i := range mirWords {
+		w, v := mirWords[i], mirVers[i]
+		runIsolated(func() { locks.ReleaseMirrorTrain(tx.rank, w, v) })
+	}
 	tx.closed = true
 	return nil
+}
+
+// encodeForCommit encodes a dirty vertex for write-back and decides the fate
+// of its follower groups. A same-shape rewrite under a train-acquired write
+// lock keeps them — the fan-out lands the new content on every follower
+// inside this commit. A reshape (block count changed) or a scalar commit
+// strips the groups from the encoding and retires them instead of resizing
+// remote chains on the commit path; a later seeding round restores k.
+func (tx *Tx) encodeForCommit(st *vertexState, bs int) (stream []byte, fan, drop [][]fabric.DPtr) {
+	if len(st.v.Replicas) == 0 {
+		return holder.EncodeVertex(st.v, bs), nil, nil
+	}
+	if tx.batchedCommit() && st.lock == lockWrite && st.blocks != nil &&
+		holder.VertexBlocks(st.v, bs) == len(st.blocks) {
+		return holder.EncodeVertex(st.v, bs), st.v.Replicas, nil
+	}
+	drop = st.v.Replicas
+	st.v.Replicas = nil
+	return holder.EncodeVertex(st.v, bs), nil, drop
 }
 
 // validateOptimistic is the commit-time check of the optimistic read tier:
@@ -467,7 +609,18 @@ func (tx *Tx) Abort() {
 
 func (tx *Tx) abortLocked() {
 	for _, st := range tx.verts {
+		// An aborted write release bumps the primary's version without
+		// changing content; lockstep followers track the bump so they keep
+		// serving reads (read releases don't bump, so lockUpgrade is exempt).
+		bump := st.lock == lockWrite && !st.isNew && st.v != nil && len(st.v.Replicas) > 0
+		var mver uint64
+		if bump {
+			mver = locks.Version(tx.lockWord(st.primary).Stamp(tx.rank))
+		}
 		tx.unlockState(st)
+		if bump {
+			tx.eng.bumpMirrors(tx.rank, st.v, mver)
+		}
 		if st.isNew {
 			tx.eng.store.ReleaseBlock(tx.rank, st.primary)
 		}

@@ -174,8 +174,15 @@ type Engine struct {
 	local   []*localIndex
 	commits []groupCommitter // one write-back combiner per rank
 	heat    []*heatShard     // per-rank access-heat counters (rebalancing)
+	repl    []*replicaShard  // per-rank replica directories (read-scale replication)
 	cfg     Config
 	mp      bool // true when some rank lives in another OS process
+
+	// dead is the engine's view of failed ranks, filled by the transport's
+	// peer-death notifications; PromoteDead drains it into follower
+	// promotions.
+	deadMu sync.Mutex
+	dead   map[fabric.Rank]bool
 
 	// snap is the HTAP snapshot manager (nil unless Config.HTAPSnapshots).
 	// htapGate is the commit gate: commits (and live migration) hold it in
@@ -195,6 +202,11 @@ type Engine struct {
 	migrations atomic.Int64 // vertices moved by live migration
 	migSkips   atomic.Int64 // planned migrations skipped (contention/staleness)
 	forwards   atomic.Int64 // reads that chased a migration forwarding stub
+
+	replicaReads atomic.Int64 // optimistic fetches served by a local follower
+	reseeds      atomic.Int64 // follower copies seeded (initial + repair)
+	promotions   atomic.Int64 // followers promoted to primary after a rank death
+	replicaDrops atomic.Int64 // follower groups dropped (reshape, delete, lockstep loss)
 }
 
 // localIndex is one rank's shard of the explicit indexes: the set of local
@@ -231,13 +243,21 @@ func NewEngine(f fabric.Transport, cfg Config) *Engine {
 		local:   make([]*localIndex, f.Size()),
 		commits: make([]groupCommitter, f.Size()),
 		heat:    make([]*heatShard, f.Size()),
+		repl:    make([]*replicaShard, f.Size()),
+		dead:    make(map[fabric.Rank]bool),
 		cfg:     cfg,
 	}
 	for r := range e.regs {
 		e.regs[r] = metadata.NewRegistry()
 		e.local[r] = newLocalIndex()
 		e.heat[r] = newHeatShard()
+		e.repl[r] = newReplicaShard()
 	}
+	f.NotifyPeerDeath(func(r fabric.Rank) {
+		e.deadMu.Lock()
+		e.dead[r] = true
+		e.deadMu.Unlock()
+	})
 	e.mp = computeMultiProcess(f)
 	if e.mp {
 		if cfg.HTAPSnapshots {
@@ -452,6 +472,50 @@ func (e *Engine) MigrationSkips() int64 { return e.migSkips.Load() }
 // forwarding stub to the vertex's current primary (stale-DPtr traffic; it
 // decays as transactions re-translate IDs against the swung DHT entries).
 func (e *Engine) ForwardedReads() int64 { return e.forwards.Load() }
+
+// ReplicaReads reports how many optimistic fetches were served from a local
+// follower copy instead of paying the remote fetch trains.
+func (e *Engine) ReplicaReads() int64 { return e.replicaReads.Load() }
+
+// Reseeds reports how many follower copies have been seeded (initial
+// replication plus post-failure repair).
+func (e *Engine) Reseeds() int64 { return e.reseeds.Load() }
+
+// Promotions reports how many followers have been promoted to primary after
+// a rank death.
+func (e *Engine) Promotions() int64 { return e.promotions.Load() }
+
+// ReplicaDrops reports how many follower groups were dropped — by a reshaping
+// or deleting commit, or because a follower fell out of lockstep.
+func (e *Engine) ReplicaDrops() int64 { return e.replicaDrops.Load() }
+
+// ReplicaCount reports how many follower copies rank r currently hosts.
+func (e *Engine) ReplicaCount(r fabric.Rank) int { return e.repl[r].size() }
+
+// isDead reports the engine's view of rank r's liveness (union of the
+// transport's advisory signal and the deaths already notified).
+func (e *Engine) isDead(r fabric.Rank) bool {
+	e.deadMu.Lock()
+	d := e.dead[r]
+	e.deadMu.Unlock()
+	return d || !e.fab.Alive(r)
+}
+
+// deadSet snapshots the set of ranks the engine believes dead.
+func (e *Engine) deadSet() map[fabric.Rank]bool {
+	out := make(map[fabric.Rank]bool)
+	e.deadMu.Lock()
+	for r := range e.dead {
+		out[r] = true
+	}
+	e.deadMu.Unlock()
+	for r := 0; r < e.fab.Size(); r++ {
+		if !e.fab.Alive(fabric.Rank(r)) {
+			out[fabric.Rank(r)] = true
+		}
+	}
+	return out
+}
 
 // Snapshots returns the HTAP snapshot manager, or nil when
 // Config.HTAPSnapshots is off.

@@ -211,6 +211,27 @@ func (tx *Tx) flushPending() {
 			}
 			return
 		}
+		// Optimistic fetches are served by a local follower copy when this
+		// rank holds one: zero remote traffic, and the follower-observed
+		// version is recorded against the primary DPtr so the commit-time
+		// validation train still proves freshness against the primary's word.
+		// Heat stays attributed to the primary's owner — a replica read must
+		// not make the follower rank look like the place the vertex lives.
+		if tx.optimistic() {
+			if st, ver, ok := tx.tryReplicaRead(dp); ok {
+				st.origLabel = append([]lpg.LabelID(nil), st.v.Labels...)
+				tx.verts[dp] = st
+				if tx.optReads == nil {
+					tx.optReads = make(map[fabric.DPtr]uint64)
+				}
+				tx.optReads[dp] = ver
+				tx.eng.recordHeat(tx.rank, st.v.AppID, dp.Rank())
+				for _, f := range futs {
+					f.resolveState(st)
+				}
+				return
+			}
+		}
 		if uniq == nil && len(fetches) > 0 {
 			uniq = make(map[fabric.DPtr]*pendingFetch, len(pending))
 			for _, q := range fetches {
@@ -355,7 +376,11 @@ func (tx *Tx) flushPending() {
 					pf.st.blocks = pf.blocks
 					pf.st.origLabel = append([]lpg.LabelID(nil), v.Labels...)
 					tx.verts[pf.dp] = pf.st
-					tx.eng.recordHeat(tx.rank, v.AppID)
+					// pf.dp is the block the holder actually decoded from —
+					// the post-chase primary when the fetch went through a
+					// forwarding stub — so heat lands against the vertex's
+					// current owner, not the vacated one.
+					tx.eng.recordHeat(tx.rank, v.AppID, pf.dp.Rank())
 					if tx.optimistic() {
 						if tx.optReads == nil {
 							tx.optReads = make(map[fabric.DPtr]uint64)

@@ -52,7 +52,7 @@ func (e *Engine) groupWriteBack(rank fabric.Rank, dps []fabric.DPtr, data [][]by
 		g.pending = nil
 		g.mu.Unlock()
 		if len(batch) == 1 {
-			e.store.WriteBlocksBatch(rank, batch[0].dps, batch[0].data)
+			e.writeBackByRank(rank, batch[0].dps, batch[0].data)
 		} else {
 			n := 0
 			for _, b := range batch {
@@ -64,7 +64,7 @@ func (e *Engine) groupWriteBack(rank fabric.Rank, dps []fabric.DPtr, data [][]by
 				mdps = append(mdps, b.dps...)
 				mdata = append(mdata, b.data...)
 			}
-			e.store.WriteBlocksBatch(rank, mdps, mdata)
+			e.writeBackByRank(rank, mdps, mdata)
 		}
 		for _, b := range batch {
 			close(b.done)
@@ -73,4 +73,40 @@ func (e *Engine) groupWriteBack(rank fabric.Rank, dps []fabric.DPtr, data [][]by
 	}
 	g.flushing = false
 	g.mu.Unlock()
+}
+
+// writeBackByRank lands one merged write set, one isolated PUT train per
+// destination rank. Isolation is the point: a train whose destination dies
+// mid-write-back panics with a peer-death error, and an unprotected leader
+// used to carry that panic out of groupWriteBack with its followers' done
+// channels never closed — every concurrent committer of the rank then hung
+// forever. Absorbing the dead rank's segment is sound: primaries on a dead
+// rank are unreachable regardless, and a replicated vertex's surviving
+// follower copies receive the same payload through their own ranks' trains —
+// which this partitioning guarantees are still issued.
+func (e *Engine) writeBackByRank(rank fabric.Rank, dps []fabric.DPtr, data [][]byte) {
+	sameRank := true
+	for _, dp := range dps[1:] {
+		if dp.Rank() != dps[0].Rank() {
+			sameRank = false
+			break
+		}
+	}
+	if sameRank {
+		runIsolated(func() { e.store.WriteBlocksBatch(rank, dps, data) })
+		return
+	}
+	byRank := make(map[fabric.Rank][]int)
+	for i, dp := range dps {
+		byRank[dp.Rank()] = append(byRank[dp.Rank()], i)
+	}
+	for _, is := range byRank {
+		sub := make([]fabric.DPtr, len(is))
+		subData := make([][]byte, len(is))
+		for j, i := range is {
+			sub[j] = dps[i]
+			subData[j] = data[i]
+		}
+		runIsolated(func() { e.store.WriteBlocksBatch(rank, sub, subData) })
+	}
 }

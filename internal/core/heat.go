@@ -14,31 +14,57 @@ import (
 // vertex with that rank converts its remote round-trips into local reads.
 // The counters are process-local (never travel over the fabric); Rebalance
 // folds the per-rank top-K samples through the collective layer.
+//
+// Each cell remembers the owner rank the access actually resolved against
+// (the post-chase placement, when the fetch went through a forwarding stub).
+// Heat is only meaningful relative to a placement: a count accumulated while
+// the vertex lived on rank A says nothing about its locality once it has
+// moved to B, and feeding it into a plan would read as demand to move the
+// vertex back to the vacated rank. An access observing a new owner therefore
+// starts the count over, and planRebalance discards samples whose recorded
+// owner is no longer current.
 type heatShard struct {
 	mu sync.Mutex
-	m  map[uint64]uint64
+	m  map[uint64]heatCell
+}
+
+// heatCell is one vertex's entry in a shard: the access count and the owner
+// rank those accesses resolved against.
+type heatCell struct {
+	count uint64
+	owner fabric.Rank
 }
 
 func newHeatShard() *heatShard {
-	return &heatShard{m: make(map[uint64]uint64)}
+	return &heatShard{m: make(map[uint64]heatCell)}
 }
 
-// HeatSample is one (vertex, access count) pair of a rank's heat shard.
+// HeatSample is one (vertex, access count) record of a rank's heat shard,
+// tagged with the owner rank the counted accesses resolved against.
 type HeatSample struct {
 	App   uint64
 	Count uint64
+	Owner fabric.Rank
 }
 
-// recordHeat counts one holder fetch of appID issued by rank r. It is the
-// single hot-path hook of the rebalancer and is gated on the knob so that
-// databases without rebalancing pay nothing.
-func (e *Engine) recordHeat(r fabric.Rank, appID uint64) {
+// recordHeat counts one holder fetch of appID issued by rank r, resolved
+// against the holder's observed owner rank (after any forwarding-stub chase).
+// It is the single hot-path hook of the rebalancer and is gated on the knob
+// so that databases without rebalancing pay nothing.
+func (e *Engine) recordHeat(r fabric.Rank, appID uint64, owner fabric.Rank) {
 	if !e.cfg.RebalanceHeatTracking {
 		return
 	}
 	hs := e.heat[r]
 	hs.mu.Lock()
-	hs.m[appID]++
+	c := hs.m[appID]
+	if c.owner != owner {
+		// The vertex moved since the last access: counts from the old
+		// placement are stale, start the new era at zero.
+		c = heatCell{owner: owner}
+	}
+	c.count++
+	hs.m[appID] = c
 	hs.mu.Unlock()
 }
 
@@ -52,8 +78,8 @@ func (e *Engine) topHeat(r fabric.Rank, k int) []HeatSample {
 	hs := e.heat[r]
 	hs.mu.Lock()
 	out := make([]HeatSample, 0, len(hs.m))
-	for app, n := range hs.m {
-		out = append(out, HeatSample{App: app, Count: n})
+	for app, c := range hs.m {
+		out = append(out, HeatSample{App: app, Count: c.count, Owner: c.owner})
 	}
 	hs.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
@@ -74,7 +100,7 @@ func (e *Engine) HeatOf(r fabric.Rank, appID uint64) uint64 {
 	hs := e.heat[r]
 	hs.mu.Lock()
 	defer hs.mu.Unlock()
-	return hs.m[appID]
+	return hs.m[appID].count
 }
 
 // resetHeat clears rank r's shard; Rebalance calls it after applying a plan
@@ -82,6 +108,6 @@ func (e *Engine) HeatOf(r fabric.Rank, appID uint64) uint64 {
 func (e *Engine) resetHeat(r fabric.Rank) {
 	hs := e.heat[r]
 	hs.mu.Lock()
-	hs.m = make(map[uint64]uint64)
+	hs.m = make(map[uint64]heatCell)
 	hs.mu.Unlock()
 }

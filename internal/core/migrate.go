@@ -209,6 +209,7 @@ func (e *Engine) MigrateVertices(me fabric.Rank, moves []MigrationMove) (int, er
 	// lock the secondary words (destination + every other home stub) with a
 	// second best-effort train.
 	var secTrain []locks.TrainLock
+	var replSkip []*migCand // replicated vertices skipped under a held lock
 	for _, c := range live {
 		if !c.ok {
 			continue
@@ -220,6 +221,19 @@ func (e *Engine) MigrateVertices(me fabric.Rank, moves []MigrationMove) (int, er
 		}
 		if val, found := e.index.Lookup(me, v.AppID); !found || fabric.DPtr(val) != c.mv.Old {
 			skip(c) // the index no longer names this placement
+			continue
+		}
+		if len(v.Replicas) > 0 || v.IsReplica {
+			// Replicated vertices are pinned in place: moving the primary
+			// would strand every follower's lockstep version and directory
+			// key. Rebalancing one means dropping its replicas first (a
+			// commit-path reshape does that; a later seeding round restores
+			// k elsewhere). The write lock is already queued on the release
+			// train, whose bump without a content change is fanned to the
+			// followers after the train so they stay in lockstep.
+			c.v = v
+			replSkip = append(replSkip, c)
+			skip(c)
 			continue
 		}
 		c.v = v
@@ -374,6 +388,9 @@ func (e *Engine) MigrateVertices(me fabric.Rank, moves []MigrationMove) (int, er
 		relVers = append(relVers, c.secVers...)
 	}
 	locks.ReleaseWriteTrain(me, relWords, relVers)
+	for _, c := range replSkip {
+		e.bumpMirrors(me, c.v, c.ver)
+	}
 	for _, c := range live {
 		if !c.ok { // skipped, or not swung on the fatal path
 			continue
@@ -456,16 +473,21 @@ func (e *Engine) planRebalance(tops [][]HeatSample) []MigrationMove {
 		app    uint64
 		total  uint64
 		byRank []uint64
+		owners []fabric.Rank // owner each sampling rank observed (NullRank: no sample)
 	}
 	acc := make(map[uint64]*candidate)
 	for r, list := range tops {
 		for _, s := range list {
 			c := acc[s.App]
 			if c == nil {
-				c = &candidate{app: s.App, byRank: make([]uint64, n)}
+				c = &candidate{app: s.App, byRank: make([]uint64, n), owners: make([]fabric.Rank, n)}
+				for i := range c.owners {
+					c.owners[i] = fabric.NullRank
+				}
 				acc[s.App] = c
 			}
 			c.byRank[r] += s.Count
+			c.owners[r] = s.Owner
 			c.total += s.Count
 		}
 	}
@@ -483,7 +505,7 @@ func (e *Engine) planRebalance(tops [][]HeatSample) []MigrationMove {
 	var plan []MigrationMove
 	for _, c := range cands {
 		if c.total < uint64(e.cfg.RebalanceMinHeat) {
-			break // sorted descending: nothing hotter follows
+			break // sorted descending (raw totals bound filtered ones): nothing hotter follows
 		}
 		val, found := e.index.Lookup(0, c.app)
 		if !found {
@@ -491,13 +513,29 @@ func (e *Engine) planRebalance(tops [][]HeatSample) []MigrationMove {
 		}
 		old := fabric.DPtr(val)
 		owner := old.Rank()
+		// Only samples recorded against the current placement count: heat a
+		// rank accumulated while the vertex lived elsewhere (including reads
+		// that chased a forwarding stub off a vacated rank) says nothing
+		// about locality under the placement being planned against, and
+		// counting it would drag the vertex back to ranks it just left.
+		heat := make([]uint64, n)
+		var total uint64
+		for r := 0; r < n; r++ {
+			if c.owners[r] == owner {
+				heat[r] = c.byRank[r]
+				total += heat[r]
+			}
+		}
+		if total < uint64(e.cfg.RebalanceMinHeat) {
+			continue
+		}
 		best := fabric.Rank(0)
 		for r := 1; r < n; r++ {
-			if c.byRank[r] > c.byRank[best] {
+			if heat[r] > heat[best] {
 				best = fabric.Rank(r)
 			}
 		}
-		if best == owner || c.byRank[best] <= c.byRank[owner] {
+		if best == owner || heat[best] <= heat[owner] {
 			continue // already placed with (or tied with) its dominant accessor
 		}
 		if movesPerDest[best] >= e.cfg.RebalanceMaxMoves {

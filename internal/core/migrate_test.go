@@ -445,3 +445,78 @@ func TestMigrationPlanRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestRebalanceIgnoresStaleOwnerHeat is the regression test for the
+// heat-attribution skew: heat recorded while a vertex lived on rank A must
+// not survive its migration away — before owner-tagged heat cells, the stale
+// samples dominated the plan and dragged the vertex straight back to the
+// rank it had just vacated.
+func TestRebalanceIgnoresStaleOwnerHeat(t *testing.T) {
+	e := newMigrationEngine(t, 3)
+	pt := payloadPType(t, e)
+	old := seedPayloadVertex(t, e, 1, pt, 4)
+	owner := old.Rank()
+
+	// The owner rank hammers its own vertex: heat lands on the owner's
+	// shard, tagged with the current placement.
+	for i := 0; i < 8; i++ {
+		readPayload(t, e, owner, old, pt)
+	}
+	if got := e.HeatOf(owner, 1); got != 8 {
+		t.Fatalf("owner heat = %d, want 8", got)
+	}
+
+	// The vertex moves to a different rank (an operator migration, not a
+	// Rebalance round — so no heat reset happens).
+	dest := rma.Rank((int(owner) + 1) % 3)
+	mustMigrate(t, e, 1, dest)
+
+	gather := func() [][]HeatSample {
+		tops := make([][]HeatSample, 3)
+		for r := range tops {
+			tops[r] = e.topHeat(rma.Rank(r), 100)
+		}
+		return tops
+	}
+
+	// The stale owner-era heat must not produce a move: every sample was
+	// recorded against the vacated placement. The old code planned
+	// App 1 → owner here, bouncing the vertex back.
+	for _, mv := range e.planRebalance(gather()) {
+		if mv.App == 1 {
+			t.Fatalf("stale heat produced move %+v back toward the vacated rank", mv)
+		}
+	}
+
+	// Fresh traffic against the new placement still drives planning: an
+	// accessor rank distinct from the new owner reads the vertex more than
+	// anyone else, and the plan moves the vertex to it.
+	acc := rma.Rank((int(dest) + 1) % 3)
+	val, ok := e.index.Lookup(0, 1)
+	if !ok {
+		t.Fatal("vertex 1 missing from the index")
+	}
+	for i := 0; i < 12; i++ {
+		readPayload(t, e, acc, rma.DPtr(val), pt)
+	}
+	var planned *MigrationMove
+	for _, mv := range e.planRebalance(gather()) {
+		if mv.App == 1 {
+			planned = &mv
+			break
+		}
+	}
+	if planned == nil || planned.Dest != acc {
+		t.Fatalf("fresh post-move heat planned %+v, want a move of App 1 to rank %d", planned, acc)
+	}
+
+	// An access chasing the forwarding stub is attributed to the post-chase
+	// owner, so it counts as current-era heat, not stale heat.
+	readPayload(t, e, acc, old, pt)
+	tops := gather()
+	for _, s := range tops[acc] {
+		if s.App == 1 && s.Owner != dest {
+			t.Fatalf("stub-chased access recorded owner %d, want post-chase owner %d", s.Owner, dest)
+		}
+	}
+}

@@ -1,0 +1,820 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"github.com/gdi-go/gdi/internal/fabric"
+	"github.com/gdi-go/gdi/internal/holder"
+	"github.com/gdi-go/gdi/internal/locks"
+)
+
+// k-replica holder chains: read-scale replication with kill-a-rank failover.
+//
+// A replicated vertex has one primary holder chain (the placement the
+// internal index names) plus up to k-1 follower chains, each a byte-identical
+// copy of the primary's stream — except the replica flag and the block table,
+// which points at the follower's own blocks — living entirely on one other
+// rank. The follower's head block's lock word is not a lock but a mirrored
+// version word kept in lockstep with the primary's: follower word free at
+// version v means the follower content equals the primary content at v
+// (package locks' mirror trains maintain this).
+//
+// The moving parts, all reusing machinery that already exists:
+//
+//   - Seeding (replicateOne) is a follower-side pull built from the migration
+//     train's primitives: best-effort write-lock of the primary, a batched
+//     chain read, re-encode with one more follower group, publish, enter the
+//     new word into lockstep. The puller records the copy in its rank-local
+//     replica directory (primary DPtr → local follower head).
+//   - Commit fan-out (commit.go) mirror-marks the follower words of every
+//     same-shape rewrite, lands the follower payload inside the same group
+//     committer train as the primary's blocks, and releases the words to the
+//     primary's new version — primary-then-follower order. Reshapes and
+//     deletions drop the groups instead (dropFollowerGroups).
+//   - Optimistic reads (tryReplicaRead) are served by the local follower with
+//     a seqlock read of its chain; the observed version is recorded against
+//     the *primary* DPtr, so the existing commit-time validation train checks
+//     it against the primary's word. A follower that fell out of lockstep
+//     therefore costs an optimistic abort, never a stale read — correctness
+//     does not depend on fan-out completeness.
+//   - Failover (PromoteDead): when the transport reports a rank dead, each
+//     surviving follower CASes the vertex's DHT entry from the dead primary
+//     to its own follower head. The winner re-encodes itself as primary
+//     (pruning the dead rank's placements), rewrites the surviving followers
+//     back into lockstep, and rekeys their directories; losers just rekey or
+//     self-drop. The DHT's word shards survive a data-plane death, which is
+//     what makes the CAS arbitration possible.
+
+// replicaEntry is one follower copy hosted by this rank.
+type replicaEntry struct {
+	head fabric.DPtr // local head block of the follower chain
+	app  uint64
+}
+
+// replicaShard is one rank's replica directory: primary DPtr → local
+// follower. Reads route through it; promotion scans it for dead primaries.
+type replicaShard struct {
+	mu sync.Mutex
+	m  map[fabric.DPtr]replicaEntry
+}
+
+func newReplicaShard() *replicaShard {
+	return &replicaShard{m: make(map[fabric.DPtr]replicaEntry)}
+}
+
+func (s *replicaShard) lookup(primary fabric.DPtr) (replicaEntry, bool) {
+	s.mu.Lock()
+	e, ok := s.m[primary]
+	s.mu.Unlock()
+	return e, ok
+}
+
+func (s *replicaShard) install(primary fabric.DPtr, e replicaEntry) {
+	s.mu.Lock()
+	s.m[primary] = e
+	s.mu.Unlock()
+}
+
+func (s *replicaShard) drop(primary fabric.DPtr) {
+	s.mu.Lock()
+	delete(s.m, primary)
+	s.mu.Unlock()
+}
+
+// rekey moves an entry to a new primary key (after a follower promotion).
+// Idempotent: the loser and the winner's rekey service call may both run.
+func (s *replicaShard) rekey(old, new fabric.DPtr) {
+	s.mu.Lock()
+	if e, ok := s.m[old]; ok {
+		delete(s.m, old)
+		s.m[new] = e
+	}
+	s.mu.Unlock()
+}
+
+func (s *replicaShard) size() int {
+	s.mu.Lock()
+	n := len(s.m)
+	s.mu.Unlock()
+	return n
+}
+
+// promotable snapshots the entries whose primary lives on a dead rank.
+func (s *replicaShard) promotable(dead map[fabric.Rank]bool) []promoteItem {
+	var out []promoteItem
+	s.mu.Lock()
+	for primary, e := range s.m {
+		if dead[primary.Rank()] {
+			out = append(out, promoteItem{primary: primary, head: e.head, app: e.app})
+		}
+	}
+	s.mu.Unlock()
+	return out
+}
+
+type promoteItem struct {
+	primary fabric.DPtr
+	head    fabric.DPtr
+	app     uint64
+}
+
+// runIsolated runs fn, absorbing a peer-death panic (the fabric's report that
+// a remote operation hit a dead rank) into a false return. Every other panic
+// propagates. Replication work is always best-effort against failures — a
+// dead peer never takes the caller down with it.
+func runIsolated(fn func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, peer := fabric.AsPeerDeath(r); peer {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return true
+}
+
+// Directory plumbing across processes: direct map access when the follower
+// rank's memory is in this process, one control-plane service call when not —
+// the same routing the explicit indexes use.
+
+func (e *Engine) replDirInstall(origin, fr fabric.Rank, primary, head fabric.DPtr, app uint64) {
+	if e.fab.Local(fr) {
+		e.repl[fr].install(primary, replicaEntry{head: head, app: app})
+		return
+	}
+	req := make([]byte, 24)
+	binary.LittleEndian.PutUint64(req[0:], uint64(primary))
+	binary.LittleEndian.PutUint64(req[8:], uint64(head))
+	binary.LittleEndian.PutUint64(req[16:], app)
+	e.fab.Call(origin, fr, fabric.SvcReplicaInstall, req)
+}
+
+func (e *Engine) replDirDrop(origin, fr fabric.Rank, primary fabric.DPtr) {
+	if e.fab.Local(fr) {
+		e.repl[fr].drop(primary)
+		return
+	}
+	req := make([]byte, 16)
+	binary.LittleEndian.PutUint64(req[0:], uint64(primary))
+	binary.LittleEndian.PutUint64(req[8:], uint64(fr))
+	e.fab.Call(origin, fr, fabric.SvcReplicaDrop, req)
+}
+
+func (e *Engine) replDirRekey(origin, fr fabric.Rank, old, new fabric.DPtr) {
+	if e.fab.Local(fr) {
+		e.repl[fr].rekey(old, new)
+		return
+	}
+	req := make([]byte, 24)
+	binary.LittleEndian.PutUint64(req[0:], uint64(old))
+	binary.LittleEndian.PutUint64(req[8:], uint64(new))
+	binary.LittleEndian.PutUint64(req[16:], uint64(fr))
+	e.fab.Call(origin, fr, fabric.SvcReplicaRekey, req)
+}
+
+// listVertices snapshots rank src's vertex shard as (appID, DPtr) pairs, for
+// replica placement planning.
+func (e *Engine) listVertices(origin, src fabric.Rank) []promoteItem {
+	if e.fab.Local(src) {
+		li := e.local[src]
+		li.mu.Lock()
+		out := make([]promoteItem, 0, len(li.verts))
+		for dp, app := range li.verts {
+			out = append(out, promoteItem{primary: dp, app: app})
+		}
+		li.mu.Unlock()
+		return out
+	}
+	req := make([]byte, 8)
+	binary.LittleEndian.PutUint64(req, uint64(src))
+	resp := e.fab.Call(origin, src, fabric.SvcListVertices, req)
+	out := make([]promoteItem, 0, len(resp)/16)
+	for off := 0; off+16 <= len(resp); off += 16 {
+		out = append(out, promoteItem{
+			primary: fabric.DPtr(binary.LittleEndian.Uint64(resp[off:])),
+			app:     binary.LittleEndian.Uint64(resp[off+8:]),
+		})
+	}
+	return out
+}
+
+// bumpMirrors keeps followers in lockstep across a content-preserving write
+// release — an abort, a skipped migration, a bailed seed. The primary's
+// release bumped its version without changing content, so each follower word
+// just tracks the bump (free@ver → free@ver+1) with one best-effort CAS
+// train per follower rank. Called after the primary's release; a follower
+// already out of lockstep, or on a dead rank, is left alone.
+func (e *Engine) bumpMirrors(origin fabric.Rank, v *holder.Vertex, ver uint64) {
+	if v == nil || len(v.Replicas) == 0 {
+		return
+	}
+	byRank := make(map[fabric.Rank][]locks.Word)
+	for _, g := range v.Replicas {
+		if len(g) == 0 {
+			continue
+		}
+		fr := g[0].Rank()
+		if e.isDead(fr) {
+			continue
+		}
+		byRank[fr] = append(byRank[fr], e.lockWordOf(g[0]))
+	}
+	for _, words := range byRank {
+		vers := make([]uint64, len(words))
+		for i := range vers {
+			vers[i] = ver
+		}
+		w := words
+		runIsolated(func() { locks.BumpMirrorTrain(origin, w, vers) })
+	}
+}
+
+// ReplicateFromRank seeds follower copies on origin for every vertex of rank
+// src that has fewer than k-1 followers and none here yet. Best-effort: busy,
+// moved, already-replicated, or dead-rank vertices are skipped. Returns how
+// many copies were seeded.
+func (e *Engine) ReplicateFromRank(origin, src fabric.Rank, k int) int {
+	if src == origin || e.isDead(src) {
+		return 0
+	}
+	var listing []promoteItem
+	if !runIsolated(func() { listing = e.listVertices(origin, src) }) {
+		return 0
+	}
+	n := 0
+	for _, it := range listing {
+		seeded := false
+		runIsolated(func() { seeded = e.replicateOne(origin, it.app, k) })
+		if seeded {
+			n++
+		}
+	}
+	return n
+}
+
+// ReplicateUniform gives origin follower copies of the k-1 preceding ranks'
+// vertices, so every vertex ends up with followers on the k-1 ranks after its
+// primary once all ranks have run it. Returns the seed count.
+func (e *Engine) ReplicateUniform(origin fabric.Rank, k int) int {
+	n := 0
+	size := e.fab.Size()
+	for d := 1; d < k && d < size; d++ {
+		src := fabric.Rank((int(origin) - d + size) % size)
+		n += e.ReplicateFromRank(origin, src, k)
+	}
+	return n
+}
+
+// ReplicateHot seeds follower copies of origin's hottest remote vertices —
+// the topM entries of its own access-heat shard whose primary lives
+// elsewhere. This is the workload-aware placement the read-scale ablation
+// uses: each rank replicates exactly what it reads most. Requires
+// Config.RebalanceHeatTracking. Returns the seed count.
+func (e *Engine) ReplicateHot(origin fabric.Rank, k, topM int) int {
+	n := 0
+	for _, s := range e.topHeat(origin, topM) {
+		if s.Owner == origin {
+			continue
+		}
+		seeded := false
+		runIsolated(func() { seeded = e.replicateOne(origin, s.App, k) })
+		if seeded {
+			n++
+		}
+	}
+	return n
+}
+
+// replicateOne pulls one follower copy of vertex app onto origin, leaving the
+// vertex with at most k-1 follower groups. The primary is write-locked for
+// the duration (best-effort — a contended vertex is skipped), the chain is
+// re-encoded with the new group appended (which may grow the block count: the
+// group region participates in the holder's fixed point, so the primary chain
+// and every existing group grow in the same train), everything is published
+// with one vectored PUT train per rank, and the fresh follower word enters
+// lockstep at the version the primary's release bumps to.
+func (e *Engine) replicateOne(origin fabric.Rank, app uint64, k int) bool {
+	if k < 2 {
+		return false
+	}
+	val, found := e.index.Lookup(origin, app)
+	if !found {
+		return false
+	}
+	primary := fabric.DPtr(val)
+	if primary.Rank() == origin || !e.validPoolDPtr(primary) || e.isDead(primary.Rank()) {
+		return false
+	}
+	if _, dup := e.repl[origin].lookup(primary); dup {
+		return false
+	}
+	bs := e.cfg.BlockSize
+
+	word := e.lockWordOf(primary)
+	vers, held := locks.AcquireWriteTrainEach(origin, []locks.TrainLock{{Word: word}}, e.cfg.LockTries)
+	if !held[0] {
+		return false
+	}
+	pv := vers[0]
+
+	var fresh []fabric.DPtr // rollback list for every block acquired here
+	var v *holder.Vertex
+	bail := func() bool {
+		for _, dp := range fresh {
+			e.store.ReleaseBlock(origin, dp)
+		}
+		locks.ReleaseWriteTrain(origin, []locks.Word{word}, []uint64{pv})
+		// The release bumped the primary's version without changing content;
+		// keep any existing followers in lockstep across it.
+		if v != nil {
+			e.bumpMirrors(origin, v, pv)
+		}
+		return false
+	}
+
+	// Read the chain under the lock (content is stable).
+	buf := make([]byte, bs)
+	e.store.ReadBlock(origin, primary, buf)
+	nb := holder.NumBlocks(buf)
+	if nb < 1 || nb > e.store.BlocksPerRank() || holder.IsMoved(buf) || holder.IsEdgeHolder(buf) {
+		return bail()
+	}
+	chain := make([]fabric.DPtr, 1, nb)
+	chain[0] = primary
+	if nb > 1 {
+		full := make([]byte, nb*bs)
+		copy(full, buf)
+		buf = full
+		for i := 1; i < nb; i++ {
+			dp := holder.TableEntry(buf, i-1)
+			if !e.validPoolDPtr(dp) {
+				return bail()
+			}
+			e.store.ReadBlock(origin, dp, buf[i*bs:(i+1)*bs])
+			chain = append(chain, dp)
+		}
+	}
+	var err error
+	v, err = holder.DecodeVertex(buf)
+	if err != nil || v.AppID != app || v.IsReplica {
+		v = nil
+		return bail()
+	}
+	if len(v.Replicas) >= k-1 {
+		return bail()
+	}
+	for _, g := range v.Replicas {
+		if len(g) == 0 || g[0].Rank() == origin || e.isDead(g[0].Rank()) {
+			return bail() // already following here, corrupt group, or dead follower
+		}
+	}
+
+	// Fixed point with one more group, then allocate: the new group here,
+	// plus growth blocks for the primary chain and every existing group when
+	// the bigger group region pushed the holder over a block boundary.
+	existing := len(v.Replicas)
+	v.Replicas = append(v.Replicas, nil)
+	need := holder.VertexBlocks(v, bs)
+	acquire := func(target fabric.Rank, dst []fabric.DPtr) ([]fabric.DPtr, bool) {
+		for len(dst) < need {
+			dp, aerr := e.store.AcquireBlock(origin, target)
+			if aerr != nil {
+				return dst, false
+			}
+			fresh = append(fresh, dp)
+			dst = append(dst, dp)
+		}
+		return dst, true
+	}
+	group, ok := acquire(origin, make([]fabric.DPtr, 0, need))
+	if !ok {
+		return bail()
+	}
+	if chain, ok = acquire(primary.Rank(), chain); !ok {
+		return bail()
+	}
+	for gi := 0; gi < existing; gi++ {
+		if v.Replicas[gi], ok = acquire(v.Replicas[gi][0].Rank(), v.Replicas[gi]); !ok {
+			return bail()
+		}
+	}
+	v.Replicas[existing] = group
+
+	// Version monotonicity guard: the fresh follower word will be stored to
+	// pv+1, and version-validated caches rely on every word only moving
+	// forward. A recycled block whose word already sits at or above pv+1
+	// would rewind it — skip the vertex instead (rare: most block words sit
+	// far below a live vertex's version).
+	headWord := e.lockWordOf(group[0])
+	if locks.Version(headWord.Stamp(origin))+1 > pv+1 {
+		return bail()
+	}
+
+	// Mirror-mark the existing groups: their streams must be rewritten too
+	// (the group region of the content changes with ours). A mark that fails
+	// means lockstep was already broken — abort the seed and leave the vertex
+	// as it was.
+	gWords := make([]locks.Word, existing)
+	gVers := make([]uint64, existing)
+	for gi := 0; gi < existing; gi++ {
+		gWords[gi] = e.lockWordOf(v.Replicas[gi][0])
+		gVers[gi] = pv
+	}
+	if existing > 0 {
+		heldG := locks.AcquireMirrorTrain(origin, gWords, gVers)
+		all := true
+		for _, h := range heldG {
+			all = all && h
+		}
+		if !all {
+			var got []locks.Word
+			var gotV []uint64
+			for i, h := range heldG {
+				if h {
+					got = append(got, gWords[i])
+					gotV = append(gotV, gVers[i])
+				}
+			}
+			if len(got) > 0 {
+				locks.ReleaseMirrorTrain(origin, got, gotV) // to pv+1, matching bail's bump
+			}
+			return bail()
+		}
+	}
+
+	// Publish: the grown primary chain plus every follower stream, one
+	// vectored PUT train per rank.
+	stream := holder.EncodeVertex(v, bs)
+	for i := 1; i < need; i++ {
+		holder.SetTableEntry(stream, i-1, chain[i])
+	}
+	var wDps []fabric.DPtr
+	var wData [][]byte
+	for i := 0; i < need; i++ {
+		wDps = append(wDps, chain[i])
+		wData = append(wData, stream[i*bs:(i+1)*bs])
+	}
+	for gi := 0; gi <= existing; gi++ {
+		rep := holder.RewriteAsReplica(stream, v.Replicas[gi])
+		for i, dp := range v.Replicas[gi] {
+			wDps = append(wDps, dp)
+			wData = append(wData, rep[i*bs:(i+1)*bs])
+		}
+	}
+	e.store.WriteBlocksBatch(origin, wDps, wData)
+
+	// Release in lockstep order: primary first (pv → pv+1), then the marked
+	// groups, then the fresh word enters at pv+1; only then does the
+	// directory make the copy reachable.
+	locks.ReleaseWriteTrain(origin, []locks.Word{word}, []uint64{pv})
+	if existing > 0 {
+		locks.ReleaseMirrorTrain(origin, gWords, gVers)
+	}
+	locks.SeedMirrorWord(origin, headWord, pv)
+	e.repl[origin].install(primary, replicaEntry{head: group[0], app: app})
+	e.reseeds.Add(1)
+	return true
+}
+
+// tryReplicaRead serves an optimistic fetch from a local follower copy: a
+// seqlock read of the follower chain (stamp, read, re-stamp), decoded and
+// validated, with the observed version recorded by the caller against the
+// primary DPtr — the existing commit-time validation train then checks it
+// against the primary's word, so a stale follower costs an abort, never a
+// stale read. Returns false (and possibly drops the directory entry) on any
+// miss; the caller falls back to the remote fetch path.
+func (tx *Tx) tryReplicaRead(dp fabric.DPtr) (*vertexState, uint64, bool) {
+	e := tx.eng
+	ent, ok := e.repl[tx.rank].lookup(dp)
+	if !ok {
+		return nil, 0, false
+	}
+	bs := e.cfg.BlockSize
+	word := e.lockWordOf(ent.head)
+	w1 := word.Stamp(tx.rank)
+	if locks.WriteHeld(w1) {
+		return nil, 0, false // fan-out or reseed in flight
+	}
+	buf := make([]byte, bs)
+	e.store.ReadBlock(tx.rank, ent.head, buf)
+	nb := holder.NumBlocks(buf)
+	if nb < 1 || nb > e.store.BlocksPerRank() || !holder.IsReplicaBlock(buf) || holder.IsMoved(buf) {
+		e.repl[tx.rank].drop(dp)
+		return nil, 0, false
+	}
+	if nb > 1 {
+		full := make([]byte, nb*bs)
+		copy(full, buf)
+		buf = full
+		for i := 1; i < nb; i++ {
+			bdp := holder.TableEntry(buf, i-1)
+			if !e.validPoolDPtr(bdp) || bdp.Rank() != tx.rank {
+				e.repl[tx.rank].drop(dp)
+				return nil, 0, false
+			}
+			e.store.ReadBlock(tx.rank, bdp, buf[i*bs:(i+1)*bs])
+		}
+	}
+	if word.Stamp(tx.rank) != w1 {
+		return nil, 0, false // torn: a fan-out landed mid-read
+	}
+	v, err := holder.DecodeVertex(buf)
+	if err != nil || !v.IsReplica || v.AppID != ent.app {
+		e.repl[tx.rank].drop(dp)
+		return nil, 0, false
+	}
+	e.replicaReads.Add(1)
+	st := &vertexState{primary: dp, v: v}
+	return st, locks.Version(w1), true
+}
+
+// PromoteDead promotes this rank's follower copies of every vertex whose
+// primary lives on a rank the transport has reported dead. Each entry races
+// the vertex's other surviving followers through one DHT CAS
+// (ReplaceFetch: dead primary → my follower head); the winner becomes the new
+// primary, the losers learn the winner from the failed CAS and rekey their
+// directories. Safe to call repeatedly; returns how many vertices this rank
+// won.
+//
+// Call it after the surviving ranks' in-flight commits have drained (the
+// OLTP drivers quiesce, then every survivor promotes). A follower word still
+// write-marked at that point can only be the unfinished fan-out of a
+// committer that died with the primary's rank, which promotion steals; a
+// live committer racing this call could have its fan-out half-applied over
+// the promoted copy.
+func (e *Engine) PromoteDead(origin fabric.Rank) int {
+	dead := e.deadSet()
+	if len(dead) == 0 {
+		return 0
+	}
+	if e.snap != nil {
+		// Like migration: a cut must not stamp shards mid-rewrite.
+		e.htapGate.RLock()
+		defer e.htapGate.RUnlock()
+	}
+	won := 0
+	for _, it := range e.repl[origin].promotable(dead) {
+		promoted := false
+		item := it
+		runIsolated(func() { promoted = e.promoteOne(origin, item, dead) })
+		if promoted {
+			won++
+		}
+	}
+	return won
+}
+
+func (e *Engine) promoteOne(origin fabric.Rank, it promoteItem, dead map[fabric.Rank]bool) bool {
+	bs := e.cfg.BlockSize
+	headWord := e.lockWordOf(it.head)
+
+	// My follower word is normally free (the primary that mirror-marks it is
+	// dead). A committer that died mid-fan-out can have left it marked — and
+	// possibly the content torn — in which case the mark is stolen: nothing
+	// will ever complete that fan-out.
+	w := headWord.Stamp(origin)
+	stolen := locks.WriteHeld(w)
+	fv := locks.Version(w)
+
+	cur, swapped, found := e.index.ReplaceFetch(origin, it.app, uint64(it.primary), uint64(it.head))
+	if !found {
+		// The vertex was deleted. The deleting commit's drop path owns the
+		// follower blocks; only the directory entry is ours to clear.
+		e.repl[origin].drop(it.primary)
+		return false
+	}
+	if !swapped && fabric.DPtr(cur) != it.head {
+		// Lost to another follower. If my word is free the winner mirror-marks
+		// and rewrites my copy, so the entry stays valid under the new
+		// primary; a stolen (dead-marked) word the winner cannot acquire —
+		// it pruned my group, so the copy is garbage: self-drop.
+		if stolen {
+			e.repl[origin].drop(it.primary)
+			e.replicaDrops.Add(1)
+			// The blocks are mine alone now (the winner pruned the group);
+			// read the chain to find and free them, best-effort.
+			buf := make([]byte, bs)
+			e.store.ReadBlock(origin, it.head, buf)
+			if nb := holder.NumBlocks(buf); nb >= 1 && nb <= e.store.BlocksPerRank() && holder.IsReplicaBlock(buf) {
+				locks.SeedMirrorWord(origin, headWord, fv) // clear the dead mark
+				if nb > 1 {
+					full := make([]byte, nb*bs)
+					copy(full, buf)
+					buf = full
+					for i := 1; i < nb; i++ {
+						dp := holder.TableEntry(buf, i-1)
+						if !e.validPoolDPtr(dp) || dp.Rank() != origin {
+							return false
+						}
+						e.store.ReadBlock(origin, dp, buf[i*bs:(i+1)*bs])
+					}
+				}
+				if v, err := holder.DecodeVertex(buf); err == nil && v.AppID == it.app {
+					for _, g := range v.Replicas {
+						if len(g) > 0 && g[0] == it.head {
+							for _, dp := range g {
+								e.store.ReleaseBlock(origin, dp)
+							}
+							break
+						}
+					}
+				}
+			}
+			return false
+		}
+		e.repl[origin].rekey(it.primary, fabric.DPtr(cur))
+		return false
+	}
+
+	// Won (or resuming an earlier win that failed before finishing): take the
+	// head word exclusively. A stolen mark already is exclusive possession.
+	if !swapped && fabric.DPtr(cur) == it.head {
+		// A previous PromoteDead call swung the entry but died before the
+		// rewrite; fall through and finish the job.
+	}
+	if !stolen {
+		if err := headWord.TryAcquireWrite(origin, e.cfg.LockTries); err != nil {
+			return false // local contention; retry on the next PromoteDead
+		}
+		fv = locks.Version(headWord.Stamp(origin))
+	}
+	release := func() {
+		locks.ReleaseWriteTrain(origin, []locks.Word{headWord}, []uint64{fv})
+	}
+
+	// Read my chain under the (held or stolen) word and decode. A torn
+	// half-fan-out copy fails decode or identity — the vertex's latest
+	// committed state is then unrecoverable from this rank; drop the entry so
+	// readers fail over to the DHT's (now swung) placement... which is this
+	// chain. That case means data loss was already inflicted by the dead rank
+	// mid-commit; nothing to preserve.
+	buf := make([]byte, bs)
+	e.store.ReadBlock(origin, it.head, buf)
+	nb := holder.NumBlocks(buf)
+	if nb < 1 || nb > e.store.BlocksPerRank() || !holder.IsReplicaBlock(buf) {
+		release()
+		e.repl[origin].drop(it.primary)
+		return false
+	}
+	chain := make([]fabric.DPtr, 1, nb)
+	chain[0] = it.head
+	if nb > 1 {
+		full := make([]byte, nb*bs)
+		copy(full, buf)
+		buf = full
+		for i := 1; i < nb; i++ {
+			dp := holder.TableEntry(buf, i-1)
+			if !e.validPoolDPtr(dp) || dp.Rank() != origin {
+				release()
+				e.repl[origin].drop(it.primary)
+				return false
+			}
+			e.store.ReadBlock(origin, dp, buf[i*bs:(i+1)*bs])
+			chain = append(chain, dp)
+		}
+	}
+	v, err := holder.DecodeVertex(buf)
+	if err != nil || v.AppID != it.app {
+		release()
+		e.repl[origin].drop(it.primary)
+		return false
+	}
+
+	// Mirror-mark the surviving sibling followers (they are rewritten below
+	// into lockstep with the new primary); prune my own group, every group on
+	// a dead rank, and any sibling that fails the mark.
+	var survivors [][]fabric.DPtr
+	var sWords []locks.Word
+	var sVers []uint64
+	for _, g := range v.Replicas {
+		if len(g) == 0 || g[0] == it.head || dead[g[0].Rank()] || e.isDead(g[0].Rank()) {
+			continue
+		}
+		held := false
+		gw := e.lockWordOf(g[0])
+		runIsolated(func() {
+			held = locks.AcquireMirrorTrain(origin, []locks.Word{gw}, []uint64{fv})[0]
+		})
+		if !held {
+			e.replicaDrops.Add(1)
+			continue
+		}
+		survivors = append(survivors, g)
+		sWords = append(sWords, gw)
+		sVers = append(sVers, fv)
+	}
+
+	// Re-encode as primary: replica flag cleared, my group and the dead
+	// ranks' placements pruned. Content only shrinks, so the chains keep
+	// their block count or release a tail.
+	v.IsReplica = false
+	v.Replicas = survivors
+	homes := v.Homes[:0]
+	for _, h := range v.Homes {
+		if !dead[h.Rank()] && !e.isDead(h.Rank()) {
+			homes = append(homes, h)
+		}
+	}
+	v.Homes = homes
+	need := holder.VertexBlocks(v, bs)
+	if need > nb {
+		need = nb // cannot happen (content shrank); never grow past the copy
+	}
+	// Shrink every surviving group to the new block count before encoding
+	// (group length must equal the holder's block count exactly).
+	var freeTail []fabric.DPtr
+	for gi, g := range v.Replicas {
+		if len(g) > need {
+			freeTail = append(freeTail, g[need:]...)
+			v.Replicas[gi] = g[:need]
+		}
+	}
+	stream := holder.EncodeVertex(v, bs)
+	for i := 1; i < need; i++ {
+		holder.SetTableEntry(stream, i-1, chain[i])
+	}
+
+	// Publish: my chain as the new primary, every survivor rewritten back
+	// into lockstep.
+	var wDps []fabric.DPtr
+	var wData [][]byte
+	for i := 0; i < need; i++ {
+		wDps = append(wDps, chain[i])
+		wData = append(wData, stream[i*bs:(i+1)*bs])
+	}
+	for _, g := range v.Replicas {
+		rep := holder.RewriteAsReplica(stream, g)
+		for i, dp := range g {
+			wDps = append(wDps, dp)
+			wData = append(wData, rep[i*bs:(i+1)*bs])
+		}
+	}
+	runIsolated(func() { e.store.WriteBlocksBatch(origin, wDps, wData) })
+
+	// Explicit indexes: the vertex now lives here; the dead rank's shard (if
+	// its memory is still in this process, as under the simulator's kill) is
+	// cleaned so collective scans stop listing the stale placement.
+	e.idxAddVertex(origin, it.head, it.app, v.Labels)
+	if e.fab.Local(it.primary.Rank()) {
+		e.local[it.primary.Rank()].removeVertex(it.primary, v.Labels)
+	}
+
+	// Release primary-then-follower: my word bumps to fv+1, the survivors
+	// follow, and their directories rekey to the new primary.
+	if stolen {
+		// The word carries the dead committer's mark, not a train
+		// acquisition; an unconditional store completes the "release".
+		locks.SeedMirrorWord(origin, headWord, fv)
+	} else {
+		release()
+	}
+	if len(sWords) > 0 {
+		runIsolated(func() { locks.ReleaseMirrorTrain(origin, sWords, sVers) })
+	}
+	for _, g := range v.Replicas {
+		fr := g[0].Rank()
+		gr := g
+		runIsolated(func() { e.replDirRekey(origin, fr, it.primary, it.head) })
+		_ = gr
+	}
+	for _, dp := range freeTail {
+		dpc := dp
+		runIsolated(func() { e.store.ReleaseBlock(origin, dpc) })
+	}
+	for _, dp := range chain[need:] {
+		e.store.ReleaseBlock(origin, dp)
+	}
+	e.repl[origin].drop(it.primary)
+	e.promotions.Add(1)
+	return true
+}
+
+// dropFollowerGroups retires a replicated vertex's follower groups at commit
+// time (reshape or deletion): each group's head is poisoned through the
+// commit's write-back train (put), its blocks are returned, and the follower
+// rank's directory entry is dropped — all best-effort against dead ranks. A
+// racing local replica read on the follower rank observes either the old
+// content (and fails version validation against the primary) or the poison
+// (and falls back); neither yields a stale read.
+func (e *Engine) dropFollowerGroups(origin fabric.Rank, primary fabric.DPtr, groups [][]fabric.DPtr) {
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		fr := g[0].Rank()
+		if !e.isDead(fr) {
+			gr := g
+			runIsolated(func() {
+				for _, dp := range gr {
+					e.store.ReleaseBlock(origin, dp)
+				}
+				e.replDirDrop(origin, fr, primary)
+			})
+		}
+		e.replicaDrops.Add(1)
+	}
+}

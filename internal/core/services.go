@@ -48,6 +48,41 @@ func (e *Engine) registerServices() {
 		e.local[dp.Rank()].updateLabels(dp, old, new)
 		return nil
 	})
+	// Replica-directory maintenance: seeders install, committers drop on
+	// reshape/delete, promotion winners rekey survivors. The hosting rank is
+	// carried in the request (install routes by the follower head's rank).
+	e.fab.Register(fabric.SvcReplicaInstall, func(from fabric.Rank, req []byte) []byte {
+		primary := fabric.DPtr(binary.LittleEndian.Uint64(req[0:]))
+		head := fabric.DPtr(binary.LittleEndian.Uint64(req[8:]))
+		app := binary.LittleEndian.Uint64(req[16:])
+		e.repl[head.Rank()].install(primary, replicaEntry{head: head, app: app})
+		return nil
+	})
+	e.fab.Register(fabric.SvcReplicaDrop, func(from fabric.Rank, req []byte) []byte {
+		primary := fabric.DPtr(binary.LittleEndian.Uint64(req[0:]))
+		fr := fabric.Rank(binary.LittleEndian.Uint64(req[8:]))
+		e.repl[fr].drop(primary)
+		return nil
+	})
+	e.fab.Register(fabric.SvcReplicaRekey, func(from fabric.Rank, req []byte) []byte {
+		old := fabric.DPtr(binary.LittleEndian.Uint64(req[0:]))
+		new := fabric.DPtr(binary.LittleEndian.Uint64(req[8:]))
+		fr := fabric.Rank(binary.LittleEndian.Uint64(req[16:]))
+		e.repl[fr].rekey(old, new)
+		return nil
+	})
+	e.fab.Register(fabric.SvcListVertices, func(from fabric.Rank, req []byte) []byte {
+		src := fabric.Rank(binary.LittleEndian.Uint64(req))
+		li := e.local[src]
+		li.mu.Lock()
+		resp := make([]byte, 0, 16*len(li.verts))
+		for dp, app := range li.verts {
+			resp = binary.LittleEndian.AppendUint64(resp, uint64(dp))
+			resp = binary.LittleEndian.AppendUint64(resp, app)
+		}
+		li.mu.Unlock()
+		return resp
+	})
 }
 
 // idxAddVertex publishes a committed vertex into its owner's explicit

@@ -131,13 +131,20 @@ func (m *Map) bucketOf(key uint64) (fabric.Rank, int) {
 	return fabric.Rank(b / uint64(m.bucketsPer)), int(b % uint64(m.bucketsPer))
 }
 
-// alloc grabs a heap slot on the origin's own rank (local, cheap) and bumps
-// its reuse tag. Falls back to stealing from successive ranks if the local
-// heap is exhausted.
-func (m *Map) alloc(origin fabric.Rank) (ref, bool) {
+// alloc grabs a heap slot on the preferred rank and bumps its reuse tag,
+// stealing from successive ranks if that heap is exhausted. Insert prefers
+// the key's bucket rank, so an entry fate-shares with the bucket that chains
+// it: losing a rank severs only the keys *hashed* there. The old
+// allocate-local policy tied each entry to its inserter — vertices are
+// inserted by the rank that owns them, so a rank death took down every one
+// of its vertices' directory entries along with their primary copies, and
+// replica failover had nothing left to swing (the correlated loss the
+// kill-a-rank tier caught on the wire transport, where dead memory is
+// really gone).
+func (m *Map) alloc(origin, prefer fabric.Rank) (ref, bool) {
 	n := m.f.Size()
 	for attempt := 0; attempt < n; attempt++ {
-		target := fabric.Rank((int(origin) + attempt) % n)
+		target := fabric.Rank((int(prefer) + attempt) % n)
 		if r, ok := m.allocOn(origin, target); ok {
 			return r, true
 		}
@@ -209,7 +216,7 @@ func (m *Map) loadEntry(origin fabric.Rank, p ref) (key, val uint64, next ref, o
 func (m *Map) Insert(origin fabric.Rank, key, val uint64) bool {
 	bRank, bIdx := m.bucketOf(key)
 	bucket := ref(uint64(bRank)<<rankShift | uint64(bIdx))
-	p, ok := m.alloc(origin)
+	p, ok := m.alloc(origin, bRank)
 	if !ok {
 		return false
 	}
@@ -261,45 +268,57 @@ func (m *Map) lookupOnce(origin fabric.Rank, key uint64) (val uint64, found, res
 // lost a race (or the entry was deleted) and must re-plan. Tombstoned or
 // recycled entries restart the walk, exactly as in Lookup.
 func (m *Map) Replace(origin fabric.Rank, key, old, new uint64) bool {
+	_, swapped, _ := m.ReplaceFetch(origin, key, old, new)
+	return swapped
+}
+
+// ReplaceFetch is Replace extended with the observed value: on a failed swing
+// it returns the value the entry actually held, so the caller learns what won
+// without a second chain walk. Follower promotion rides on this — every
+// surviving follower of a dead primary CASes the vertex's entry toward its
+// own copy, and the losers read the winner's placement straight out of the
+// failed CAS. found is false when no entry with the key exists at all.
+func (m *Map) ReplaceFetch(origin fabric.Rank, key, old, new uint64) (cur uint64, swapped, found bool) {
 	for {
-		done, swapped := m.replaceOnce(origin, key, old, new)
+		done, swapped, cur, found := m.replaceOnce(origin, key, old, new)
 		if done {
-			return swapped
+			return cur, swapped, found
 		}
 	}
 }
 
-func (m *Map) replaceOnce(origin fabric.Rank, key, old, new uint64) (done, swapped bool) {
+func (m *Map) replaceOnce(origin fabric.Rank, key, old, new uint64) (done, swapped bool, cur uint64, found bool) {
 	bRank, bIdx := m.bucketOf(key)
 	bucket := ref(uint64(bRank)<<rankShift | uint64(bIdx))
 	p := m.loadNext(origin, bucket)
 	for !p.isNull() {
 		k, v, next, ok := m.loadEntry(origin, p)
 		if !ok || next == p {
-			return false, false // tombstone or recycled: restart
+			return false, false, 0, false // tombstone or recycled: restart
 		}
 		if k == key {
 			if v != old {
-				return true, false
+				return true, false, v, true
 			}
 			base := int(p.idx()) * eWords
-			if _, ok := m.heap.CAS(origin, p.rank(), base+eVal, old, new); ok {
+			if prev, ok := m.heap.CAS(origin, p.rank(), base+eVal, old, new); ok {
 				// The CAS can only race the slot being recycled, which the
 				// reuse tag detects: confirm the entry still is ours. On a
 				// mismatch the swap landed in a recycled slot; undo it
 				// (best-effort — a loss means the new owner overwrote it,
 				// so their value stands) and restart the walk.
 				if tag := uint16(m.heap.Load(origin, p.rank(), base+eTag)); tag == p.tag() {
-					return true, true
+					return true, true, new, true
 				}
 				m.heap.CAS(origin, p.rank(), base+eVal, new, old)
-				return false, false
+				return false, false, 0, false
+			} else {
+				return true, false, prev, true
 			}
-			return true, false
 		}
 		p = next
 	}
-	return true, false
+	return true, false, 0, false
 }
 
 // Delete removes one entry with the given key. It reports whether an entry

@@ -38,6 +38,29 @@ func TestReplaceSwingsValue(t *testing.T) {
 	}
 }
 
+// TestReplaceFetchLoserLearnsWinner: a failed ReplaceFetch reports the value
+// the entry actually holds — the promotion path relies on this so a follower
+// that lost the CAS race learns the winner's placement without re-walking.
+func TestReplaceFetchLoserLearnsWinner(t *testing.T) {
+	f := rma.New(2)
+	m := New(f, Config{BucketsPerRank: 8, EntriesPerRank: 64})
+	if !m.Insert(0, 42, 100) {
+		t.Fatal("insert failed")
+	}
+	// Winner swings 100→200.
+	if cur, swapped, found := m.ReplaceFetch(0, 42, 100, 200); !swapped || !found || cur != 200 {
+		t.Fatalf("winner ReplaceFetch = (%d, %v, %v), want (200, true, true)", cur, swapped, found)
+	}
+	// Loser tries the same 100→300 swing and must observe the winner's 200.
+	if cur, swapped, found := m.ReplaceFetch(1, 42, 100, 300); swapped || !found || cur != 200 {
+		t.Fatalf("loser ReplaceFetch = (%d, %v, %v), want (200, false, true)", cur, swapped, found)
+	}
+	// Missing key: not found, nothing observed.
+	if cur, swapped, found := m.ReplaceFetch(0, 7, 0, 1); swapped || found || cur != 0 {
+		t.Fatalf("missing-key ReplaceFetch = (%d, %v, %v), want (0, false, false)", cur, swapped, found)
+	}
+}
+
 // TestReplaceConcurrentChain: Replace stays correct while the chain it walks
 // is churned by concurrent inserts and deletes of colliding keys, and
 // concurrent swings of the same key are linearizable (exactly one CAS chain

@@ -31,6 +31,8 @@
 // divergence instead of silently corrupting remote memory.
 package fabric
 
+import "fmt"
+
 // ByteWin is a byte-granularity RMA window: every rank owns a segment of
 // SegSize bytes, and any rank may Put/Get arbitrary ranges of any segment.
 // It models the MPI data window used by BGDL for block payloads.
@@ -154,6 +156,35 @@ type Messenger interface {
 	RecvBytes(from, to Rank) []byte
 }
 
+// PeerError reports that an operation targeted a rank the transport knows to
+// be dead (its process exited, its connection dropped, or the simulator's
+// KillRank hook marked it). The SPI's data-path methods return no errors —
+// remote operations on healthy fabrics cannot fail — so peer death surfaces
+// as a typed panic that failure-aware layers (the commit fan-out, promotion,
+// kill-a-rank harnesses) recover and convert; everything else keeps its
+// fail-stop behavior.
+type PeerError struct {
+	// Rank is the dead peer.
+	Rank Rank
+	// Op names the operation that observed the death (diagnostics only).
+	Op string
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("fabric: peer rank %d is dead (%s)", e.Rank, e.Op)
+}
+
+// AsPeerDeath reports whether a recovered panic value is a PeerError, and
+// returns it. Use in recover blocks:
+//
+//	defer func() {
+//		if pe, ok := fabric.AsPeerDeath(recover()); ok { ... }
+//	}()
+func AsPeerDeath(v any) (*PeerError, bool) {
+	pe, ok := v.(*PeerError)
+	return pe, ok
+}
+
 // ServiceID names a control-plane service handler (see Transport.Register).
 type ServiceID uint8
 
@@ -170,6 +201,17 @@ const (
 	SvcIndexRemove
 	// SvcIndexRelabel updates a vertex's label postings on the owner.
 	SvcIndexRelabel
+	// SvcReplicaInstall installs a primary→follower entry in the follower
+	// rank's replica directory.
+	SvcReplicaInstall
+	// SvcReplicaDrop removes a replica-directory entry on the follower rank.
+	SvcReplicaDrop
+	// SvcReplicaRekey moves a replica-directory entry to a new primary after
+	// a follower promotion.
+	SvcReplicaRekey
+	// SvcListVertices returns the (appID, DPtr) listing of the target rank's
+	// vertex shard, for replica placement planning.
+	SvcListVertices
 )
 
 // Handler services one control-plane call on the target rank. It must be
@@ -239,4 +281,17 @@ type Transport interface {
 	// cache lives in the block layer; the counters live here so cache
 	// traffic is reported alongside the one-sided traffic it replaces.
 	AddCache(origin Rank, hits, misses int64)
+
+	// Alive reports whether rank r is believed reachable. The simulator
+	// answers true unless a test harness killed the rank; a wire transport
+	// answers false once the connection to r's process has died. Liveness is
+	// advisory — an operation may still hit a peer that died an instant ago,
+	// in which case it panics with *PeerError.
+	Alive(r Rank) bool
+	// NotifyPeerDeath registers fn to be invoked (once per death, from a
+	// transport-owned goroutine) when a peer rank is detected dead: the
+	// liveness signal replica promotion hangs off. Multiple registrations
+	// all fire. Callbacks must not block and must not issue fabric
+	// operations toward the dead rank.
+	NotifyPeerDeath(fn func(r Rank))
 }

@@ -58,6 +58,20 @@ const (
 	opReset
 )
 
+// opName names an op code for PeerError diagnostics.
+func opName(op byte) string {
+	names := [...]string{
+		opGet: "get", opPut: "put", opGetBatch: "get-batch", opPutBatch: "put-batch",
+		opLoad: "load", opStore: "store", opCAS: "cas", opLoadBatch: "load-batch",
+		opCASBatch: "cas-batch", opFetchAdd: "fetch-add", opCall: "call",
+		opCounters: "counters", opReset: "reset",
+	}
+	if int(op) < len(names) && names[op] != "" {
+		return names[op]
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
 // maxFrame bounds a frame's length field: a defense against a corrupt or
 // hostile peer allocating unbounded memory. 1 GiB comfortably exceeds any
 // train the engine issues (the largest are full-inbox PutBatch deliveries).

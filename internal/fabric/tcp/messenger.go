@@ -22,6 +22,7 @@ type msgQueue struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	q    [][]byte
+	dead bool // source's connection died; drain what arrived, then fail fast
 }
 
 func newMessenger(t *Transport) *messenger {
@@ -58,7 +59,14 @@ func (m *messenger) SendBytes(from, to fabric.Rank, b []byte) {
 	if to < 0 || int(to) >= m.t.n || m.t.peers[to] == nil {
 		panic(fmt.Sprintf("tcp: send to unconnected rank %d", to))
 	}
-	m.t.peers[to].writeFrame(ftMsg, b)
+	p := m.t.peers[to]
+	if p.dead.Load() {
+		panic(&fabric.PeerError{Rank: to, Op: "send"})
+	}
+	if err := p.writeFrame(ftMsg, b); err != nil {
+		m.t.peerDied(p)
+		panic(&fabric.PeerError{Rank: to, Op: "send"})
+	}
 }
 
 // RecvBytes blocks until a delivery from from arrives and returns it. to
@@ -74,11 +82,27 @@ func (m *messenger) RecvBytes(from, to fabric.Rank) []byte {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.q) == 0 {
+		// A dead source can never deliver again: fail the wait instead of
+		// blocking a collective forever on a vanished peer.
+		if q.dead {
+			panic(&fabric.PeerError{Rank: from, Op: "recv"})
+		}
 		q.cond.Wait()
 	}
 	b := q.q[0]
 	q.q = q.q[1:]
 	return b
+}
+
+// fail poisons src's queue after its connection died: queued deliveries
+// remain drainable (TCP handed them over in order before the death), but any
+// wait that would block on more panics with *fabric.PeerError.
+func (m *messenger) fail(src fabric.Rank) {
+	q := &m.queues[src]
+	q.mu.Lock()
+	q.dead = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
 }
 
 // enqueue appends one delivery from src (called by the reader goroutine of

@@ -31,9 +31,7 @@ package tcp
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -77,9 +75,26 @@ type Transport struct {
 	services map[fabric.ServiceID]fabric.Handler
 
 	nextReq atomic.Uint64
-	pending sync.Map // reqID uint64 -> chan []byte
+	pending sync.Map // reqID uint64 -> *pendingReq
+
+	liveMu    sync.Mutex
+	deathSubs []func(fabric.Rank)
 
 	closed atomic.Bool
+}
+
+// pendingReq is one in-flight request: the response channel plus the target
+// rank, so a dying connection can fail exactly its own requests.
+type pendingReq struct {
+	target fabric.Rank
+	ch     chan pendingResp
+}
+
+// pendingResp completes one request: the response payload, or dead=true when
+// the peer connection died before responding.
+type pendingResp struct {
+	data []byte
+	dead bool
 }
 
 var _ fabric.Transport = (*Transport)(nil)
@@ -97,15 +112,15 @@ type peerConn struct {
 	rank fabric.Rank
 	c    net.Conn
 	wmu  sync.Mutex
+	dead atomic.Bool
 }
 
-func (p *peerConn) writeFrame(ft byte, body []byte) {
+func (p *peerConn) writeFrame(ft byte, body []byte) error {
 	buf := appendFrame(make([]byte, 0, 5+len(body)), ft, body)
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
-	if _, err := p.c.Write(buf); err != nil {
-		panic(fmt.Sprintf("tcp: writing to rank %d: %v", p.rank, err))
-	}
+	_, err := p.c.Write(buf)
+	return err
 }
 
 // New bootstraps this rank's end of the mesh and blocks until every pair
@@ -184,7 +199,9 @@ func (t *Transport) dialLower(peers []string, timeout time.Duration) error {
 		var hello [2]byte
 		binary.LittleEndian.PutUint16(hello[:], uint16(t.me))
 		p := &peerConn{rank: fabric.Rank(r), c: c}
-		p.writeFrame(ftHello, hello[:])
+		if err := p.writeFrame(ftHello, hello[:]); err != nil {
+			return fmt.Errorf("tcp: rank %d hello to rank %d: %w", t.me, r, err)
+		}
 		t.peers[r] = p
 	}
 	return nil
@@ -219,22 +236,25 @@ func (t *Transport) readLoop(p *peerConn) {
 	for {
 		ft, body, err := readFrame(p.c)
 		if err != nil {
-			// EOF is the peer's orderly Close at shutdown; our own Close
-			// surfaces as a read error on the closed connection. Anything
-			// else mid-run is a real mesh failure.
-			if t.closed.Load() || errors.Is(err, io.EOF) {
-				return
+			// Our own Close surfaces as a read error on the closed
+			// connection; anything else — orderly EOF at the peer's
+			// shutdown or a mid-run death (killed process, dropped conn) —
+			// marks the peer dead and fails everything waiting on it, so
+			// no caller is ever left blocked on a connection that can no
+			// longer answer.
+			if !t.closed.Load() {
+				t.peerDied(p)
 			}
-			panic(fmt.Sprintf("tcp: rank %d reading from rank %d: %v", t.me, p.rank, err))
+			return
 		}
 		switch ft {
 		case ftResp:
 			id := binary.LittleEndian.Uint64(body)
-			ch, ok := t.pending.LoadAndDelete(id)
+			pr, ok := t.pending.LoadAndDelete(id)
 			if !ok {
 				panic(fmt.Sprintf("tcp: rank %d response for unknown request %d", t.me, id))
 			}
-			ch.(chan []byte) <- body[8:]
+			pr.(*pendingReq).ch <- pendingResp{data: body[8:]}
 		case ftReq:
 			go t.serve(p, body)
 		case ftMsg:
@@ -245,6 +265,55 @@ func (t *Transport) readLoop(p *peerConn) {
 	}
 }
 
+// peerDied transitions one peer connection to the dead state exactly once:
+// every pending request targeting it completes immediately with a peer-death
+// verdict (the callers' blocked Call/train waits panic with *fabric.PeerError
+// instead of hanging forever), the messenger's per-source queue is poisoned
+// the same way, and the registered death callbacks fire.
+func (t *Transport) peerDied(p *peerConn) {
+	if !p.dead.CompareAndSwap(false, true) {
+		return
+	}
+	p.c.Close()
+	t.pending.Range(func(k, v any) bool {
+		pr := v.(*pendingReq)
+		if pr.target != p.rank {
+			return true
+		}
+		if _, loaded := t.pending.LoadAndDelete(k); loaded {
+			pr.ch <- pendingResp{dead: true}
+		}
+		return true
+	})
+	t.msgr.fail(p.rank)
+	t.liveMu.Lock()
+	subs := append([]func(fabric.Rank){}, t.deathSubs...)
+	t.liveMu.Unlock()
+	for _, fn := range subs {
+		fn(p.rank)
+	}
+}
+
+// Alive reports whether rank r's connection is still up.
+func (t *Transport) Alive(r fabric.Rank) bool {
+	if r < 0 || int(r) >= t.n {
+		panic(fmt.Sprintf("tcp: rank %d out of range [0, %d)", r, t.n))
+	}
+	if r == t.me {
+		return !t.closed.Load()
+	}
+	p := t.peers[r]
+	return p != nil && !p.dead.Load()
+}
+
+// NotifyPeerDeath registers fn to fire (from the dying connection's reader
+// goroutine) once per detected peer death.
+func (t *Transport) NotifyPeerDeath(fn func(fabric.Rank)) {
+	t.liveMu.Lock()
+	defer t.liveMu.Unlock()
+	t.deathSubs = append(t.deathSubs, fn)
+}
+
 // request issues one operation towards target and blocks for its response —
 // the single round-trip every remote scalar op or train costs.
 func (t *Transport) request(target fabric.Rank, op byte, body []byte) []byte {
@@ -253,14 +322,28 @@ func (t *Transport) request(target fabric.Rank, op byte, body []byte) []byte {
 		panic(fmt.Sprintf("tcp: rank %d request to unconnected rank %d", t.me, target))
 	}
 	id := t.nextReq.Add(1)
-	ch := make(chan []byte, 1)
-	t.pending.Store(id, ch)
+	pr := &pendingReq{target: target, ch: make(chan pendingResp, 1)}
+	t.pending.Store(id, pr)
+	// Registered before the liveness check: if the peer dies at any point
+	// after the check, peerDied's sweep finds this entry and completes it.
+	if p.dead.Load() {
+		t.pending.Delete(id)
+		panic(&fabric.PeerError{Rank: target, Op: opName(op)})
+	}
 	buf := make([]byte, 0, 9+len(body))
 	buf = binary.LittleEndian.AppendUint64(buf, id)
 	buf = append(buf, op)
 	buf = append(buf, body...)
-	p.writeFrame(ftReq, buf)
-	return <-ch
+	if err := p.writeFrame(ftReq, buf); err != nil {
+		t.peerDied(p)
+		t.pending.Delete(id)
+		panic(&fabric.PeerError{Rank: target, Op: opName(op)})
+	}
+	resp := <-pr.ch
+	if resp.dead {
+		panic(&fabric.PeerError{Rank: target, Op: opName(op)})
+	}
+	return resp.data
 }
 
 // serve executes one remote request against this process's segments and
@@ -274,7 +357,11 @@ func (t *Transport) serve(p *peerConn, body []byte) {
 	resp := make([]byte, 0, 8+len(result))
 	resp = binary.LittleEndian.AppendUint64(resp, id)
 	resp = append(resp, result...)
-	p.writeFrame(ftResp, resp)
+	// An undeliverable response means the requester died mid-request; its
+	// process is gone, so there is no one left to answer.
+	if err := p.writeFrame(ftResp, resp); err != nil {
+		t.peerDied(p)
+	}
 }
 
 func (t *Transport) execute(from fabric.Rank, op byte, req []byte) []byte {

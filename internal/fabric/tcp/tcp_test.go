@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/gdi-go/gdi/internal/collective"
 	"github.com/gdi-go/gdi/internal/fabric"
@@ -276,6 +277,96 @@ func TestLoopbackCounters(t *testing.T) {
 		}
 		comm.Barrier(me)
 	})
+}
+
+// TestPeerDeathFailsPendingCalls covers the mid-run failure path: a request
+// blocked on a peer whose connection dies must complete promptly with
+// *fabric.PeerError instead of hanging forever, the registered death callback
+// must fire, Alive must flip, and every subsequent operation toward the dead
+// peer must fail immediately.
+func TestPeerDeathFailsPendingCalls(t *testing.T) {
+	const n = 3
+	const victim = fabric.Rank(2)
+	ts, err := NewLoopbackCluster(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, tr := range ts {
+			tr.Close()
+		}
+	}()
+
+	// The victim's handler wedges until the test ends, so the in-flight
+	// request can only complete through the death path.
+	block := make(chan struct{})
+	defer close(block)
+	entered := make(chan struct{}, 1)
+	for _, tr := range ts {
+		tr.Register(fabric.SvcIndexAdd, func(from fabric.Rank, req []byte) []byte {
+			entered <- struct{}{}
+			<-block
+			return nil
+		})
+	}
+	deaths := make(chan fabric.Rank, n)
+	ts[0].NotifyPeerDeath(func(r fabric.Rank) { deaths <- r })
+
+	callErr := make(chan *fabric.PeerError, 1)
+	go func() {
+		var pe *fabric.PeerError
+		defer func() {
+			if r := recover(); r != nil {
+				pe, _ = fabric.AsPeerDeath(r)
+			}
+			callErr <- pe
+		}()
+		ts[0].Call(0, victim, fabric.SvcIndexAdd, []byte("stuck"))
+	}()
+
+	<-entered // the request reached the victim and its handler is wedged
+	ts[victim].Close()
+
+	select {
+	case pe := <-callErr:
+		if pe == nil || pe.Rank != victim {
+			t.Fatalf("blocked Call: want *fabric.PeerError for rank %d, got %v", victim, pe)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Call still hanging 5s after the peer died")
+	}
+
+	select {
+	case r := <-deaths:
+		if r != victim {
+			t.Fatalf("death callback fired for rank %d, want %d", r, victim)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("death callback never fired")
+	}
+
+	if ts[0].Alive(victim) {
+		t.Error("Alive(victim) = true after its connection died")
+	}
+	if !ts[0].Alive(1) {
+		t.Error("Alive(1) = false, but rank 1 is healthy")
+	}
+
+	// Subsequent operations toward the dead peer fail fast, not after a
+	// network timeout.
+	start := time.Now()
+	func() {
+		defer func() {
+			if pe, ok := fabric.AsPeerDeath(recover()); !ok || pe.Rank != victim {
+				t.Errorf("post-death Call: want *fabric.PeerError for rank %d, got %v", victim, pe)
+			}
+		}()
+		ts[0].Call(0, victim, fabric.SvcIndexAdd, nil)
+		t.Error("post-death Call returned instead of failing")
+	}()
+	if e := time.Since(start); e > time.Second {
+		t.Errorf("post-death Call took %v, want immediate failure", e)
+	}
 }
 
 func pick[T any](cond bool, a, b T) T {

@@ -104,6 +104,21 @@ type Vertex struct {
 	// home block, restoring the vertex's original DPtr there (the ABA case
 	// the version counters guard). Empty for never-migrated vertices.
 	Homes []rma.DPtr
+	// Replicas lists the vertex's follower block groups (the primary chain is
+	// not listed). Each group has exactly NumBlocks(v) DPtrs — the follower's
+	// head block first, then its continuation blocks in stream order — and
+	// holds a byte-identical copy of the holder stream, re-pointed at its own
+	// blocks and flagged flagReplica (RewriteAsReplica). The group head's
+	// lock word is the follower's version word; the commit fan-out keeps it
+	// in lockstep with the primary's (follower word free at version v ⇒
+	// follower content equals primary content at v). Empty for unreplicated
+	// vertices.
+	Replicas [][]rma.DPtr
+	// IsReplica reports that this stream was decoded from a follower copy
+	// rather than the primary chain (the flagReplica header bit). Follower
+	// streams are read-only views: every mutation path goes through the
+	// primary.
+	IsReplica bool
 	// Edges are the inline edge records in insertion order.
 	Edges []EdgeRec
 	// Labels are the vertex's label IDs in insertion order.
@@ -129,6 +144,10 @@ const (
 	// migration: the block is not a holder, its header carries the DPtr of
 	// the vertex's current primary block instead (EncodeMoved/MovedTarget).
 	flagMoved = 1 << 1
+	// flagReplica marks a follower copy of a replicated vertex holder: the
+	// stream is byte-identical to the primary's except for this bit and the
+	// block table, which points at the follower's own blocks.
+	flagReplica = 1 << 2
 )
 
 // contentSizeVertex returns the logical byte size of v excluding slack.
@@ -140,7 +159,11 @@ func contentSizeVertex(v *Vertex, numBlocks int) int {
 	for _, p := range v.Props {
 		entries += lpg.EntrySize(len(p.Value))
 	}
-	return HeaderSize + 8*(numBlocks-1) + 8*len(v.Homes) + EdgeRecSize*len(v.Edges) + entries
+	// Each replica group stores one DPtr per block of the holder, so the
+	// replica region participates in the block-count fixed point exactly as
+	// the table does.
+	return HeaderSize + 8*(numBlocks-1) + 8*len(v.Homes) + 8*len(v.Replicas)*numBlocks +
+		EdgeRecSize*len(v.Edges) + entries
 }
 
 func contentSizeEdge(e *Edge, numBlocks int) int {
@@ -186,17 +209,31 @@ func EncodeVertex(v *Vertex, blockSize int) []byte {
 	buf := make([]byte, numBlocks*blockSize)
 	entryRegion := lpg.EncodeEntries(v.Labels, v.Props)
 
+	var flags uint32
+	if v.IsReplica {
+		flags |= flagReplica
+	}
 	binary.LittleEndian.PutUint32(buf[0:], uint32(numBlocks))
 	binary.LittleEndian.PutUint32(buf[4:], uint32(len(v.Edges)))
 	binary.LittleEndian.PutUint32(buf[8:], uint32(len(entryRegion)))
-	binary.LittleEndian.PutUint32(buf[12:], 0)
+	binary.LittleEndian.PutUint32(buf[12:], flags)
 	binary.LittleEndian.PutUint64(buf[16:], v.AppID)
 	binary.LittleEndian.PutUint32(buf[24:], uint32(len(v.Homes)))
+	binary.LittleEndian.PutUint32(buf[28:], uint32(len(v.Replicas)))
 
 	off := HeaderSize + 8*(numBlocks-1)
 	for _, h := range v.Homes {
 		binary.LittleEndian.PutUint64(buf[off:], uint64(h))
 		off += 8
+	}
+	for gi, group := range v.Replicas {
+		if len(group) != numBlocks {
+			panic(fmt.Sprintf("holder: replica group %d has %d blocks, holder has %d", gi, len(group), numBlocks))
+		}
+		for _, dp := range group {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(dp))
+			off += 8
+		}
 	}
 	for _, rec := range v.Edges {
 		off += encodeEdgeRec(buf[off:], rec)
@@ -217,17 +254,29 @@ func DecodeVertex(buf []byte) (*Vertex, error) {
 	numEdges := int(binary.LittleEndian.Uint32(buf[4:]))
 	entryBytes := int(binary.LittleEndian.Uint32(buf[8:]))
 	numHomes := int(binary.LittleEndian.Uint32(buf[24:]))
-	v := &Vertex{AppID: binary.LittleEndian.Uint64(buf[16:])}
+	numReplicas := int(binary.LittleEndian.Uint32(buf[28:]))
+	v := &Vertex{AppID: binary.LittleEndian.Uint64(buf[16:]), IsReplica: flags&flagReplica != 0}
 	off := HeaderSize + 8*(numBlocks-1)
-	if off+8*numHomes+numEdges*EdgeRecSize+entryBytes > len(buf) {
-		return nil, fmt.Errorf("holder: truncated vertex holder (%d blocks, %d homes, %d edges, %d entry bytes, %d buffer)",
-			numBlocks, numHomes, numEdges, entryBytes, len(buf))
+	if off+8*numHomes+8*numReplicas*numBlocks+numEdges*EdgeRecSize+entryBytes > len(buf) {
+		return nil, fmt.Errorf("holder: truncated vertex holder (%d blocks, %d homes, %d replicas, %d edges, %d entry bytes, %d buffer)",
+			numBlocks, numHomes, numReplicas, numEdges, entryBytes, len(buf))
 	}
 	if numHomes > 0 {
 		v.Homes = make([]rma.DPtr, numHomes)
 		for i := range v.Homes {
 			v.Homes[i] = rma.DPtr(binary.LittleEndian.Uint64(buf[off:]))
 			off += 8
+		}
+	}
+	if numReplicas > 0 {
+		v.Replicas = make([][]rma.DPtr, numReplicas)
+		for g := range v.Replicas {
+			group := make([]rma.DPtr, numBlocks)
+			for i := range group {
+				group[i] = rma.DPtr(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+			v.Replicas[g] = group
 		}
 	}
 	v.Edges = make([]EdgeRec, numEdges)
@@ -365,6 +414,44 @@ func IsEdgeHolder(primary []byte) bool {
 		panic("holder: primary block prefix too small")
 	}
 	return binary.LittleEndian.Uint32(primary[12:])&flagEdgeHolder != 0
+}
+
+// IsReplicaBlock reads the replica flag from a block's header prefix: true
+// for the head block of a follower copy.
+func IsReplicaBlock(primary []byte) bool {
+	if len(primary) < HeaderSize {
+		panic("holder: primary block prefix too small")
+	}
+	return binary.LittleEndian.Uint32(primary[12:])&flagReplica != 0
+}
+
+// NumReplicas reads the follower-group count from a holder's primary-block
+// prefix.
+func NumReplicas(primary []byte) int {
+	if len(primary) < HeaderSize {
+		panic("holder: primary block prefix too small")
+	}
+	return int(binary.LittleEndian.Uint32(primary[28:]))
+}
+
+// RewriteAsReplica turns a primary holder stream into the byte stream of one
+// follower copy: the replica flag is set and the block table is re-pointed at
+// the group's own continuation blocks (group[0] is the follower's head block
+// and, like the primary, is not stored in the table). Everything else —
+// content, homes, the full replica group list — is byte-identical, which is
+// what lets a promotion or repair reconstruct the vertex from any follower.
+// The input stream is not modified.
+func RewriteAsReplica(stream []byte, group []rma.DPtr) []byte {
+	nb := NumBlocks(stream)
+	if len(group) != nb {
+		panic(fmt.Sprintf("holder: replica group has %d blocks, holder has %d", len(group), nb))
+	}
+	out := append([]byte(nil), stream...)
+	binary.LittleEndian.PutUint32(out[12:], binary.LittleEndian.Uint32(out[12:])|flagReplica)
+	for i := 1; i < nb; i++ {
+		SetTableEntry(out, i-1, group[i])
+	}
+	return out
 }
 
 // TableEntry returns the DPtr of continuation block i (0-based: entry 0 is

@@ -254,3 +254,112 @@ func TestDirectionString(t *testing.T) {
 		t.Fatal("direction names wrong")
 	}
 }
+
+func TestReplicatedVertexRoundTrip(t *testing.T) {
+	v := sampleVertex()
+	nb := VertexBlocks(v, 512)
+	if nb != 1 {
+		t.Fatalf("sample vertex spans %d blocks at 512B, want 1", nb)
+	}
+	v.Replicas = [][]rma.DPtr{
+		{rma.MakeDPtr(1, 40)},
+		{rma.MakeDPtr(2, 41)},
+	}
+	buf := EncodeVertex(v, 512)
+	if NumReplicas(buf) != 2 {
+		t.Fatalf("NumReplicas = %d, want 2", NumReplicas(buf))
+	}
+	if IsReplicaBlock(buf) {
+		t.Fatal("primary stream carries the replica flag")
+	}
+	got, err := DecodeVertex(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, v)
+	}
+}
+
+func TestReplicatedMultiBlockVertex(t *testing.T) {
+	// The replica region participates in the block-count fixed point: each
+	// group stores one DPtr per block, so adding groups can itself grow the
+	// block count. Groups must match the converged count exactly.
+	v := &Vertex{AppID: 5, Edges: []EdgeRec{{Neighbor: rma.MakeDPtr(0, 8), Dir: DirOut}}}
+	v.Props = append(v.Props, lpg.Property{PType: 30, Value: bytes.Repeat([]byte{7}, 300)})
+	base := VertexBlocks(v, 128)
+	group := func(r rma.Rank, n int) []rma.DPtr {
+		g := make([]rma.DPtr, n)
+		for i := range g {
+			g[i] = rma.MakeDPtr(r, uint64(100+i))
+		}
+		return g
+	}
+	v.Replicas = [][]rma.DPtr{nil, nil}
+	nb := VertexBlocks(v, 128)
+	if nb < base {
+		t.Fatalf("block count shrank from %d to %d after adding replica groups", base, nb)
+	}
+	v.Replicas = [][]rma.DPtr{group(1, nb), group(2, nb)}
+	if VertexBlocks(v, 128) != nb {
+		t.Fatalf("fixed point moved: %d blocks with groups sized for %d", VertexBlocks(v, 128), nb)
+	}
+	buf := EncodeVertex(v, 128)
+	got, err := DecodeVertex(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, v)
+	}
+}
+
+func TestRewriteAsReplica(t *testing.T) {
+	v := &Vertex{AppID: 9}
+	v.Props = append(v.Props, lpg.Property{PType: 30, Value: bytes.Repeat([]byte{3}, 300)})
+	nb := VertexBlocks(v, 128)
+	if nb < 2 {
+		t.Fatalf("test needs a multi-block vertex, got %d blocks", nb)
+	}
+	group := make([]rma.DPtr, nb)
+	for i := range group {
+		group[i] = rma.MakeDPtr(3, uint64(200+i))
+	}
+	v.Replicas = [][]rma.DPtr{group}
+	nb = VertexBlocks(v, 128)
+	group = group[:0]
+	for i := 0; i < nb; i++ {
+		group = append(group, rma.MakeDPtr(3, uint64(200+i)))
+	}
+	v.Replicas = [][]rma.DPtr{group}
+	prim := EncodeVertex(v, 128)
+	for i := 1; i < nb; i++ {
+		SetTableEntry(prim, i-1, rma.MakeDPtr(0, uint64(10+i)))
+	}
+
+	rep := RewriteAsReplica(prim, group)
+	if !IsReplicaBlock(rep) {
+		t.Fatal("rewritten stream lacks the replica flag")
+	}
+	if IsReplicaBlock(prim) {
+		t.Fatal("RewriteAsReplica mutated its input")
+	}
+	for i := 1; i < nb; i++ {
+		if TableEntry(rep, i-1) != group[i] {
+			t.Fatalf("replica table entry %d = %v, want %v", i-1, TableEntry(rep, i-1), group[i])
+		}
+		if TableEntry(prim, i-1) != rma.MakeDPtr(0, uint64(10+i)) {
+			t.Fatal("RewriteAsReplica mutated the primary's table")
+		}
+	}
+	got, err := DecodeVertex(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsReplica {
+		t.Fatal("decoded follower not marked IsReplica")
+	}
+	if got.AppID != v.AppID || !reflect.DeepEqual(got.Props, v.Props) || !reflect.DeepEqual(got.Replicas, v.Replicas) {
+		t.Fatalf("follower content diverges from primary:\n got %+v\nwant %+v", got, v)
+	}
+}

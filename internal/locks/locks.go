@@ -160,6 +160,14 @@ func (w Word) Peek(origin fabric.Rank) (writer bool, readers uint32) {
 	return cur&writeBit != 0, uint32(cur & readerMask)
 }
 
+// Stamp atomically loads the raw lock word. Combined with Version and
+// WriteHeld it is the seqlock primitive of validated reads: load, read the
+// guarded content, load again — an unchanged free stamp proves the copy
+// untorn.
+func (w Word) Stamp(origin fabric.Rank) uint64 {
+	return w.Win.Load(origin, w.Target, w.Idx)
+}
+
 // Lock trains: the write-side batching of §5.6. A transaction's commit
 // touches one lock word per written vertex; acquiring them with scalar CAS
 // costs one remote atomic round-trip each. A train sorts the words globally
@@ -407,6 +415,154 @@ func AcquireWriteTrainEach(origin fabric.Rank, ls []TrainLock, tries int) (vers 
 		}
 	}
 	return vers, heldOut
+}
+
+// Mirror trains: the follower-word half of the replica lockstep protocol.
+// Each follower copy of a replicated vertex has its own version word, kept in
+// lockstep with the primary's: follower word free at version v means the
+// follower content equals the primary content at v. The committer (which
+// already holds the primary's write lock, so no other mirror train can race
+// it on the same vertex) write-marks the follower words, lands the follower
+// payload, releases the primary (bumping it to v+1), and only then releases
+// the follower words to v+1 — primary-then-follower order, so a reader that
+// validates against either word never accepts a follower payload newer than
+// the primary version it proved.
+
+// AcquireMirrorTrain write-marks follower version words, one vectored CAS
+// train per owner rank, one round. vers carries each word's expected current
+// version (the primary's pre-commit version, which lockstep guarantees the
+// follower shares). Unlike a lock acquisition there is no retry: the primary
+// write lock already excludes every competing mirror train, so a CAS that
+// fails means the follower is not in lockstep (it was just seeded, dropped,
+// or re-seeded against a different version) — the caller drops that follower
+// from the fan-out instead of waiting. Returns the per-word marked flags,
+// aligned with words.
+func AcquireMirrorTrain(origin fabric.Rank, words []Word, vers []uint64) []bool {
+	held := make([]bool, len(words))
+	if len(words) == 0 {
+		return held
+	}
+	if len(vers) != len(words) {
+		panic(fmt.Sprintf("locks: mirror train of %d words with %d versions", len(words), len(vers)))
+	}
+	order := make([]int, len(words))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := words[order[i]], words[order[j]]
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		return a.Idx < b.Idx
+	})
+	win := words[0].Win
+	forEachRank(len(order), func(i int) fabric.Rank { return words[order[i]].Target }, func(lo, hi int) {
+		ops := make([]fabric.CASOp, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			w := words[order[i]]
+			checkTrainWin(win, w)
+			free := vers[order[i]] << versionShift
+			ops = append(ops, fabric.CASOp{Idx: w.Idx, Old: free, New: free | writeBit})
+		}
+		for j, r := range win.CASBatch(origin, words[order[lo]].Target, ops) {
+			if r.Swapped {
+				held[order[lo+j]] = true
+			}
+		}
+	})
+	return held
+}
+
+// ReleaseMirrorTrain completes the fan-out on follower words AcquireMirrorTrain
+// marked: each word moves from write-marked at version v to free at v+1, the
+// same bump the primary's release already performed. A failed CAS means the
+// mark was stolen: when a vertex's primary rank dies while a (surviving)
+// committer is mid-fan-out, promotion forcibly re-seeds the marked follower
+// words — nothing would ever complete the fan-out if the committer had died
+// too, and a live committer finding its mark gone simply leaves the word to
+// its new owner. No release hook fires: snapshot cuts pin primaries, so
+// follower blocks never carry retirement obligations.
+func ReleaseMirrorTrain(origin fabric.Rank, words []Word, vers []uint64) {
+	if len(words) == 0 {
+		return
+	}
+	if len(vers) != len(words) {
+		panic(fmt.Sprintf("locks: mirror train of %d words with %d versions", len(words), len(vers)))
+	}
+	order := make([]int, len(words))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := words[order[i]], words[order[j]]
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		return a.Idx < b.Idx
+	})
+	win := words[0].Win
+	forEachRank(len(order), func(i int) fabric.Rank { return words[order[i]].Target }, func(lo, hi int) {
+		ops := make([]fabric.CASOp, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			w := words[order[i]]
+			checkTrainWin(win, w)
+			marked := vers[order[i]]<<versionShift | writeBit
+			ops = append(ops, fabric.CASOp{Idx: w.Idx, Old: marked, New: bumpVersion(marked &^ writeBit)})
+		}
+		win.CASBatch(origin, words[order[lo]].Target, ops)
+	})
+}
+
+// SeedMirrorWord initializes a follower copy's version word. Seeding runs
+// under the primary's write lock at version v and writes content equal to
+// what the primary's pending release will publish as v+1, so the word enters
+// lockstep as free at v+1 (the same bump the primary's release performs).
+// Promotion reuses it to forcibly reset a follower word that a committer on a
+// now-dead rank left write-marked mid-fan-out: nothing will ever complete
+// that fan-out, so an unconditional store is the only way the word can move
+// again.
+func SeedMirrorWord(origin fabric.Rank, w Word, primaryVer uint64) {
+	w.Win.Store(origin, w.Target, w.Idx, bumpVersion(primaryVer<<versionShift))
+}
+
+// BumpMirrorTrain moves lockstep follower words from free at v to free at
+// v+1 with one best-effort CAS train per owner rank — the follower half of a
+// content-preserving write release (an aborted transaction, a skipped
+// migration, a bailed replica seed). The primary's release bumped its version
+// without changing its content, so a follower in lockstep stays in lockstep
+// by tracking the bump. A word that fails the CAS was already out of lockstep
+// (or is mid-mark by a racing committer) and is left alone: its next replica
+// read simply fails version validation and falls back.
+func BumpMirrorTrain(origin fabric.Rank, words []Word, vers []uint64) {
+	if len(words) == 0 {
+		return
+	}
+	if len(vers) != len(words) {
+		panic(fmt.Sprintf("locks: mirror train of %d words with %d versions", len(words), len(vers)))
+	}
+	order := make([]int, len(words))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := words[order[i]], words[order[j]]
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		return a.Idx < b.Idx
+	})
+	win := words[0].Win
+	forEachRank(len(order), func(i int) fabric.Rank { return words[order[i]].Target }, func(lo, hi int) {
+		ops := make([]fabric.CASOp, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			w := words[order[i]]
+			checkTrainWin(win, w)
+			free := vers[order[i]] << versionShift
+			ops = append(ops, fabric.CASOp{Idx: w.Idx, Old: free, New: bumpVersion(free)})
+		}
+		win.CASBatch(origin, words[order[lo]].Target, ops)
+	})
 }
 
 // AcquireReadTrain takes shared locks on every word, one vectored CAS train

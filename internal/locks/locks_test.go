@@ -553,3 +553,73 @@ func TestReleaseTrainWithVersionsConvergesInOneRound(t *testing.T) {
 		}
 	}
 }
+
+func TestMirrorTrainLockstep(t *testing.T) {
+	f := rma.New(3)
+	win := f.NewWordWin(8)
+	words := []Word{
+		{Win: win, Target: 1, Idx: 2},
+		{Win: win, Target: 2, Idx: 5},
+	}
+	// Follower words sit free at version 7 (lockstep with a primary at 7).
+	for _, w := range words {
+		win.Store(0, w.Target, w.Idx, 7<<versionShift)
+	}
+	vers := []uint64{7, 7}
+	held := AcquireMirrorTrain(0, words, vers)
+	for i, h := range held {
+		if !h {
+			t.Fatalf("follower %d not marked despite lockstep", i)
+		}
+		if got := raw(words[i]); got != 7<<versionShift|writeBit {
+			t.Fatalf("follower %d word = %#x after mark", i, got)
+		}
+	}
+	ReleaseMirrorTrain(0, words, vers)
+	for i := range words {
+		got := raw(words[i])
+		if WriteHeld(got) || Version(got) != 8 {
+			t.Fatalf("follower %d word = %#x after release, want free at version 8", i, got)
+		}
+	}
+}
+
+func TestMirrorTrainDropsOutOfLockstepFollowers(t *testing.T) {
+	f := rma.New(2)
+	win := f.NewWordWin(8)
+	words := []Word{
+		{Win: win, Target: 1, Idx: 0}, // in lockstep at 4
+		{Win: win, Target: 1, Idx: 1}, // ahead: re-seeded at version 9
+		{Win: win, Target: 1, Idx: 2}, // already marked by a (protocol-violating) writer
+	}
+	win.Store(0, 1, 0, 4<<versionShift)
+	win.Store(0, 1, 1, 9<<versionShift)
+	win.Store(0, 1, 2, 4<<versionShift|writeBit)
+	held := AcquireMirrorTrain(0, words, []uint64{4, 4, 4})
+	if !held[0] || held[1] || held[2] {
+		t.Fatalf("held = %v, want [true false false]", held)
+	}
+	// Only the marked follower releases; the dropped ones are untouched.
+	ReleaseMirrorTrain(0, words[:1], []uint64{4})
+	if got := raw(words[0]); Version(got) != 5 || WriteHeld(got) {
+		t.Fatalf("follower 0 word = %#x, want free at version 5", got)
+	}
+	if got := raw(words[1]); got != 9<<versionShift {
+		t.Fatalf("dropped follower 1 word changed to %#x", got)
+	}
+}
+
+func TestMirrorTrainVersionWrap(t *testing.T) {
+	f := rma.New(1)
+	win := f.NewWordWin(2)
+	w := Word{Win: win, Target: 0, Idx: 0}
+	top := uint64(1<<versionBits - 1)
+	win.Store(0, 0, 0, top<<versionShift)
+	if held := AcquireMirrorTrain(0, []Word{w}, []uint64{top}); !held[0] {
+		t.Fatal("mark at the top version failed")
+	}
+	ReleaseMirrorTrain(0, []Word{w}, []uint64{top})
+	if got := raw(w); got != 0 {
+		t.Fatalf("word = %#x after wrap, want 0 (version wrapped inside its field)", got)
+	}
+}

@@ -35,6 +35,10 @@ type Fabric struct {
 
 	svcMu    sync.RWMutex
 	services map[fabric.ServiceID]fabric.Handler
+
+	liveMu    sync.RWMutex
+	dead      []bool
+	deathSubs []func(fabric.Rank)
 }
 
 var _ fabric.Transport = (*Fabric)(nil)
@@ -56,6 +60,7 @@ func New(n int, opts ...Options) *Fabric {
 		counters: make([]Counters, n),
 		msgr:     newMessenger(n),
 		services: make(map[fabric.ServiceID]fabric.Handler),
+		dead:     make([]bool, n),
 	}
 	if len(opts) > 0 {
 		f.latency = opts[0].Latency
@@ -133,6 +138,7 @@ func (f *Fabric) Register(svc fabric.ServiceID, h fabric.Handler) {
 func (f *Fabric) Call(origin, target Rank, svc fabric.ServiceID, req []byte) []byte {
 	f.checkRank(origin)
 	f.checkRank(target)
+	f.checkDead(target, "call")
 	f.svcMu.RLock()
 	h := f.services[svc]
 	f.svcMu.RUnlock()
@@ -145,6 +151,54 @@ func (f *Fabric) Call(origin, target Rank, svc fabric.ServiceID, req []byte) []b
 func (f *Fabric) checkRank(r Rank) {
 	if r < 0 || int(r) >= f.n {
 		panic(fmt.Sprintf("rma: rank %d out of range [0, %d)", r, f.n))
+	}
+}
+
+// Alive reports whether rank r is reachable — true unless KillRank marked it.
+func (f *Fabric) Alive(r Rank) bool {
+	f.checkRank(r)
+	f.liveMu.RLock()
+	defer f.liveMu.RUnlock()
+	return !f.dead[r]
+}
+
+// NotifyPeerDeath registers fn to fire once per KillRank.
+func (f *Fabric) NotifyPeerDeath(fn func(fabric.Rank)) {
+	f.liveMu.Lock()
+	defer f.liveMu.Unlock()
+	f.deathSubs = append(f.deathSubs, fn)
+}
+
+// KillRank is the simulator's fault-injection hook: it marks rank r dead and
+// fires the registered death callbacks. From then on byte-window data
+// operations, service calls, and messages targeting r panic with
+// *fabric.PeerError. Word windows stay reachable — the simulated failure
+// model is a crashed data plane whose lock words and DHT shard survive
+// (equivalently, a control plane assumed to be independently replicated),
+// which is what lets survivors CAS-promote followers of the dead rank's
+// primaries. Idempotent.
+func (f *Fabric) KillRank(r Rank) {
+	f.checkRank(r)
+	f.liveMu.Lock()
+	if f.dead[r] {
+		f.liveMu.Unlock()
+		return
+	}
+	f.dead[r] = true
+	subs := append([]func(fabric.Rank){}, f.deathSubs...)
+	f.liveMu.Unlock()
+	for _, fn := range subs {
+		fn(r)
+	}
+}
+
+// checkDead panics with *fabric.PeerError when target has been killed.
+func (f *Fabric) checkDead(target Rank, op string) {
+	f.liveMu.RLock()
+	d := f.dead[target]
+	f.liveMu.RUnlock()
+	if d {
+		panic(&fabric.PeerError{Rank: target, Op: op})
 	}
 }
 

@@ -54,11 +54,23 @@ func (w *ByteWin) checkRange(target Rank, off, n int) {
 	}
 }
 
+// checkLive enforces the simulated failure model on the data plane: byte
+// accesses from a survivor to a killed rank's segment panic with
+// *fabric.PeerError (the rank's block memory died with its process), while a
+// rank's accesses to its own segment — and all word-window traffic — stay
+// reachable (see Fabric.KillRank).
+func (w *ByteWin) checkLive(origin, target Rank, op string) {
+	if origin != target {
+		w.f.checkDead(target, op)
+	}
+}
+
 // Put writes data into target's segment at off. It is a non-blocking
 // one-sided write (PUT in the paper's notation); completion is guaranteed
 // after a Flush, though this simulation completes it eagerly.
 func (w *ByteWin) Put(origin, target Rank, off int, data []byte) {
 	w.checkRange(target, off, len(data))
+	w.checkLive(origin, target, "put")
 	w.f.countPut(origin, target, len(data))
 	w.f.chargeOp(origin, target, len(data))
 	w.putStriped(target, off, data)
@@ -67,6 +79,7 @@ func (w *ByteWin) Put(origin, target Rank, off int, data []byte) {
 // Get reads len(buf) bytes from target's segment at off into buf (GET).
 func (w *ByteWin) Get(origin, target Rank, off int, buf []byte) {
 	w.checkRange(target, off, len(buf))
+	w.checkLive(origin, target, "get")
 	w.f.countGet(origin, target, len(buf))
 	w.f.chargeOp(origin, target, len(buf))
 	w.getStriped(target, off, buf)
@@ -118,6 +131,7 @@ func (w *ByteWin) GetBatch(origin, target Rank, ops []GetOp) {
 	if len(ops) == 0 {
 		return
 	}
+	w.checkLive(origin, target, "get-batch")
 	total := 0
 	for _, op := range ops {
 		w.checkRange(target, op.Off, len(op.Buf))
@@ -143,6 +157,7 @@ func (w *ByteWin) PutBatch(origin, target Rank, ops []PutOp) {
 	if len(ops) == 0 {
 		return
 	}
+	w.checkLive(origin, target, "put-batch")
 	total := 0
 	for _, op := range ops {
 		w.checkRange(target, op.Off, len(op.Data))
