@@ -849,3 +849,149 @@ func BenchmarkHTAPAblation(b *testing.B) {
 	b.ReportMetric(qpsConc/qpsBase, "qps-ratio")
 	b.ReportMetric(makespan, "makespan-x")
 }
+
+// BenchmarkCodecAblation measures what the v2 holder wire format buys on the
+// §6.4 OLTP shape it was built for: point-read transactions with a commit mix
+// over vertices whose holders are dominated by inline edge records. 64-byte
+// blocks put every holder in the multi-block regime, so the read path pays
+// one remote round per block and the commit write-back one PUT per block —
+// the delta+varint edge runs of v2 shrink the edge region by ~4x, holders
+// span fewer blocks, and both the latency (fewer rounds at RemoteLatencyNs =
+// 1000) and the traffic (bytes/op, from the fabric byte counters) drop.
+// Neighbors are co-located mod ranks, the locality a partitioner produces
+// and the delta encoding exploits. CI gates on BOTH ratios: v2 must be
+// >= 1.4x faster and move >= 1.5x fewer bytes than v1 (see cmd/benchjson).
+func BenchmarkCodecAblation(b *testing.B) {
+	const (
+		ranks       = 8
+		txPerRank   = 32
+		writeEvery  = 4 // every 4th transaction is a read-modify-write commit
+		numVertices = 2048
+		fan         = 12 // out-degree; in-degree matches (ring chords)
+	)
+	run := func(b *testing.B, codec gdi.HolderCodec) {
+		rt := gdi.Init(ranks, gdi.RuntimeOptions{RemoteLatencyNs: 1000})
+		db := rt.CreateDatabase(gdi.DatabaseParams{
+			BlockSize:       64,
+			BlocksPerRank:   1 << 14,
+			OptimisticReads: true,
+			HolderCodec:     codec,
+		})
+		seq, err := db.DefinePType("seq", gdi.PTypeSpec{
+			Datatype: gdi.TypeUint64, SizeType: gdi.SizeFixed, Limit: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var loadErr error
+		rt.Run(db, func(p *gdi.Process) {
+			var vs []gdi.VertexSpec
+			var es []gdi.EdgeSpec
+			if p.Rank() == 0 {
+				for app := uint64(0); app < numVertices; app++ {
+					vs = append(vs, gdi.VertexSpec{
+						AppID: app,
+						Props: []gdi.Property{{PType: seq, Value: gdi.Uint64Value(0)}},
+					})
+				}
+				for app := uint64(0); app < numVertices; app++ {
+					for k := 1; k <= fan; k++ {
+						// Chords in steps of `ranks` keep each neighbor on the
+						// origin's rank: dense DPtr deltas, the partitioned
+						// locality v2's varint runs compress.
+						es = append(es, gdi.EdgeSpec{
+							OriginApp: app,
+							TargetApp: (app + uint64(k*ranks)) % numVertices,
+							Dir:       gdi.DirOut,
+						})
+					}
+				}
+			}
+			if err := p.BulkLoadVertices(vs); err != nil {
+				loadErr = err
+				return
+			}
+			if err := p.BulkLoadEdges(es); err != nil {
+				loadErr = err
+			}
+		})
+		if loadErr != nil {
+			b.Fatal(loadErr)
+		}
+		ids := make([]gdi.VertexID, numVertices)
+		{
+			tx := db.Process(0).StartTransaction(gdi.ReadOnly)
+			for app := uint64(0); app < numVertices; app++ {
+				if ids[app], err = tx.TranslateVertexID(app); err != nil {
+					b.Fatal(err)
+				}
+			}
+			tx.Commit()
+		}
+		// Writers touch rank-disjoint chunks so the mix never aborts on lock
+		// conflicts; reads roam the whole keyspace (7/8 remote).
+		const chunk = numVertices / ranks
+		workRound := func(p *gdi.Process) {
+			for t := 0; t < txPerRank; t++ {
+				if t%writeEvery == 0 {
+					app := uint64(int(p.Rank())*chunk + (t*13)%chunk)
+					tx := p.StartTransaction(gdi.ReadWrite)
+					h, err := tx.AssociateVertex(ids[app])
+					if err != nil {
+						b.Error(err)
+						tx.Abort()
+						return
+					}
+					cur, _ := h.Property(seq)
+					if err := h.SetProperty(seq, gdi.Uint64Value(gdi.Uint64Of(cur)+1)); err != nil {
+						b.Error(err)
+						tx.Abort()
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						b.Error(err)
+						return
+					}
+					continue
+				}
+				tx := p.StartTransaction(gdi.ReadOnly)
+				h, err := tx.AssociateVertex(ids[(int(p.Rank())*7919+t*37)%numVertices])
+				if err != nil {
+					b.Error(err)
+					tx.Abort()
+					return
+				}
+				deg := 0
+				if err := h.ForEachEdge(gdi.MaskAll, func(gdi.VertexID, gdi.Direction) {
+					deg++
+				}); err != nil {
+					b.Error(err)
+					tx.Abort()
+					return
+				}
+				if deg != 2*fan {
+					b.Errorf("degree = %d, want %d", deg, 2*fan)
+					tx.Abort()
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+		rt.Run(db, func(p *gdi.Process) { workRound(p) }) // warm-up round
+		db.Engine().Fabric().ResetCounters()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.Run(db, func(p *gdi.Process) { workRound(p) })
+		}
+		b.StopTimer()
+		snap := db.Engine().Fabric().TotalSnapshot()
+		ops := float64(b.N) * ranks * txPerRank
+		b.ReportMetric(float64(snap.BytesPut+snap.BytesGot)/ops, "bytes/op")
+		b.ReportMetric(float64(snap.BytesPut)/ops, "putbytes/op")
+		b.ReportMetric(float64(snap.BytesGot)/ops, "getbytes/op")
+	}
+	b.Run("v1", func(b *testing.B) { run(b, gdi.CodecV1) })
+	b.Run("v2", func(b *testing.B) { run(b, gdi.CodecV2) })
+}

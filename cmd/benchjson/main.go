@@ -58,11 +58,45 @@ func metricRatio(optimized, baseline, metric string) func(*report) (string, floa
 	}
 }
 
+// trafficRatio gates a paired ablation on bytes moved: the baseline
+// variant's bytes/op over the optimized variant's (bigger is better —
+// the optimized codec moves fewer bytes for the same logical work).
+func trafficRatio(baseline, optimized, metric string) func(*report) (string, float64) {
+	return func(r *report) (string, float64) {
+		b := r.Metrics[baseline][metric]
+		o := r.Metrics[optimized][metric]
+		if o == 0 {
+			return "", 0
+		}
+		return fmt.Sprintf("%s %s / %s", metric, baseline, optimized), b / o
+	}
+}
+
+// minGate combines gates: the reported ratio is the weakest of the parts, so
+// the CI threshold holds on every axis at once (CodecAblation must win on
+// wall time AND bytes moved).
+func minGate(parts ...func(*report) (string, float64)) func(*report) (string, float64) {
+	return func(r *report) (string, float64) {
+		label, ratio := "", math.Inf(1)
+		for _, part := range parts {
+			l, x := part(r)
+			if l == "" || x == 0 {
+				return "", 0
+			}
+			if x < ratio {
+				label, ratio = l, x
+			}
+		}
+		return "min: " + label, ratio
+	}
+}
+
 // gates maps each gated ablation benchmark to its CI ratio.
 var gates = map[string]func(*report) (string, float64){
 	"Ablation_FrontierBatching": nsRatio("scalar", "batched"),
 	"Ablation_CommitBatching":   nsRatio("scalar", "batched"),
 	"CacheAblation":             nsRatio("locked-uncached", "cached-optimistic"),
+	"CodecAblation":             minGate(nsRatio("v1", "v2"), trafficRatio("v1", "v2", "bytes/op")),
 	"AnalyticsAblation":         nsRatio("map-engine", "dense-csr"),
 	"RebalanceAblation":         metricRatio("rebalanced", "static", "queries/s"),
 	"ReplicationAblation":       metricRatio("replicated-k3", "unreplicated", "queries/s"),

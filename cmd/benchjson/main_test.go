@@ -11,6 +11,8 @@ BenchmarkRebalanceAblation/rebalanced-8     	       1	3000000 ns/op	       18000
 BenchmarkReplicationAblation/unreplicated-8 	       1	4000000 ns/op	       100000 queries/s
 BenchmarkReplicationAblation/replicated-k3-8	       1	2000000 ns/op	       210000 queries/s
 BenchmarkCacheAblation/locked-uncached-8    	     100	  40000 ns/op
+BenchmarkCodecAblation/v1-8                 	      10	6000000 ns/op	       640.0 bytes/op
+BenchmarkCodecAblation/v2-8                 	      10	3000000 ns/op	       400.0 bytes/op
 BenchmarkHTAPAblation-8                     	       1	9000000 ns/op
 BenchmarkUngated/only-8                     	    1000	   1000 ns/op
 `
@@ -21,8 +23,8 @@ func parseSample(t *testing.T) map[string]*report {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(order) != 5 {
-		t.Fatalf("parsed %d benchmarks (%v), want 5", len(order), order)
+	if len(order) != 6 {
+		t.Fatalf("parsed %d benchmarks (%v), want 6", len(order), order)
 	}
 	return reports
 }
@@ -68,6 +70,17 @@ func TestApplyGateRatios(t *testing.T) {
 		t.Errorf("ReplicationAblation ratio = %v, want 2.1", r.GateRatio)
 	}
 
+	// CodecAblation gates on the weakest of its two ratios: ns/op is 2.0x
+	// but bytes/op is only 1.6x, so the bytes ratio is the verdict.
+	r = reports["CodecAblation"]
+	applyGate(r)
+	if r.Gate != "min: bytes/op v1 / v2" {
+		t.Errorf("CodecAblation gate = %q", r.Gate)
+	}
+	if r.GateRatio != 1.6 {
+		t.Errorf("CodecAblation ratio = %v, want 1.6", r.GateRatio)
+	}
+
 	r = reports["Ungated"]
 	applyGate(r)
 	if r.Gate != "" || r.GateRatio != 0 {
@@ -97,6 +110,14 @@ func TestApplyGateSkipsDegenerateBaselines(t *testing.T) {
 	applyGate(r)
 	if r.Gate != "skipped" || r.GateRatio != 0 {
 		t.Errorf("HTAPAblation gate = %q ratio %v, want skipped/0", r.Gate, r.GateRatio)
+	}
+
+	// A composite gate with one degenerate part skips as a whole: here the
+	// bytes/op metric never got reported.
+	r = &report{Name: "CodecAblation", NsPerOp: map[string]float64{"v1": 6000000, "v2": 3000000}}
+	applyGate(r)
+	if r.Gate != "skipped" || r.GateRatio != 0 {
+		t.Errorf("CodecAblation without bytes/op: gate = %q ratio %v, want skipped/0", r.Gate, r.GateRatio)
 	}
 
 	// A zero baseline metric must not produce +Inf.

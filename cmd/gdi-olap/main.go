@@ -32,6 +32,7 @@ func main() {
 	cacheBlocks := flag.Bool("cache-blocks", false, "enable the per-process version-validated block cache; repeated frontier reads are served locally")
 	denseAnalytics := flag.Bool("dense-analytics", false, "run the iterative kernels on the dense CSR engine: index-compacted snapshots, direction-optimizing BFS, one-sided exchange")
 	htap := flag.Bool("htap", false, "run the kernels over a live snapshot cut while an open-loop OLTP load keeps committing; reports the load's served QPS next to each algorithm's wall time (bfs and pagerank only)")
+	holderCodec := flag.String("holder-codec", "v1", `holder wire format — "v1" (fixed-width records) or "v2" (delta+varint edge runs; CSR snapshot builds read them in place); reads auto-detect per holder`)
 	flag.Parse()
 
 	var algos []string
@@ -45,6 +46,11 @@ func main() {
 	}
 
 	cfg := kron.Config{Scale: *scale, EdgeFactor: 16, Seed: *seed, NumLabels: 20, NumProps: 13}.WithDefaults()
+	codec, err := gdi.ParseHolderCodec(*holderCodec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gdi-olap:", err)
+		os.Exit(2)
+	}
 	rt := gdi.Init(*ranks)
 	db := rt.CreateDatabase(gdi.DatabaseParams{
 		BlockSize:      512,
@@ -52,6 +58,7 @@ func main() {
 		CacheBlocks:    *cacheBlocks,
 		DenseAnalytics: *denseAnalytics,
 		HTAPSnapshots:  *htap,
+		HolderCodec:    codec,
 	})
 	sch, err := kron.DefineSchema(db.Engine(), cfg)
 	if err != nil {
@@ -67,7 +74,8 @@ func main() {
 		runHTAP(rt, db, g, sch, cfg, algos, *ranks, *iters)
 		return
 	}
-	fmt.Printf("servers=%d |V|=%d |E|=%d dense-analytics=%v\n", *ranks, cfg.NumVertices(), cfg.NumEdges(), *denseAnalytics)
+	fmt.Printf("servers=%d |V|=%d |E|=%d dense-analytics=%v holder-codec=%s\n",
+		*ranks, cfg.NumVertices(), cfg.NumEdges(), *denseAnalytics, codec)
 	fmt.Printf("%-10s %-12s %11s %11s %13s %13s  %s\n",
 		"algo", "time", "put-trains", "get-trains", "bytes-put", "bytes-got", "result")
 

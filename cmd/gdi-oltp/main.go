@@ -31,6 +31,7 @@ func main() {
 	zipfLocal := flag.Bool("zipf-local", false, "with -zipf: give each worker its own hot set (worker-affine skew, the regime -rebalance exploits)")
 	rebalance := flag.Bool("rebalance", false, "gda: track access heat, run a warmup round, and live-migrate hot vertices onto their dominant accessors before the measured run")
 	replicas := flag.Int("replicas", 1, "gda: k-replica holder chains — every vertex gets one primary plus k-1 follower chains kept in lockstep by the commit fan-out; optimistic reads are served from a local follower when one exists (pair with -optimistic-reads)")
+	holderCodec := flag.String("holder-codec", "v1", `gda: holder wire format — "v1" (fixed-width records) or "v2" (delta+varint edge runs, varint entries, inline single-block holders); reads auto-detect per holder, so either setting opens a store written under the other`)
 	flag.Parse()
 	if *workers == 0 {
 		*workers = *ranks
@@ -54,6 +55,11 @@ func main() {
 	var insertBase uint64 // keeps measured-run inserts clear of warmup inserts
 	switch *system {
 	case "gda":
+		codec, err := gdi.ParseHolderCodec(*holderCodec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gdi-oltp:", err)
+			os.Exit(2)
+		}
 		rt := gdi.Init(*ranks)
 		db := rt.CreateDatabase(gdi.DatabaseParams{
 			BlockSize:             512,
@@ -62,6 +68,7 @@ func main() {
 			CacheBlocks:           *cacheBlocks,
 			OptimisticReads:       *optimisticReads,
 			RebalanceHeatTracking: *rebalance,
+			HolderCodec:           codec,
 		})
 		sch, err := kron.DefineSchema(db.Engine(), cfg)
 		if err != nil {
@@ -165,6 +172,8 @@ func main() {
 		}
 		fmt.Printf("read path: %s   cache: %s   hits: %d   misses: %d (%.1f%% hit rate)   optimistic aborts: %d\n",
 			readPath, cache, snap.CacheHits, snap.CacheMisses, hitRate, gdaDB.Engine().OptimisticAborts())
+		fmt.Printf("storage: codec: %s   bytes put: %d   bytes got: %d\n",
+			gdaDB.Engine().Codec(), snap.BytesPut, snap.BytesGot)
 		if *rebalance {
 			fmt.Printf("placement: migrations: %d   skipped: %d   forwarded reads: %d\n",
 				gdaDB.Engine().Migrations(), gdaDB.Engine().MigrationSkips(), gdaDB.Engine().ForwardedReads())

@@ -391,6 +391,52 @@
 // race detector in CI; gdi-olap -htap reports cut-analytics wall time next
 // to the served QPS of a live LinkBench load.
 //
+// # Storage engine v2
+//
+// Holder chains — the per-vertex block streams everything above the block
+// store reads and writes — come in two wire formats, selected by
+// DatabaseParams.HolderCodec (ParseHolderCodec maps the -holder-codec CLI
+// flag). CodecV1, the default and the ablation baseline, is the fixed-width
+// format of the earlier tiers. CodecV2 keeps the 32-byte header, the block
+// table, the former-homes list, and the replica groups byte-identical to v1
+// — every consumer of those regions (SetTableEntry, RewriteAsReplica,
+// migration, failover) works on either format untouched — and re-encodes
+// the variable regions:
+//
+//   - Delta+varint edge runs. Maximal runs of consecutive edge records
+//     sharing (direction, weight class, label) collapse to one uvarint run
+//     header, the label, the first neighbor DPtr as an absolute uvarint, and
+//     zig-zag varint deltas between successors. Neighbors that land near
+//     each other — the common case under locality-aware placement, where
+//     co-resident DPtrs differ only in their offset bits — cost one or two
+//     bytes each instead of eight. Record order within the holder is
+//     insertion order, exactly as in v1, because edge UIDs index into it.
+//
+//   - Varint property entries and an inline flag for single-block holders:
+//     a holder whose whole stream fits its head block skips the chain walk
+//     entirely on the read path.
+//
+// Decoding dispatches on a per-holder flag bit, never on the engine
+// setting, so a store written under either codec opens under the other and
+// mixed holders coexist indefinitely: the knob only selects the format of
+// new writes, and rewrites, migration, and replication fan-out converge
+// holders toward it. Cross-version compat tests keep a v1-seeded store
+// readable and writable under v2 (and vice versa) through migration and
+// kill-a-rank failover stress; the dense analytics golden tests hold
+// PageRank/BFS bit-identical across codecs.
+//
+// The read path is allocation-free in steady state for both codecs: point
+// reads run through a per-transaction ReadArena whose view decodes varints
+// in place from the fetched blocks — no materialized edge slices — and a CI
+// allocation guard asserts 0 allocs/op on the cached optimistic point-read
+// and ForEachNeighbor paths (outside -race builds, whose shadow allocations
+// would distort testing.AllocsPerRun). The CodecAblation benchmark gates
+// the tier on both axes at once — point-read + commit mix at 8 ranks under
+// 1µs injected remote latency with 64-byte blocks, v2 ≥1.4x v1 on wall time
+// AND ≥1.5x fewer bytes moved (measured ~1.6x and ~4x) — and the varint
+// run and whole-holder round-trip codecs are fuzzed (FuzzVarintEdgeRun,
+// FuzzHolderV2RoundTrip) with checked-in corpora.
+//
 // # Fabric backends
 //
 // All one-sided communication flows through the fabric SPI

@@ -75,6 +75,9 @@ type (
 	// TrafficSnapshot is a plain-value copy of one rank's one-sided traffic
 	// counters, as returned by Transport.CounterSnapshot/TotalSnapshot.
 	TrafficSnapshot = fabric.Snapshot
+	// HolderCodec selects the holder wire format (DatabaseParams.HolderCodec):
+	// CodecV1 or CodecV2. Parse flag values with ParseHolderCodec.
+	HolderCodec = holder.Codec
 )
 
 // Datatype values.
@@ -114,6 +117,20 @@ const (
 	MaskUndirected = core.MaskUndirected
 	MaskAll        = core.MaskAll
 )
+
+// Holder wire formats (DatabaseParams.HolderCodec).
+const (
+	// CodecV1 is the fixed-size holder format: 16-byte edge records, padded
+	// 8-byte-header entries. The default and the CodecAblation baseline.
+	CodecV1 = holder.CodecV1
+	// CodecV2 is the compressed holder format: delta+varint edge runs,
+	// varint entries, and an inline flag that lets single-block holders skip
+	// the chain walk. Same fixed header, table, and replica regions as v1.
+	CodecV2 = holder.CodecV2
+)
+
+// ParseHolderCodec parses a -holder-codec flag value ("v1", "v2").
+func ParseHolderCodec(s string) (HolderCodec, error) { return holder.ParseCodec(s) }
 
 // Transaction modes.
 const (
@@ -282,6 +299,13 @@ type DatabaseParams struct {
 	// HTAPCutRetries bounds the validated-read loop of snapshot block reads
 	// (default 64); only meaningful with HTAPSnapshots.
 	HTAPCutRetries int
+	// HolderCodec selects the storage wire format holders are encoded with:
+	// CodecV1 (fixed-size edge records, the default and ablation baseline)
+	// or CodecV2 (delta+varint compressed edge runs, varint entries, inline
+	// single-block fast path). Reads auto-detect the format per holder, so
+	// mixed stores work and a running database converges to the configured
+	// codec as commits, migration, and replication rewrite holders.
+	HolderCodec HolderCodec
 }
 
 // Database is one distributed graph database. Multiple databases may
@@ -312,6 +336,7 @@ func (rt *Runtime) CreateDatabase(p DatabaseParams) *Database {
 		RebalanceBatch:        p.RebalanceBatch,
 		HTAPSnapshots:         p.HTAPSnapshots,
 		HTAPCutRetries:        p.HTAPCutRetries,
+		HolderCodec:           p.HolderCodec,
 	})
 	return &Database{rt: rt, eng: eng}
 }

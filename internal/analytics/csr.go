@@ -75,8 +75,18 @@ func buildCSR(p *gdi.Process, tx *gdi.Transaction) (*csr, error) {
 	c.app = make([]uint64, len(c.ids))
 	c.outOff = make([]int32, len(c.ids)+1)
 	c.allOff = make([]int32, len(c.ids)+1)
-	var allNbr []gdi.VertexID
-	var isOut []bool // parallel to allNbr: record also feeds the out list
+	// Degree is a header read (no edge-region walk on lazy holders), so one
+	// cheap pass sizes the adjacency arrays exactly and the gather loop below
+	// never reallocates them.
+	totalDeg := 0
+	for i, v := range c.ids {
+		if handles[i] == nil {
+			return nil, fmt.Errorf("analytics: local vertex %v disappeared", v)
+		}
+		totalDeg += handles[i].Degree()
+	}
+	allNbr := make([]gdi.VertexID, 0, totalDeg)
+	isOut := make([]bool, 0, totalDeg) // parallel to allNbr: record also feeds the out list
 	nOut := 0
 	for i, v := range c.ids {
 		h := handles[i]

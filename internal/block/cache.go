@@ -162,6 +162,33 @@ func (s *Store) LockStamps(origin fabric.Rank, dps []fabric.DPtr) []uint64 {
 	return out
 }
 
+// LockStamp loads the single lock word guarding dp — the scalar form of
+// LockStamps for the one-holder optimistic point read, whose steady-state
+// path must not allocate (LockStamps builds per-target batch maps).
+func (s *Store) LockStamp(origin fabric.Rank, dp fabric.DPtr) uint64 {
+	s.checkDPtr(dp)
+	return s.sys.Load(origin, dp.Rank(), 1+int(dp.Off()))
+}
+
+// CachedBlock serves dp from origin's cache into dst when a copy guarded by
+// guard exists and is current under the caller's stamp (same version, write
+// bit clear) — the scalar, allocation-free form of the cache hit in
+// ReadBlocksStamped, including the hit/miss accounting. Returns false when
+// caching is off, dp is local, or the copy is missing or stale; the caller
+// then fetches and (after establishing stability) installs via InstallCached.
+func (s *Store) CachedBlock(origin fabric.Rank, dp, guard fabric.DPtr, stamp uint64, dst []byte) bool {
+	c := s.cacheOf(origin)
+	if c == nil || dp.Rank() == origin {
+		return false
+	}
+	if ver, found := c.lookup(dp, guard, dst); found && ver == locks.Version(stamp) && !locks.WriteHeld(stamp) {
+		s.f.AddCache(origin, 1, 0)
+		return true
+	}
+	s.f.AddCache(origin, 0, 1)
+	return false
+}
+
 // GuardStamps loads the lock words of the distinct guards into a map, one
 // vectored atomic-load train per owner rank. A stamp set is the unit the
 // read protocols revalidate against: the transaction layer stamps a whole

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/gdi-go/gdi/internal/holder"
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// Allocation-regression guard for the storage-engine v2 tentpole: the
+// steady-state point-read path — seqlock stamps, cached or local block reads,
+// in-place varint iteration over the view — must allocate nothing per
+// operation. A regression here silently re-introduces GC pressure on the
+// hottest read path, so CI runs this as a hard gate (the non-race step of the
+// race job; AllocsPerRun is meaningless under the detector, see raceEnabled).
+
+// seedFanVertex commits one center vertex on rank 1 with fan out-edges and
+// returns its DPtr.
+func seedFanVertex(t *testing.T, e *Engine, fan int) rma.DPtr {
+	t.Helper()
+	tx := e.StartLocal(1, ReadWrite)
+	center, err := tx.CreateVertex(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fan; i++ {
+		nb, err := tx.CreateVertex(2000 + uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.CreateEdge(center, nb, holder.DirOut, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return center
+}
+
+func TestPointReadPathAllocatesNothing(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under the race detector")
+	}
+	for _, codec := range []holder.Codec{holder.CodecV1, holder.CodecV2} {
+		t.Run(codec.String(), func(t *testing.T) {
+			e := NewEngine(rma.New(2), Config{
+				BlockSize:       64,
+				BlocksPerRank:   1 << 12,
+				LockTries:       256,
+				CacheBlocks:     true,
+				CacheCapacity:   512,
+				OptimisticReads: true,
+				HolderCodec:     codec,
+			})
+			center := seedFanVertex(t, e, 8)
+
+			// Placement hashes the application ID, so derive the two origins
+			// from wherever the vertex actually landed.
+			for name, origin := range map[string]rma.Rank{
+				"local":      center.Rank(),                    // every block from the pool
+				"cached-hit": rma.Rank(1 - int(center.Rank())), // every block from the warm cache
+			} {
+				t.Run(name, func(t *testing.T) {
+					ar := &ReadArena{}
+					var degree int
+					read := func(w *holder.View) {
+						degree = 0
+						w.ForEachNeighbor(func(rma.DPtr, holder.Direction) bool {
+							degree++
+							return true
+						})
+					}
+					// Warm-up: fetches remote blocks, installs them into the
+					// cache, and grows the arena to its steady-state size.
+					if !e.OptimisticPointRead(origin, center, ar, read) {
+						t.Fatal("warm-up point read did not validate")
+					}
+					if degree != 8 {
+						t.Fatalf("degree = %d, want 8", degree)
+					}
+					allocs := testing.AllocsPerRun(200, func() {
+						if !e.OptimisticPointRead(origin, center, ar, read) {
+							panic("steady-state point read did not validate")
+						}
+						if degree != 8 {
+							panic(fmt.Sprintf("degree = %d, want 8", degree))
+						}
+					})
+					if allocs != 0 {
+						t.Fatalf("steady-state point read allocates %.1f objects/op, want 0", allocs)
+					}
+				})
+			}
+		})
+	}
+}

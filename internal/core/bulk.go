@@ -53,7 +53,7 @@ func (e *Engine) BulkLoadVertices(rank fabric.Rank, specs []VertexSpec) error {
 	for _, batch := range in {
 		for _, sp := range batch {
 			v := &holder.Vertex{AppID: sp.AppID, Labels: sp.Labels, Props: sp.Props}
-			stream := holder.EncodeVertex(v, bs)
+			stream := holder.EncodeVertexCodec(v, bs, e.cfg.HolderCodec)
 			need := len(stream) / bs
 			blocks := make([]fabric.DPtr, need)
 			for i := range blocks {
@@ -182,7 +182,7 @@ func (e *Engine) appendRecords(rank fabric.Rank, primary fabric.DPtr, recs []hol
 		return fmt.Errorf("%w: %v", ErrNotFound, err)
 	}
 	v.Edges = append(v.Edges, recs...)
-	stream := holder.EncodeVertex(v, bs)
+	stream := holder.EncodeVertexCodec(v, bs, e.cfg.HolderCodec)
 	need := len(stream) / bs
 	for len(blocks) < need {
 		dp, err := e.store.AcquireBlock(rank, rank)

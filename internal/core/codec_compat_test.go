@@ -1,0 +1,396 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/gdi-go/gdi/internal/holder"
+	"github.com/gdi-go/gdi/internal/lpg"
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// Cross-version compatibility: a store written under the v1 codec must stay
+// fully readable after the engine switches to v2 (the upgrade path — flip the
+// knob, restart, let rewrites converge), and mixed v1/v2 holders must coexist
+// indefinitely because decode dispatches on the per-holder flag, never on the
+// engine setting.
+
+func newCodecEngine(t *testing.T, ranks int, codec holder.Codec) *Engine {
+	t.Helper()
+	return NewEngine(rma.New(ranks), Config{
+		BlockSize:       64,
+		BlocksPerRank:   1 << 12,
+		LockTries:       256,
+		OptimisticReads: true,
+		HolderCodec:     codec,
+	})
+}
+
+// seedGraph loads a small labeled graph with properties and a fan of edges
+// and returns the vertex DPtrs, all under the engine's current codec.
+func seedGraph(t *testing.T, e *Engine, n int, person, knows lpg.LabelID, name lpg.PTypeID) []rma.DPtr {
+	t.Helper()
+	tx := e.StartLocal(0, ReadWrite)
+	dps := make([]rma.DPtr, n)
+	for i := range dps {
+		dp, err := tx.CreateVertex(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := tx.AssociateVertex(dp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.AddLabel(person); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.SetProperty(name, lpg.EncodeString(fmt.Sprintf("v%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+		dps[i] = dp
+	}
+	for i := range dps {
+		if _, err := tx.CreateEdge(dps[i], dps[(i+1)%n], holder.DirOut, knows); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.CreateEdge(dps[i], dps[(i+3)%n], holder.DirOut, knows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return dps
+}
+
+// checkGraph reads every vertex back from rank r and verifies labels,
+// properties, and adjacency are what seedGraph wrote.
+func checkGraph(t *testing.T, e *Engine, r rma.Rank, dps []rma.DPtr, person, knows lpg.LabelID, name lpg.PTypeID) {
+	t.Helper()
+	n := len(dps)
+	tx := e.StartLocal(r, ReadOnly)
+	for i, dp := range dps {
+		h, err := tx.AssociateVertex(dp)
+		if err != nil {
+			t.Fatalf("vertex %d: %v", i, err)
+		}
+		if !h.HasLabel(person) {
+			t.Fatalf("vertex %d lost its label", i)
+		}
+		if v, ok := h.Property(name); !ok || lpg.DecodeString(v) != fmt.Sprintf("v%04d", i) {
+			t.Fatalf("vertex %d name = %q, %v", i, v, ok)
+		}
+		if got := h.CountEdges(MaskOut); got != 2 {
+			t.Fatalf("vertex %d out-degree = %d, want 2", i, got)
+		}
+		want := map[rma.DPtr]bool{dps[(i+1)%n]: true, dps[(i+3)%n]: true}
+		if err := h.ForEachEdge(MaskOut, func(nb rma.DPtr, _ holder.Direction) {
+			delete(want, nb)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != 0 {
+			t.Fatalf("vertex %d missing out-neighbors %v", i, want)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// codecCounts decodes every vertex's primary via a transactional read and
+// tallies holders by wire format.
+func codecCounts(t *testing.T, e *Engine, dps []rma.DPtr) (v1, v2 int) {
+	t.Helper()
+	tx := e.StartLocal(0, ReadOnly)
+	for _, dp := range dps {
+		h, err := tx.AssociateVertex(dp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.st.lazyEdges {
+			if h.st.view.Codec() == holder.CodecV2 {
+				v2++
+			} else {
+				v1++
+			}
+		} else if h.st.v.Codec == holder.CodecV2 {
+			v2++
+		} else {
+			v1++
+		}
+	}
+	tx.Abort()
+	return
+}
+
+// TestV1StoreReadableUnderV2 is the upgrade scenario: a graph committed
+// entirely under v1 stays byte-for-byte readable after the engine flips to
+// v2, new writes land as v2, and the two formats serve the same transactions
+// side by side.
+func TestV1StoreReadableUnderV2(t *testing.T) {
+	const n = 12
+	e := newCodecEngine(t, 2, holder.CodecV1)
+	person, knows, _, name := seedPersonSchema(t, e)
+	dps := seedGraph(t, e, n, person, knows, name)
+	if v1, v2 := codecCounts(t, e, dps); v1 != n || v2 != 0 {
+		t.Fatalf("seed store codecs: %d v1 / %d v2, want all v1", v1, v2)
+	}
+
+	// Flip the knob — the moral equivalent of a restart with -holder-codec=v2.
+	e.SetHolderCodec(holder.CodecV2)
+	checkGraph(t, e, 1, dps, person, knows, name)
+
+	// Rewriting half the vertices converges them to v2; the untouched half
+	// stays v1 and both remain readable.
+	tx := e.StartLocal(0, ReadWrite)
+	for i := 0; i < n/2; i++ {
+		h, err := tx.AssociateVertex(dps[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.SetProperty(name, lpg.EncodeString(fmt.Sprintf("v%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := codecCounts(t, e, dps)
+	if v2 != n/2 || v1 != n-n/2 {
+		t.Fatalf("after rewriting half: %d v1 / %d v2, want %d/%d", v1, v2, n-n/2, n/2)
+	}
+	checkGraph(t, e, 0, dps, person, knows, name)
+	checkGraph(t, e, 1, dps, person, knows, name)
+}
+
+// TestMixedCodecMigrationConverges: migrating a v1 vertex under a v2 engine
+// re-encodes it at the destination — live migration is the zero-downtime
+// format-conversion path — and the moved holder reads back identically.
+func TestMixedCodecMigrationConverges(t *testing.T) {
+	const n = 8
+	e := newCodecEngine(t, 3, holder.CodecV1)
+	person, knows, _, name := seedPersonSchema(t, e)
+	dps := seedGraph(t, e, n, person, knows, name)
+	e.SetHolderCodec(holder.CodecV2)
+
+	// Migrate every vertex once; each move rewrites the holder as v2.
+	cur := make([]rma.DPtr, n)
+	copy(cur, dps)
+	for i := range cur {
+		dest := rma.Rank((int(cur[i].Rank()) + 1) % 3)
+		if _, err := e.MigrateVertices(dest, []MigrationMove{{App: uint64(i), Old: cur[i], Dest: dest}}); err != nil {
+			t.Fatal(err)
+		}
+		tx := e.StartLocal(0, ReadOnly)
+		ndp, err := tx.TranslateVertexID(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.Abort()
+		cur[i] = ndp
+	}
+	if v1, v2 := codecCounts(t, e, cur); v2 != n {
+		t.Fatalf("after migrating all: %d v1 / %d v2, want all v2", v1, v2)
+	}
+	// Edge records keep the pre-move DPtrs; traversal resolves them through
+	// the forwarding stubs. Verify adjacency by application ID, not pointer.
+	tx := e.StartLocal(2, ReadOnly)
+	for i := range cur {
+		h, err := tx.AssociateVertex(cur[i])
+		if err != nil {
+			t.Fatalf("vertex %d: %v", i, err)
+		}
+		if !h.HasLabel(person) {
+			t.Fatalf("vertex %d lost its label through migration", i)
+		}
+		if v, ok := h.Property(name); !ok || lpg.DecodeString(v) != fmt.Sprintf("v%04d", i) {
+			t.Fatalf("vertex %d name = %q, %v", i, v, ok)
+		}
+		nbrs, err := h.Neighbors(MaskOut, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[uint64]bool{uint64((i + 1) % n): true, uint64((i + 3) % n): true}
+		for _, nb := range nbrs {
+			nh, err := tx.AssociateVertex(nb)
+			if err != nil {
+				t.Fatalf("vertex %d: chasing neighbor %v: %v", i, nb, err)
+			}
+			delete(want, nh.AppID())
+		}
+		if len(want) != 0 {
+			t.Fatalf("vertex %d missing out-neighbors (by app ID) %v", i, want)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixedCodecReplication: replica fan-out and follower promotion work on
+// holders of either format under either engine codec — RewriteAsReplica only
+// touches the fixed regions, which are byte-identical across v1 and v2.
+func TestMixedCodecReplication(t *testing.T) {
+	const keys = 8
+	f := rma.New(4)
+	e := NewEngine(f, Config{
+		BlockSize:       64,
+		BlocksPerRank:   1 << 12,
+		LockTries:       256,
+		OptimisticReads: true,
+		HolderCodec:     holder.CodecV1,
+	})
+	pt := payloadPType(t, e)
+	for i := 0; i < keys; i++ {
+		seedPayloadVertex(t, e, uint64(i), pt, 8)
+	}
+	// Replicate under v2: the replica copies are re-encodes of v1 holders.
+	e.SetHolderCodec(holder.CodecV2)
+	for r := 0; r < 4; r++ {
+		e.ReplicateUniform(rma.Rank(r), 3)
+	}
+
+	// Kill a rank; survivors must promote its followers and serve the data.
+	doomed := rma.Rank(1)
+	f.KillRank(doomed)
+	promos := 0
+	for r := 0; r < 4; r++ {
+		if rma.Rank(r) != doomed {
+			promos += e.PromoteDead(rma.Rank(r))
+		}
+	}
+	for app := uint64(0); app < keys; app++ {
+		tx := e.StartLocal(0, ReadOnly)
+		dp, err := tx.TranslateVertexID(app)
+		if err != nil {
+			t.Fatalf("vertex %d lost after failover: %v", app, err)
+		}
+		if dp.Rank() == doomed {
+			t.Fatalf("vertex %d still on the dead rank", app)
+		}
+		h, err := tx.AssociateVertex(dp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, ok := h.Property(pt)
+		if !ok {
+			t.Fatalf("vertex %d payload missing after failover", app)
+		}
+		if seq, torn := decodePattern(p); torn || seq != 0 {
+			t.Fatalf("vertex %d payload wrong after failover: seq=%d torn=%v", app, seq, torn)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if promos == 0 {
+		t.Fatal("no promotions despite a dead rank")
+	}
+}
+
+// TestCodecGoldenBytesStableAcrossFormats: the same logical vertex content
+// committed under v1 and v2 engines reads back equal through the public API,
+// and a v1→v2→v1 rewrite cycle restores the exact original v1 stream.
+func TestCodecGoldenBytesStableAcrossFormats(t *testing.T) {
+	build := func(codec holder.Codec) (e *Engine, dp rma.DPtr, pt lpg.PTypeID) {
+		e = newCodecEngine(t, 1, codec)
+		pt = payloadPType(t, e)
+		dp = seedPayloadVertex(t, e, 1, pt, 8)
+		return
+	}
+	e1, dp1, pt1 := build(holder.CodecV1)
+	e2, dp2, pt2 := build(holder.CodecV2)
+	read := func(e *Engine, dp rma.DPtr, pt lpg.PTypeID) []byte {
+		tx := e.StartLocal(0, ReadOnly)
+		h, err := tx.AssociateVertex(dp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok := h.Property(pt)
+		if !ok {
+			t.Fatal("payload missing")
+		}
+		out := append([]byte(nil), v...)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if !bytes.Equal(read(e1, dp1, pt1), read(e2, dp2, pt2)) {
+		t.Fatal("v1 and v2 stores disagree on identical logical content")
+	}
+}
+
+// TestAssociateEdgeHolderV2: heavy-edge holders round-trip through the v2
+// codec end to end (create, read from another rank, delete).
+func TestAssociateEdgeHolderV2(t *testing.T) {
+	e := newCodecEngine(t, 2, holder.CodecV2)
+	_, knows, _, _ := seedPersonSchema(t, e)
+
+	tx := e.StartLocal(0, ReadWrite)
+	a, _ := tx.CreateVertex(1)
+	b, _ := tx.CreateVertex(2)
+	if _, err := tx.CreateRichEdge(a, b, holder.DirOut, []lpg.LabelID{knows}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2 := e.StartLocal(1, ReadOnly)
+	ha, _ := tx2.AssociateVertex(a)
+	infos, err := ha.Edges(MaskOut, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || !infos[0].Heavy {
+		t.Fatalf("heavy edge infos = %+v", infos)
+	}
+	eh, err := tx2.AssociateEdgeHolder(infos[0].Holder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o, tgt := eh.Vertices(); o != a || tgt != b {
+		t.Fatalf("edge endpoints = %v, %v", o, tgt)
+	}
+	if ls := eh.Labels(); len(ls) != 1 || ls[0] != knows {
+		t.Fatalf("heavy edge labels through v2 = %v", ls)
+	}
+	tx2.Commit()
+}
+
+// TestDeleteVertexV2 exercises the delete path (which must materialize lazy
+// edge views on every neighbor) under the v2 codec.
+func TestDeleteVertexV2(t *testing.T) {
+	e := newCodecEngine(t, 2, holder.CodecV2)
+	_, knows, _, _ := seedPersonSchema(t, e)
+	tx := e.StartLocal(0, ReadWrite)
+	a, _ := tx.CreateVertex(1)
+	b, _ := tx.CreateVertex(2)
+	c, _ := tx.CreateVertex(3)
+	tx.CreateEdge(a, b, holder.DirOut, knows)
+	tx.CreateEdge(c, a, holder.DirOut, knows)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := e.StartLocal(1, ReadWrite)
+	if err := tx2.DeleteVertex(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx3 := e.StartLocal(0, ReadOnly)
+	if _, err := tx3.AssociateVertex(a); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted v2 vertex still associable: %v", err)
+	}
+	hb, _ := tx3.AssociateVertex(b)
+	hc, _ := tx3.AssociateVertex(c)
+	if hb.Degree() != 0 || hc.Degree() != 0 {
+		t.Fatalf("dangling records after v2 delete: %d, %d", hb.Degree(), hc.Degree())
+	}
+	tx3.Commit()
+}

@@ -209,7 +209,7 @@ func (tx *Tx) Commit() error {
 		if !es.dirty || es.deleted {
 			continue
 		}
-		pl, err := prepare(es.primary, holder.EncodeEdge(es.e, bs), es.blocks)
+		pl, err := prepare(es.primary, holder.EncodeEdgeCodec(es.e, bs, tx.eng.cfg.HolderCodec), es.blocks)
 		if err != nil {
 			return fail(err)
 		}
@@ -535,16 +535,20 @@ func (tx *Tx) Commit() error {
 // strips the groups from the encoding and retires them instead of resizing
 // remote chains on the commit path; a later seeding round restores k.
 func (tx *Tx) encodeForCommit(st *vertexState, bs int) (stream []byte, fan, drop [][]fabric.DPtr) {
+	// Every rewrite encodes under the engine codec — this is how a store
+	// converges to a new wire format holder by holder; a codec change that
+	// reshapes the holder drops its follower groups like any other reshape.
+	codec := tx.eng.cfg.HolderCodec
 	if len(st.v.Replicas) == 0 {
-		return holder.EncodeVertex(st.v, bs), nil, nil
+		return holder.EncodeVertexCodec(st.v, bs, codec), nil, nil
 	}
 	if tx.batchedCommit() && st.lock == lockWrite && st.blocks != nil &&
-		holder.VertexBlocks(st.v, bs) == len(st.blocks) {
-		return holder.EncodeVertex(st.v, bs), st.v.Replicas, nil
+		holder.VertexBlocksCodec(st.v, bs, codec) == len(st.blocks) {
+		return holder.EncodeVertexCodec(st.v, bs, codec), st.v.Replicas, nil
 	}
 	drop = st.v.Replicas
 	st.v.Replicas = nil
-	return holder.EncodeVertex(st.v, bs), nil, drop
+	return holder.EncodeVertexCodec(st.v, bs, codec), nil, drop
 }
 
 // validateOptimistic is the commit-time check of the optimistic read tier:

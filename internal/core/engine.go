@@ -26,6 +26,7 @@ import (
 	"github.com/gdi-go/gdi/internal/dht"
 	"github.com/gdi-go/gdi/internal/exchange"
 	"github.com/gdi-go/gdi/internal/fabric"
+	"github.com/gdi-go/gdi/internal/holder"
 	"github.com/gdi-go/gdi/internal/locks"
 	"github.com/gdi-go/gdi/internal/lpg"
 	"github.com/gdi-go/gdi/internal/metadata"
@@ -123,6 +124,14 @@ type Config struct {
 	// HTAPCutRetries bounds the validated-read loop of cut block reads
 	// (default snapshot.DefaultCutRetries).
 	HTAPCutRetries int
+	// HolderCodec selects the wire format new and rewritten holders are
+	// encoded with: holder.CodecV1 (fixed 16-byte edge records, the default
+	// and the ablation baseline) or holder.CodecV2 (delta+varint edge runs,
+	// varint entries, inline single-block flag). Decoding always dispatches
+	// on the stream's own header flag, so a store may hold both formats at
+	// once — re-encoding writes (commits, migration, promotion, bulk load)
+	// convert holders to the engine codec as they touch them.
+	HolderCodec holder.Codec
 }
 
 // withDefaults fills zero fields with workable defaults.
@@ -306,6 +315,16 @@ func (e *Engine) Exchange() *exchange.Exchange {
 
 // Store exposes the block pool (used by diagnostics and tests).
 func (e *Engine) Store() *block.Store { return e.store }
+
+// Codec returns the holder wire format the engine encodes with. Decoding is
+// always format-agnostic (the stream header says which codec wrote it).
+func (e *Engine) Codec() holder.Codec { return e.cfg.HolderCodec }
+
+// SetHolderCodec switches the encode codec of a running engine — the
+// cross-version compatibility tests use it to grow mixed v1/v2 stores:
+// existing holders keep their format until a commit, migration, promotion,
+// or bulk merge rewrites them under the new codec.
+func (e *Engine) SetHolderCodec(c holder.Codec) { e.cfg.HolderCodec = c }
 
 // Registry returns rank r's metadata replica.
 func (e *Engine) Registry(r fabric.Rank) *metadata.Registry { return e.regs[r] }

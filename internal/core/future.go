@@ -367,12 +367,24 @@ func (tx *Tx) flushPending() {
 				continue
 			}
 			if pf.err == nil {
-				v, err := holder.DecodeVertex(pf.buf)
+				// Lazy decode: validate the stream and materialize everything
+				// except the edge records, which stay varint/fixed-encoded in
+				// pf.buf behind the state's view until a mutation (or an
+				// index-addressed read) needs a mutable slice. Point reads and
+				// CSR passes iterate the view in place and allocate nothing
+				// per edge.
+				st := pf.st
+				err := st.view.Reset(pf.buf)
+				var v *holder.Vertex
+				if err == nil {
+					v, err = st.view.DecodeMeta()
+				}
 				if err != nil {
 					tx.unlockState(pf.st)
 					pf.err = fmt.Errorf("%w: %v", ErrNotFound, err)
 				} else {
 					pf.st.v = v
+					pf.st.lazyEdges = st.view.NumEdges() > 0
 					pf.st.blocks = pf.blocks
 					pf.st.origLabel = append([]lpg.LabelID(nil), v.Labels...)
 					tx.verts[pf.dp] = pf.st

@@ -244,6 +244,9 @@ func (h *VertexHandle) Edges(mask DirMask, cons *constraint.Constraint) ([]EdgeI
 	if err := h.tx.check(); err != nil {
 		return nil, err
 	}
+	// EdgeInfo carries record indices (EdgeUIDs), so this path works on the
+	// materialized slice; it allocates the result anyway.
+	h.tx.materializeEdges(h.st)
 	var out []EdgeInfo
 	for i, rec := range h.st.v.Edges {
 		if !mask.matches(rec.Dir) {
@@ -317,9 +320,9 @@ func (h *VertexHandle) ForEachEdge(mask DirMask, fn func(nb fabric.DPtr, dir hol
 	if err := h.tx.check(); err != nil {
 		return err
 	}
-	for _, rec := range h.st.v.Edges {
+	visit := func(rec holder.EdgeRec) error {
 		if !mask.matches(rec.Dir) {
-			continue
+			return nil
 		}
 		if rec.Heavy {
 			es, err := h.tx.fetchEdgeState(rec.Neighbor)
@@ -327,12 +330,28 @@ func (h *VertexHandle) ForEachEdge(mask DirMask, fn func(nb fabric.DPtr, dir hol
 				return err
 			}
 			if es.deleted {
-				continue
+				return nil
 			}
 			fn(heavyNeighbor(es.e, h.st), rec.Dir)
-			continue
+			return nil
 		}
 		fn(rec.Neighbor, rec.Dir)
+		return nil
+	}
+	// Lazily decoded holders iterate the encoded stream in place — no
+	// []EdgeRec is ever built for a read-only traversal.
+	if h.st.lazyEdges {
+		var ferr error
+		h.st.view.ForEachEdge(func(rec holder.EdgeRec) bool {
+			ferr = visit(rec)
+			return ferr == nil
+		})
+		return ferr
+	}
+	for _, rec := range h.st.v.Edges {
+		if err := visit(rec); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -342,6 +361,18 @@ func (h *VertexHandle) ForEachEdge(mask DirMask, fn func(nb fabric.DPtr, dir hol
 // communication beyond the holder already fetched.
 func (h *VertexHandle) CountEdges(mask DirMask) int {
 	n := 0
+	if h.st.lazyEdges {
+		if mask == MaskAll {
+			return h.st.view.NumEdges() // header field; no edge-region walk
+		}
+		h.st.view.ForEachEdge(func(rec holder.EdgeRec) bool {
+			if mask.matches(rec.Dir) {
+				n++
+			}
+			return true
+		})
+		return n
+	}
 	for _, rec := range h.st.v.Edges {
 		if mask.matches(rec.Dir) {
 			n++
@@ -369,8 +400,14 @@ func (h *VertexHandle) Neighbors(mask DirMask, cons *constraint.Constraint) ([]f
 	return out, nil
 }
 
-// Degree returns the total number of incident edge records.
-func (h *VertexHandle) Degree() int { return len(h.st.v.Edges) }
+// Degree returns the total number of incident edge records. For lazily
+// decoded holders it is a header read — no edge region is touched.
+func (h *VertexHandle) Degree() int {
+	if h.st.lazyEdges {
+		return h.st.view.NumEdges()
+	}
+	return len(h.st.v.Edges)
+}
 
 // CreateEdge adds a lightweight edge (§5.4.2: at most one label, no
 // properties) between two vertices. A record is stored in both endpoint
@@ -489,6 +526,7 @@ func (tx *Tx) DeleteEdge(uid holder.EdgeUID) error {
 	if err != nil {
 		return err
 	}
+	tx.materializeEdges(vh.st) // the UID indexes the record slice
 	if int(uid.Index) >= len(vh.st.v.Edges) {
 		return fmt.Errorf("%w: edge %v/%d", ErrNotFound, uid.Vertex, uid.Index)
 	}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/gdi-go/gdi/internal/holder"
 	"github.com/gdi-go/gdi/internal/rma"
 )
 
@@ -28,6 +29,18 @@ import (
 //
 // Run under -race in CI (the migration stress step of the race job).
 func TestMigrationCoherenceStress(t *testing.T) {
+	migrationCoherenceStress(t, holder.CodecV1)
+}
+
+// TestMigrationCoherenceStressV2 is the same stress tier over the v2
+// (delta+varint) holder codec: every seed, rewrite, and migration re-encode
+// goes through the compressed wire format, so tearing or mis-sizing in the
+// varint paths would surface as torn payloads or lost updates here.
+func TestMigrationCoherenceStressV2(t *testing.T) {
+	migrationCoherenceStress(t, holder.CodecV2)
+}
+
+func migrationCoherenceStress(t *testing.T, codec holder.Codec) {
 	const (
 		ranks             = 4
 		keys              = 12
@@ -40,6 +53,7 @@ func TestMigrationCoherenceStress(t *testing.T) {
 		goldenApp         = uint64(keys) // written once, migrated forever
 	)
 	e := newMigrationCacheEngine(t, ranks, 512)
+	e.SetHolderCodec(codec)
 	pt := payloadPType(t, e)
 	dps := make([]rma.DPtr, keys)
 	for i := range dps {

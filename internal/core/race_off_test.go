@@ -1,0 +1,10 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-regression guard skips under -race: the detector instruments
+// every memory access and testing.AllocsPerRun counts its shadow allocations,
+// so the 0-allocs/op assertion only holds in a plain build (CI runs it as a
+// separate non-race step of the race job).
+const raceEnabled = false

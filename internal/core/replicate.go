@@ -378,7 +378,7 @@ func (e *Engine) replicateOne(origin fabric.Rank, app uint64, k int) bool {
 	// the bigger group region pushed the holder over a block boundary.
 	existing := len(v.Replicas)
 	v.Replicas = append(v.Replicas, nil)
-	need := holder.VertexBlocks(v, bs)
+	need := holder.VertexBlocksCodec(v, bs, e.cfg.HolderCodec)
 	acquire := func(target fabric.Rank, dst []fabric.DPtr) ([]fabric.DPtr, bool) {
 		for len(dst) < need {
 			dp, aerr := e.store.AcquireBlock(origin, target)
@@ -448,7 +448,7 @@ func (e *Engine) replicateOne(origin fabric.Rank, app uint64, k int) bool {
 
 	// Publish: the grown primary chain plus every follower stream, one
 	// vectored PUT train per rank.
-	stream := holder.EncodeVertex(v, bs)
+	stream := holder.EncodeVertexCodec(v, bs, e.cfg.HolderCodec)
 	for i := 1; i < need; i++ {
 		holder.SetTableEntry(stream, i-1, chain[i])
 	}
@@ -720,7 +720,16 @@ func (e *Engine) promoteOne(origin fabric.Rank, it promoteItem, dead map[fabric.
 		}
 	}
 	v.Homes = homes
-	need := holder.VertexBlocks(v, bs)
+	codec := e.cfg.HolderCodec
+	need := holder.VertexBlocksCodec(v, bs, codec)
+	if need > nb {
+		// A codec switch can inflate the re-encoding past the copy we hold
+		// blocks for (a v2 follower promoted on a v1-configured engine). Fall
+		// back to the copy's own codec, under which content only shrinks; the
+		// next full rewrite converts the holder.
+		codec = v.Codec
+		need = holder.VertexBlocksCodec(v, bs, codec)
+	}
 	if need > nb {
 		need = nb // cannot happen (content shrank); never grow past the copy
 	}
@@ -733,7 +742,7 @@ func (e *Engine) promoteOne(origin fabric.Rank, it promoteItem, dead map[fabric.
 			v.Replicas[gi] = g[:need]
 		}
 	}
-	stream := holder.EncodeVertex(v, bs)
+	stream := holder.EncodeVertexCodec(v, bs, codec)
 	for i := 1; i < need; i++ {
 		holder.SetTableEntry(stream, i-1, chain[i])
 	}

@@ -50,6 +50,15 @@ type vertexState struct {
 	isNew     bool
 	deleted   bool
 	origLabel []lpg.LabelID // labels at fetch time, for index diffs
+
+	// Lazy edge tier: a fetched holder's edge records stay encoded in the
+	// stream the flush materialized (view aliases it) until something needs
+	// a mutable []holder.EdgeRec. Read-only iteration — ForEachEdge,
+	// CountEdges, Degree, the CSR build — runs on the view and allocates
+	// nothing; the first mutation (or an index-addressed read) pays one
+	// AppendEdges through materializeEdges, which clears lazyEdges.
+	view      holder.View
+	lazyEdges bool
 }
 
 // isIdentity reports whether dp names this vertex: its current primary or
@@ -294,11 +303,24 @@ func (tx *Tx) ensureWrite(st *vertexState) error {
 			st.lock = lockWrite
 		}
 	}
+	// Mutations (and the commit re-encode they lead to) work on the
+	// materialized edge list; lazily decoded holders realize it here.
+	tx.materializeEdges(st)
 	if !st.dirty {
 		st.dirty = true
 		tx.dirtyList = append(tx.dirtyList, st.primary)
 	}
 	return nil
+}
+
+// materializeEdges realizes a lazily decoded holder's []EdgeRec from its
+// view. Idempotent and free for eager states.
+func (tx *Tx) materializeEdges(st *vertexState) {
+	if !st.lazyEdges {
+		return
+	}
+	st.v.Edges = st.view.AppendEdges(st.v.Edges[:0])
+	st.lazyEdges = false
 }
 
 // CreateVertex allocates a new vertex with the given application-level ID,

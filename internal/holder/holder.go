@@ -125,6 +125,10 @@ type Vertex struct {
 	Labels []lpg.LabelID
 	// Props are the vertex's properties in insertion order.
 	Props []lpg.Property
+	// Codec records which wire format the stream was decoded from (the zero
+	// value is CodecV1). Not encoded; re-encoding under a different codec is
+	// exactly how migration and promotion convert holders between formats.
+	Codec Codec
 }
 
 // Edge is the decoded logical form of a heavy-edge holder.
@@ -148,6 +152,14 @@ const (
 	// stream is byte-identical to the primary's except for this bit and the
 	// block table, which points at the follower's own blocks.
 	flagReplica = 1 << 2
+	// flagV2 tags a stream encoded with the v2 codec (delta+varint edge
+	// runs, varint entries — see v2.go). The decoders dispatch on it, so v1
+	// and v2 holders coexist in one store.
+	flagV2 = 1 << 3
+	// flagInline marks a single-block v2 holder: no block table, no
+	// continuation chain — a reader that sees it on the primary block knows
+	// the whole holder is already in hand and skips the chain walk.
+	flagInline = 1 << 4
 )
 
 // contentSizeVertex returns the logical byte size of v excluding slack.
@@ -242,7 +254,9 @@ func EncodeVertex(v *Vertex, blockSize int) []byte {
 	return buf
 }
 
-// DecodeVertex parses a logical stream produced by EncodeVertex.
+// DecodeVertex parses a logical stream produced by EncodeVertex or the v2
+// encoder, dispatching on the header's codec flag. It returns an error —
+// never panics — on malformed input of either format.
 func DecodeVertex(buf []byte) (*Vertex, error) {
 	numBlocks, flags, err := checkHeader(buf)
 	if err != nil {
@@ -251,13 +265,20 @@ func DecodeVertex(buf []byte) (*Vertex, error) {
 	if flags&flagEdgeHolder != 0 {
 		return nil, fmt.Errorf("holder: expected a vertex holder, found an edge holder")
 	}
+	if flags&flagV2 != 0 {
+		return decodeVertexV2(buf, numBlocks, flags)
+	}
 	numEdges := int(binary.LittleEndian.Uint32(buf[4:]))
 	entryBytes := int(binary.LittleEndian.Uint32(buf[8:]))
 	numHomes := int(binary.LittleEndian.Uint32(buf[24:]))
 	numReplicas := int(binary.LittleEndian.Uint32(buf[28:]))
 	v := &Vertex{AppID: binary.LittleEndian.Uint64(buf[16:]), IsReplica: flags&flagReplica != 0}
-	off := HeaderSize + 8*(numBlocks-1)
-	if off+8*numHomes+8*numReplicas*numBlocks+numEdges*EdgeRecSize+entryBytes > len(buf) {
+	off, err := fixedRegionsEnd(buf, numBlocks, numHomes, numReplicas)
+	if err != nil {
+		return nil, err
+	}
+	rest := len(buf) - off - 8*numHomes - 8*numReplicas*numBlocks
+	if numEdges > rest/EdgeRecSize || entryBytes > rest-numEdges*EdgeRecSize {
 		return nil, fmt.Errorf("holder: truncated vertex holder (%d blocks, %d homes, %d replicas, %d edges, %d entry bytes, %d buffer)",
 			numBlocks, numHomes, numReplicas, numEdges, entryBytes, len(buf))
 	}
@@ -284,7 +305,10 @@ func DecodeVertex(buf []byte) (*Vertex, error) {
 		v.Edges[i] = decodeEdgeRec(buf[off:])
 		off += EdgeRecSize
 	}
-	v.Labels, v.Props = lpg.SplitEntries(buf[off : off+entryBytes])
+	v.Labels, v.Props, err = lpg.SplitEntriesSafe(buf[off : off+entryBytes])
+	if err != nil {
+		return nil, err
+	}
 	return v, nil
 }
 
@@ -308,7 +332,9 @@ func EncodeEdge(e *Edge, blockSize int) []byte {
 	return buf
 }
 
-// DecodeEdge parses a logical stream produced by EncodeEdge.
+// DecodeEdge parses a logical stream produced by EncodeEdge or the v2
+// encoder, dispatching on the header's codec flag. It returns an error —
+// never panics — on malformed input of either format.
 func DecodeEdge(buf []byte) (*Edge, error) {
 	numBlocks, flags, err := checkHeader(buf)
 	if err != nil {
@@ -322,13 +348,23 @@ func DecodeEdge(buf []byte) (*Edge, error) {
 		Origin: rma.DPtr(binary.LittleEndian.Uint64(buf[16:])),
 		Target: rma.DPtr(binary.LittleEndian.Uint64(buf[24:])),
 	}
-	off := HeaderSize + 8*(numBlocks-1)
-	if off+8+entryBytes > len(buf) {
+	off, err := fixedRegionsEnd(buf, numBlocks, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if off+8 > len(buf) || entryBytes > len(buf)-off-8 {
 		return nil, fmt.Errorf("holder: truncated edge holder")
 	}
 	e.Dir = Direction(binary.LittleEndian.Uint32(buf[off:]))
 	off += 8
-	e.Labels, e.Props = lpg.SplitEntries(buf[off : off+entryBytes])
+	if flags&flagV2 != 0 {
+		e.Labels, e.Props, err = lpg.SplitEntriesVar(buf[off : off+entryBytes])
+	} else {
+		e.Labels, e.Props, err = lpg.SplitEntriesSafe(buf[off : off+entryBytes])
+	}
+	if err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -406,6 +442,16 @@ func MovedTarget(primary []byte) rma.DPtr {
 // MovedAppID returns the application ID recorded in a forwarding stub.
 func MovedAppID(primary []byte) uint64 {
 	return binary.LittleEndian.Uint64(primary[24:])
+}
+
+// Inline reads the single-block flag from a holder's primary-block prefix:
+// true for a v2 holder whose whole stream fits its primary block, so a
+// reader holding that block needs no table lookup and no chain walk.
+func Inline(primary []byte) bool {
+	if len(primary) < HeaderSize {
+		panic("holder: primary block prefix too small")
+	}
+	return binary.LittleEndian.Uint32(primary[12:])&flagInline != 0
 }
 
 // IsEdgeHolder reads the kind flag from a holder's primary-block prefix.

@@ -1,0 +1,184 @@
+package holder
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/gdi-go/gdi/internal/lpg"
+	"github.com/gdi-go/gdi/internal/rma"
+)
+
+// View is a zero-copy reader over an encoded vertex-holder stream: it
+// validates the layout once at Reset and then iterates edge records in place
+// — fixed 16-byte records for v1, varint runs for v2 — without materializing
+// a []EdgeRec or copying a byte. The steady-state point-read and CSR index
+// paths run entirely on Views, which is what makes them allocation-free.
+//
+// A View aliases the stream it was Reset with; it is only valid while those
+// bytes are stable (a fetched copy, a cached copy under a validated version
+// stamp, or a holder protected by the caller's lock). The zero View is ready
+// for Reset; Views are cheap to embed and reuse.
+type View struct {
+	buf   []byte
+	codec Codec
+
+	numBlocks   int
+	numEdges    int
+	numHomes    int
+	numReplicas int
+	appID       uint64
+	isReplica   bool
+
+	edgesOff   int // byte offset of the edge region
+	edgesLen   int // its exact encoded length (validated at Reset)
+	entryBytes int // entry region length; starts at edgesOff+edgesLen
+}
+
+// Reset points the view at a vertex-holder stream, validating the header and
+// every region bound (for v2 this includes one in-place walk of the varint
+// edge runs). After a nil error the iteration methods cannot fail and do not
+// allocate. The view aliases buf.
+func (w *View) Reset(buf []byte) error {
+	numBlocks, flags, err := checkHeader(buf)
+	if err != nil {
+		return err
+	}
+	if flags&flagEdgeHolder != 0 {
+		return fmt.Errorf("holder: view over an edge holder")
+	}
+	w.buf = buf
+	w.numBlocks = numBlocks
+	w.numEdges = int(binary.LittleEndian.Uint32(buf[4:]))
+	w.entryBytes = int(binary.LittleEndian.Uint32(buf[8:]))
+	w.numHomes = int(binary.LittleEndian.Uint32(buf[24:]))
+	w.numReplicas = int(binary.LittleEndian.Uint32(buf[28:]))
+	w.appID = binary.LittleEndian.Uint64(buf[16:])
+	w.isReplica = flags&flagReplica != 0
+	w.codec = CodecV1
+	if flags&flagV2 != 0 {
+		w.codec = CodecV2
+	}
+	off, err := fixedRegionsEnd(buf, numBlocks, w.numHomes, w.numReplicas)
+	if err != nil {
+		return err
+	}
+	w.edgesOff = off + 8*w.numHomes + 8*w.numReplicas*numBlocks
+	if w.codec == CodecV1 {
+		if w.numEdges > (len(buf)-w.edgesOff)/EdgeRecSize {
+			return fmt.Errorf("holder: truncated edge region (%d records, %d bytes)", w.numEdges, len(buf)-w.edgesOff)
+		}
+		w.edgesLen = w.numEdges * EdgeRecSize
+	} else {
+		w.edgesLen, err = forEachEdgeV2(buf[w.edgesOff:], w.numEdges, nil)
+		if err != nil {
+			return err
+		}
+	}
+	if w.entryBytes > len(buf)-w.edgesOff-w.edgesLen {
+		return fmt.Errorf("holder: truncated entry region (%d bytes, %d left)", w.entryBytes, len(buf)-w.edgesOff-w.edgesLen)
+	}
+	return nil
+}
+
+// Codec returns the wire format of the viewed stream.
+func (w *View) Codec() Codec { return w.codec }
+
+// NumBlocks returns the holder's block count.
+func (w *View) NumBlocks() int { return w.numBlocks }
+
+// NumEdges returns the number of inline edge records — the vertex degree
+// over all directions — straight from the header, without touching the edge
+// region.
+func (w *View) NumEdges() int { return w.numEdges }
+
+// AppID returns the application-level vertex ID.
+func (w *View) AppID() uint64 { return w.appID }
+
+// IsReplica reports whether the stream is a follower copy.
+func (w *View) IsReplica() bool { return w.isReplica }
+
+// ForEachEdge calls fn for every inline edge record in insertion order,
+// parsing the stream in place. fn returning false stops the walk. The
+// records are yielded exactly as DecodeVertex would materialize them.
+func (w *View) ForEachEdge(fn func(EdgeRec) bool) {
+	if w.numEdges == 0 {
+		return
+	}
+	if w.codec == CodecV1 {
+		off := w.edgesOff
+		for i := 0; i < w.numEdges; i++ {
+			if !fn(decodeEdgeRec(w.buf[off:])) {
+				return
+			}
+			off += EdgeRecSize
+		}
+		return
+	}
+	// Reset validated the region; the walk cannot fail.
+	forEachEdgeV2(w.buf[w.edgesOff:w.edgesOff+w.edgesLen], w.numEdges, fn)
+}
+
+// ForEachNeighbor calls fn with the neighbor DPtr and direction of every
+// lightweight record, skipping heavy records (whose Neighbor points at an
+// edge holder, not a vertex — resolving those takes a fetch the transaction
+// layer owns). fn returning false stops the walk.
+func (w *View) ForEachNeighbor(fn func(nbr rma.DPtr, dir Direction) bool) {
+	w.ForEachEdge(func(rec EdgeRec) bool {
+		if rec.Heavy {
+			return true
+		}
+		return fn(rec.Neighbor, rec.Dir)
+	})
+}
+
+// AppendEdges materializes the edge records into dst (usually dst[:0] of a
+// reusable slice) and returns it — the lazy-decode escape hatch for paths
+// that need a mutable []EdgeRec after all.
+func (w *View) AppendEdges(dst []EdgeRec) []EdgeRec {
+	if cap(dst) < w.numEdges {
+		dst = make([]EdgeRec, 0, w.numEdges)
+	}
+	w.ForEachEdge(func(rec EdgeRec) bool {
+		dst = append(dst, rec)
+		return true
+	})
+	return dst
+}
+
+// DecodeMeta decodes everything except the edge records into a fresh Vertex
+// (Edges stays nil): the lazy form of DecodeVertex the fetch path uses so a
+// clean read-only vertex never materializes its edge list — iteration runs
+// on the view, and only a mutation pays for AppendEdges.
+func (w *View) DecodeMeta() (*Vertex, error) {
+	v := &Vertex{AppID: w.appID, IsReplica: w.isReplica, Codec: w.codec}
+	off := w.edgesOff - 8*w.numHomes - 8*w.numReplicas*w.numBlocks
+	if w.numHomes > 0 {
+		v.Homes = make([]rma.DPtr, 0, w.numHomes)
+		for i := 0; i < w.numHomes; i++ {
+			v.Homes = append(v.Homes, rma.DPtr(binary.LittleEndian.Uint64(w.buf[off:])))
+			off += 8
+		}
+	}
+	if w.numReplicas > 0 {
+		v.Replicas = make([][]rma.DPtr, w.numReplicas)
+		for g := range v.Replicas {
+			group := make([]rma.DPtr, w.numBlocks)
+			for i := range group {
+				group[i] = rma.DPtr(binary.LittleEndian.Uint64(w.buf[off:]))
+				off += 8
+			}
+			v.Replicas[g] = group
+		}
+	}
+	ent := w.buf[w.edgesOff+w.edgesLen : w.edgesOff+w.edgesLen+w.entryBytes]
+	var err error
+	if w.codec == CodecV2 {
+		v.Labels, v.Props, err = lpg.SplitEntriesVar(ent)
+	} else {
+		v.Labels, v.Props, err = lpg.SplitEntriesSafe(ent)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}

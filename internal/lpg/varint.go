@@ -1,0 +1,187 @@
+package lpg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The varint entry wire format of the v2 holder codec. A v2 entry is:
+//
+//	uvarint id    — IDLabel or a property-type integer ID
+//	uvarint size  — payload size in bytes
+//	payload       — size bytes, unpadded
+//
+// Label entries carry the LabelID itself as a uvarint payload, so the
+// common small-ID label costs 3 bytes instead of the fixed format's 12.
+// There is no terminator and no empty-slot padding: the region length
+// recorded in the holder header is authoritative, which is what lets the
+// decoder reject any truncation instead of walking past the region.
+//
+// Unlike the fixed format's DecodeEntries, every v2 decode path returns an
+// error on malformed input rather than panicking — these bytes cross the
+// fabric and are fuzzed as arbitrary input.
+
+// AppendEntryVar appends one v2 entry with the given ID and payload.
+func AppendEntryVar(buf []byte, id uint32, payload []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(id))
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	return append(buf, payload...)
+}
+
+// AppendLabelEntryVar appends a v2 label entry: id IDLabel, uvarint payload.
+func AppendLabelEntryVar(buf []byte, l LabelID) []byte {
+	var payload [binary.MaxVarintLen32]byte
+	n := binary.PutUvarint(payload[:], uint64(l))
+	return AppendEntryVar(buf, IDLabel, payload[:n])
+}
+
+// AppendPropertyEntryVar appends a v2 property entry.
+func AppendPropertyEntryVar(buf []byte, pt PTypeID, value []byte) []byte {
+	if uint32(pt) < FirstDynamicID && pt != PTypeDegree && pt != PTypeAppID {
+		panic(fmt.Sprintf("lpg: property entry with reserved ID %d", pt))
+	}
+	return AppendEntryVar(buf, uint32(pt), value)
+}
+
+// EntriesSizeVar returns the encoded v2 size of the given labels and
+// properties without building the region — the holder layer's block-count
+// fixed point calls it once per candidate block count.
+func EntriesSizeVar(labels []LabelID, props []Property) int {
+	n := 0
+	for _, l := range labels {
+		lv := UvarintLen(uint64(l))
+		n += UvarintLen(uint64(IDLabel)) + UvarintLen(uint64(lv)) + lv
+	}
+	for _, p := range props {
+		n += UvarintLen(uint64(p.PType)) + UvarintLen(uint64(len(p.Value))) + len(p.Value)
+	}
+	return n
+}
+
+// EncodeEntriesVar serializes labels and properties into a fresh v2 entry
+// region, preserving insertion order within each kind.
+func EncodeEntriesVar(labels []LabelID, props []Property) []byte {
+	buf := make([]byte, 0, EntriesSizeVar(labels, props))
+	for _, l := range labels {
+		buf = AppendLabelEntryVar(buf, l)
+	}
+	for _, p := range props {
+		buf = AppendPropertyEntryVar(buf, p.PType, p.Value)
+	}
+	return buf
+}
+
+// ForEachEntryVar walks a v2 entry region in place, calling fn for every
+// entry (payload aliases buf). It returns an error — never panics — on any
+// malformed or truncated input. fn returning false stops the walk early.
+func ForEachEntryVar(buf []byte, fn func(id uint32, payload []byte) bool) error {
+	off := 0
+	for off < len(buf) {
+		id, n := binary.Uvarint(buf[off:])
+		if n <= 0 || id > math.MaxUint32 {
+			return fmt.Errorf("lpg: malformed v2 entry ID at offset %d", off)
+		}
+		off += n
+		size, n := binary.Uvarint(buf[off:])
+		if n <= 0 || size > uint64(len(buf)-off-n) {
+			return fmt.Errorf("lpg: truncated v2 entry at offset %d", off)
+		}
+		off += n
+		if !fn(uint32(id), buf[off:off+int(size)]) {
+			return nil
+		}
+		off += int(size)
+	}
+	return nil
+}
+
+// SplitEntriesVar decodes a v2 entry region back into label IDs and
+// properties, preserving order within each kind. Property values are copied
+// out of buf so callers may reuse the stream buffer.
+func SplitEntriesVar(buf []byte) (labels []LabelID, props []Property, err error) {
+	walkErr := ForEachEntryVar(buf, func(id uint32, payload []byte) bool {
+		switch id {
+		case IDEmpty, IDEnd:
+			err = fmt.Errorf("lpg: reserved entry ID %d in v2 region", id)
+			return false
+		case IDLabel:
+			l, n := binary.Uvarint(payload)
+			if n <= 0 || n != len(payload) || l > math.MaxUint32 {
+				err = fmt.Errorf("lpg: malformed v2 label payload of %d bytes", len(payload))
+				return false
+			}
+			labels = append(labels, LabelID(l))
+		default:
+			props = append(props, Property{PType: PTypeID(id), Value: append([]byte(nil), payload...)})
+		}
+		return true
+	})
+	if err == nil {
+		err = walkErr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return labels, props, nil
+}
+
+// UvarintLen returns the encoded size of v as a uvarint.
+func UvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// VarintLen returns the encoded size of v as a zig-zag varint.
+func VarintLen(v int64) int {
+	return UvarintLen(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+// DecodeEntriesSafe is the error-returning form of DecodeEntries, used by
+// the holder decode paths so that corrupt fixed-format streams (which also
+// arrive as arbitrary fuzzed bytes) are rejected instead of panicking.
+func DecodeEntriesSafe(buf []byte) (entries []Entry, consumed int, err error) {
+	off := 0
+	for off+entryHeaderSize <= len(buf) {
+		id := binary.LittleEndian.Uint32(buf[off:])
+		size := int(binary.LittleEndian.Uint32(buf[off+4:]))
+		if id == IDEnd {
+			return entries, off + entryHeaderSize, nil
+		}
+		if size < 0 {
+			return nil, 0, fmt.Errorf("lpg: corrupt entry size at offset %d", off)
+		}
+		end := off + entryHeaderSize + pad4(size)
+		if end > len(buf) || end < off {
+			return nil, 0, fmt.Errorf("lpg: truncated entry at offset %d (size %d, buffer %d)", off, size, len(buf))
+		}
+		if id != IDEmpty {
+			entries = append(entries, Entry{ID: id, Payload: buf[off+entryHeaderSize : off+entryHeaderSize+size]})
+		}
+		off = end
+	}
+	return entries, off, nil
+}
+
+// SplitEntriesSafe is the error-returning form of SplitEntries.
+func SplitEntriesSafe(buf []byte) (labels []LabelID, props []Property, err error) {
+	entries, _, err := DecodeEntriesSafe(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		if e.IsLabel() {
+			if len(e.Payload) != 4 {
+				return nil, nil, fmt.Errorf("lpg: label entry with %d-byte payload", len(e.Payload))
+			}
+			labels = append(labels, e.Label())
+		} else {
+			props = append(props, Property{PType: e.PType(), Value: e.Payload})
+		}
+	}
+	return labels, props, nil
+}
