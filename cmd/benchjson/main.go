@@ -32,60 +32,96 @@ type report struct {
 	GateRatio float64                       `json:"gate_ratio,omitempty"`
 }
 
+// A gate part returns one (label, ratio) axis. Two failure shapes are kept
+// distinct: an *absent* part (label "") means the run never reported that
+// axis — a composite gate simply gates on its remaining parts — while a
+// *degenerate* part (a label with ratio 0) means the axis was reported but
+// is unusable (a zero denominator, a variant that ran without its metric),
+// which poisons the whole gate into "skipped". The distinction is what lets
+// a benchmark that only reports ns/op share minGate with one that also
+// reports traffic: the missing axis must not be divided by, and must not
+// silence the axes that did run.
+
 // nsRatio gates a paired ablation on wall time: the baseline variant's
-// ns/op over the optimized variant's (bigger is better).
+// ns/op over the optimized variant's (bigger is better). Absent when either
+// variant did not run at all.
 func nsRatio(baseline, optimized string) func(*report) (string, float64) {
 	return func(r *report) (string, float64) {
 		b, okB := r.NsPerOp[baseline]
 		o, okO := r.NsPerOp[optimized]
-		if !okB || !okO || o == 0 {
+		if !okB || !okO {
 			return "", 0
 		}
-		return fmt.Sprintf("ns/op %s / %s", baseline, optimized), b / o
+		label := fmt.Sprintf("ns/op %s / %s", baseline, optimized)
+		if o == 0 {
+			return label, 0
+		}
+		return label, b / o
 	}
 }
 
 // metricRatio gates a paired ablation on a reported metric: the optimized
-// variant's value over the baseline's (bigger is better).
+// variant's value over the baseline's (bigger is better). Absent when
+// neither variant reported the metric; degenerate when only one did, or the
+// baseline reported zero.
 func metricRatio(optimized, baseline, metric string) func(*report) (string, float64) {
 	return func(r *report) (string, float64) {
-		b := r.Metrics[baseline][metric]
-		o := r.Metrics[optimized][metric]
-		if b == 0 {
+		b, okB := r.Metrics[baseline][metric]
+		o, okO := r.Metrics[optimized][metric]
+		if !okB && !okO {
 			return "", 0
 		}
-		return fmt.Sprintf("%s %s / %s", metric, optimized, baseline), o / b
+		label := fmt.Sprintf("%s %s / %s", metric, optimized, baseline)
+		if !okB || !okO || b == 0 {
+			return label, 0
+		}
+		return label, o / b
 	}
 }
 
 // trafficRatio gates a paired ablation on bytes moved: the baseline
 // variant's bytes/op over the optimized variant's (bigger is better —
 // the optimized codec moves fewer bytes for the same logical work).
+// Absent/degenerate exactly as metricRatio, with the divisor flipped.
 func trafficRatio(baseline, optimized, metric string) func(*report) (string, float64) {
 	return func(r *report) (string, float64) {
-		b := r.Metrics[baseline][metric]
-		o := r.Metrics[optimized][metric]
-		if o == 0 {
+		b, okB := r.Metrics[baseline][metric]
+		o, okO := r.Metrics[optimized][metric]
+		if !okB && !okO {
 			return "", 0
 		}
-		return fmt.Sprintf("%s %s / %s", metric, baseline, optimized), b / o
+		label := fmt.Sprintf("%s %s / %s", metric, baseline, optimized)
+		if !okB || !okO || o == 0 {
+			return label, 0
+		}
+		return label, b / o
 	}
 }
 
-// minGate combines gates: the reported ratio is the weakest of the parts, so
-// the CI threshold holds on every axis at once (CodecAblation must win on
-// wall time AND bytes moved).
+// minGate combines gates: the reported ratio is the weakest of the parts
+// that ran, so the CI threshold holds on every reported axis at once
+// (CodecAblation must win on wall time AND bytes moved). Absent parts are
+// dropped — QueryAblation reports no bytes/op, so its traffic part never
+// runs and the verdict is the ns ratio alone — but a degenerate part
+// (reported yet unusable) still skips the whole gate rather than silently
+// weakening it.
 func minGate(parts ...func(*report) (string, float64)) func(*report) (string, float64) {
 	return func(r *report) (string, float64) {
 		label, ratio := "", math.Inf(1)
 		for _, part := range parts {
 			l, x := part(r)
-			if l == "" || x == 0 {
+			if l == "" {
+				continue
+			}
+			if x == 0 || math.IsInf(x, 0) || math.IsNaN(x) {
 				return "", 0
 			}
 			if x < ratio {
 				label, ratio = l, x
 			}
+		}
+		if label == "" {
+			return "", 0
 		}
 		return "min: " + label, ratio
 	}
@@ -97,6 +133,7 @@ var gates = map[string]func(*report) (string, float64){
 	"Ablation_CommitBatching":   nsRatio("scalar", "batched"),
 	"CacheAblation":             nsRatio("locked-uncached", "cached-optimistic"),
 	"CodecAblation":             minGate(nsRatio("v1", "v2"), trafficRatio("v1", "v2", "bytes/op")),
+	"QueryAblation":             minGate(nsRatio("naive", "compiled"), trafficRatio("naive", "compiled", "bytes/op")),
 	"AnalyticsAblation":         nsRatio("map-engine", "dense-csr"),
 	"RebalanceAblation":         metricRatio("rebalanced", "static", "queries/s"),
 	"ReplicationAblation":       metricRatio("replicated-k3", "unreplicated", "queries/s"),

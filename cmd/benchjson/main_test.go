@@ -14,6 +14,8 @@ BenchmarkCacheAblation/locked-uncached-8    	     100	  40000 ns/op
 BenchmarkCodecAblation/v1-8                 	      10	6000000 ns/op	       640.0 bytes/op
 BenchmarkCodecAblation/v2-8                 	      10	3000000 ns/op	       400.0 bytes/op
 BenchmarkHTAPAblation-8                     	       1	9000000 ns/op
+BenchmarkQueryAblation/naive-8              	       1	8000000 ns/op	        50 queries/s	        90.0 trains/op
+BenchmarkQueryAblation/compiled-8           	       1	2000000 ns/op	       200 queries/s	        12.0 trains/op
 BenchmarkUngated/only-8                     	    1000	   1000 ns/op
 `
 
@@ -23,8 +25,8 @@ func parseSample(t *testing.T) map[string]*report {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(order) != 6 {
-		t.Fatalf("parsed %d benchmarks (%v), want 6", len(order), order)
+	if len(order) != 7 {
+		t.Fatalf("parsed %d benchmarks (%v), want 7", len(order), order)
 	}
 	return reports
 }
@@ -81,6 +83,18 @@ func TestApplyGateRatios(t *testing.T) {
 		t.Errorf("CodecAblation ratio = %v, want 1.6", r.GateRatio)
 	}
 
+	// QueryAblation reports only ns/op and train metrics — no bytes/op. Its
+	// composite gate must drop the absent traffic part and gate on the ns
+	// ratio alone, never divide by the part that is not there.
+	r = reports["QueryAblation"]
+	applyGate(r)
+	if r.Gate != "min: ns/op naive / compiled" {
+		t.Errorf("QueryAblation gate = %q", r.Gate)
+	}
+	if r.GateRatio != 4.0 {
+		t.Errorf("QueryAblation ratio = %v, want 4.0", r.GateRatio)
+	}
+
 	r = reports["Ungated"]
 	applyGate(r)
 	if r.Gate != "" || r.GateRatio != 0 {
@@ -112,12 +126,33 @@ func TestApplyGateSkipsDegenerateBaselines(t *testing.T) {
 		t.Errorf("HTAPAblation gate = %q ratio %v, want skipped/0", r.Gate, r.GateRatio)
 	}
 
-	// A composite gate with one degenerate part skips as a whole: here the
-	// bytes/op metric never got reported.
+	// A composite gate whose metric part is entirely absent — neither
+	// variant reported bytes/op — gates on the parts that did run: the
+	// absent axis is dropped, not divided by, and not allowed to silence
+	// the ns ratio.
 	r = &report{Name: "CodecAblation", NsPerOp: map[string]float64{"v1": 6000000, "v2": 3000000}}
 	applyGate(r)
+	if r.Gate != "min: ns/op v1 / v2" || r.GateRatio != 2.0 {
+		t.Errorf("CodecAblation without bytes/op: gate = %q ratio %v, want ns-only/2.0", r.Gate, r.GateRatio)
+	}
+
+	// But a *degenerate* metric part — one variant reported bytes/op, the
+	// other did not — still poisons the whole composite: half a metric is
+	// evidence of a broken run, not of an intentionally unreported axis.
+	r = &report{Name: "CodecAblation",
+		NsPerOp: map[string]float64{"v1": 6000000, "v2": 3000000},
+		Metrics: map[string]map[string]float64{"v1": {"bytes/op": 640}}}
+	applyGate(r)
 	if r.Gate != "skipped" || r.GateRatio != 0 {
-		t.Errorf("CodecAblation without bytes/op: gate = %q ratio %v, want skipped/0", r.Gate, r.GateRatio)
+		t.Errorf("CodecAblation with half a bytes/op: gate = %q ratio %v, want skipped/0", r.Gate, r.GateRatio)
+	}
+
+	// A query benchmark run where the compiled variant never ran at all:
+	// every part is absent, so the whole gate is skipped.
+	r = &report{Name: "QueryAblation", NsPerOp: map[string]float64{"naive": 8000000}}
+	applyGate(r)
+	if r.Gate != "skipped" || r.GateRatio != 0 {
+		t.Errorf("QueryAblation naive-only: gate = %q ratio %v, want skipped/0", r.Gate, r.GateRatio)
 	}
 
 	// A zero baseline metric must not produce +Inf.

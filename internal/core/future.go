@@ -200,7 +200,11 @@ func (tx *Tx) flushPending() {
 	// Deduplicate by DPtr (resolving migration aliases this transaction has
 	// already chased); cache hits resolve without communication. The dedup
 	// map is built lazily on the second distinct fetch, so the dominant
-	// single-vertex point read allocates no map at all.
+	// single-vertex point read allocates no map at all. A multi-hop frontier
+	// that revisits an already-chased stale DPtr in a later hop resolves
+	// here through chaseAlias + the installed state — no fresh chase
+	// generation, no second ForwardedReads count, no traffic
+	// (TestMultiHopRevisitOfMigratedVertexUsesAliasMap).
 	var fetches []*pendingFetch
 	var uniq map[fabric.DPtr]*pendingFetch
 	enqueue := func(dp fabric.DPtr, futs []*VertexFuture) {

@@ -1,0 +1,93 @@
+package query
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/gdi-go/gdi/internal/constraint"
+	"github.com/gdi-go/gdi/internal/core"
+)
+
+// samplePatterns covers every codec branch: all three kinds, present/absent
+// predicates, projection, limits, and multi-sub DNF constraints.
+func samplePatterns() []*Pattern {
+	pred := &constraint.Constraint{
+		Version: 42,
+		Subs: []constraint.Subconstraint{
+			{
+				Labels: []constraint.LabelCond{{Label: 3}, {Label: 9, Absent: true}},
+				Props: []constraint.PropCond{{
+					PType: 1, Datatype: 2, Op: constraint.OpGe, Operand: []byte{1, 2, 3, 4},
+				}},
+			},
+			{Props: []constraint.PropCond{{PType: 7, Op: constraint.OpExists}}},
+		},
+	}
+	return []*Pattern{
+		{Kind: KHop, Hops: []Hop{{Mask: core.MaskOut}}},
+		{Kind: KHop, Hops: []Hop{{Mask: core.MaskAll}, {Mask: core.MaskIn, Cons: pred}}, Limit: 20},
+		{Kind: Triangle},
+		{Kind: Triangle, Hops: []Hop{{Mask: core.MaskAll, Cons: pred}}},
+		{Kind: Path, Hops: []Hop{{Mask: core.MaskOut}, {Mask: core.MaskUndirected}, {Mask: core.MaskAll, Cons: pred}},
+			Limit: 5, Project: 11, HasProject: true},
+	}
+}
+
+func TestPatternCodecRoundTrip(t *testing.T) {
+	for i, p := range samplePatterns() {
+		enc := Encode(nil, p)
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("pattern %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("pattern %d round trip diverged:\nin:  %+v\nout: %+v", i, p, got)
+		}
+		if re := Encode(nil, got); !bytes.Equal(re, enc) {
+			t.Fatalf("pattern %d re-encode is not canonical", i)
+		}
+	}
+}
+
+func TestPatternDecodeRejects(t *testing.T) {
+	good := Encode(nil, samplePatterns()[1])
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad magic":      append([]byte{'X'}, good[1:]...),
+		"bad version":    append([]byte{'Q', 99}, good[2:]...),
+		"truncated":      good[:len(good)-3],
+		"trailing bytes": append(append([]byte(nil), good...), 0),
+		"bad kind":       {codecMagic, codecVersion, 99, 0, 0, 0},
+		"zero mask":      {codecMagic, codecVersion, byte(KHop), 0, 0, 1, 0, 0},
+	}
+	for name, buf := range cases {
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("%s: decode accepted bad input", name)
+		}
+	}
+}
+
+func TestPatternValidate(t *testing.T) {
+	bad := []*Pattern{
+		{Kind: KHop}, // no hops
+		{Kind: Path}, // no hops
+		{Kind: Kind(77), Hops: []Hop{{Mask: core.MaskOut}}}, // unknown kind
+		{Kind: KHop, Hops: []Hop{{Mask: 0}}},                // zero mask
+		{Kind: KHop, Hops: []Hop{{Mask: 0x80}}},             // out-of-range mask
+		{Kind: KHop, Hops: []Hop{{Mask: core.MaskOut}}, Limit: -1},
+		{Kind: Triangle, Hops: []Hop{{Mask: core.MaskOut}, {Mask: core.MaskOut}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("pattern %d: Validate accepted %+v", i, p)
+		}
+	}
+	tooDeep := &Pattern{Kind: KHop}
+	for i := 0; i <= MaxHops; i++ {
+		tooDeep.Hops = append(tooDeep.Hops, Hop{Mask: core.MaskOut})
+	}
+	if err := tooDeep.Validate(); err == nil {
+		t.Error("Validate accepted a pattern over MaxHops")
+	}
+}
